@@ -1,0 +1,130 @@
+//! Criterion micro-benchmarks of the framework components (not a paper figure;
+//! used as an ablation of where time goes inside a replica).
+//!
+//! Covers: SHA-256 hashing, signing/verification, block-forest insertion and
+//! chain predicates, quorum accumulation, and mempool batching.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use bamboo_crypto::{sha256, KeyPair};
+use bamboo_forest::BlockForest;
+use bamboo_mempool::Mempool;
+use bamboo_types::{Block, BlockId, NodeId, QuorumCert, SimTime, Transaction, View, Vote};
+
+fn chain_blocks(len: u64, txs_per_block: u64) -> Vec<Block> {
+    let mut blocks = Vec::new();
+    let mut parent = BlockId::GENESIS;
+    let mut height = bamboo_types::Height(0);
+    for view in 1..=len {
+        let payload: Vec<Transaction> = (0..txs_per_block)
+            .map(|i| Transaction::new(NodeId(9), view * 10_000 + i, 128, SimTime::ZERO))
+            .collect();
+        let block = Block::new(
+            View(view),
+            height.next(),
+            parent,
+            NodeId(view % 4),
+            QuorumCert::genesis(),
+            payload,
+        );
+        parent = block.id;
+        height = block.height;
+        blocks.push(block);
+    }
+    blocks
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let data = vec![0xa5u8; 1024];
+    c.bench_function("sha256_1k", |b| b.iter(|| sha256(&data)));
+
+    let kp = KeyPair::from_seed(1);
+    c.bench_function("sign", |b| b.iter(|| kp.sign(&data)));
+    let sig = kp.sign(&data);
+    c.bench_function("verify", |b| b.iter(|| kp.public_key().verify(&data, &sig)));
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let blocks = chain_blocks(200, 10);
+    c.bench_function("forest_insert_200_blocks", |b| {
+        b.iter_batched(
+            BlockForest::new,
+            |mut forest| {
+                for block in &blocks {
+                    forest.insert(block.clone()).unwrap();
+                }
+                forest
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut forest = BlockForest::new();
+    for block in &blocks {
+        forest.insert(block.clone()).unwrap();
+        forest
+            .register_qc(QuorumCert {
+                block: block.id,
+                view: block.view,
+                signatures: Default::default(),
+            })
+            .unwrap();
+    }
+    let tip = blocks.last().unwrap().id;
+    c.bench_function("forest_certified_chain_length", |b| {
+        b.iter(|| forest.certified_chain_length(tip))
+    });
+    c.bench_function("forest_extends_deep", |b| {
+        b.iter(|| forest.extends(tip, BlockId::GENESIS))
+    });
+}
+
+fn bench_quorum(c: &mut Criterion) {
+    let keys: Vec<KeyPair> = (0..32).map(KeyPair::from_seed).collect();
+    let block = BlockId(bamboo_crypto::Digest::of(b"bench"));
+    let votes: Vec<Vote> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, kp)| Vote::new(block, View(5), NodeId(i as u64), kp))
+        .collect();
+    c.bench_function("quorum_accumulate_32_votes", |b| {
+        b.iter_batched(
+            || bamboo_core::QuorumTracker::new(32),
+            |mut tracker| {
+                for vote in &votes {
+                    let _ = tracker.add_vote(vote.clone());
+                }
+                tracker
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_mempool(c: &mut Criterion) {
+    let txs: Vec<Transaction> = (0..4_000)
+        .map(|i| Transaction::new(NodeId(1), i, 128, SimTime::ZERO))
+        .collect();
+    c.bench_function("mempool_push_4000_batch_400", |b| {
+        b.iter_batched(
+            || Mempool::new(10_000),
+            |mut pool| {
+                for tx in &txs {
+                    pool.push(tx.clone());
+                }
+                while !pool.is_empty() {
+                    pool.next_batch(400);
+                }
+                pool
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_crypto, bench_forest, bench_quorum, bench_mempool
+);
+criterion_main!(benches);

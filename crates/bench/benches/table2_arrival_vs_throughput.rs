@@ -1,0 +1,52 @@
+//! Table II — transaction arrival rate vs transaction throughput.
+//!
+//! Paper setting: HotStuff, block size 400, 4 replicas, arrival rates from
+//! roughly 20k to 130k tx/s. The paper's observation is that committed
+//! throughput tracks the arrival rate almost exactly until saturation; this
+//! bench reproduces that table on the simulated substrate (absolute rates are
+//! scaled to the simulator's capacity, the tracking behaviour is the result
+//! under test).
+
+use serde::Serialize;
+
+use bamboo_bench::{banner, eval_config, save_json};
+use bamboo_core::{Benchmarker, RunOptions};
+use bamboo_types::ProtocolKind;
+
+#[derive(Serialize)]
+struct Row {
+    arrival_rate_tx_per_sec: f64,
+    throughput_tx_per_sec: f64,
+    tracking_error_percent: f64,
+}
+
+fn main() {
+    banner("Table II: arrival rate vs throughput (HotStuff, bsize=400, 4 replicas)");
+    let config = eval_config(4, 400, 0, 800);
+    let bench = Benchmarker::new(config, ProtocolKind::HotStuff, RunOptions::default());
+
+    // The paper sweeps 20k..131k tx/s on its testbed; the simulated substrate
+    // saturates at a different absolute rate, so the ladder covers the same
+    // relative range (sub-saturation up to just past saturation).
+    let rates = [
+        10_000.0, 20_000.0, 40_000.0, 60_000.0, 80_000.0, 100_000.0, 120_000.0,
+    ];
+    let mut rows = Vec::new();
+    println!("{:>22} | {:>22} | {:>10}", "Arrival rate (Tx/s)", "Throughput (Tx/s)", "error %");
+    println!("{:-<62}", "");
+    for &rate in &rates {
+        let report = bench.run_at(rate);
+        let error = 100.0 * (report.throughput_tx_per_sec - rate).abs() / rate;
+        println!(
+            "{:>22.0} | {:>22.0} | {:>9.1}%",
+            rate, report.throughput_tx_per_sec, error
+        );
+        rows.push(Row {
+            arrival_rate_tx_per_sec: rate,
+            throughput_tx_per_sec: report.throughput_tx_per_sec,
+            tracking_error_percent: error,
+        });
+    }
+    save_json("table2_arrival_vs_throughput", &rows);
+    println!("\nExpected shape (paper): throughput ≈ arrival rate until the system saturates.");
+}

@@ -1,0 +1,163 @@
+//! Shared harness code for the experiment benches.
+//!
+//! Every bench target in `benches/` regenerates one table or figure of
+//! *Dissecting the Performance of Chained-BFT*: it prints the same rows /
+//! series the paper reports (as aligned text and CSV) and writes a JSON
+//! artifact under `target/bamboo-bench/` so EXPERIMENTS.md can reference
+//! machine-readable results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+use bamboo_core::{Benchmarker, CurvePoint, RunOptions, SweepOptions};
+use bamboo_model::{ModelParams, PerfModel};
+use bamboo_types::{Block, Config, ProtocolKind, SimDuration, Transaction};
+
+/// Directory where benches drop their JSON artifacts.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("target").join("bamboo-bench");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Serialises `value` as pretty JSON under `target/bamboo-bench/<name>.json`.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(err) = fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {err}", path.display());
+            } else {
+                println!("# artifact: {}", path.display());
+            }
+        }
+        Err(err) => eprintln!("warning: could not serialise {name}: {err}"),
+    }
+}
+
+/// Prints a figure/table banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("==============================================================");
+    println!("{title}");
+    println!("==============================================================");
+}
+
+/// The standard evaluation configuration used across the figures: the Table-I
+/// defaults on the simulated data-centre substrate, with the measurement
+/// window shortened so the whole suite runs in minutes.
+pub fn eval_config(nodes: usize, block_size: usize, payload: usize, runtime_ms: u64) -> Config {
+    Config::builder()
+        .nodes(nodes)
+        .block_size(block_size)
+        .payload_size(payload)
+        .runtime(SimDuration::from_millis(runtime_ms))
+        .timeout(SimDuration::from_millis(100))
+        .seed(2021)
+        .build()
+        .expect("valid benchmark configuration")
+}
+
+/// Derives the analytical-model parameters that correspond to a simulator
+/// configuration, so Fig. 8 compares like with like.
+pub fn model_params(config: &Config) -> ModelParams {
+    let quorum = config.quorum();
+    ModelParams {
+        nodes: config.nodes,
+        block_size: config.block_size,
+        tx_bytes: Transaction::HEADER_BYTES + config.payload_size,
+        block_overhead_bytes: Block::HEADER_BYTES + 40 + 40 * quorum,
+        link_mean: config.link_latency_mean.as_secs_f64() + config.extra_delay.as_secs_f64(),
+        link_std: config.link_latency_std.as_secs_f64(),
+        client_rtt: 2.0 * config.link_latency_mean.as_secs_f64(),
+        t_cpu: config.cpu_delay.as_secs_f64(),
+        bandwidth: config.bandwidth_bytes_per_sec as f64,
+    }
+}
+
+/// Builds the analytical model for one protocol and configuration.
+pub fn model_for(protocol: ProtocolKind, config: &Config) -> PerfModel {
+    PerfModel::new(protocol, model_params(config))
+}
+
+/// Runs a saturation sweep for `protocol` over `config` and returns the curve.
+pub fn sweep(protocol: ProtocolKind, config: &Config, sweep: SweepOptions) -> Vec<CurvePoint> {
+    Benchmarker::new(config.clone(), protocol, RunOptions::default())
+        .with_sweep(sweep)
+        .sweep()
+}
+
+/// Default sweep ladder used by the throughput/latency figures.
+pub fn default_sweep() -> SweepOptions {
+    SweepOptions {
+        start_rate: 10_000.0,
+        growth: 2.0,
+        max_points: 9,
+        saturation_gain: 0.05,
+        latency_ceiling_ms: 150.0,
+    }
+}
+
+/// Prints a latency/throughput curve as CSV rows: `label, offered, tput, latency`.
+pub fn print_curve(label: &str, points: &[CurvePoint]) {
+    for point in points {
+        println!(
+            "{label}, offered={:.0} tx/s, throughput={:.1} ktx/s, latency={:.2} ms (p99 {:.2} ms)",
+            point.offered_tx_per_sec,
+            point.throughput_tx_per_sec / 1_000.0,
+            point.latency_ms,
+            point.p99_latency_ms
+        );
+    }
+}
+
+/// A serialisable labelled curve, shared by several artifacts.
+#[derive(Serialize)]
+pub struct LabelledCurve {
+    /// Series label (e.g. "HS-b400").
+    pub label: String,
+    /// Curve points.
+    pub points: Vec<CurvePoint>,
+}
+
+/// The three protocols compared throughout the evaluation.
+pub fn evaluated_protocols() -> [ProtocolKind; 3] {
+    ProtocolKind::evaluated()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_config_matches_table_one_defaults() {
+        let config = eval_config(4, 400, 128, 500);
+        assert_eq!(config.nodes, 4);
+        assert_eq!(config.block_size, 400);
+        assert_eq!(config.payload_size, 128);
+        assert_eq!(config.timeout, SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn model_params_follow_config() {
+        let config = eval_config(8, 400, 128, 500);
+        let params = model_params(&config);
+        assert_eq!(params.nodes, 8);
+        assert_eq!(params.tx_bytes, Transaction::HEADER_BYTES + 128);
+        assert!(params.link_mean > 0.0);
+        assert!(params.bandwidth > 0.0);
+        let model = model_for(ProtocolKind::HotStuff, &config);
+        assert!(model.saturation_rate() > 0.0);
+    }
+
+    #[test]
+    fn results_dir_is_creatable() {
+        let dir = results_dir();
+        assert!(dir.ends_with("bamboo-bench"));
+    }
+}

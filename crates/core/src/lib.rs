@@ -1,0 +1,57 @@
+//! bamboo-core — the Bamboo framework assembled.
+//!
+//! This crate wires the shared modules (block forest, mempool, pacemaker,
+//! quorum, safety/protocols, network simulation) into runnable replicas and
+//! provides the benchmark facilities of the paper:
+//!
+//! * [`Replica`] — the event-driven replica node: a pure state machine that
+//!   consumes [`ReplicaEvent`]s and emits [`Outbound`] messages plus CPU-cost
+//!   accounting, so the same code runs on the deterministic simulator and on
+//!   the threaded runtime.
+//! * [`QuorumTracker`] — the Quorum component (`voted()` / `certified()`).
+//! * [`SimRunner`] — the discrete-event simulation runner: network latency,
+//!   NIC and CPU models, workload generation, fault injection, metric
+//!   collection.
+//! * [`Benchmarker`] — saturation sweeps producing the latency/throughput
+//!   curves of the paper's figures.
+//! * [`Metrics`] / [`RunReport`] — throughput, latency, chain growth rate and
+//!   block interval (§IV-B).
+//! * [`threaded::ThreadedCluster`] — a live, multi-threaded in-process cluster
+//!   used by the examples.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bamboo_core::{RunOptions, SimRunner};
+//! use bamboo_types::{Config, ProtocolKind, SimDuration};
+//!
+//! let config = Config::builder()
+//!     .nodes(4)
+//!     .block_size(100)
+//!     .runtime(SimDuration::from_millis(200))
+//!     .arrival_rate(5_000.0)
+//!     .build()
+//!     .expect("valid config");
+//! let report = SimRunner::new(config, ProtocolKind::HotStuff, RunOptions::default()).run();
+//! assert!(report.committed_blocks > 0);
+//! assert_eq!(report.safety_violations, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmark;
+pub mod metrics;
+pub mod quorum;
+pub mod replica;
+pub mod runner;
+pub mod threaded;
+pub mod workload;
+
+pub use bamboo_sim::{FluctuationWindow, LinkFault};
+pub use benchmark::{Benchmarker, CurvePoint, SweepOptions};
+pub use metrics::{LatencyStats, Metrics, RunReport, ThroughputSample};
+pub use quorum::QuorumTracker;
+pub use replica::{Destination, HandleResult, Outbound, Replica, ReplicaEvent, ReplicaOptions};
+pub use runner::{RunOptions, SimRunner};
+pub use workload::{ClosedLoopWorkload, OpenLoopWorkload, Workload};

@@ -1,0 +1,267 @@
+//! Benchmark metrics: throughput, latency, chain growth rate, block interval.
+//!
+//! These are the four metrics of §IV-B of the paper. Latency is measured from
+//! the moment the client issues a transaction until the commit confirmation
+//! would reach it (client RTT is added by the runner, matching the model's
+//! `t_L` term). Chain growth rate and block interval are the two micro-metrics
+//! introduced for the Byzantine experiments.
+
+use serde::{Deserialize, Serialize};
+
+use bamboo_types::{ProtocolKind, SimDuration, SimTime};
+
+/// A latency distribution summary in milliseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean latency (ms).
+    pub mean_ms: f64,
+    /// Median latency (ms).
+    pub p50_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub p99_ms: f64,
+    /// Maximum observed latency (ms).
+    pub max_ms: f64,
+}
+
+/// One point of the throughput time series (used by the responsiveness
+/// experiment, Fig. 15).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputSample {
+    /// Start of the bucket.
+    pub at: SimTime,
+    /// Committed transactions per second during the bucket.
+    pub tx_per_sec: f64,
+}
+
+/// Running metric accumulator owned by the runner.
+#[derive(Clone, Debug)]
+pub struct Metrics {
+    latencies_ms: Vec<f64>,
+    committed_txs: u64,
+    committed_blocks: u64,
+    bucket: SimDuration,
+    buckets: Vec<u64>,
+    /// Messages sent over the network, by coarse count.
+    messages_sent: u64,
+    /// Total bytes sent over the network.
+    bytes_sent: u64,
+}
+
+impl Metrics {
+    /// Creates an accumulator with the given time-series bucket width.
+    pub fn new(bucket: SimDuration) -> Self {
+        Self {
+            latencies_ms: Vec::new(),
+            committed_txs: 0,
+            committed_blocks: 0,
+            bucket,
+            buckets: Vec::new(),
+            messages_sent: 0,
+            bytes_sent: 0,
+        }
+    }
+
+    /// Records the commit of a transaction issued at `issued_at` and confirmed
+    /// (at the client) at `confirmed_at`.
+    pub fn record_commit(&mut self, issued_at: SimTime, confirmed_at: SimTime) {
+        self.committed_txs += 1;
+        let latency = confirmed_at.since(issued_at).as_millis_f64();
+        self.latencies_ms.push(latency);
+        let idx = (confirmed_at.as_nanos() / self.bucket.as_nanos().max(1)) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+    }
+
+    /// Records a committed block (counted once, at a designated observer
+    /// replica).
+    pub fn record_block(&mut self) {
+        self.committed_blocks += 1;
+    }
+
+    /// Records a message of `bytes` put on the wire.
+    pub fn record_message(&mut self, bytes: usize) {
+        self.messages_sent += 1;
+        self.bytes_sent += bytes as u64;
+    }
+
+    /// Number of committed transactions so far.
+    pub fn committed_txs(&self) -> u64 {
+        self.committed_txs
+    }
+
+    /// Summarises the latency distribution.
+    pub fn latency(&self) -> LatencyStats {
+        if self.latencies_ms.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let pct = |q: f64| -> f64 {
+            let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+            sorted[idx]
+        };
+        LatencyStats {
+            count: sorted.len() as u64,
+            mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_ms: pct(0.50),
+            p99_ms: pct(0.99),
+            max_ms: *sorted.last().expect("non-empty"),
+        }
+    }
+
+    /// Produces the committed-throughput time series.
+    pub fn throughput_series(&self) -> Vec<ThroughputSample> {
+        let bucket_secs = self.bucket.as_secs_f64();
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, count)| ThroughputSample {
+                at: SimTime(i as u64 * self.bucket.as_nanos()),
+                tx_per_sec: *count as f64 / bucket_secs,
+            })
+            .collect()
+    }
+
+    /// Network counters: `(messages, bytes)`.
+    pub fn network_counters(&self) -> (u64, u64) {
+        (self.messages_sent, self.bytes_sent)
+    }
+}
+
+/// The final report of one simulation run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Number of replicas.
+    pub nodes: usize,
+    /// Number of Byzantine replicas.
+    pub byz_nodes: usize,
+    /// Simulated duration of the measurement window (seconds).
+    pub duration_secs: f64,
+    /// Committed transactions per second (measured on the observer replica).
+    pub throughput_tx_per_sec: f64,
+    /// End-to-end latency statistics.
+    pub latency: LatencyStats,
+    /// Total committed transactions.
+    pub committed_txs: u64,
+    /// Total committed blocks.
+    pub committed_blocks: u64,
+    /// Highest view reached by the observer replica.
+    pub views_advanced: u64,
+    /// Chain growth rate: committed blocks per view (§IV-B1).
+    pub chain_growth_rate: f64,
+    /// Average block interval in views (§IV-B2).
+    pub block_interval: f64,
+    /// Number of view changes caused by timeouts.
+    pub timeout_view_changes: u64,
+    /// Messages sent over the network.
+    pub messages_sent: u64,
+    /// Bytes sent over the network.
+    pub bytes_sent: u64,
+    /// Committed-throughput time series (bucketed).
+    pub throughput_series: Vec<ThroughputSample>,
+    /// Number of detected safety violations (conflicting commits). Must be 0.
+    pub safety_violations: u64,
+    /// Transactions still waiting (not committed) at the end of the run.
+    pub pending_txs: u64,
+}
+
+impl RunReport {
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} n={} byz={}: {:.0} tx/s, latency mean {:.2} ms (p99 {:.2}), CGR {:.2}, BI {:.2}",
+            self.protocol,
+            self.nodes,
+            self.byz_nodes,
+            self.throughput_tx_per_sec,
+            self.latency.mean_ms,
+            self.latency.p99_ms,
+            self.chain_growth_rate,
+            self.block_interval
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let mut m = Metrics::new(SimDuration::from_secs(1));
+        for i in 1..=100u64 {
+            m.record_commit(SimTime::ZERO, SimTime(i * 1_000_000));
+        }
+        let stats = m.latency();
+        assert_eq!(stats.count, 100);
+        assert!(stats.p50_ms <= stats.p99_ms);
+        assert!(stats.p99_ms <= stats.max_ms);
+        assert!((stats.mean_ms - 50.5).abs() < 1.0);
+        assert!((stats.max_ms - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_metrics_are_zeroed() {
+        let m = Metrics::new(SimDuration::from_secs(1));
+        assert_eq!(m.latency(), LatencyStats::default());
+        assert!(m.throughput_series().is_empty());
+        assert_eq!(m.committed_txs(), 0);
+    }
+
+    #[test]
+    fn throughput_series_buckets_commits() {
+        let mut m = Metrics::new(SimDuration::from_secs(1));
+        // 10 commits in second 0, 20 commits in second 2.
+        for _ in 0..10 {
+            m.record_commit(SimTime::ZERO, SimTime(500_000_000));
+        }
+        for _ in 0..20 {
+            m.record_commit(SimTime::ZERO, SimTime(2_500_000_000));
+        }
+        let series = m.throughput_series();
+        assert_eq!(series.len(), 3);
+        assert!((series[0].tx_per_sec - 10.0).abs() < 1e-9);
+        assert!((series[1].tx_per_sec - 0.0).abs() < 1e-9);
+        assert!((series[2].tx_per_sec - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn network_counters_accumulate() {
+        let mut m = Metrics::new(SimDuration::from_secs(1));
+        m.record_message(100);
+        m.record_message(250);
+        assert_eq!(m.network_counters(), (2, 350));
+    }
+
+    #[test]
+    fn report_summary_mentions_protocol_and_throughput() {
+        let report = RunReport {
+            protocol: ProtocolKind::HotStuff,
+            nodes: 4,
+            byz_nodes: 0,
+            duration_secs: 10.0,
+            throughput_tx_per_sec: 1234.0,
+            latency: LatencyStats::default(),
+            committed_txs: 12340,
+            committed_blocks: 100,
+            views_advanced: 120,
+            chain_growth_rate: 0.83,
+            block_interval: 2.0,
+            timeout_view_changes: 0,
+            messages_sent: 0,
+            bytes_sent: 0,
+            throughput_series: vec![],
+            safety_violations: 0,
+            pending_txs: 0,
+        };
+        let s = report.summary();
+        assert!(s.contains("HS"));
+        assert!(s.contains("1234"));
+    }
+}

@@ -1,0 +1,695 @@
+//! The replica node: Bamboo's `Replica` assembled from the shared modules.
+//!
+//! A [`Replica`] is a pure state machine. It consumes [`ReplicaEvent`]s
+//! (delivered messages, timer expirations, client requests) and returns a
+//! [`HandleResult`] describing what should happen next: messages to send,
+//! timers to arm, CPU time consumed, and blocks that became committed. All
+//! time, networking and randomness live in the runner, which is what makes the
+//! same replica code usable both on the deterministic simulator and on the
+//! threaded runtime.
+
+use std::collections::HashMap;
+
+use bamboo_crypto::KeyPair;
+use bamboo_forest::{BlockForest, ForestError, Ledger};
+use bamboo_mempool::Mempool;
+use bamboo_pacemaker::{LeaderElection, Pacemaker, PacemakerAction};
+use bamboo_protocols::{make_safety, ProposalInput, Safety, VoteDestination};
+use bamboo_sim::CpuModel;
+use bamboo_types::{
+    Block, BlockId, Config, Message, NodeId, ProtocolKind, QuorumCert, SimDuration, SimTime,
+    TimeoutCert, Transaction, View, Vote,
+};
+
+use crate::quorum::QuorumTracker;
+
+/// Where an outbound message should be delivered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Destination {
+    /// A single replica.
+    Node(NodeId),
+    /// Every replica except the sender.
+    AllReplicas,
+}
+
+/// An outbound message produced by a replica.
+#[derive(Clone, Debug)]
+pub struct Outbound {
+    /// Where to send it.
+    pub to: Destination,
+    /// The message.
+    pub message: Message,
+}
+
+/// Events consumed by a replica.
+#[derive(Clone, Debug)]
+pub enum ReplicaEvent {
+    /// A message delivered by the network.
+    Message {
+        /// The sending node.
+        from: NodeId,
+        /// The delivered message.
+        message: Message,
+    },
+    /// A previously armed view timer fired.
+    TimerFired {
+        /// The view the timer was armed for.
+        view: View,
+    },
+    /// A delayed proposal slot arrived (used when the protocol waits for the
+    /// timeout after a view change, Fig. 15's second setting).
+    ProposeNow {
+        /// The view the proposal was scheduled for.
+        view: View,
+    },
+    /// A batch of client transactions arrived at this replica.
+    ClientRequests(Vec<Transaction>),
+}
+
+/// Everything a replica wants done after handling one event.
+#[derive(Debug, Default)]
+pub struct HandleResult {
+    /// Messages to put on the network.
+    pub outbound: Vec<Outbound>,
+    /// View timers to arm: `(view, absolute deadline)`.
+    pub timers: Vec<(View, SimTime)>,
+    /// Delayed proposals to schedule: `(view, absolute time)`.
+    pub delayed_proposals: Vec<(View, SimTime)>,
+    /// CPU time consumed handling the event.
+    pub cpu: SimDuration,
+    /// Blocks that became committed while handling the event (oldest first).
+    pub committed: Vec<Block>,
+}
+
+impl HandleResult {
+    fn send(&mut self, to: Destination, message: Message) {
+        self.outbound.push(Outbound { to, message });
+    }
+}
+
+/// Per-replica behavioural options that are not part of the shared [`Config`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplicaOptions {
+    /// After a timeout-driven view change, wait for the view timeout before
+    /// proposing instead of proposing as soon as the TC arrives. This models
+    /// the non-responsive deployment of Fig. 15 ("t100" setting).
+    pub wait_for_timeout_on_view_change: bool,
+    /// From this simulated time on, the replica withholds every proposal (used
+    /// to crash a node mid-run in the responsiveness experiment).
+    pub silence_from: Option<SimTime>,
+}
+
+/// A Bamboo replica.
+pub struct Replica {
+    id: NodeId,
+    config: Config,
+    options: ReplicaOptions,
+    keypair: KeyPair,
+    election: LeaderElection,
+    forest: BlockForest,
+    mempool: Mempool,
+    pacemaker: Pacemaker,
+    safety: Box<dyn Safety>,
+    quorum: QuorumTracker,
+    ledger: Ledger,
+    cpu: CpuModel,
+    /// Last view in which this replica proposed (guards double proposing).
+    proposed_in_view: View,
+    /// QCs whose block has not arrived yet.
+    pending_qcs: HashMap<BlockId, QuorumCert>,
+    /// Conflicting-commit events observed (must stay zero in a correct run).
+    safety_violations: u64,
+}
+
+impl Replica {
+    /// Creates a replica. Byzantine behaviour is selected from the config: if
+    /// `config.is_byzantine(id)` the configured strategy wraps the protocol.
+    pub fn new(
+        id: NodeId,
+        protocol: ProtocolKind,
+        config: Config,
+        options: ReplicaOptions,
+    ) -> Self {
+        let strategy = if config.is_byzantine(id) {
+            config.byzantine_strategy
+        } else {
+            bamboo_types::ByzantineStrategy::Honest
+        };
+        let safety = make_safety(protocol, strategy);
+        let election = LeaderElection::new(config.nodes, config.leader_policy);
+        let cpu = CpuModel::new(config.cpu_delay).with_per_tx(SimDuration::from_nanos(400));
+        Self {
+            id,
+            keypair: KeyPair::from_seed(id.as_u64()),
+            election,
+            forest: BlockForest::new(),
+            mempool: Mempool::new(config.mempool_size),
+            pacemaker: Pacemaker::new(id, config.nodes, config.timeout),
+            safety,
+            quorum: QuorumTracker::new(config.nodes),
+            ledger: Ledger::new(),
+            cpu,
+            proposed_in_view: View::GENESIS,
+            pending_qcs: HashMap::new(),
+            safety_violations: 0,
+            config,
+            options,
+        }
+    }
+
+    /// The replica's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The replica's current view.
+    pub fn current_view(&self) -> View {
+        self.pacemaker.current_view()
+    }
+
+    /// The committed ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// The block forest (exposed for metrics and tests).
+    pub fn forest(&self) -> &BlockForest {
+        &self.forest
+    }
+
+    /// Number of transactions waiting in the mempool.
+    pub fn mempool_len(&self) -> usize {
+        self.mempool.len()
+    }
+
+    /// Number of timeout-driven view changes so far.
+    pub fn timeout_view_changes(&self) -> u64 {
+        self.pacemaker.timeout_view_changes()
+    }
+
+    /// Number of conflicting-commit events observed (0 in a correct run).
+    pub fn safety_violations(&self) -> u64 {
+        self.safety_violations
+    }
+
+    /// Changes the pacemaker timeout at run time.
+    pub fn set_timeout(&mut self, timeout: SimDuration) {
+        self.pacemaker.set_timeout(timeout);
+    }
+
+    /// Whether the protocol run by this replica is optimistically responsive.
+    pub fn is_responsive(&self) -> bool {
+        self.safety.is_responsive()
+    }
+
+    /// Starts the replica: arms the first view timer and, if it leads view 1,
+    /// proposes the first block.
+    pub fn start(&mut self, now: SimTime) -> HandleResult {
+        let mut out = HandleResult::default();
+        self.apply_pacemaker_action(self.pacemaker.arm_timer(now), now, &mut out);
+        if self.election.is_leader(self.id, self.current_view()) {
+            self.do_propose(self.current_view(), now, &mut out);
+        }
+        out
+    }
+
+    /// Handles one event.
+    pub fn handle(&mut self, event: ReplicaEvent, now: SimTime) -> HandleResult {
+        let mut out = HandleResult::default();
+        match event {
+            ReplicaEvent::ClientRequests(txs) => {
+                for tx in txs {
+                    self.mempool.push(tx);
+                }
+            }
+            ReplicaEvent::TimerFired { view } => {
+                let actions =
+                    self.pacemaker
+                        .on_timer(view, self.forest.high_qc().clone(), &self.keypair);
+                out.cpu += self.cpu.sign();
+                for action in actions {
+                    self.apply_pacemaker_action(action, now, &mut out);
+                }
+            }
+            ReplicaEvent::ProposeNow { view } => {
+                if view == self.current_view() && self.proposed_in_view < view {
+                    self.do_propose(view, now, &mut out);
+                }
+            }
+            ReplicaEvent::Message { from: _, message } => match message {
+                Message::Proposal(block) => self.on_proposal(block, false, now, &mut out),
+                Message::ProposalEcho(block) => self.on_proposal(block, true, now, &mut out),
+                Message::Vote(vote) => self.on_vote(vote, false, now, &mut out),
+                Message::VoteEcho(vote) => self.on_vote(vote, true, now, &mut out),
+                Message::Timeout(tv) => {
+                    out.cpu += self.cpu.verify(1);
+                    self.register_qc(tv.high_qc.clone(), now, &mut out);
+                    let actions = self.pacemaker.on_timeout_vote(tv, now);
+                    for action in actions {
+                        self.apply_pacemaker_action(action, now, &mut out);
+                    }
+                }
+                Message::TimeoutCertMsg(tc) => {
+                    out.cpu += self.cpu.verify(tc.signer_count());
+                    self.register_qc(tc.high_qc.clone(), now, &mut out);
+                    let actions = self.pacemaker.on_timeout_cert(tc, now);
+                    for action in actions {
+                        self.apply_pacemaker_action(action, now, &mut out);
+                    }
+                }
+                Message::NewView(qc) => {
+                    out.cpu += self.cpu.verify(qc.signer_count());
+                    self.register_qc(qc, now, &mut out);
+                }
+                Message::Request(req) => {
+                    self.mempool.push(req.transaction);
+                }
+                Message::Response(_) => {}
+            },
+        }
+        out
+    }
+
+    // ---- internal handlers --------------------------------------------
+
+    fn on_proposal(&mut self, block: Block, echoed: bool, now: SimTime, out: &mut HandleResult) {
+        out.cpu += self.cpu.process_proposal(block.len());
+        if !block.verify_id() {
+            return;
+        }
+        let justify = block.justify.clone();
+        let block_id = block.id;
+        let block_view = block.view;
+
+        // Echo the proposal once (Streamlet's O(n^3) behaviour).
+        if self.safety.echo_messages() && !echoed && !self.forest.contains(block_id) {
+            out.send(Destination::AllReplicas, Message::ProposalEcho(block.clone()));
+        }
+
+        // Store the block (orphans are buffered inside the forest).
+        match self.forest.insert(block.clone()) {
+            Ok(()) => {
+                if let Some(qc) = self.pending_qcs.remove(&block_id) {
+                    self.register_qc(qc, now, out);
+                }
+            }
+            Err(ForestError::Duplicate(_)) => {}
+            Err(_) => {
+                // Unknown parent (buffered as orphan) or stale: still process
+                // the carried QC so the pacemaker keeps moving.
+            }
+        }
+
+        // The QC carried by the proposal is new information.
+        self.register_qc(justify, now, out);
+
+        // Voting rule.
+        if self.forest.contains(block_id) && self.safety.should_vote(&block, &self.forest) {
+            out.cpu += self.cpu.sign();
+            let vote = Vote::new(block_id, block_view, self.id, &self.keypair);
+            match self.safety.vote_destination() {
+                VoteDestination::NextLeader => {
+                    let next_leader = self.election.leader_of(block_view.next());
+                    if next_leader == self.id {
+                        self.on_vote(vote, true, now, out);
+                    } else {
+                        out.send(Destination::Node(next_leader), Message::Vote(vote));
+                    }
+                }
+                VoteDestination::Broadcast => {
+                    out.send(Destination::AllReplicas, Message::Vote(vote.clone()));
+                    // Count our own vote locally.
+                    self.on_vote(vote, true, now, out);
+                }
+            }
+        }
+    }
+
+    /// `already_local` is true when the vote is our own or an echo — those are
+    /// not echoed again.
+    fn on_vote(&mut self, vote: Vote, already_local: bool, now: SimTime, out: &mut HandleResult) {
+        out.cpu += self.cpu.verify(1);
+        if self.safety.echo_messages() && !already_local {
+            out.send(Destination::AllReplicas, Message::VoteEcho(vote.clone()));
+        }
+        if let Some(qc) = self.quorum.add_vote(vote) {
+            out.cpu += self.cpu.verify(1);
+            self.register_qc(qc, now, out);
+        }
+    }
+
+    /// Registers a QC everywhere it matters: forest, safety state, commit
+    /// rule, pacemaker.
+    fn register_qc(&mut self, qc: QuorumCert, now: SimTime, out: &mut HandleResult) {
+        if qc.is_genesis() {
+            return;
+        }
+        match self.forest.register_qc(qc.clone()) {
+            Ok(()) => {}
+            Err(ForestError::UnknownBlock(_)) => {
+                self.pending_qcs.insert(qc.block, qc.clone());
+            }
+            Err(_) => {}
+        }
+
+        self.safety.update_state(&qc, &self.forest);
+        if let Some(commit_id) = self.safety.try_commit(&qc, &self.forest) {
+            // The commit is learned in the view after the certifying QC's view
+            // (that is when the QC reaches the replicas), which is the
+            // convention behind the paper's block-interval metric.
+            let learned_in = qc.view.next().max(self.current_view());
+            self.commit(commit_id, learned_in, now, out);
+        }
+
+        let actions = self.pacemaker.on_qc(&qc, now);
+        for action in actions {
+            self.apply_pacemaker_action(action, now, out);
+        }
+    }
+
+    fn apply_pacemaker_action(
+        &mut self,
+        action: PacemakerAction,
+        now: SimTime,
+        out: &mut HandleResult,
+    ) {
+        match action {
+            PacemakerAction::ScheduleTimer { view, deadline } => {
+                out.timers.push((view, deadline));
+            }
+            PacemakerAction::BroadcastTimeout(tv) => {
+                out.send(Destination::AllReplicas, Message::Timeout(tv.clone()));
+                // Our own timeout vote counts towards our own TC.
+                let actions = self.pacemaker.on_timeout_vote(tv, now);
+                for action in actions {
+                    self.apply_pacemaker_action(action, now, out);
+                }
+            }
+            PacemakerAction::NewView { new_view, tc } => {
+                self.enter_view(new_view, tc, now, out);
+            }
+        }
+    }
+
+    fn enter_view(
+        &mut self,
+        view: View,
+        tc: Option<TimeoutCert>,
+        now: SimTime,
+        out: &mut HandleResult,
+    ) {
+        let via_timeout = tc.is_some();
+        if let Some(tc) = tc {
+            // Forward the TC to the new leader so it can adopt the highest QC
+            // even if it did not form the TC itself.
+            let leader = self.election.leader_of(view);
+            if leader != self.id {
+                out.send(Destination::Node(leader), Message::TimeoutCertMsg(tc));
+            }
+        }
+        if self.election.is_leader(self.id, view) && self.proposed_in_view < view {
+            if via_timeout && self.options.wait_for_timeout_on_view_change {
+                out.delayed_proposals
+                    .push((view, now + self.pacemaker.timeout()));
+            } else {
+                self.do_propose(view, now, out);
+            }
+        }
+        // Keep the quorum tracker bounded.
+        if view.as_u64() > 64 {
+            self.quorum.prune_below(View(view.as_u64() - 64));
+        }
+    }
+
+    fn do_propose(&mut self, view: View, now: SimTime, out: &mut HandleResult) {
+        if let Some(from) = self.options.silence_from {
+            if now >= from {
+                return;
+            }
+        }
+        self.proposed_in_view = view;
+        let payload = self.mempool.next_batch(self.config.block_size);
+        let payload_len = payload.len();
+        let input = ProposalInput {
+            view,
+            proposer: self.id,
+            payload,
+        };
+        match self.safety.propose(&input, &self.forest) {
+            Some(block) => {
+                out.cpu += self.cpu.assemble_block(payload_len);
+                // Process our own proposal locally (store + vote), then
+                // broadcast it.
+                out.send(Destination::AllReplicas, Message::Proposal(block.clone()));
+                self.on_proposal(block, true, now, out);
+            }
+            None => {
+                // Silence attack (or no proposal possible): give the batch
+                // back so the transactions are not lost.
+                self.mempool.requeue_front(input.payload);
+            }
+        }
+    }
+
+    fn commit(
+        &mut self,
+        id: BlockId,
+        committed_in_view: View,
+        now: SimTime,
+        out: &mut HandleResult,
+    ) {
+        match self.forest.commit(id) {
+            Ok(newly) => {
+                if newly.is_empty() {
+                    return;
+                }
+                self.ledger.append(newly.clone(), committed_in_view, now);
+                // Drop committed transactions we might still hold, and recover
+                // transactions from forked branches that lost.
+                for block in &newly {
+                    self.mempool
+                        .remove_committed(block.payload.iter().map(|tx| &tx.id));
+                }
+                let forked = self.forest.prune_to_committed();
+                let recovered: Vec<Transaction> = forked
+                    .into_iter()
+                    .filter(|b| b.proposer == self.id)
+                    .flat_map(|b| b.payload.into_iter())
+                    .collect();
+                if !recovered.is_empty() {
+                    self.mempool.requeue_front(recovered);
+                }
+                out.committed.extend(newly);
+            }
+            Err(ForestError::ConflictingCommit { .. }) => {
+                self.safety_violations += 1;
+            }
+            Err(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bamboo_types::SimTime;
+
+    fn config(nodes: usize) -> Config {
+        Config::builder()
+            .nodes(nodes)
+            .block_size(10)
+            .seed(1)
+            .build()
+            .unwrap()
+    }
+
+    fn txs(n: u64, client: u64) -> Vec<Transaction> {
+        (0..n)
+            .map(|i| Transaction::new(NodeId(client), i, 16, SimTime::ZERO))
+            .collect()
+    }
+
+    /// Drives a 4-replica in-memory cluster with zero network delay by
+    /// delivering every outbound message immediately, for `steps` rounds.
+    fn drive(protocol: ProtocolKind, views: u64) -> Vec<Replica> {
+        let cfg = config(4);
+        let mut replicas: Vec<Replica> = (0..4)
+            .map(|i| Replica::new(NodeId(i), protocol, cfg.clone(), ReplicaOptions::default()))
+            .collect();
+        // Seed every replica's mempool.
+        for (i, replica) in replicas.iter_mut().enumerate() {
+            replica.handle(
+                ReplicaEvent::ClientRequests(txs(200, 100 + i as u64)),
+                SimTime::ZERO,
+            );
+        }
+        let mut inbox: Vec<(NodeId, ReplicaEvent)> = Vec::new();
+        let mut now = SimTime::ZERO;
+        let mut startup: Vec<(NodeId, HandleResult)> = Vec::new();
+        for replica in replicas.iter_mut() {
+            let result = replica.start(now);
+            startup.push((replica.id(), result));
+        }
+        let route = |from: NodeId, result: HandleResult, inbox: &mut Vec<(NodeId, ReplicaEvent)>| {
+            for outbound in result.outbound {
+                match outbound.to {
+                    Destination::Node(node) => inbox.push((
+                        node,
+                        ReplicaEvent::Message {
+                            from,
+                            message: outbound.message.clone(),
+                        },
+                    )),
+                    Destination::AllReplicas => {
+                        for node in 0..4u64 {
+                            if NodeId(node) != from {
+                                inbox.push((
+                                    NodeId(node),
+                                    ReplicaEvent::Message {
+                                        from,
+                                        message: outbound.message.clone(),
+                                    },
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        for (from, result) in startup {
+            route(from, result, &mut inbox);
+        }
+        // Round-based delivery until enough views pass.
+        for _ in 0..(views * 40) {
+            if inbox.is_empty() {
+                break;
+            }
+            now += bamboo_types::SimDuration::from_micros(100);
+            let batch = std::mem::take(&mut inbox);
+            for (to, event) in batch {
+                let result = replicas[to.index()].handle(event, now);
+                route(to, result, &mut inbox);
+            }
+            if replicas
+                .iter()
+                .all(|r| r.current_view().as_u64() >= views)
+            {
+                break;
+            }
+        }
+        replicas
+    }
+
+    #[test]
+    fn hotstuff_cluster_commits_blocks_and_agrees() {
+        let replicas = drive(ProtocolKind::HotStuff, 12);
+        for replica in &replicas {
+            assert_eq!(replica.safety_violations(), 0);
+            assert!(replica.ledger().verify_chain());
+            assert!(
+                replica.ledger().len() > 3,
+                "replica {} committed only {} blocks",
+                replica.id(),
+                replica.ledger().len()
+            );
+        }
+        for pair in replicas.windows(2) {
+            assert!(pair[0].ledger().consistent_with(pair[1].ledger()));
+        }
+    }
+
+    #[test]
+    fn two_chain_hotstuff_cluster_commits() {
+        let replicas = drive(ProtocolKind::TwoChainHotStuff, 12);
+        assert!(replicas.iter().all(|r| r.ledger().len() > 3));
+        assert!(replicas.iter().all(|r| r.safety_violations() == 0));
+    }
+
+    #[test]
+    fn streamlet_cluster_commits() {
+        let replicas = drive(ProtocolKind::Streamlet, 12);
+        assert!(replicas.iter().all(|r| r.ledger().len() > 2));
+        assert!(replicas.iter().all(|r| r.safety_violations() == 0));
+        for pair in replicas.windows(2) {
+            assert!(pair[0].ledger().consistent_with(pair[1].ledger()));
+        }
+    }
+
+    #[test]
+    fn client_requests_land_in_mempool_and_blocks() {
+        let cfg = config(4);
+        let mut replica = Replica::new(
+            NodeId(1),
+            ProtocolKind::HotStuff,
+            cfg,
+            ReplicaOptions::default(),
+        );
+        replica.handle(ReplicaEvent::ClientRequests(txs(25, 7)), SimTime::ZERO);
+        assert_eq!(replica.mempool_len(), 25);
+        // Node 1 leads view 1: starting it proposes a block with 10 txs.
+        let result = replica.start(SimTime::ZERO);
+        assert_eq!(replica.mempool_len(), 15);
+        let proposal = result
+            .outbound
+            .iter()
+            .find_map(|o| match &o.message {
+                Message::Proposal(b) => Some(b.clone()),
+                _ => None,
+            })
+            .expect("leader proposed");
+        assert_eq!(proposal.len(), 10);
+    }
+
+    #[test]
+    fn non_leader_start_only_arms_timer() {
+        let cfg = config(4);
+        let mut replica = Replica::new(
+            NodeId(3),
+            ProtocolKind::HotStuff,
+            cfg,
+            ReplicaOptions::default(),
+        );
+        let result = replica.start(SimTime::ZERO);
+        assert!(result.outbound.is_empty());
+        assert_eq!(result.timers.len(), 1);
+        assert_eq!(result.timers[0].0, View(1));
+    }
+
+    #[test]
+    fn timer_expiry_produces_timeout_broadcast() {
+        let cfg = config(4);
+        let mut replica = Replica::new(
+            NodeId(2),
+            ProtocolKind::HotStuff,
+            cfg,
+            ReplicaOptions::default(),
+        );
+        replica.start(SimTime::ZERO);
+        let result = replica.handle(
+            ReplicaEvent::TimerFired { view: View(1) },
+            SimTime(200_000_000),
+        );
+        assert!(result
+            .outbound
+            .iter()
+            .any(|o| matches!(o.message, Message::Timeout(_))));
+    }
+
+    #[test]
+    fn silence_from_option_mutes_proposals() {
+        let cfg = config(4);
+        let mut replica = Replica::new(
+            NodeId(1),
+            ProtocolKind::HotStuff,
+            cfg,
+            ReplicaOptions {
+                silence_from: Some(SimTime::ZERO),
+                ..Default::default()
+            },
+        );
+        replica.handle(ReplicaEvent::ClientRequests(txs(25, 7)), SimTime::ZERO);
+        let result = replica.start(SimTime::ZERO);
+        assert!(result.outbound.is_empty(), "silenced leader never proposes");
+        assert_eq!(replica.mempool_len(), 25, "batch returned to the pool");
+    }
+}

@@ -1,0 +1,514 @@
+//! The discrete-event simulation runner.
+//!
+//! [`SimRunner`] wires `N` [`Replica`]s, a workload generator, and the network
+//! / NIC / CPU models of `bamboo-sim` into one deterministic simulation. One
+//! run corresponds to one benchmark configuration in the paper (one point of a
+//! figure); the sweep logic lives in [`crate::Benchmarker`].
+//!
+//! The delay composition per message is exactly the paper's model (§V):
+//! normally distributed propagation delay, `2·m/b` NIC serialisation, and a
+//! constant CPU cost per crypto operation (modelled as a per-replica busy
+//! server, which is what produces the M/D/1-style queueing behaviour the
+//! analytical model assumes).
+
+use bamboo_sim::{CpuModel, EventQueue, FluctuationWindow, LatencyModel, LinkFault, NicModel, SimRng};
+use bamboo_types::{
+    Config, Message, NodeId, ProtocolKind, SimDuration, SimTime, Transaction, View,
+};
+
+use crate::metrics::{Metrics, RunReport};
+use crate::replica::{Destination, HandleResult, Replica, ReplicaEvent, ReplicaOptions};
+use crate::workload::{ClosedLoopWorkload, OpenLoopWorkload, Workload};
+
+/// Run-level options that are not part of the shared Table-I [`Config`].
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Behavioural options applied to every replica.
+    pub replica: ReplicaOptions,
+    /// Crash (silence) one node from a given time onwards — used by the
+    /// responsiveness experiment.
+    pub silence_node_from: Option<(NodeId, SimTime)>,
+    /// A network-fluctuation window injected into the latency model.
+    pub fluctuation: Option<FluctuationWindow>,
+    /// Additional link faults (partitions, slow nodes).
+    pub link_faults: Vec<LinkFault>,
+    /// Width of the workload generation window.
+    pub workload_tick: SimDuration,
+    /// Bucket width of the committed-throughput time series.
+    pub series_bucket: SimDuration,
+    /// The replica whose ledger is used for reporting; defaults to the
+    /// highest-id (always honest) replica.
+    pub observer: Option<NodeId>,
+    /// Safety cap on the number of simulation events processed.
+    pub max_events: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            replica: ReplicaOptions::default(),
+            silence_node_from: None,
+            fluctuation: None,
+            link_faults: Vec::new(),
+            workload_tick: SimDuration::from_millis(1),
+            series_bucket: SimDuration::from_millis(500),
+            observer: None,
+            max_events: 200_000_000,
+        }
+    }
+}
+
+enum SimEvent {
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        message: Message,
+    },
+    Timer {
+        node: NodeId,
+        view: View,
+    },
+    ProposeNow {
+        node: NodeId,
+        view: View,
+    },
+    ClientBatch {
+        to: NodeId,
+        txs: Vec<Transaction>,
+    },
+    WorkloadTick,
+}
+
+/// A deterministic discrete-event simulation of one Bamboo deployment.
+pub struct SimRunner {
+    config: Config,
+    protocol: ProtocolKind,
+    options: RunOptions,
+    replicas: Vec<Replica>,
+    latency: LatencyModel,
+    nic: NicModel,
+    #[allow(dead_code)]
+    cpu: CpuModel,
+    rng: SimRng,
+    workload: Box<dyn Workload>,
+    metrics: Metrics,
+    queue: EventQueue<SimEvent>,
+    busy_until: Vec<SimTime>,
+}
+
+impl SimRunner {
+    /// Builds a runner for `config` running `protocol` everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (use [`Config::validate`] /
+    /// the builder to construct valid configurations).
+    pub fn new(config: Config, protocol: ProtocolKind, options: RunOptions) -> Self {
+        config.validate().expect("invalid configuration");
+        let mut latency = LatencyModel::new(config.link_latency_mean, config.link_latency_std)
+            .with_extra_delay(config.extra_delay, config.extra_delay_jitter);
+        if let Some(window) = options.fluctuation {
+            latency.add_fluctuation(window);
+        }
+        for fault in &options.link_faults {
+            latency.add_fault(*fault);
+        }
+        let nic = NicModel::new(config.bandwidth_bytes_per_sec);
+        let cpu = CpuModel::new(config.cpu_delay);
+        let rng = SimRng::new(config.seed);
+
+        let replicas: Vec<Replica> = (0..config.nodes as u64)
+            .map(|i| {
+                let mut replica_options = options.replica;
+                if let Some((node, from)) = options.silence_node_from {
+                    if node == NodeId(i) {
+                        replica_options.silence_from = Some(from);
+                    }
+                }
+                Replica::new(NodeId(i), protocol, config.clone(), replica_options)
+            })
+            .collect();
+
+        let workload: Box<dyn Workload> = match config.arrival_rate {
+            Some(rate) => Box::new(OpenLoopWorkload::new(
+                rate,
+                config.payload_size,
+                config.nodes,
+            )),
+            None => Box::new(ClosedLoopWorkload::new(
+                config.concurrency,
+                config.payload_size,
+                config.nodes,
+            )),
+        };
+
+        let metrics = Metrics::new(options.series_bucket);
+        Self {
+            config,
+            protocol,
+            options,
+            replicas,
+            latency,
+            nic,
+            cpu,
+            rng,
+            workload,
+            metrics,
+            queue: EventQueue::new(),
+            busy_until: Vec::new(),
+        }
+    }
+
+    /// The node whose ledger is reported.
+    fn observer(&self) -> NodeId {
+        self.options
+            .observer
+            .unwrap_or(NodeId(self.config.nodes as u64 - 1))
+    }
+
+    /// Runs the simulation to completion and produces the report.
+    pub fn run(mut self) -> RunReport {
+        let runtime = self.config.runtime;
+        let end = SimTime::ZERO + runtime;
+        self.busy_until = vec![SimTime::ZERO; self.config.nodes];
+
+        // Boot every replica.
+        let start_results: Vec<(NodeId, HandleResult)> = self
+            .replicas
+            .iter_mut()
+            .map(|r| (r.id(), r.start(SimTime::ZERO)))
+            .collect();
+        for (node, result) in start_results {
+            self.process_result(node, result, SimTime::ZERO);
+        }
+        self.queue.schedule(SimTime::ZERO, SimEvent::WorkloadTick);
+
+        let mut processed: u64 = 0;
+        while let Some((time, event)) = self.queue.pop() {
+            if time > end {
+                break;
+            }
+            processed += 1;
+            if processed > self.options.max_events {
+                break;
+            }
+            match event {
+                SimEvent::WorkloadTick => self.handle_workload_tick(time, end),
+                SimEvent::Deliver { from, to, message } => {
+                    self.dispatch(to, ReplicaEvent::Message { from, message }, time);
+                }
+                SimEvent::Timer { node, view } => {
+                    self.dispatch(node, ReplicaEvent::TimerFired { view }, time);
+                }
+                SimEvent::ProposeNow { node, view } => {
+                    self.dispatch(node, ReplicaEvent::ProposeNow { view }, time);
+                }
+                SimEvent::ClientBatch { to, txs } => {
+                    self.dispatch(to, ReplicaEvent::ClientRequests(txs), time);
+                }
+            }
+        }
+        self.report(runtime)
+    }
+
+    fn handle_workload_tick(&mut self, now: SimTime, end: SimTime) {
+        let window_end = now + self.options.workload_tick;
+        let arrivals = self.workload.arrivals(now, window_end, &mut self.rng);
+        if !arrivals.is_empty() {
+            // Group arrivals per replica to keep the event count manageable.
+            let mut per_replica: std::collections::BTreeMap<NodeId, Vec<Transaction>> =
+                std::collections::BTreeMap::new();
+            let mut latest: std::collections::BTreeMap<NodeId, SimTime> =
+                std::collections::BTreeMap::new();
+            for arrival in arrivals {
+                latest
+                    .entry(arrival.replica)
+                    .and_modify(|t| *t = (*t).max(arrival.issued_at))
+                    .or_insert(arrival.issued_at);
+                per_replica
+                    .entry(arrival.replica)
+                    .or_default()
+                    .push(arrival.transaction);
+            }
+            for (replica, txs) in per_replica {
+                // Client -> replica one-way delay.
+                let delay = self
+                    .latency
+                    .sample(&mut self.rng, NodeId(u64::MAX), replica, now)
+                    .unwrap_or(SimDuration::ZERO);
+                let deliver_at = latest[&replica] + delay;
+                self.queue
+                    .schedule(deliver_at, SimEvent::ClientBatch { to: replica, txs });
+            }
+        }
+        if window_end <= end {
+            self.queue.schedule(window_end, SimEvent::WorkloadTick);
+        }
+    }
+
+    fn dispatch(&mut self, node: NodeId, event: ReplicaEvent, time: SimTime) {
+        // Model the replica as a single busy server: processing starts when
+        // both the event has arrived and the CPU is free.
+        let start = time.max(self.busy_until[node.index()]);
+        let result = self.replicas[node.index()].handle(event, start);
+        self.process_result(node, result, start);
+    }
+
+    fn process_result(&mut self, node: NodeId, result: HandleResult, start: SimTime) {
+        let finish = start + result.cpu;
+        self.busy_until[node.index()] = finish;
+
+        // Commits: record metrics at the observer replica only, so every
+        // transaction is counted exactly once, and feed closed-loop clients.
+        if node == self.observer() {
+            for block in &result.committed {
+                self.metrics.record_block();
+                for tx in &block.payload {
+                    let response_delay = self
+                        .latency
+                        .sample(&mut self.rng, node, NodeId(u64::MAX), finish)
+                        .unwrap_or(SimDuration::ZERO);
+                    let confirmed = finish + response_delay;
+                    self.metrics.record_commit(tx.issued_at, confirmed);
+                    self.workload.on_commit(tx.id, confirmed);
+                }
+            }
+        }
+
+        // Timers and delayed proposals.
+        for (view, deadline) in result.timers {
+            self.queue.schedule(deadline, SimEvent::Timer { node, view });
+        }
+        for (view, at) in result.delayed_proposals {
+            self.queue.schedule(at, SimEvent::ProposeNow { node, view });
+        }
+
+        // Outbound messages leave the sender once its CPU is done.
+        for outbound in result.outbound {
+            let bytes = outbound.message.wire_size();
+            let nic_delay = self.nic.transfer(bytes);
+            match outbound.to {
+                Destination::Node(to) => {
+                    self.metrics.record_message(bytes);
+                    if let Some(delay) = self.latency.sample(&mut self.rng, node, to, finish) {
+                        self.queue.schedule(
+                            finish + nic_delay + delay,
+                            SimEvent::Deliver {
+                                from: node,
+                                to,
+                                message: outbound.message,
+                            },
+                        );
+                    }
+                }
+                Destination::AllReplicas => {
+                    for to in 0..self.config.nodes as u64 {
+                        let to = NodeId(to);
+                        if to == node {
+                            continue;
+                        }
+                        self.metrics.record_message(bytes);
+                        if let Some(delay) =
+                            self.latency.sample(&mut self.rng, node, to, finish)
+                        {
+                            self.queue.schedule(
+                                finish + nic_delay + delay,
+                                SimEvent::Deliver {
+                                    from: node,
+                                    to,
+                                    message: outbound.message.clone(),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn report(self, runtime: SimDuration) -> RunReport {
+        let observer = &self.replicas[self.observer().index()];
+        let duration_secs = runtime.as_secs_f64();
+        let committed_txs = self.metrics.committed_txs();
+        let committed_blocks = observer.ledger().len() as u64;
+        let views_advanced = observer.current_view().as_u64().saturating_sub(1).max(1);
+        let latency = self.metrics.latency();
+        let (messages_sent, bytes_sent) = self.metrics.network_counters();
+
+        // Safety audit: per-replica conflicting commits plus pairwise ledger
+        // prefix consistency across honest replicas.
+        let mut safety_violations: u64 =
+            self.replicas.iter().map(Replica::safety_violations).sum();
+        let honest: Vec<&Replica> = self
+            .replicas
+            .iter()
+            .filter(|r| !self.config.is_byzantine(r.id()))
+            .collect();
+        for pair in honest.windows(2) {
+            if !pair[0].ledger().consistent_with(pair[1].ledger()) {
+                safety_violations += 1;
+            }
+        }
+
+        RunReport {
+            protocol: self.protocol,
+            nodes: self.config.nodes,
+            byz_nodes: self.config.byz_nodes,
+            duration_secs,
+            throughput_tx_per_sec: committed_txs as f64 / duration_secs,
+            latency,
+            committed_txs,
+            committed_blocks,
+            views_advanced,
+            chain_growth_rate: committed_blocks as f64 / views_advanced as f64,
+            block_interval: observer.ledger().average_block_interval(),
+            timeout_view_changes: observer.timeout_view_changes(),
+            messages_sent,
+            bytes_sent,
+            throughput_series: self.metrics.throughput_series(),
+            safety_violations,
+            pending_txs: self
+                .workload
+                .total_issued()
+                .saturating_sub(committed_txs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bamboo_types::ByzantineStrategy;
+
+    fn base_config(nodes: usize, rate: f64) -> Config {
+        Config::builder()
+            .nodes(nodes)
+            .block_size(100)
+            .runtime(SimDuration::from_millis(400))
+            .arrival_rate(rate)
+            .seed(11)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn hotstuff_run_commits_transactions_without_violations() {
+        let report = SimRunner::new(
+            base_config(4, 5_000.0),
+            ProtocolKind::HotStuff,
+            RunOptions::default(),
+        )
+        .run();
+        assert_eq!(report.safety_violations, 0);
+        assert!(report.committed_txs > 0, "no transactions committed");
+        assert!(report.latency.mean_ms > 0.0);
+        assert!(report.chain_growth_rate > 0.5);
+    }
+
+    #[test]
+    fn all_three_protocols_complete_and_agree_on_safety() {
+        for protocol in [
+            ProtocolKind::HotStuff,
+            ProtocolKind::TwoChainHotStuff,
+            ProtocolKind::Streamlet,
+        ] {
+            let report = SimRunner::new(
+                base_config(4, 2_000.0),
+                protocol,
+                RunOptions::default(),
+            )
+            .run();
+            assert_eq!(report.safety_violations, 0, "{protocol} violated safety");
+            assert!(report.committed_blocks > 0, "{protocol} committed nothing");
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_fixed_seed() {
+        let a = SimRunner::new(
+            base_config(4, 3_000.0),
+            ProtocolKind::HotStuff,
+            RunOptions::default(),
+        )
+        .run();
+        let b = SimRunner::new(
+            base_config(4, 3_000.0),
+            ProtocolKind::HotStuff,
+            RunOptions::default(),
+        )
+        .run();
+        assert_eq!(a.committed_txs, b.committed_txs);
+        assert_eq!(a.committed_blocks, b.committed_blocks);
+        assert_eq!(a.views_advanced, b.views_advanced);
+        assert!((a.latency.mean_ms - b.latency.mean_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_chain_commits_with_lower_latency_than_three_chain() {
+        let hs = SimRunner::new(
+            base_config(4, 2_000.0),
+            ProtocolKind::HotStuff,
+            RunOptions::default(),
+        )
+        .run();
+        let two = SimRunner::new(
+            base_config(4, 2_000.0),
+            ProtocolKind::TwoChainHotStuff,
+            RunOptions::default(),
+        )
+        .run();
+        assert!(
+            two.latency.mean_ms < hs.latency.mean_ms,
+            "2CHS {} ms should beat HS {} ms",
+            two.latency.mean_ms,
+            hs.latency.mean_ms
+        );
+        assert!(two.block_interval < hs.block_interval);
+    }
+
+    #[test]
+    fn silence_attack_reduces_chain_growth() {
+        let honest = SimRunner::new(
+            base_config(4, 2_000.0),
+            ProtocolKind::HotStuff,
+            RunOptions::default(),
+        )
+        .run();
+        let mut cfg = base_config(4, 2_000.0);
+        cfg.byz_nodes = 1;
+        cfg.byzantine_strategy = ByzantineStrategy::Silence;
+        cfg.timeout = SimDuration::from_millis(20);
+        let attacked =
+            SimRunner::new(cfg, ProtocolKind::HotStuff, RunOptions::default()).run();
+        assert_eq!(attacked.safety_violations, 0);
+        assert!(attacked.chain_growth_rate < honest.chain_growth_rate);
+        assert!(attacked.timeout_view_changes > 0);
+    }
+
+    #[test]
+    fn forking_attack_is_harmless_to_streamlet_but_not_to_hotstuff() {
+        let mut cfg = base_config(4, 2_000.0);
+        cfg.byz_nodes = 1;
+        cfg.byzantine_strategy = ByzantineStrategy::Forking;
+        let hs = SimRunner::new(
+            cfg.clone(),
+            ProtocolKind::HotStuff,
+            RunOptions::default(),
+        )
+        .run();
+        let sl = SimRunner::new(cfg, ProtocolKind::Streamlet, RunOptions::default()).run();
+        assert_eq!(hs.safety_violations, 0);
+        assert_eq!(sl.safety_violations, 0);
+        assert!(
+            sl.chain_growth_rate > 0.9,
+            "streamlet CGR {} should stay near 1 under forking",
+            sl.chain_growth_rate
+        );
+        assert!(
+            hs.chain_growth_rate < sl.chain_growth_rate + 1e-9,
+            "hotstuff CGR {} vs streamlet {}",
+            hs.chain_growth_rate,
+            sl.chain_growth_rate
+        );
+    }
+}

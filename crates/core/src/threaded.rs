@@ -1,0 +1,261 @@
+//! A live, multi-threaded in-process cluster.
+//!
+//! The deterministic simulator is what the benchmarks use; this module
+//! provides the complementary "real concurrency" deployment mode that the
+//! original Bamboo gets from its Go-channel transport: every replica runs on
+//! its own OS thread, messages travel over `crossbeam` channels, and time is
+//! the real wall clock. The examples use it to show the public API driving an
+//! actually concurrent cluster.
+//!
+//! The threaded cluster re-uses the exact same [`Replica`] state machine as
+//! the simulator — only the event loop differs.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use bamboo_types::{
+    Config, Message, NodeId, ProtocolKind, SimTime, Transaction, View,
+};
+
+use crate::replica::{Destination, HandleResult, Replica, ReplicaEvent, ReplicaOptions};
+
+/// Summary of one threaded run.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// Committed blocks per replica (indexed by node id).
+    pub committed_blocks: Vec<usize>,
+    /// Committed transactions observed at replica 0.
+    pub committed_txs: u64,
+    /// Highest view reached across replicas.
+    pub max_view: u64,
+    /// Whether all honest ledgers were pairwise consistent at shutdown.
+    pub ledgers_consistent: bool,
+}
+
+enum ThreadEvent {
+    Inbound { from: NodeId, message: Message },
+    Client(Vec<Transaction>),
+    #[allow(dead_code)]
+    Timer { view: View },
+    Shutdown,
+}
+
+/// A running in-process cluster of replica threads.
+pub struct ThreadedCluster {
+    config: Config,
+    senders: Vec<Sender<ThreadEvent>>,
+    handles: Vec<JoinHandle<Replica>>,
+    started_at: Instant,
+    committed_txs: Arc<Mutex<u64>>,
+}
+
+impl ThreadedCluster {
+    /// Spawns `config.nodes` replica threads running `protocol`.
+    pub fn spawn(config: Config, protocol: ProtocolKind) -> Self {
+        let nodes = config.nodes;
+        let mut senders: Vec<Sender<ThreadEvent>> = Vec::with_capacity(nodes);
+        let mut receivers: Vec<Receiver<ThreadEvent>> = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let started_at = Instant::now();
+        let committed_txs = Arc::new(Mutex::new(0u64));
+        let mut handles = Vec::with_capacity(nodes);
+        for (index, receiver) in receivers.into_iter().enumerate() {
+            let id = NodeId(index as u64);
+            let config = config.clone();
+            let peers = senders.clone();
+            let committed = Arc::clone(&committed_txs);
+            let handle = std::thread::spawn(move || {
+                run_replica_thread(id, protocol, config, receiver, peers, started_at, committed)
+            });
+            handles.push(handle);
+        }
+        Self {
+            config,
+            senders,
+            handles,
+            started_at,
+            committed_txs,
+        }
+    }
+
+    /// Submits a batch of client transactions to a replica.
+    pub fn submit(&self, replica: NodeId, txs: Vec<Transaction>) {
+        if let Some(sender) = self.senders.get(replica.index()) {
+            let _ = sender.send(ThreadEvent::Client(txs));
+        }
+    }
+
+    /// Convenience: submits `count` zero-payload transactions round-robin
+    /// across all replicas.
+    pub fn submit_round_robin(&self, count: u64, payload: usize) {
+        let now = SimTime(self.started_at.elapsed().as_nanos() as u64);
+        for seq in 0..count {
+            let replica = NodeId(seq % self.config.nodes as u64);
+            let tx = Transaction::new(NodeId(999), seq, payload, now);
+            self.submit(replica, vec![tx]);
+        }
+    }
+
+    /// Committed transactions observed so far (at replica 0).
+    pub fn committed_txs(&self) -> u64 {
+        *self.committed_txs.lock()
+    }
+
+    /// Lets the cluster run for `duration` of wall-clock time.
+    pub fn run_for(&self, duration: Duration) {
+        std::thread::sleep(duration);
+    }
+
+    /// Stops every replica thread and returns the final report.
+    pub fn shutdown(self) -> ClusterReport {
+        for sender in &self.senders {
+            let _ = sender.send(ThreadEvent::Shutdown);
+        }
+        let replicas: Vec<Replica> = self
+            .handles
+            .into_iter()
+            .map(|h| h.join().expect("replica thread panicked"))
+            .collect();
+        let committed_blocks: Vec<usize> = replicas.iter().map(|r| r.ledger().len()).collect();
+        let max_view = replicas
+            .iter()
+            .map(|r| r.current_view().as_u64())
+            .max()
+            .unwrap_or(0);
+        let mut consistent = true;
+        for pair in replicas.windows(2) {
+            if !pair[0].ledger().consistent_with(pair[1].ledger()) {
+                consistent = false;
+            }
+        }
+        ClusterReport {
+            committed_blocks,
+            committed_txs: *self.committed_txs.lock(),
+            max_view,
+            ledgers_consistent: consistent,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_replica_thread(
+    id: NodeId,
+    protocol: ProtocolKind,
+    config: Config,
+    receiver: Receiver<ThreadEvent>,
+    peers: Vec<Sender<ThreadEvent>>,
+    started_at: Instant,
+    committed_txs: Arc<Mutex<u64>>,
+) -> Replica {
+    let timeout = Duration::from_nanos(config.timeout.as_nanos());
+    let mut replica = Replica::new(id, protocol, config, ReplicaOptions::default());
+    let now = || SimTime(started_at.elapsed().as_nanos() as u64);
+
+    let mut pending_timer: Option<(View, SimTime)> = None;
+    let process = |_replica: &mut Replica,
+                       result: HandleResult,
+                       pending_timer: &mut Option<(View, SimTime)>| {
+        if id == NodeId(0) {
+            let newly: u64 = result.committed.iter().map(|b| b.payload.len() as u64).sum();
+            if newly > 0 {
+                *committed_txs.lock() += newly;
+            }
+        }
+        for (view, deadline) in result.timers {
+            *pending_timer = Some((view, deadline));
+        }
+        for outbound in result.outbound {
+            match outbound.to {
+                Destination::Node(node) => {
+                    if let Some(sender) = peers.get(node.index()) {
+                        let _ = sender.send(ThreadEvent::Inbound {
+                            from: id,
+                            message: outbound.message.clone(),
+                        });
+                    }
+                }
+                Destination::AllReplicas => {
+                    for (index, sender) in peers.iter().enumerate() {
+                        if index != id.index() {
+                            let _ = sender.send(ThreadEvent::Inbound {
+                                from: id,
+                                message: outbound.message.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Delayed proposals degrade to immediate proposals on the threaded
+        // runtime (it is a demo path, not a measurement path).
+        let _ = result.delayed_proposals;
+    };
+
+    let start_result = replica.start(now());
+    process(&mut replica, start_result, &mut pending_timer);
+
+    loop {
+        // Fire an expired view timer.
+        if let Some((view, deadline)) = pending_timer {
+            if now() >= deadline {
+                pending_timer = None;
+                let result = replica.handle(ReplicaEvent::TimerFired { view }, now());
+                process(&mut replica, result, &mut pending_timer);
+                continue;
+            }
+        }
+        match receiver.recv_timeout(timeout.min(Duration::from_millis(5))) {
+            Ok(ThreadEvent::Shutdown) => break,
+            Ok(ThreadEvent::Inbound { from, message }) => {
+                let result = replica.handle(ReplicaEvent::Message { from, message }, now());
+                process(&mut replica, result, &mut pending_timer);
+            }
+            Ok(ThreadEvent::Client(txs)) => {
+                let result = replica.handle(ReplicaEvent::ClientRequests(txs), now());
+                process(&mut replica, result, &mut pending_timer);
+            }
+            Ok(ThreadEvent::Timer { view }) => {
+                let result = replica.handle(ReplicaEvent::TimerFired { view }, now());
+                process(&mut replica, result, &mut pending_timer);
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    replica
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bamboo_types::SimDuration;
+
+    #[test]
+    fn threaded_cluster_commits_and_stays_consistent() {
+        let config = Config::builder()
+            .nodes(4)
+            .block_size(20)
+            .timeout(SimDuration::from_millis(50))
+            .build()
+            .unwrap();
+        let cluster = ThreadedCluster::spawn(config, ProtocolKind::HotStuff);
+        cluster.submit_round_robin(400, 16);
+        cluster.run_for(Duration::from_millis(400));
+        let report = cluster.shutdown();
+        assert!(report.max_view > 2, "views advanced: {}", report.max_view);
+        assert!(
+            report.committed_blocks.iter().any(|&c| c > 0),
+            "some replica committed blocks: {:?}",
+            report.committed_blocks
+        );
+        assert!(report.ledgers_consistent);
+    }
+}

@@ -1,0 +1,257 @@
+//! Workload generation: the Bamboo client library.
+//!
+//! Two client models are provided, matching how the paper drives its
+//! benchmarks:
+//!
+//! * [`OpenLoopWorkload`] — transactions arrive according to a Poisson process
+//!   with a configurable rate and are sent to a uniformly random replica
+//!   (exactly the arrival model assumed by the analytical model of §V). The
+//!   figures' curves are produced by sweeping this rate until saturation.
+//! * [`ClosedLoopWorkload`] — a fixed number of concurrent clients (Table I's
+//!   `concurrency`), each with one outstanding request: a client issues its
+//!   next transaction only after the previous one commits.
+
+use bamboo_sim::SimRng;
+use bamboo_types::{NodeId, SimDuration, SimTime, Transaction, TxId};
+
+/// A transaction arrival produced by a workload generator.
+#[derive(Clone, Debug)]
+pub struct Arrival {
+    /// When the client issues the transaction.
+    pub issued_at: SimTime,
+    /// The replica it is sent to.
+    pub replica: NodeId,
+    /// The transaction.
+    pub transaction: Transaction,
+}
+
+/// A source of client transactions.
+pub trait Workload {
+    /// Generates the arrivals issued during `[from, to)`.
+    fn arrivals(&mut self, from: SimTime, to: SimTime, rng: &mut SimRng) -> Vec<Arrival>;
+
+    /// Notifies the workload that `tx` committed at `at` (used by closed-loop
+    /// clients to issue their next request).
+    fn on_commit(&mut self, tx: TxId, at: SimTime);
+
+    /// Total transactions issued so far.
+    fn total_issued(&self) -> u64;
+}
+
+/// Open-loop Poisson arrivals at a fixed aggregate rate.
+#[derive(Clone, Debug)]
+pub struct OpenLoopWorkload {
+    rate_tx_per_sec: f64,
+    payload_size: usize,
+    replicas: usize,
+    client: NodeId,
+    next_seq: u64,
+    /// Time of the next scheduled arrival (carried across windows).
+    next_arrival: Option<SimTime>,
+}
+
+impl OpenLoopWorkload {
+    /// Creates an open-loop workload issuing `rate_tx_per_sec` transactions
+    /// per second spread uniformly over `replicas` replicas.
+    pub fn new(rate_tx_per_sec: f64, payload_size: usize, replicas: usize) -> Self {
+        Self {
+            rate_tx_per_sec,
+            payload_size,
+            replicas,
+            client: NodeId(1_000_000),
+            next_seq: 0,
+            next_arrival: None,
+        }
+    }
+
+    /// The configured arrival rate.
+    pub fn rate(&self) -> f64 {
+        self.rate_tx_per_sec
+    }
+}
+
+impl Workload for OpenLoopWorkload {
+    fn arrivals(&mut self, from: SimTime, to: SimTime, rng: &mut SimRng) -> Vec<Arrival> {
+        if self.rate_tx_per_sec <= 0.0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut cursor = self.next_arrival.unwrap_or_else(|| {
+            from + SimDuration::from_secs_f64(rng.exponential(self.rate_tx_per_sec))
+        });
+        while cursor < to {
+            let replica = NodeId(rng.choose_index(self.replicas) as u64);
+            let tx =
+                Transaction::new(self.client, self.next_seq, self.payload_size, cursor);
+            self.next_seq += 1;
+            out.push(Arrival {
+                issued_at: cursor,
+                replica,
+                transaction: tx,
+            });
+            cursor = cursor + SimDuration::from_secs_f64(rng.exponential(self.rate_tx_per_sec));
+        }
+        self.next_arrival = Some(cursor);
+        out
+    }
+
+    fn on_commit(&mut self, _tx: TxId, _at: SimTime) {}
+
+    fn total_issued(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+/// Closed-loop clients: `concurrency` clients each keep exactly one request in
+/// flight.
+#[derive(Clone, Debug)]
+pub struct ClosedLoopWorkload {
+    concurrency: usize,
+    payload_size: usize,
+    replicas: usize,
+    next_seq: u64,
+    started: bool,
+    /// Requests that became ready when their predecessor committed but have
+    /// not been handed to the runner yet.
+    ready: Vec<Arrival>,
+    /// Maps in-flight transaction ids to the issuing client slot.
+    in_flight: std::collections::HashMap<TxId, usize>,
+}
+
+impl ClosedLoopWorkload {
+    /// Creates a closed-loop workload with `concurrency` clients.
+    pub fn new(concurrency: usize, payload_size: usize, replicas: usize) -> Self {
+        Self {
+            concurrency,
+            payload_size,
+            replicas,
+            next_seq: 0,
+            started: false,
+            ready: Vec::new(),
+            in_flight: std::collections::HashMap::new(),
+        }
+    }
+
+    fn issue(&mut self, slot: usize, at: SimTime, rng: &mut SimRng) -> Arrival {
+        let client = NodeId(2_000_000 + slot as u64);
+        let tx = Transaction::new(client, self.next_seq, self.payload_size, at);
+        self.next_seq += 1;
+        self.in_flight.insert(tx.id, slot);
+        Arrival {
+            issued_at: at,
+            replica: NodeId(rng.choose_index(self.replicas) as u64),
+            transaction: tx,
+        }
+    }
+}
+
+impl Workload for ClosedLoopWorkload {
+    fn arrivals(&mut self, from: SimTime, _to: SimTime, rng: &mut SimRng) -> Vec<Arrival> {
+        let mut out = Vec::new();
+        if !self.started {
+            self.started = true;
+            for slot in 0..self.concurrency {
+                out.push(self.issue(slot, from, rng));
+            }
+        }
+        // Hand over requests whose predecessors have committed; re-stamp the
+        // replica choice here so it uses the runner's RNG stream.
+        for mut arrival in std::mem::take(&mut self.ready) {
+            arrival.replica = NodeId(rng.choose_index(self.replicas) as u64);
+            out.push(arrival);
+        }
+        out
+    }
+
+    fn on_commit(&mut self, tx: TxId, at: SimTime) {
+        if let Some(slot) = self.in_flight.remove(&tx) {
+            let client = NodeId(2_000_000 + slot as u64);
+            let next = Transaction::new(client, self.next_seq, self.payload_size, at);
+            self.next_seq += 1;
+            self.in_flight.insert(next.id, slot);
+            self.ready.push(Arrival {
+                issued_at: at,
+                replica: NodeId(0),
+                transaction: next,
+            });
+        }
+    }
+
+    fn total_issued(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_loop_rate_is_respected() {
+        let mut wl = OpenLoopWorkload::new(10_000.0, 0, 4);
+        let mut rng = SimRng::new(1);
+        let arrivals = wl.arrivals(
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_secs(1),
+            &mut rng,
+        );
+        let n = arrivals.len() as f64;
+        assert!((n - 10_000.0).abs() < 500.0, "got {n} arrivals");
+        assert_eq!(wl.total_issued(), arrivals.len() as u64);
+        // All arrivals are inside the window and target valid replicas.
+        for a in &arrivals {
+            assert!(a.issued_at < SimTime::ZERO + SimDuration::from_secs(1));
+            assert!(a.replica.index() < 4);
+        }
+    }
+
+    #[test]
+    fn open_loop_windows_do_not_lose_or_duplicate_arrivals() {
+        let mut whole = OpenLoopWorkload::new(5_000.0, 0, 4);
+        let mut split = OpenLoopWorkload::new(5_000.0, 0, 4);
+        let mut rng_a = SimRng::new(7);
+        let mut rng_b = SimRng::new(7);
+        let full = whole.arrivals(
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_millis(100),
+            &mut rng_a,
+        );
+        let mut pieces = Vec::new();
+        for i in 0..10 {
+            pieces.extend(split.arrivals(
+                SimTime::ZERO + SimDuration::from_millis(i * 10),
+                SimTime::ZERO + SimDuration::from_millis((i + 1) * 10),
+                &mut rng_b,
+            ));
+        }
+        assert_eq!(full.len(), pieces.len());
+    }
+
+    #[test]
+    fn zero_rate_open_loop_is_silent() {
+        let mut wl = OpenLoopWorkload::new(0.0, 0, 4);
+        let mut rng = SimRng::new(1);
+        assert!(wl
+            .arrivals(SimTime::ZERO, SimTime(1_000_000_000), &mut rng)
+            .is_empty());
+    }
+
+    #[test]
+    fn closed_loop_keeps_concurrency_in_flight() {
+        let mut wl = ClosedLoopWorkload::new(8, 32, 4);
+        let mut rng = SimRng::new(2);
+        let first = wl.arrivals(SimTime::ZERO, SimTime(1), &mut rng);
+        assert_eq!(first.len(), 8, "one request per client at start");
+        // Nothing new until something commits.
+        assert!(wl.arrivals(SimTime(1), SimTime(2), &mut rng).is_empty());
+        // Commit two of them: exactly two replacements appear.
+        wl.on_commit(first[0].transaction.id, SimTime(500));
+        wl.on_commit(first[3].transaction.id, SimTime(600));
+        let next = wl.arrivals(SimTime(700), SimTime(701), &mut rng);
+        assert_eq!(next.len(), 2);
+        assert_eq!(wl.total_issued(), 10);
+        // Unknown commits are ignored.
+        wl.on_commit(first[0].transaction.id, SimTime(800));
+        assert!(wl.arrivals(SimTime(900), SimTime(901), &mut rng).is_empty());
+    }
+}

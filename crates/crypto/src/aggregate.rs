@@ -1,0 +1,168 @@
+//! Aggregation of per-replica signatures into quorum certificates.
+//!
+//! The paper's Quorum component exposes `voted()` and `certified()`; the
+//! cryptographic side of that component lives here: an
+//! [`AggregateSignature`] collects `(signer index, signature)` pairs over the
+//! same message and can be verified against a set of public keys.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::keys::{PublicKey, Signature};
+
+/// A multi-signature over a single message, keyed by signer index.
+///
+/// # Example
+///
+/// ```
+/// use bamboo_crypto::{AggregateSignature, KeyPair};
+///
+/// let keys: Vec<KeyPair> = (0..4).map(KeyPair::from_seed).collect();
+/// let msg = b"certify block";
+/// let mut agg = AggregateSignature::new();
+/// for (i, kp) in keys.iter().enumerate().take(3) {
+///     agg.add(i as u64, kp.sign(msg));
+/// }
+/// assert_eq!(agg.len(), 3);
+/// let pks: Vec<_> = keys.iter().map(|k| k.public_key()).collect();
+/// assert!(agg.verify(msg, |i| pks.get(i as usize).copied()));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggregateSignature {
+    signatures: BTreeMap<u64, Signature>,
+}
+
+impl AggregateSignature {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a signature from signer `index`. Returns `false` if the signer was
+    /// already present (the signature is not replaced).
+    pub fn add(&mut self, index: u64, signature: Signature) -> bool {
+        match self.signatures.entry(index) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(signature);
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(_) => false,
+        }
+    }
+
+    /// Number of distinct signers.
+    pub fn len(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// Returns true if no signer has contributed yet.
+    pub fn is_empty(&self) -> bool {
+        self.signatures.is_empty()
+    }
+
+    /// Returns true if signer `index` has contributed.
+    pub fn contains(&self, index: u64) -> bool {
+        self.signatures.contains_key(&index)
+    }
+
+    /// Iterates over the signer indices in ascending order.
+    pub fn signers(&self) -> impl Iterator<Item = u64> + '_ {
+        self.signatures.keys().copied()
+    }
+
+    /// Verifies every contained signature over `msg`, looking public keys up
+    /// via `key_of`. Returns `false` if any key is unknown or any signature is
+    /// invalid.
+    pub fn verify<F>(&self, msg: &[u8], key_of: F) -> bool
+    where
+        F: Fn(u64) -> Option<PublicKey>,
+    {
+        self.signatures.iter().all(|(index, sig)| {
+            key_of(*index)
+                .map(|pk| pk.verify(msg, sig))
+                .unwrap_or(false)
+        })
+    }
+
+    /// Approximate wire size in bytes (one signature plus index per signer).
+    pub fn wire_size(&self) -> usize {
+        self.signatures.len() * (32 + 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyPair;
+
+    fn keys(n: u64) -> Vec<KeyPair> {
+        (0..n).map(KeyPair::from_seed).collect()
+    }
+
+    #[test]
+    fn collects_distinct_signers() {
+        let kps = keys(4);
+        let mut agg = AggregateSignature::new();
+        for (i, kp) in kps.iter().enumerate() {
+            assert!(agg.add(i as u64, kp.sign(b"m")));
+        }
+        assert_eq!(agg.len(), 4);
+        assert!(agg.contains(0));
+        assert!(!agg.contains(7));
+    }
+
+    #[test]
+    fn duplicate_signer_is_rejected() {
+        let kps = keys(2);
+        let mut agg = AggregateSignature::new();
+        assert!(agg.add(0, kps[0].sign(b"m")));
+        assert!(!agg.add(0, kps[0].sign(b"m")));
+        assert_eq!(agg.len(), 1);
+    }
+
+    #[test]
+    fn verify_accepts_valid_set() {
+        let kps = keys(4);
+        let pks: Vec<_> = kps.iter().map(|k| k.public_key()).collect();
+        let mut agg = AggregateSignature::new();
+        for (i, kp) in kps.iter().enumerate() {
+            agg.add(i as u64, kp.sign(b"block"));
+        }
+        assert!(agg.verify(b"block", |i| pks.get(i as usize).copied()));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_message_or_missing_key() {
+        let kps = keys(3);
+        let pks: Vec<_> = kps.iter().map(|k| k.public_key()).collect();
+        let mut agg = AggregateSignature::new();
+        for (i, kp) in kps.iter().enumerate() {
+            agg.add(i as u64, kp.sign(b"block"));
+        }
+        assert!(!agg.verify(b"other", |i| pks.get(i as usize).copied()));
+        assert!(!agg.verify(b"block", |_| None));
+    }
+
+    #[test]
+    fn wire_size_scales_with_signers() {
+        let kps = keys(5);
+        let mut agg = AggregateSignature::new();
+        assert_eq!(agg.wire_size(), 0);
+        for (i, kp) in kps.iter().enumerate() {
+            agg.add(i as u64, kp.sign(b"m"));
+        }
+        assert_eq!(agg.wire_size(), 5 * 40);
+    }
+
+    #[test]
+    fn signers_are_sorted() {
+        let kps = keys(5);
+        let mut agg = AggregateSignature::new();
+        for i in [4u64, 1, 3, 0, 2] {
+            agg.add(i, kps[i as usize].sign(b"m"));
+        }
+        let order: Vec<u64> = agg.signers().collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+}

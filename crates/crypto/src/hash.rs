@@ -1,0 +1,137 @@
+//! Digest newtype and convenience hashing helpers used across the workspace.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::sha256::sha256;
+
+/// A 32-byte SHA-256 digest.
+///
+/// `Digest` is used for block identifiers, transaction identifiers and
+/// message binding in the simulated signature scheme.
+///
+/// # Example
+///
+/// ```
+/// use bamboo_crypto::Digest;
+///
+/// let a = Digest::of(b"hello");
+/// let b = Digest::of(b"hello");
+/// assert_eq!(a, b);
+/// assert_ne!(a, Digest::of(b"world"));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Digest([u8; 32]);
+
+impl Digest {
+    /// The all-zero digest, used as the parent of the genesis block.
+    pub const ZERO: Digest = Digest([0u8; 32]);
+
+    /// Hashes `data` and returns the digest.
+    pub fn of(data: &[u8]) -> Self {
+        Digest(sha256(data))
+    }
+
+    /// Builds a digest from raw bytes (no hashing performed).
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+
+    /// Returns the digest as a byte slice.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Returns a short hexadecimal prefix, convenient for logging.
+    pub fn short_hex(&self) -> String {
+        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Returns the full hexadecimal representation.
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Returns true if this is the all-zero digest.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0u8; 32]
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({}..)", self.short_hex())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.short_hex())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; 32]> for Digest {
+    fn from(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+}
+
+/// Hashes a byte slice into a [`Digest`].
+pub fn hash_bytes(data: &[u8]) -> Digest {
+    Digest::of(data)
+}
+
+/// Hashes the concatenation of two byte slices, used for chaining structures
+/// (for example `hash(parent_id || payload)`).
+pub fn hash_two(a: &[u8], b: &[u8]) -> Digest {
+    let mut hasher = crate::sha256::Sha256::new();
+    hasher.update(a);
+    hasher.update(b);
+    Digest(hasher.finalize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_of_is_deterministic() {
+        assert_eq!(Digest::of(b"x"), Digest::of(b"x"));
+        assert_ne!(Digest::of(b"x"), Digest::of(b"y"));
+    }
+
+    #[test]
+    fn zero_digest_is_zero() {
+        assert!(Digest::ZERO.is_zero());
+        assert!(!Digest::of(b"nonzero").is_zero());
+    }
+
+    #[test]
+    fn hash_two_equals_concatenated_hash() {
+        let direct = Digest::of(b"abcdef");
+        let split = hash_two(b"abc", b"def");
+        assert_eq!(direct, split);
+    }
+
+    #[test]
+    fn hex_roundtrip_formats() {
+        let d = Digest::of(b"abc");
+        assert_eq!(d.to_hex().len(), 64);
+        assert_eq!(d.short_hex().len(), 8);
+        assert!(d.to_hex().starts_with(&d.short_hex()));
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        let d = Digest::default();
+        assert!(!format!("{d}").is_empty());
+        assert!(!format!("{d:?}").is_empty());
+    }
+}

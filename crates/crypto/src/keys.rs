@@ -1,0 +1,166 @@
+//! Simulated signature scheme.
+//!
+//! The scheme is deliberately simple: a signature over `msg` by key `k` is
+//! `H(tag || pk || msg)` where `pk = H(tag' || k)`. Any party can forge such a
+//! signature if it knows the public key, so this is **only** meaningful inside
+//! the honest-majority simulation where Byzantine behaviour is modelled at the
+//! protocol level (forking / silence strategies) rather than by forging
+//! signatures. The scheme exists so that votes, quorum certificates and
+//! timeout certificates carry realistic payload bytes and so that a
+//! configurable CPU cost can be charged per sign/verify operation, matching
+//! the `t_CPU` parameter of the paper's analytical model.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::hash::{hash_two, Digest};
+
+const SIGN_TAG: &[u8] = b"bamboo-sim-signature-v1";
+const PK_TAG: &[u8] = b"bamboo-sim-public-key-v1";
+
+/// A secret signing key.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SecretKey(Digest);
+
+impl fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print secret material.
+        write!(f, "SecretKey(..)")
+    }
+}
+
+/// A public verification key derived from a [`SecretKey`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PublicKey(Digest);
+
+impl fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PublicKey({})", self.0.short_hex())
+    }
+}
+
+impl fmt::Display for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0.short_hex())
+    }
+}
+
+impl PublicKey {
+    /// Verifies `sig` over `msg` under this public key.
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
+        Signature::create(self, msg) == *sig
+    }
+
+    /// Returns the underlying digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        self.0.as_bytes()
+    }
+}
+
+/// A signature over a message.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Signature(Digest);
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signature({})", self.0.short_hex())
+    }
+}
+
+impl Signature {
+    fn create(pk: &PublicKey, msg: &[u8]) -> Self {
+        let mut prefix = Vec::with_capacity(SIGN_TAG.len() + 32);
+        prefix.extend_from_slice(SIGN_TAG);
+        prefix.extend_from_slice(pk.as_bytes());
+        Signature(hash_two(&prefix, msg))
+    }
+
+    /// Returns the signature bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        self.0.as_bytes()
+    }
+}
+
+/// A signing key pair for one replica.
+///
+/// # Example
+///
+/// ```
+/// use bamboo_crypto::KeyPair;
+///
+/// let kp = KeyPair::from_seed(42);
+/// let sig = kp.sign(b"vote for block 7");
+/// assert!(kp.public_key().verify(b"vote for block 7", &sig));
+/// assert!(!kp.public_key().verify(b"vote for block 8", &sig));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeyPair {
+    secret: SecretKey,
+    public: PublicKey,
+}
+
+impl KeyPair {
+    /// Derives a key pair deterministically from a `u64` seed.
+    ///
+    /// Replicas in the simulation derive their keys from their node id so the
+    /// whole system is reproducible from a single configuration seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let secret = SecretKey(hash_two(b"bamboo-sim-secret-key-v1", &seed.to_be_bytes()));
+        let public = PublicKey(hash_two(PK_TAG, secret.0.as_bytes()));
+        Self { secret, public }
+    }
+
+    /// Returns the public half of the key pair.
+    pub fn public_key(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Signs `msg`.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        Signature::create(&self.public, msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = KeyPair::from_seed(1);
+        let sig = kp.sign(b"message");
+        assert!(kp.public_key().verify(b"message", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_message() {
+        let kp = KeyPair::from_seed(1);
+        let sig = kp.sign(b"message");
+        assert!(!kp.public_key().verify(b"other", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let kp1 = KeyPair::from_seed(1);
+        let kp2 = KeyPair::from_seed(2);
+        let sig = kp1.sign(b"message");
+        assert!(!kp2.public_key().verify(b"message", &sig));
+    }
+
+    #[test]
+    fn keypairs_are_deterministic_per_seed() {
+        assert_eq!(KeyPair::from_seed(9), KeyPair::from_seed(9));
+        assert_ne!(
+            KeyPair::from_seed(9).public_key(),
+            KeyPair::from_seed(10).public_key()
+        );
+    }
+
+    #[test]
+    fn secret_key_debug_does_not_leak() {
+        let kp = KeyPair::from_seed(5);
+        let rendered = format!("{:?}", kp.secret);
+        assert_eq!(rendered, "SecretKey(..)");
+    }
+}

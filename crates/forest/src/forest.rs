@@ -1,0 +1,779 @@
+//! The block forest data structure.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use bamboo_types::{Block, BlockId, Height, QuorumCert};
+
+/// Errors returned by [`BlockForest`] operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ForestError {
+    /// The block's parent is not (yet) part of the forest.
+    UnknownParent(BlockId),
+    /// The block's height is not `parent height + 1`.
+    InvalidHeight {
+        /// Offending block.
+        block: BlockId,
+        /// Height carried by the block.
+        height: Height,
+        /// Expected height (parent height + 1).
+        expected: Height,
+    },
+    /// The block is already present.
+    Duplicate(BlockId),
+    /// The referenced block does not exist.
+    UnknownBlock(BlockId),
+    /// A commit was requested for a block that conflicts with the already
+    /// committed chain — this indicates a safety violation and is surfaced
+    /// loudly instead of being ignored.
+    ConflictingCommit {
+        /// The block whose commit was requested.
+        block: BlockId,
+        /// The current committed head.
+        committed_head: BlockId,
+    },
+    /// The block lies below the pruning horizon and was discarded.
+    BelowPruneHorizon(BlockId),
+}
+
+impl fmt::Display for ForestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForestError::UnknownParent(id) => write!(f, "unknown parent block {id}"),
+            ForestError::InvalidHeight {
+                block,
+                height,
+                expected,
+            } => write!(
+                f,
+                "block {block} carries height {height} but its parent implies {expected}"
+            ),
+            ForestError::Duplicate(id) => write!(f, "block {id} is already in the forest"),
+            ForestError::UnknownBlock(id) => write!(f, "block {id} is not in the forest"),
+            ForestError::ConflictingCommit {
+                block,
+                committed_head,
+            } => write!(
+                f,
+                "commit of {block} conflicts with committed head {committed_head}"
+            ),
+            ForestError::BelowPruneHorizon(id) => {
+                write!(f, "block {id} is below the pruning horizon")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ForestError {}
+
+/// Aggregate statistics about the forest, used by metrics and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForestStats {
+    /// Number of blocks currently stored (excluding orphans).
+    pub stored_blocks: usize,
+    /// Number of orphan blocks waiting for their parent.
+    pub orphans: usize,
+    /// Height of the highest stored block.
+    pub max_height: u64,
+    /// Height of the committed head.
+    pub committed_height: u64,
+    /// Number of committed blocks so far (excluding genesis).
+    pub committed_blocks: u64,
+    /// Number of blocks that were pruned away as members of losing forks.
+    pub forked_blocks: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Vertex {
+    block: Block,
+    qc: Option<QuorumCert>,
+    children: Vec<BlockId>,
+}
+
+/// The block forest: every block the replica knows about, fork structure,
+/// certification status, the committed main chain and pruning.
+#[derive(Clone, Debug)]
+pub struct BlockForest {
+    vertices: HashMap<BlockId, Vertex>,
+    by_height: BTreeMap<u64, Vec<BlockId>>,
+    /// Blocks whose parent has not arrived yet, keyed by the missing parent.
+    orphans: HashMap<BlockId, Vec<Block>>,
+    /// Highest QC observed so far (`hQC` in the paper's state variables).
+    high_qc: QuorumCert,
+    /// Block certified by `high_qc`'s view with the greatest height.
+    highest_certified: BlockId,
+    committed_head: BlockId,
+    committed_count: u64,
+    forked_count: u64,
+    prune_horizon: Height,
+}
+
+impl Default for BlockForest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlockForest {
+    /// Creates a forest containing only the genesis block (which is committed
+    /// and certified by convention).
+    pub fn new() -> Self {
+        let genesis = Block::genesis();
+        let genesis_id = genesis.id;
+        let mut vertices = HashMap::new();
+        vertices.insert(
+            genesis_id,
+            Vertex {
+                block: genesis,
+                qc: Some(QuorumCert::genesis()),
+                children: Vec::new(),
+            },
+        );
+        let mut by_height = BTreeMap::new();
+        by_height.insert(0, vec![genesis_id]);
+        Self {
+            vertices,
+            by_height,
+            orphans: HashMap::new(),
+            high_qc: QuorumCert::genesis(),
+            highest_certified: genesis_id,
+            committed_head: genesis_id,
+            committed_count: 0,
+            forked_count: 0,
+            prune_horizon: Height::GENESIS,
+        }
+    }
+
+    /// Returns true if `id` is stored in the forest (orphans excluded).
+    pub fn contains(&self, id: BlockId) -> bool {
+        self.vertices.contains_key(&id)
+    }
+
+    /// Looks a block up by id.
+    pub fn get(&self, id: BlockId) -> Option<&Block> {
+        self.vertices.get(&id).map(|v| &v.block)
+    }
+
+    /// Returns the ids of the children of `id`.
+    pub fn children(&self, id: BlockId) -> &[BlockId] {
+        self.vertices
+            .get(&id)
+            .map(|v| v.children.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Returns the QC certifying `id`, if the block is certified.
+    pub fn qc_of(&self, id: BlockId) -> Option<&QuorumCert> {
+        self.vertices.get(&id).and_then(|v| v.qc.as_ref())
+    }
+
+    /// Returns true if the block is certified (a *one-chain* in HotStuff
+    /// terminology, *notarized* in Streamlet terminology).
+    pub fn is_certified(&self, id: BlockId) -> bool {
+        self.vertices.get(&id).map(|v| v.qc.is_some()).unwrap_or(false)
+    }
+
+    /// The highest QC observed so far.
+    pub fn high_qc(&self) -> &QuorumCert {
+        &self.high_qc
+    }
+
+    /// The certified block of greatest height (ties broken by view).
+    pub fn highest_certified_block(&self) -> &Block {
+        &self.vertices[&self.highest_certified].block
+    }
+
+    /// The committed head block.
+    pub fn committed_head(&self) -> &Block {
+        &self.vertices[&self.committed_head].block
+    }
+
+    /// Current pruning horizon: blocks strictly below this height are gone.
+    pub fn prune_horizon(&self) -> Height {
+        self.prune_horizon
+    }
+
+    /// Inserts a block.
+    ///
+    /// Blocks whose parent is unknown are buffered as orphans and attached
+    /// automatically once the parent arrives; the call still returns
+    /// [`ForestError::UnknownParent`] so callers can decide whether to fetch
+    /// the parent.
+    ///
+    /// # Errors
+    ///
+    /// * [`ForestError::Duplicate`] if the block is already stored,
+    /// * [`ForestError::BelowPruneHorizon`] if it is older than the prune cut,
+    /// * [`ForestError::InvalidHeight`] if its height is not parent + 1,
+    /// * [`ForestError::UnknownParent`] if the parent is missing (buffered).
+    pub fn insert(&mut self, block: Block) -> Result<(), ForestError> {
+        if block.is_genesis() || self.vertices.contains_key(&block.id) {
+            return Err(ForestError::Duplicate(block.id));
+        }
+        if block.height <= self.prune_horizon && self.prune_horizon > Height::GENESIS {
+            return Err(ForestError::BelowPruneHorizon(block.id));
+        }
+        let parent_id = block.parent;
+        let parent_height = match self.vertices.get(&parent_id) {
+            Some(parent) => parent.block.height,
+            None => {
+                self.orphans.entry(parent_id).or_default().push(block);
+                return Err(ForestError::UnknownParent(parent_id));
+            }
+        };
+        if block.height != parent_height.next() {
+            return Err(ForestError::InvalidHeight {
+                block: block.id,
+                height: block.height,
+                expected: parent_height.next(),
+            });
+        }
+        let id = block.id;
+        let height = block.height.as_u64();
+        self.vertices.insert(
+            id,
+            Vertex {
+                block,
+                qc: None,
+                children: Vec::new(),
+            },
+        );
+        self.vertices
+            .get_mut(&parent_id)
+            .expect("parent checked above")
+            .children
+            .push(id);
+        self.by_height.entry(height).or_default().push(id);
+
+        // Attach any orphans that were waiting for this block.
+        if let Some(waiting) = self.orphans.remove(&id) {
+            for orphan in waiting {
+                // Ignore errors from stale orphans (duplicates, bad heights).
+                let _ = self.insert(orphan);
+            }
+        }
+        Ok(())
+    }
+
+    /// Records a quorum certificate for a block already in the forest and
+    /// updates the high-QC bookkeeping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForestError::UnknownBlock`] if the certified block is not
+    /// stored (the caller should retry once the block arrives).
+    pub fn register_qc(&mut self, qc: QuorumCert) -> Result<(), ForestError> {
+        let vertex = self
+            .vertices
+            .get_mut(&qc.block)
+            .ok_or(ForestError::UnknownBlock(qc.block))?;
+        let height = vertex.block.height;
+        if vertex.qc.is_none() {
+            vertex.qc = Some(qc.clone());
+        }
+        if qc.view > self.high_qc.view {
+            self.high_qc = qc;
+        }
+        let best = &self.vertices[&self.highest_certified].block;
+        if height > best.height {
+            self.highest_certified = self.vertices[&self.high_qc.block].block.id;
+            // `high_qc` may certify a lower block than the freshly certified
+            // one when QCs arrive out of order; prefer greatest height.
+            if self.vertices[&self.highest_certified].block.height < height {
+                if let Some((id, _)) = self
+                    .vertices
+                    .iter()
+                    .filter(|(_, v)| v.qc.is_some())
+                    .max_by_key(|(_, v)| (v.block.height, v.block.view))
+                {
+                    self.highest_certified = *id;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns true if `ancestor` is an ancestor of (or equal to) `descendant`
+    /// following parent links.
+    pub fn extends(&self, descendant: BlockId, ancestor: BlockId) -> bool {
+        let mut cursor = descendant;
+        loop {
+            if cursor == ancestor {
+                return true;
+            }
+            match self.vertices.get(&cursor) {
+                Some(v) if !v.block.is_genesis() => cursor = v.block.parent,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Walks up from `id` and returns the ancestor at distance `steps`
+    /// (0 = the block itself, 1 = parent, ...).
+    pub fn ancestor(&self, id: BlockId, steps: usize) -> Option<&Block> {
+        let mut cursor = self.vertices.get(&id)?;
+        for _ in 0..steps {
+            if cursor.block.is_genesis() {
+                return None;
+            }
+            cursor = self.vertices.get(&cursor.block.parent)?;
+        }
+        Some(&cursor.block)
+    }
+
+    /// Returns the chain of blocks from `ancestor` (exclusive) down to `id`
+    /// (inclusive), ordered from oldest to newest. Returns `None` if `id` does
+    /// not extend `ancestor`.
+    pub fn path_from(&self, ancestor: BlockId, id: BlockId) -> Option<Vec<&Block>> {
+        let mut path = VecDeque::new();
+        let mut cursor = id;
+        loop {
+            if cursor == ancestor {
+                return Some(path.into_iter().collect());
+            }
+            let vertex = self.vertices.get(&cursor)?;
+            if vertex.block.is_genesis() {
+                return None;
+            }
+            path.push_front(&vertex.block);
+            cursor = vertex.block.parent;
+        }
+    }
+
+    /// HotStuff-style chain predicate: starting at `tip` and walking parent
+    /// links, counts how many consecutive blocks (including `tip`) are
+    /// certified *and* connected by direct parent links. A return value of
+    /// `k >= 3` means `tip` closes a three-chain whose head is
+    /// `self.ancestor(tip, k - 1)`.
+    pub fn certified_chain_length(&self, tip: BlockId) -> usize {
+        let mut length = 0usize;
+        let mut cursor = tip;
+        loop {
+            match self.vertices.get(&cursor) {
+                Some(v) if v.qc.is_some() => {
+                    length += 1;
+                    if v.block.is_genesis() {
+                        return length;
+                    }
+                    cursor = v.block.parent;
+                }
+                _ => return length,
+            }
+        }
+    }
+
+    /// Streamlet-style predicate: returns the head of a chain of `k` blocks
+    /// ending at `tip` that are certified, connected by direct parent links
+    /// *and* were proposed in consecutive views. Returns `None` if no such
+    /// chain exists.
+    pub fn consecutive_view_chain(&self, tip: BlockId, k: usize) -> Option<&Block> {
+        if k == 0 {
+            return None;
+        }
+        let mut blocks = Vec::with_capacity(k);
+        let mut cursor = tip;
+        for _ in 0..k {
+            let vertex = self.vertices.get(&cursor)?;
+            vertex.qc.as_ref()?;
+            blocks.push(&vertex.block);
+            cursor = vertex.block.parent;
+        }
+        for pair in blocks.windows(2) {
+            let child = pair[0];
+            let parent = pair[1];
+            if child.view.as_u64() != parent.view.as_u64() + 1 {
+                return None;
+            }
+        }
+        Some(blocks[k - 1])
+    }
+
+    /// Commits `id` and its uncommitted ancestors. Returns the newly committed
+    /// blocks ordered oldest-first.
+    ///
+    /// # Errors
+    ///
+    /// * [`ForestError::UnknownBlock`] if `id` is not stored,
+    /// * [`ForestError::ConflictingCommit`] if `id` does not extend the
+    ///   current committed head (a safety violation).
+    pub fn commit(&mut self, id: BlockId) -> Result<Vec<Block>, ForestError> {
+        if !self.vertices.contains_key(&id) {
+            return Err(ForestError::UnknownBlock(id));
+        }
+        if !self.extends(id, self.committed_head) {
+            return Err(ForestError::ConflictingCommit {
+                block: id,
+                committed_head: self.committed_head,
+            });
+        }
+        if id == self.committed_head {
+            return Ok(Vec::new());
+        }
+        let newly: Vec<Block> = self
+            .path_from(self.committed_head, id)
+            .expect("extends() checked above")
+            .into_iter()
+            .cloned()
+            .collect();
+        self.committed_head = id;
+        self.committed_count += newly.len() as u64;
+        Ok(newly)
+    }
+
+    /// Prunes every block strictly below `height` that is not an ancestor of
+    /// the committed head, plus the committed prefix itself (which is assumed
+    /// to have been handed to the [`crate::Ledger`] already). Returns the
+    /// *forked* blocks removed — blocks that were overwritten by the committed
+    /// chain — so their transactions can be returned to the mempool, matching
+    /// Bamboo's behaviour under the forking attack.
+    pub fn prune_to(&mut self, height: Height) -> Vec<Block> {
+        if height <= self.prune_horizon {
+            return Vec::new();
+        }
+        let mut forked = Vec::new();
+        let cut: Vec<u64> = self
+            .by_height
+            .range(..height.as_u64())
+            .map(|(h, _)| *h)
+            .collect();
+        for h in cut {
+            let Some(ids) = self.by_height.remove(&h) else {
+                continue;
+            };
+            for id in ids {
+                // Keep blocks on the committed path reachable until their
+                // height is passed by the committed head, then drop them too;
+                // the ledger owns the committed history.
+                let on_committed_path = self.extends(self.committed_head, id);
+                if let Some(vertex) = self.vertices.get(&id) {
+                    if !on_committed_path && !vertex.block.is_genesis() {
+                        forked.push(vertex.block.clone());
+                    }
+                }
+                if id != self.committed_head && !id.is_genesis() {
+                    self.vertices.remove(&id);
+                } else {
+                    // Re-index blocks we keep so later prunes revisit them.
+                    self.by_height.entry(h).or_default().push(id);
+                }
+            }
+        }
+        // Drop dangling child references.
+        let live: std::collections::HashSet<BlockId> = self.vertices.keys().copied().collect();
+        for vertex in self.vertices.values_mut() {
+            vertex.children.retain(|c| live.contains(c));
+        }
+        // Orphans below the horizon can never be attached any more.
+        self.orphans.retain(|_, blocks| {
+            blocks.retain(|b| b.height > height);
+            !blocks.is_empty()
+        });
+        self.forked_count += forked.len() as u64;
+        self.prune_horizon = height;
+        forked
+    }
+
+    /// Convenience wrapper: prune everything below the committed head.
+    pub fn prune_to_committed(&mut self) -> Vec<Block> {
+        let height = self.committed_head().height;
+        self.prune_to(height)
+    }
+
+    /// The block on the committed chain at `height`, if it exists and has not
+    /// been pruned. Cross-replica consistency checks compare these hashes.
+    pub fn committed_block_at(&self, height: Height) -> Option<&Block> {
+        let ids = self.by_height.get(&height.as_u64())?;
+        ids.iter()
+            .map(|id| &self.vertices[id].block)
+            .find(|b| self.extends(self.committed_head, b.id))
+    }
+
+    /// Returns forest statistics.
+    pub fn stats(&self) -> ForestStats {
+        ForestStats {
+            stored_blocks: self.vertices.len(),
+            orphans: self.orphans.values().map(Vec::len).sum(),
+            max_height: self
+                .by_height
+                .keys()
+                .next_back()
+                .copied()
+                .unwrap_or_default(),
+            committed_height: self.committed_head().height.as_u64(),
+            committed_blocks: self.committed_count,
+            forked_blocks: self.forked_count,
+        }
+    }
+
+    /// Iterates over all stored blocks (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Block> {
+        self.vertices.values().map(|v| &v.block)
+    }
+
+    /// Number of blocks currently stored.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Returns true if only genesis is stored.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bamboo_crypto::KeyPair;
+    use bamboo_types::{NodeId, Transaction, View, Vote};
+    use bamboo_types::SimTime;
+
+    /// Builds a child of `parent` proposed in `view` and inserts it.
+    fn add_child(forest: &mut BlockForest, parent: BlockId, view: u64) -> BlockId {
+        let parent_block = forest.get(parent).unwrap().clone();
+        let block = Block::new(
+            View(view),
+            parent_block.height.next(),
+            parent,
+            NodeId(view % 4),
+            QuorumCert::genesis(),
+            vec![Transaction::new(NodeId(9), view, 8, SimTime::ZERO)],
+        );
+        let id = block.id;
+        forest.insert(block).unwrap();
+        id
+    }
+
+    fn certify(forest: &mut BlockForest, id: BlockId, view: u64) {
+        let kps: Vec<KeyPair> = (0..4).map(KeyPair::from_seed).collect();
+        let votes: Vec<Vote> = (0..3)
+            .map(|i| Vote::new(id, View(view), NodeId(i), &kps[i as usize]))
+            .collect();
+        forest
+            .register_qc(QuorumCert::from_votes(id, View(view), &votes))
+            .unwrap();
+    }
+
+    #[test]
+    fn new_forest_contains_committed_genesis() {
+        let forest = BlockForest::new();
+        assert!(forest.contains(BlockId::GENESIS));
+        assert!(forest.is_certified(BlockId::GENESIS));
+        assert_eq!(forest.committed_head().id, BlockId::GENESIS);
+        assert!(forest.is_empty());
+    }
+
+    #[test]
+    fn insert_builds_parent_child_links() {
+        let mut forest = BlockForest::new();
+        let a = add_child(&mut forest, BlockId::GENESIS, 1);
+        let b = add_child(&mut forest, a, 2);
+        assert_eq!(forest.children(BlockId::GENESIS), &[a]);
+        assert_eq!(forest.children(a), &[b]);
+        assert!(forest.extends(b, BlockId::GENESIS));
+        assert!(forest.extends(b, a));
+        assert!(!forest.extends(a, b));
+        assert_eq!(forest.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_and_bad_height_are_rejected() {
+        let mut forest = BlockForest::new();
+        let a = add_child(&mut forest, BlockId::GENESIS, 1);
+        let dup = forest.get(a).unwrap().clone();
+        assert_eq!(forest.insert(dup), Err(ForestError::Duplicate(a)));
+
+        let parent = forest.get(a).unwrap().clone();
+        let bad = Block::new(
+            View(2),
+            Height(9),
+            a,
+            NodeId(0),
+            QuorumCert::genesis(),
+            vec![],
+        );
+        assert_eq!(
+            forest.insert(bad),
+            Err(ForestError::InvalidHeight {
+                block: Block::compute_id(
+                    View(2),
+                    Height(9),
+                    a,
+                    NodeId(0),
+                    &QuorumCert::genesis(),
+                    &[]
+                ),
+                height: Height(9),
+                expected: parent.height.next(),
+            })
+        );
+    }
+
+    #[test]
+    fn orphans_are_attached_when_parent_arrives() {
+        let mut forest = BlockForest::new();
+        let parent = Block::new(
+            View(1),
+            Height(1),
+            BlockId::GENESIS,
+            NodeId(0),
+            QuorumCert::genesis(),
+            vec![],
+        );
+        let child = Block::new(
+            View(2),
+            Height(2),
+            parent.id,
+            NodeId(1),
+            QuorumCert::genesis(),
+            vec![],
+        );
+        let child_id = child.id;
+        assert_eq!(
+            forest.insert(child),
+            Err(ForestError::UnknownParent(parent.id))
+        );
+        assert_eq!(forest.stats().orphans, 1);
+        forest.insert(parent).unwrap();
+        assert!(forest.contains(child_id), "orphan attached after parent");
+        assert_eq!(forest.stats().orphans, 0);
+    }
+
+    #[test]
+    fn certified_chain_length_counts_direct_certified_ancestry() {
+        let mut forest = BlockForest::new();
+        let a = add_child(&mut forest, BlockId::GENESIS, 1);
+        let b = add_child(&mut forest, a, 2);
+        let c = add_child(&mut forest, b, 3);
+        assert_eq!(forest.certified_chain_length(c), 0);
+        certify(&mut forest, a, 1);
+        certify(&mut forest, b, 2);
+        assert_eq!(forest.certified_chain_length(b), 3, "genesis + a + b");
+        assert_eq!(forest.certified_chain_length(c), 0, "c not certified");
+        certify(&mut forest, c, 3);
+        assert_eq!(forest.certified_chain_length(c), 4);
+    }
+
+    #[test]
+    fn consecutive_view_chain_requires_adjacent_views() {
+        let mut forest = BlockForest::new();
+        let a = add_child(&mut forest, BlockId::GENESIS, 1);
+        let b = add_child(&mut forest, a, 2);
+        let c = add_child(&mut forest, b, 4); // view gap between b and c
+        certify(&mut forest, a, 1);
+        certify(&mut forest, b, 2);
+        certify(&mut forest, c, 4);
+        assert!(forest.consecutive_view_chain(b, 2).is_some());
+        assert_eq!(
+            forest.consecutive_view_chain(b, 2).unwrap().id,
+            a,
+            "head of the 2-chain is a"
+        );
+        assert!(forest.consecutive_view_chain(c, 2).is_none(), "view gap");
+        assert!(forest.consecutive_view_chain(c, 1).is_some());
+    }
+
+    #[test]
+    fn commit_returns_newly_committed_suffix_in_order() {
+        let mut forest = BlockForest::new();
+        let a = add_child(&mut forest, BlockId::GENESIS, 1);
+        let b = add_child(&mut forest, a, 2);
+        let c = add_child(&mut forest, b, 3);
+        let committed = forest.commit(b).unwrap();
+        assert_eq!(
+            committed.iter().map(|bk| bk.id).collect::<Vec<_>>(),
+            vec![a, b]
+        );
+        let committed = forest.commit(c).unwrap();
+        assert_eq!(committed.iter().map(|bk| bk.id).collect::<Vec<_>>(), vec![c]);
+        assert_eq!(forest.commit(c).unwrap(), Vec::<Block>::new());
+        assert_eq!(forest.stats().committed_blocks, 3);
+    }
+
+    #[test]
+    fn conflicting_commit_is_detected() {
+        let mut forest = BlockForest::new();
+        let a = add_child(&mut forest, BlockId::GENESIS, 1);
+        let b = add_child(&mut forest, a, 2);
+        // A fork off the genesis block.
+        let f = add_child(&mut forest, BlockId::GENESIS, 3);
+        forest.commit(b).unwrap();
+        match forest.commit(f) {
+            Err(ForestError::ConflictingCommit { block, .. }) => assert_eq!(block, f),
+            other => panic!("expected conflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prune_removes_forked_branches_and_reports_them() {
+        let mut forest = BlockForest::new();
+        let a = add_child(&mut forest, BlockId::GENESIS, 1);
+        let b = add_child(&mut forest, a, 2);
+        let c = add_child(&mut forest, b, 3);
+        // Fork at a: this branch loses.
+        let f1 = add_child(&mut forest, a, 4);
+        let f2 = add_child(&mut forest, f1, 5);
+        forest.commit(c).unwrap();
+        let forked = forest.prune_to_committed();
+        let forked_ids: Vec<BlockId> = forked.iter().map(|bk| bk.id).collect();
+        assert!(forked_ids.contains(&f1));
+        assert!(!forked_ids.contains(&c), "committed head stays");
+        assert!(!forest.contains(a), "pruned committed prefix is dropped");
+        assert!(!forest.contains(f1));
+        assert!(forest.contains(c));
+        assert!(forest.contains(f2), "f2 is above the prune horizon");
+        // Inserting an old block after pruning is rejected.
+        let stale = Block::new(
+            View(9),
+            Height(1),
+            BlockId::GENESIS,
+            NodeId(0),
+            QuorumCert::genesis(),
+            vec![],
+        );
+        assert!(matches!(
+            forest.insert(stale),
+            Err(ForestError::BelowPruneHorizon(_)) | Err(ForestError::UnknownParent(_))
+        ));
+    }
+
+    #[test]
+    fn high_qc_tracks_highest_view() {
+        let mut forest = BlockForest::new();
+        let a = add_child(&mut forest, BlockId::GENESIS, 1);
+        let b = add_child(&mut forest, a, 2);
+        certify(&mut forest, b, 2);
+        assert_eq!(forest.high_qc().block, b);
+        certify(&mut forest, a, 1);
+        assert_eq!(forest.high_qc().block, b, "older QC does not replace newer");
+        assert_eq!(forest.highest_certified_block().id, b);
+    }
+
+    #[test]
+    fn register_qc_for_unknown_block_fails() {
+        let mut forest = BlockForest::new();
+        let ghost = BlockId(bamboo_crypto::Digest::of(b"ghost"));
+        assert_eq!(
+            forest.register_qc(QuorumCert {
+                block: ghost,
+                view: View(1),
+                signatures: Default::default()
+            }),
+            Err(ForestError::UnknownBlock(ghost))
+        );
+    }
+
+    #[test]
+    fn committed_block_at_height_supports_consistency_checks() {
+        let mut forest = BlockForest::new();
+        let a = add_child(&mut forest, BlockId::GENESIS, 1);
+        let _fork = add_child(&mut forest, BlockId::GENESIS, 2);
+        let b = add_child(&mut forest, a, 3);
+        forest.commit(b).unwrap();
+        assert_eq!(forest.committed_block_at(Height(1)).unwrap().id, a);
+        assert_eq!(forest.committed_block_at(Height(2)).unwrap().id, b);
+    }
+}

@@ -1,0 +1,210 @@
+//! The committed ledger: the linear history handed off by the block forest.
+//!
+//! Finalized blocks "can be removed from memory to persistent storage for
+//! garbage collection" (§II-A). The [`Ledger`] plays that role in the
+//! simulation: it records every committed block together with commit-time
+//! metadata needed by the chain-growth-rate and block-interval metrics.
+
+use serde::{Deserialize, Serialize};
+
+use bamboo_types::{Block, BlockId, SimTime, View};
+
+/// A committed block plus commit metadata.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CommittedBlock {
+    /// The block itself.
+    pub block: Block,
+    /// The view in which the block became committed (not the view it was
+    /// proposed in) — the difference is the paper's *block interval*.
+    pub committed_in_view: View,
+    /// Simulated time of the commit.
+    pub committed_at: SimTime,
+}
+
+impl CommittedBlock {
+    /// Number of views between proposal and commit.
+    pub fn block_interval(&self) -> u64 {
+        self.committed_in_view
+            .as_u64()
+            .saturating_sub(self.block.view.as_u64())
+    }
+}
+
+/// The linear committed history of one replica.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Ledger {
+    blocks: Vec<CommittedBlock>,
+    committed_txs: u64,
+}
+
+impl Ledger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends newly committed blocks (oldest first).
+    pub fn append(&mut self, blocks: Vec<Block>, committed_in_view: View, committed_at: SimTime) {
+        for block in blocks {
+            self.committed_txs += block.payload.len() as u64;
+            self.blocks.push(CommittedBlock {
+                block,
+                committed_in_view,
+                committed_at,
+            });
+        }
+    }
+
+    /// Total number of committed blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns true if nothing has been committed yet.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Total number of committed transactions.
+    pub fn committed_txs(&self) -> u64 {
+        self.committed_txs
+    }
+
+    /// The id of the last committed block, or genesis.
+    pub fn head(&self) -> BlockId {
+        self.blocks
+            .last()
+            .map(|c| c.block.id)
+            .unwrap_or(BlockId::GENESIS)
+    }
+
+    /// Iterates over committed blocks oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &CommittedBlock> {
+        self.blocks.iter()
+    }
+
+    /// The committed block at position `index` (0 = first committed).
+    pub fn get(&self, index: usize) -> Option<&CommittedBlock> {
+        self.blocks.get(index)
+    }
+
+    /// Average block interval (views from proposal to commit) over the whole
+    /// ledger — the paper's BI metric (§IV-B2).
+    pub fn average_block_interval(&self) -> f64 {
+        if self.blocks.is_empty() {
+            return 0.0;
+        }
+        self.blocks
+            .iter()
+            .map(|c| c.block_interval() as f64)
+            .sum::<f64>()
+            / self.blocks.len() as f64
+    }
+
+    /// Verifies the ledger forms a single hash-linked chain and that heights
+    /// are strictly increasing; used by integration tests as the cross-replica
+    /// consistency check.
+    pub fn verify_chain(&self) -> bool {
+        let mut prev_id = BlockId::GENESIS;
+        let mut prev_height = 0u64;
+        for committed in &self.blocks {
+            if committed.block.parent != prev_id {
+                return false;
+            }
+            if committed.block.height.as_u64() != prev_height + 1 {
+                return false;
+            }
+            prev_id = committed.block.id;
+            prev_height = committed.block.height.as_u64();
+        }
+        true
+    }
+
+    /// Returns true if `other` and `self` agree on a common committed prefix
+    /// (one may simply be ahead of the other).
+    pub fn consistent_with(&self, other: &Ledger) -> bool {
+        self.blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .all(|(a, b)| a.block.id == b.block.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bamboo_types::{Height, NodeId, QuorumCert, Transaction};
+
+    fn chain(len: u64) -> Vec<Block> {
+        let mut blocks = Vec::new();
+        let mut parent = BlockId::GENESIS;
+        for i in 1..=len {
+            let block = Block::new(
+                View(i),
+                Height(i),
+                parent,
+                NodeId(0),
+                QuorumCert::genesis(),
+                vec![Transaction::new(NodeId(1), i, 0, SimTime::ZERO)],
+            );
+            parent = block.id;
+            blocks.push(block);
+        }
+        blocks
+    }
+
+    #[test]
+    fn append_tracks_blocks_and_transactions() {
+        let mut ledger = Ledger::new();
+        ledger.append(chain(3), View(5), SimTime(100));
+        assert_eq!(ledger.len(), 3);
+        assert_eq!(ledger.committed_txs(), 3);
+        assert!(ledger.verify_chain());
+        assert!(!ledger.is_empty());
+    }
+
+    #[test]
+    fn block_interval_measures_commit_lag() {
+        let mut ledger = Ledger::new();
+        ledger.append(chain(2), View(4), SimTime(100));
+        // Block proposed in view 1 committed in view 4 -> interval 3.
+        assert_eq!(ledger.get(0).unwrap().block_interval(), 3);
+        assert_eq!(ledger.get(1).unwrap().block_interval(), 2);
+        assert!((ledger.average_block_interval() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn verify_chain_detects_broken_links() {
+        let mut ledger = Ledger::new();
+        let mut blocks = chain(3);
+        blocks.remove(1); // break the chain
+        ledger.append(blocks, View(4), SimTime(0));
+        assert!(!ledger.verify_chain());
+    }
+
+    #[test]
+    fn prefix_consistency() {
+        let blocks = chain(4);
+        let mut a = Ledger::new();
+        let mut b = Ledger::new();
+        a.append(blocks.clone(), View(6), SimTime(0));
+        b.append(blocks[..2].to_vec(), View(4), SimTime(0));
+        assert!(a.consistent_with(&b));
+        assert!(b.consistent_with(&a));
+
+        let mut c = Ledger::new();
+        let mut other = chain(2);
+        other.reverse();
+        c.append(other, View(4), SimTime(0));
+        assert!(!a.consistent_with(&c));
+    }
+
+    #[test]
+    fn empty_ledger_defaults() {
+        let ledger = Ledger::new();
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.head(), BlockId::GENESIS);
+        assert_eq!(ledger.average_block_interval(), 0.0);
+        assert!(ledger.verify_chain());
+    }
+}

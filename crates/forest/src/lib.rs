@@ -1,0 +1,25 @@
+//! Block forest — the data module of the Bamboo architecture.
+//!
+//! The block forest keeps track of every block a replica has seen, organised
+//! as a forest of trees keyed by parent links (§III-A of the paper):
+//!
+//! * every vertex has a height strictly greater than its parent's,
+//! * a vertex can have many children (forks), one parent,
+//! * the forest can be pruned up to a height, which may disconnect sub-trees,
+//! * a *main chain* of committed blocks is always maintained, and a
+//!   consistency check across replicas is a hash comparison at equal height.
+//!
+//! On top of raw storage the crate provides the chain predicates the safety
+//! rules need: direct-descendant certified chains (one-chain / two-chain /
+//! three-chain in HotStuff's sense, [`BlockForest::chain_length_ending_at`])
+//! and consecutive-view chains (Streamlet's commit rule,
+//! [`BlockForest::consecutive_view_chain`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod forest;
+pub mod ledger;
+
+pub use forest::{BlockForest, ForestError, ForestStats};
+pub use ledger::{CommittedBlock, Ledger};

@@ -1,0 +1,269 @@
+//! Memory pool — Bamboo's `Mempool` component.
+//!
+//! The paper describes the mempool as "a bidirectional queue in which new
+//! transactions are inserted from the back while old transactions (from
+//! forked blocks) are inserted from the front" (§III-E). Each replica keeps a
+//! local pool, so no cross-replica duplication check is needed.
+//!
+//! The pool enforces a capacity bound (`memsize` from Table I); when full it
+//! rejects new arrivals (back-pressure), which is how the closed-loop workload
+//! generator saturates the system.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashSet, VecDeque};
+
+use bamboo_types::{Transaction, TxId};
+
+/// Statistics about mempool activity, used by the benchmarker.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MempoolStats {
+    /// Transactions currently buffered.
+    pub pending: usize,
+    /// Total accepted since creation.
+    pub accepted: u64,
+    /// Total rejected because the pool was full.
+    pub rejected: u64,
+    /// Total re-queued from forked blocks.
+    pub requeued: u64,
+    /// Total handed out in batches.
+    pub dispatched: u64,
+}
+
+/// A bounded, bidirectional transaction queue.
+///
+/// # Example
+///
+/// ```
+/// use bamboo_mempool::Mempool;
+/// use bamboo_types::{NodeId, SimTime, Transaction};
+///
+/// let mut pool = Mempool::new(100);
+/// for seq in 0..10 {
+///     pool.push(Transaction::new(NodeId(1), seq, 0, SimTime::ZERO));
+/// }
+/// let batch = pool.next_batch(4);
+/// assert_eq!(batch.len(), 4);
+/// assert_eq!(pool.len(), 6);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mempool {
+    queue: VecDeque<Transaction>,
+    /// Ids currently in the queue, to drop duplicate re-submissions.
+    in_queue: HashSet<TxId>,
+    capacity: usize,
+    stats: MempoolStats,
+}
+
+impl Mempool {
+    /// Creates a pool bounded to `capacity` transactions.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            queue: VecDeque::with_capacity(capacity.min(4096)),
+            in_queue: HashSet::new(),
+            capacity,
+            stats: MempoolStats::default(),
+        }
+    }
+
+    /// Number of buffered transactions.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns true if the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Returns true if the pool is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.capacity
+    }
+
+    /// Remaining capacity.
+    pub fn remaining_capacity(&self) -> usize {
+        self.capacity.saturating_sub(self.queue.len())
+    }
+
+    /// Appends a fresh transaction at the back of the queue.
+    ///
+    /// Returns `false` (and drops the transaction) if the pool is full or the
+    /// transaction is already queued.
+    pub fn push(&mut self, tx: Transaction) -> bool {
+        if self.is_full() || self.in_queue.contains(&tx.id) {
+            self.stats.rejected += 1;
+            return false;
+        }
+        self.in_queue.insert(tx.id);
+        self.queue.push_back(tx);
+        self.stats.accepted += 1;
+        true
+    }
+
+    /// Re-inserts transactions recovered from forked (overwritten) blocks at
+    /// the *front* of the queue so they are re-proposed first, exactly as the
+    /// paper describes. Re-queued transactions bypass the capacity bound: they
+    /// were already accepted once.
+    pub fn requeue_front(&mut self, txs: Vec<Transaction>) {
+        // Preserve original ordering: push in reverse so the first element of
+        // `txs` ends up at the very front.
+        for tx in txs.into_iter().rev() {
+            if self.in_queue.insert(tx.id) {
+                self.queue.push_front(tx);
+                self.stats.requeued += 1;
+            }
+        }
+    }
+
+    /// Pops up to `max` transactions from the front of the queue — the
+    /// proposer's batching strategy ("batch all the transactions in the memory
+    /// pool if the amount is less than the target block size").
+    pub fn next_batch(&mut self, max: usize) -> Vec<Transaction> {
+        let take = max.min(self.queue.len());
+        let batch: Vec<Transaction> = self.queue.drain(..take).collect();
+        for tx in &batch {
+            self.in_queue.remove(&tx.id);
+        }
+        self.stats.dispatched += batch.len() as u64;
+        batch
+    }
+
+    /// Removes transactions that have been committed elsewhere (e.g. observed
+    /// in a committed block proposed by another replica), preventing
+    /// re-proposal. Returns how many were removed.
+    pub fn remove_committed<'a>(&mut self, ids: impl IntoIterator<Item = &'a TxId>) -> usize {
+        let to_remove: HashSet<TxId> = ids
+            .into_iter()
+            .filter(|id| self.in_queue.contains(*id))
+            .copied()
+            .collect();
+        if to_remove.is_empty() {
+            return 0;
+        }
+        self.queue.retain(|tx| !to_remove.contains(&tx.id));
+        for id in &to_remove {
+            self.in_queue.remove(id);
+        }
+        to_remove.len()
+    }
+
+    /// Returns a snapshot of activity counters.
+    pub fn stats(&self) -> MempoolStats {
+        MempoolStats {
+            pending: self.queue.len(),
+            ..self.stats
+        }
+    }
+
+    /// Peeks at the first `max` transactions without removing them.
+    pub fn peek(&self, max: usize) -> impl Iterator<Item = &Transaction> {
+        self.queue.iter().take(max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bamboo_types::{NodeId, SimTime};
+
+    fn tx(seq: u64) -> Transaction {
+        Transaction::new(NodeId(1), seq, 0, SimTime::ZERO)
+    }
+
+    #[test]
+    fn fifo_order_for_fresh_transactions() {
+        let mut pool = Mempool::new(10);
+        for seq in 0..5 {
+            assert!(pool.push(tx(seq)));
+        }
+        let batch = pool.next_batch(3);
+        let seqs: Vec<u64> = batch.iter().map(|t| t.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn capacity_bound_rejects_overflow() {
+        let mut pool = Mempool::new(3);
+        for seq in 0..3 {
+            assert!(pool.push(tx(seq)));
+        }
+        assert!(pool.is_full());
+        assert!(!pool.push(tx(99)));
+        assert_eq!(pool.stats().rejected, 1);
+        assert_eq!(pool.len(), 3);
+    }
+
+    #[test]
+    fn duplicates_are_dropped() {
+        let mut pool = Mempool::new(10);
+        assert!(pool.push(tx(1)));
+        assert!(!pool.push(tx(1)));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn requeued_transactions_jump_the_queue() {
+        let mut pool = Mempool::new(10);
+        for seq in 0..3 {
+            pool.push(tx(seq));
+        }
+        let forked = vec![tx(100), tx(101)];
+        pool.requeue_front(forked);
+        let batch = pool.next_batch(10);
+        let seqs: Vec<u64> = batch.iter().map(|t| t.seq).collect();
+        assert_eq!(seqs, vec![100, 101, 0, 1, 2]);
+        assert_eq!(pool.stats().requeued, 2);
+    }
+
+    #[test]
+    fn requeue_bypasses_capacity_but_not_duplicates() {
+        let mut pool = Mempool::new(2);
+        pool.push(tx(0));
+        pool.push(tx(1));
+        pool.requeue_front(vec![tx(2), tx(0)]);
+        assert_eq!(pool.len(), 3, "tx 2 added despite full pool, tx 0 deduped");
+    }
+
+    #[test]
+    fn batch_can_be_reinserted_later() {
+        let mut pool = Mempool::new(10);
+        for seq in 0..4 {
+            pool.push(tx(seq));
+        }
+        let batch = pool.next_batch(4);
+        assert!(pool.is_empty());
+        // The same transactions can come back (e.g. from a forked block).
+        pool.requeue_front(batch);
+        assert_eq!(pool.len(), 4);
+    }
+
+    #[test]
+    fn remove_committed_drops_only_matching_ids() {
+        let mut pool = Mempool::new(10);
+        for seq in 0..5 {
+            pool.push(tx(seq));
+        }
+        let victim_ids = vec![tx(1).id, tx(3).id, tx(77).id];
+        let removed = pool.remove_committed(victim_ids.iter());
+        assert_eq!(removed, 2);
+        let seqs: Vec<u64> = pool.next_batch(10).iter().map(|t| t.seq).collect();
+        assert_eq!(seqs, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn stats_track_activity() {
+        let mut pool = Mempool::new(2);
+        pool.push(tx(0));
+        pool.push(tx(1));
+        pool.push(tx(2)); // rejected
+        pool.next_batch(1);
+        let stats = pool.stats();
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.dispatched, 1);
+        assert_eq!(stats.pending, 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Analytical performance model for chained-BFT protocols (§V of the paper).
+//!
+//! The model estimates the latency and throughput of HotStuff, two-chain
+//! HotStuff and Streamlet from first principles:
+//!
+//! * machine-related delays: a constant CPU cost `t_CPU` per crypto operation
+//!   and a NIC delay `t_NIC = 2·m/b` per message of size `m` over bandwidth
+//!   `b` (§V-B1),
+//! * network-related delays: the client RTT `t_L` and the quorum-collection
+//!   delay `t_Q`, the `(2N/3 − 1)`-th order statistic of `N − 1` i.i.d.
+//!   normal link delays (§V-B2),
+//! * the block service time `t_s = 3·t_CPU + 2·t_NIC + t_Q` (Eq. 4),
+//! * the commit delay `t_commit` (two extra certified blocks for HotStuff, one
+//!   for 2CHS and Streamlet, §V-D),
+//! * the M/D/1 queueing delay `w_Q = ρ / (2u(1−ρ))` with effective service
+//!   rate `u = 1/(N·t_s)` (Eq. 5),
+//!
+//! giving `latency = t_L + t_s + t_commit + w_Q` (Eq. 3).
+//!
+//! The same model is used in the benches to cross-validate the simulator
+//! (Fig. 8) and as a back-of-the-envelope estimator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod normal;
+pub mod order_stats;
+pub mod perf;
+pub mod queueing;
+
+pub use normal::{inverse_normal_cdf, normal_cdf};
+pub use order_stats::{expected_order_statistic, expected_order_statistic_monte_carlo};
+pub use perf::{ModelParams, ModelPoint, PerfModel};
+pub use queueing::md1_waiting_time;

@@ -1,0 +1,56 @@
+//! M/D/1 queueing delay (Eq. 5 of the paper).
+
+/// Average waiting time in an M/D/1 queue.
+///
+/// * `arrival_rate` — block arrival rate at one replica (`γ = λ / (n·N)`),
+/// * `service_time` — effective deterministic service time (`N·t_s`),
+///
+/// returns `w_Q = ρ / (2·u·(1 − ρ))` where `u = 1/service_time` and
+/// `ρ = γ/u`. Returns `f64::INFINITY` when the queue is unstable (`ρ ≥ 1`).
+///
+/// # Panics
+///
+/// Panics if `service_time` is not positive or `arrival_rate` is negative.
+pub fn md1_waiting_time(arrival_rate: f64, service_time: f64) -> f64 {
+    assert!(service_time > 0.0, "service time must be positive");
+    assert!(arrival_rate >= 0.0, "arrival rate must be non-negative");
+    let u = 1.0 / service_time;
+    let rho = arrival_rate / u;
+    if rho >= 1.0 {
+        return f64::INFINITY;
+    }
+    rho / (2.0 * u * (1.0 - rho))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_queue_has_no_waiting_time() {
+        assert_eq!(md1_waiting_time(0.0, 0.01), 0.0);
+    }
+
+    #[test]
+    fn waiting_time_grows_with_load() {
+        let service = 0.001; // 1 ms
+        let low = md1_waiting_time(100.0, service);
+        let mid = md1_waiting_time(500.0, service);
+        let high = md1_waiting_time(900.0, service);
+        assert!(low < mid && mid < high);
+        // Known value: rho = 0.5 -> w = 0.5 / (2*1000*0.5) = 0.0005 s.
+        assert!((md1_waiting_time(500.0, service) - 0.0005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturation_returns_infinity() {
+        assert!(md1_waiting_time(1000.0, 0.001).is_infinite());
+        assert!(md1_waiting_time(2000.0, 0.001).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "service time must be positive")]
+    fn zero_service_time_panics() {
+        let _ = md1_waiting_time(1.0, 0.0);
+    }
+}

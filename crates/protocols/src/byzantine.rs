@@ -1,0 +1,226 @@
+//! The two Byzantine strategies of §IV-A.
+//!
+//! Both attacks are "challenging to detect as the attackers are not violating
+//! the protocol from an outsider's view, but could damage performance", and
+//! both are implemented — exactly as the paper describes — by modifying only
+//! the Proposing rule of an otherwise honest protocol:
+//!
+//! * [`ForkingSafety`] proposes on an older ancestor so that previously
+//!   proposed (but uncommitted) blocks get overwritten,
+//! * [`SilenceSafety`] withholds the proposal entirely, forcing the other
+//!   replicas to time out and breaking the commit rule for the tail blocks.
+
+use bamboo_forest::BlockForest;
+use bamboo_types::{Block, BlockId, ProtocolKind, QuorumCert};
+
+use crate::safety::{build_block, ProposalInput, Safety, VoteDestination};
+
+/// A Byzantine proposer that launches the forking attack: it builds its block
+/// on the deepest ancestor the wrapped protocol's voting rule still accepts,
+/// overwriting the uncommitted blocks in between (Fig. 5).
+///
+/// All other rules (voting, state updating, commit) are delegated unchanged to
+/// the wrapped protocol, so the attacker looks honest to every other replica.
+pub struct ForkingSafety {
+    inner: Box<dyn Safety>,
+    /// Number of forking proposals actually produced (for metrics/tests).
+    forks_attempted: u64,
+}
+
+impl ForkingSafety {
+    /// Wraps `inner` with the forking strategy.
+    pub fn new(inner: Box<dyn Safety>) -> Self {
+        Self {
+            inner,
+            forks_attempted: 0,
+        }
+    }
+
+    /// How many forking proposals this attacker has made.
+    pub fn forks_attempted(&self) -> u64 {
+        self.forks_attempted
+    }
+}
+
+impl Safety for ForkingSafety {
+    fn kind(&self) -> ProtocolKind {
+        self.inner.kind()
+    }
+    fn vote_destination(&self) -> VoteDestination {
+        self.inner.vote_destination()
+    }
+    fn echo_messages(&self) -> bool {
+        self.inner.echo_messages()
+    }
+    fn is_responsive(&self) -> bool {
+        self.inner.is_responsive()
+    }
+
+    fn propose(&mut self, input: &ProposalInput, forest: &BlockForest) -> Option<Block> {
+        // Ask the wrapped protocol how deep a fork its own voting rule would
+        // still accept; fall back to honest proposing when there is no room
+        // (e.g. Streamlet, or right after genesis).
+        if let Some(target) = self.inner.fork_parent(forest) {
+            if target != forest.high_qc().block {
+                let justify = forest
+                    .qc_of(target)
+                    .cloned()
+                    .unwrap_or_else(QuorumCert::genesis);
+                if let Some(block) = build_block(input, forest, target, justify) {
+                    self.forks_attempted += 1;
+                    return Some(block);
+                }
+            }
+        }
+        self.inner.propose(input, forest)
+    }
+
+    fn should_vote(&mut self, block: &Block, forest: &BlockForest) -> bool {
+        self.inner.should_vote(block, forest)
+    }
+    fn update_state(&mut self, qc: &QuorumCert, forest: &BlockForest) {
+        self.inner.update_state(qc, forest)
+    }
+    fn try_commit(&mut self, qc: &QuorumCert, forest: &BlockForest) -> Option<BlockId> {
+        self.inner.try_commit(qc, forest)
+    }
+    fn fork_parent(&self, forest: &BlockForest) -> Option<BlockId> {
+        self.inner.fork_parent(forest)
+    }
+}
+
+/// A Byzantine proposer that launches the silence attack: whenever it is the
+/// leader it simply withholds the proposal until the end of the view, breaking
+/// the commit rule and triggering timeouts at every honest replica (Fig. 6).
+pub struct SilenceSafety {
+    inner: Box<dyn Safety>,
+    /// Number of proposals withheld.
+    withheld: u64,
+}
+
+impl SilenceSafety {
+    /// Wraps `inner` with the silence strategy.
+    pub fn new(inner: Box<dyn Safety>) -> Self {
+        Self { inner, withheld: 0 }
+    }
+
+    /// How many proposals this attacker has withheld.
+    pub fn withheld(&self) -> u64 {
+        self.withheld
+    }
+}
+
+impl Safety for SilenceSafety {
+    fn kind(&self) -> ProtocolKind {
+        self.inner.kind()
+    }
+    fn vote_destination(&self) -> VoteDestination {
+        self.inner.vote_destination()
+    }
+    fn echo_messages(&self) -> bool {
+        self.inner.echo_messages()
+    }
+    fn is_responsive(&self) -> bool {
+        self.inner.is_responsive()
+    }
+
+    fn propose(&mut self, _input: &ProposalInput, _forest: &BlockForest) -> Option<Block> {
+        self.withheld += 1;
+        None
+    }
+
+    fn should_vote(&mut self, block: &Block, forest: &BlockForest) -> bool {
+        // The attacker still votes like an honest replica; only its leadership
+        // turns are wasted.
+        self.inner.should_vote(block, forest)
+    }
+    fn update_state(&mut self, qc: &QuorumCert, forest: &BlockForest) {
+        self.inner.update_state(qc, forest)
+    }
+    fn try_commit(&mut self, qc: &QuorumCert, forest: &BlockForest) -> Option<BlockId> {
+        self.inner.try_commit(qc, forest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hotstuff::HotStuffSafety;
+    use crate::safety::testutil::*;
+    use crate::streamlet::StreamletSafety;
+    use crate::twochain::TwoChainHotStuffSafety;
+
+    /// Builds a certified chain g <- a <- b <- c and returns (forest, [a,b,c]).
+    fn chain3() -> (bamboo_forest::BlockForest, Vec<BlockId>) {
+        let mut forest = bamboo_forest::BlockForest::new();
+        let (a, _) = extend_certified(&mut forest, BlockId::GENESIS, 1);
+        let (b, _) = extend_certified(&mut forest, a, 2);
+        let (c, _) = extend_certified(&mut forest, b, 3);
+        (forest, vec![a, b, c])
+    }
+
+    #[test]
+    fn forking_hotstuff_builds_on_grandparent_and_honest_replicas_accept() {
+        let (mut forest, ids) = chain3();
+        let mut attacker = ForkingSafety::new(Box::new(HotStuffSafety::new()));
+        let proposal = attacker.propose(&input(4, 0), &forest).expect("proposal");
+        assert_eq!(proposal.parent, ids[0], "built on a, overwriting b and c");
+        assert_eq!(attacker.forks_attempted(), 1);
+
+        // An honest HotStuff replica has only seen QCs carried inside blocks:
+        // the newest QC it knows certifies `b` (it arrived inside `c`), so its
+        // lock is `a` — and it therefore still votes for the forking proposal
+        // built on `a`. That is exactly what makes the attack work (Fig. 5).
+        let mut honest = HotStuffSafety::new();
+        let qc_b = forest.qc_of(ids[1]).cloned().unwrap();
+        honest.update_state(&qc_b, &forest);
+        assert_eq!(honest.locked_block(), ids[0]);
+        forest.insert(proposal.clone()).unwrap();
+        assert!(honest.should_vote(&proposal, &forest));
+    }
+
+    #[test]
+    fn forking_two_chain_overwrites_only_one_block() {
+        let (forest, ids) = chain3();
+        let mut attacker = ForkingSafety::new(Box::new(TwoChainHotStuffSafety::new()));
+        let proposal = attacker.propose(&input(4, 0), &forest).expect("proposal");
+        assert_eq!(proposal.parent, ids[1], "built on b, overwriting only c");
+    }
+
+    #[test]
+    fn forking_streamlet_degenerates_to_honest_proposal() {
+        let (forest, ids) = chain3();
+        let mut attacker = ForkingSafety::new(Box::new(StreamletSafety::new()));
+        let proposal = attacker.propose(&input(4, 0), &forest).expect("proposal");
+        assert_eq!(
+            proposal.parent, ids[2],
+            "no fork target exists, attacker proposes honestly"
+        );
+        assert_eq!(attacker.forks_attempted(), 0);
+    }
+
+    #[test]
+    fn silence_attacker_never_proposes_but_still_votes() {
+        let (forest, ids) = chain3();
+        let mut attacker = SilenceSafety::new(Box::new(HotStuffSafety::new()));
+        assert!(attacker.propose(&input(4, 0), &forest).is_none());
+        assert!(attacker.propose(&input(5, 0), &forest).is_none());
+        assert_eq!(attacker.withheld(), 2);
+
+        let mut forest = forest;
+        let qc_c = forest.qc_of(ids[2]).cloned().unwrap();
+        let honest_block = build_block(&input(6, 1), &forest, ids[2], qc_c).unwrap();
+        forest.insert(honest_block.clone()).unwrap();
+        assert!(attacker.should_vote(&honest_block, &forest));
+    }
+
+    #[test]
+    fn wrappers_delegate_commit_rules() {
+        let (forest, ids) = chain3();
+        let qc_c = forest.qc_of(ids[2]).cloned().unwrap();
+        let mut forking = ForkingSafety::new(Box::new(HotStuffSafety::new()));
+        let mut silence = SilenceSafety::new(Box::new(HotStuffSafety::new()));
+        assert_eq!(forking.try_commit(&qc_c, &forest), Some(ids[0]));
+        assert_eq!(silence.try_commit(&qc_c, &forest), Some(ids[0]));
+    }
+}

@@ -1,0 +1,153 @@
+//! Fast-HotStuff-style safety rules (framework extension).
+//!
+//! Fast-HotStuff (Jalalzai, Niu, Feng 2020) is one of the protocols the paper
+//! lists as built on Bamboo but not part of the headline evaluation. Its
+//! distinguishing features, reproduced here at the rule level, are:
+//!
+//! * a **two-chain commit rule** (one round less than HotStuff),
+//! * **optimistic responsiveness** in the happy path, achieved by requiring
+//!   proposals to extend the block certified by their own `justify` QC, and
+//! * forking resistance: a proposal whose parent is not the block its QC
+//!   certifies is rejected outright, so a Byzantine leader cannot silently
+//!   build on an old ancestor without presenting an (aggregated) proof.
+//!
+//! The unhappy-path aggregated-QC machinery is carried by the shared
+//! pacemaker's timeout certificates.
+
+use bamboo_forest::BlockForest;
+use bamboo_types::{Block, BlockId, Height, ProtocolKind, QuorumCert, View};
+
+use crate::safety::{build_block, ProposalInput, Safety, VoteDestination};
+
+/// Fast-HotStuff safety rules.
+#[derive(Clone, Debug)]
+pub struct FastHotStuffSafety {
+    last_voted_view: View,
+    locked: BlockId,
+    locked_height: Height,
+}
+
+impl Default for FastHotStuffSafety {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FastHotStuffSafety {
+    /// Creates the initial state.
+    pub fn new() -> Self {
+        Self {
+            last_voted_view: View::GENESIS,
+            locked: BlockId::GENESIS,
+            locked_height: Height::GENESIS,
+        }
+    }
+
+    /// The currently locked block.
+    pub fn locked_block(&self) -> BlockId {
+        self.locked
+    }
+}
+
+impl Safety for FastHotStuffSafety {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::FastHotStuff
+    }
+
+    fn vote_destination(&self) -> VoteDestination {
+        VoteDestination::NextLeader
+    }
+
+    fn is_responsive(&self) -> bool {
+        true
+    }
+
+    fn propose(&mut self, input: &ProposalInput, forest: &BlockForest) -> Option<Block> {
+        let high_qc = forest.high_qc().clone();
+        build_block(input, forest, high_qc.block, high_qc)
+    }
+
+    fn should_vote(&mut self, block: &Block, forest: &BlockForest) -> bool {
+        if block.view <= self.last_voted_view {
+            return false;
+        }
+        // The parent must be exactly the block certified by the proposal's own
+        // QC — a proposal built on an older ancestor is rejected, which is the
+        // rule-level source of Fast-HotStuff's forking resistance.
+        if block.parent != block.justify.block {
+            return false;
+        }
+        if !forest.contains(block.parent) {
+            return false;
+        }
+        self.last_voted_view = block.view;
+        true
+    }
+
+    fn update_state(&mut self, qc: &QuorumCert, forest: &BlockForest) {
+        if let Some(certified) = forest.get(qc.block) {
+            if certified.height > self.locked_height {
+                self.locked = certified.id;
+                self.locked_height = certified.height;
+            }
+        }
+    }
+
+    fn try_commit(&mut self, qc: &QuorumCert, forest: &BlockForest) -> Option<BlockId> {
+        let tip = forest.get(qc.block)?;
+        let parent = forest.get(tip.parent)?;
+        if forest.is_certified(tip.id) && forest.is_certified(parent.id) && !parent.is_genesis() {
+            Some(parent.id)
+        } else {
+            None
+        }
+    }
+
+    fn fork_parent(&self, _forest: &BlockForest) -> Option<BlockId> {
+        // The strict parent-equals-justify voting rule means an unjustified
+        // fork never collects votes.
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::safety::testutil::*;
+
+    #[test]
+    fn rejects_proposals_not_built_on_their_own_qc() {
+        let mut forest = bamboo_forest::BlockForest::new();
+        let (a, qc_a) = extend_certified(&mut forest, BlockId::GENESIS, 1);
+        let (_b, _qc_b) = extend_certified(&mut forest, a, 2);
+        let mut fhs = FastHotStuffSafety::new();
+        // Proposal built on `a` but carrying genesis QC: parent != justify.block.
+        let forked = build_block(&input(3, 3), &forest, a, QuorumCert::genesis()).unwrap();
+        forest.insert(forked.clone()).unwrap();
+        assert!(!fhs.should_vote(&forked, &forest));
+        // Proper proposal on `a` with qc_a is fine.
+        let good = build_block(&input(4, 0), &forest, a, qc_a).unwrap();
+        forest.insert(good.clone()).unwrap();
+        assert!(fhs.should_vote(&good, &forest));
+    }
+
+    #[test]
+    fn two_chain_commit_and_responsiveness() {
+        let mut forest = bamboo_forest::BlockForest::new();
+        let (a, _) = extend_certified(&mut forest, BlockId::GENESIS, 1);
+        let (_b, qc_b) = extend_certified(&mut forest, a, 2);
+        let mut fhs = FastHotStuffSafety::new();
+        assert_eq!(fhs.try_commit(&qc_b, &forest), Some(a));
+        assert!(fhs.is_responsive());
+        assert!(fhs.fork_parent(&forest).is_none());
+    }
+
+    #[test]
+    fn lock_follows_certified_tip() {
+        let mut forest = bamboo_forest::BlockForest::new();
+        let (a, qc_a) = extend_certified(&mut forest, BlockId::GENESIS, 1);
+        let mut fhs = FastHotStuffSafety::new();
+        fhs.update_state(&qc_a, &forest);
+        assert_eq!(fhs.locked_block(), a);
+    }
+}

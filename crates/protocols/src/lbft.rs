@@ -1,0 +1,131 @@
+//! LBFT-style safety rules (framework extension).
+//!
+//! LBFT ("Leaderless Byzantine fault tolerant consensus", Niu & Feng 2020) is
+//! listed in the paper as one of the protocols prototyped on Bamboo. Its full
+//! DAG-based leaderless design is outside the scope of the evaluation; what
+//! Bamboo exercises is its *rule surface*: every replica's vote is broadcast
+//! (as in Streamlet) while the commit rule is a two-chain (as in 2CHS). This
+//! module provides that rule combination so the framework's extension point is
+//! demonstrably generic; it is not part of the paper's headline comparison and
+//! we document it as an approximation in DESIGN.md.
+
+use bamboo_forest::BlockForest;
+use bamboo_types::{Block, BlockId, ProtocolKind, QuorumCert, View};
+
+use crate::safety::{build_block, ProposalInput, Safety, VoteDestination};
+
+/// LBFT-style safety rules: broadcast votes + two-chain commit.
+#[derive(Clone, Debug)]
+pub struct LbftSafety {
+    last_voted_view: View,
+}
+
+impl Default for LbftSafety {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LbftSafety {
+    /// Creates the initial state.
+    pub fn new() -> Self {
+        Self {
+            last_voted_view: View::GENESIS,
+        }
+    }
+}
+
+impl Safety for LbftSafety {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Lbft
+    }
+
+    fn vote_destination(&self) -> VoteDestination {
+        VoteDestination::Broadcast
+    }
+
+    fn echo_messages(&self) -> bool {
+        false
+    }
+
+    fn is_responsive(&self) -> bool {
+        false
+    }
+
+    fn propose(&mut self, input: &ProposalInput, forest: &BlockForest) -> Option<Block> {
+        let tip = forest.highest_certified_block().clone();
+        let justify = forest
+            .qc_of(tip.id)
+            .cloned()
+            .unwrap_or_else(QuorumCert::genesis);
+        build_block(input, forest, tip.id, justify)
+    }
+
+    fn should_vote(&mut self, block: &Block, forest: &BlockForest) -> bool {
+        if block.view <= self.last_voted_view {
+            return false;
+        }
+        let Some(parent) = forest.get(block.parent) else {
+            return false;
+        };
+        if !forest.is_certified(parent.id) {
+            return false;
+        }
+        if parent.height < forest.highest_certified_block().height {
+            return false;
+        }
+        self.last_voted_view = block.view;
+        true
+    }
+
+    fn update_state(&mut self, _qc: &QuorumCert, _forest: &BlockForest) {}
+
+    fn try_commit(&mut self, qc: &QuorumCert, forest: &BlockForest) -> Option<BlockId> {
+        let tip = forest.get(qc.block)?;
+        let parent = forest.get(tip.parent)?;
+        if forest.is_certified(tip.id) && forest.is_certified(parent.id) && !parent.is_genesis() {
+            Some(parent.id)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::safety::testutil::*;
+
+    #[test]
+    fn broadcast_votes_and_two_chain_commit() {
+        let mut forest = bamboo_forest::BlockForest::new();
+        let (a, _) = extend_certified(&mut forest, BlockId::GENESIS, 1);
+        let (_b, qc_b) = extend_certified(&mut forest, a, 2);
+        let mut lbft = LbftSafety::new();
+        assert_eq!(lbft.vote_destination(), VoteDestination::Broadcast);
+        assert_eq!(lbft.try_commit(&qc_b, &forest), Some(a));
+    }
+
+    #[test]
+    fn votes_follow_longest_certified_chain() {
+        let mut forest = bamboo_forest::BlockForest::new();
+        let (a, qc_a) = extend_certified(&mut forest, BlockId::GENESIS, 1);
+        let mut lbft = LbftSafety::new();
+        let good = build_block(&input(2, 2), &forest, a, qc_a).unwrap();
+        forest.insert(good.clone()).unwrap();
+        assert!(lbft.should_vote(&good, &forest));
+        let stale = build_block(&input(3, 3), &forest, BlockId::GENESIS, QuorumCert::genesis())
+            .unwrap();
+        forest.insert(stale.clone()).unwrap();
+        assert!(!lbft.should_vote(&stale, &forest));
+    }
+
+    #[test]
+    fn proposes_on_certified_tip() {
+        let mut forest = bamboo_forest::BlockForest::new();
+        let (a, _) = extend_certified(&mut forest, BlockId::GENESIS, 1);
+        let mut lbft = LbftSafety::new();
+        let block = lbft.propose(&input(2, 1), &forest).unwrap();
+        assert_eq!(block.parent, a);
+    }
+}

@@ -1,0 +1,97 @@
+//! Chained-BFT protocol implementations — the Safety module of Bamboo.
+//!
+//! A cBFT protocol is characterised by four rules (§II-A of the paper):
+//! *Proposing*, *Voting*, *State Updating* and *Commit*. The [`Safety`] trait
+//! captures exactly those four rules plus two bits of protocol metadata (where
+//! votes are sent, and whether messages are echoed). Everything else — block
+//! storage, the pacemaker, quorum collection, networking — is shared
+//! infrastructure provided by the other crates, which is what makes the
+//! comparison between protocols apples-to-apples.
+//!
+//! Provided implementations:
+//!
+//! * [`HotStuffSafety`] — chained HotStuff with the three-chain commit rule,
+//! * [`TwoChainHotStuffSafety`] — the two-chain variant (2CHS),
+//! * [`StreamletSafety`] — Streamlet with broadcast votes, message echoing and
+//!   the consecutive-view commit rule,
+//! * [`FastHotStuffSafety`] — Fast-HotStuff-style two-chain commit with
+//!   aggregated-QC view changes (framework extension),
+//! * [`LbftSafety`] — an LBFT-style variant (framework extension),
+//! * [`OhsSafety`] — an independent HotStuff implementation used as the
+//!   "original HotStuff" baseline of Fig. 9,
+//! * [`ForkingSafety`] and [`SilenceSafety`] — the two Byzantine strategies of
+//!   §IV-A, implemented (as in the paper) purely by overriding the Proposing
+//!   rule of any wrapped protocol.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod byzantine;
+pub mod fasthotstuff;
+pub mod hotstuff;
+pub mod lbft;
+pub mod ohs;
+pub mod safety;
+pub mod streamlet;
+pub mod twochain;
+
+pub use byzantine::{ForkingSafety, SilenceSafety};
+pub use fasthotstuff::FastHotStuffSafety;
+pub use hotstuff::HotStuffSafety;
+pub use lbft::LbftSafety;
+pub use ohs::OhsSafety;
+pub use safety::{build_block, ProposalInput, Safety, VoteDestination};
+pub use streamlet::StreamletSafety;
+pub use twochain::TwoChainHotStuffSafety;
+
+use bamboo_types::{ByzantineStrategy, ProtocolKind};
+
+/// Instantiates the [`Safety`] implementation for `kind`.
+pub fn make_protocol(kind: ProtocolKind) -> Box<dyn Safety> {
+    match kind {
+        ProtocolKind::HotStuff => Box::new(HotStuffSafety::new()),
+        ProtocolKind::TwoChainHotStuff => Box::new(TwoChainHotStuffSafety::new()),
+        ProtocolKind::Streamlet => Box::new(StreamletSafety::new()),
+        ProtocolKind::FastHotStuff => Box::new(FastHotStuffSafety::new()),
+        ProtocolKind::Lbft => Box::new(LbftSafety::new()),
+        ProtocolKind::OriginalHotStuff => Box::new(OhsSafety::new()),
+    }
+}
+
+/// Instantiates the [`Safety`] implementation for `kind`, wrapped in the given
+/// Byzantine strategy (the strategy only changes the Proposing rule, exactly
+/// as described in §IV-A).
+pub fn make_safety(kind: ProtocolKind, strategy: ByzantineStrategy) -> Box<dyn Safety> {
+    match strategy {
+        ByzantineStrategy::Honest => make_protocol(kind),
+        ByzantineStrategy::Forking => Box::new(ForkingSafety::new(make_protocol(kind))),
+        ByzantineStrategy::Silence => Box::new(SilenceSafety::new(make_protocol(kind))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_produces_matching_kinds() {
+        for kind in [
+            ProtocolKind::HotStuff,
+            ProtocolKind::TwoChainHotStuff,
+            ProtocolKind::Streamlet,
+            ProtocolKind::FastHotStuff,
+            ProtocolKind::Lbft,
+            ProtocolKind::OriginalHotStuff,
+        ] {
+            assert_eq!(make_protocol(kind).kind(), kind);
+        }
+    }
+
+    #[test]
+    fn byzantine_wrappers_preserve_kind() {
+        let forking = make_safety(ProtocolKind::HotStuff, ByzantineStrategy::Forking);
+        assert_eq!(forking.kind(), ProtocolKind::HotStuff);
+        let silence = make_safety(ProtocolKind::Streamlet, ByzantineStrategy::Silence);
+        assert_eq!(silence.kind(), ProtocolKind::Streamlet);
+    }
+}

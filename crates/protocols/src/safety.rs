@@ -1,0 +1,190 @@
+//! The `Safety` trait: the paper's Proposing / Voting / State-Updating /
+//! Commit rules behind a single interface.
+
+use bamboo_forest::BlockForest;
+use bamboo_types::{Block, BlockId, NodeId, ProtocolKind, QuorumCert, Transaction, View};
+
+/// Where a replica sends its vote after accepting a proposal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VoteDestination {
+    /// Send the vote to the leader of the *next* view (HotStuff family).
+    NextLeader,
+    /// Broadcast the vote to every replica (Streamlet).
+    Broadcast,
+}
+
+/// Everything the Proposing rule may consult when building a block.
+#[derive(Clone, Debug)]
+pub struct ProposalInput {
+    /// The view the proposal is for.
+    pub view: View,
+    /// The proposing replica.
+    pub proposer: NodeId,
+    /// The batch of transactions pulled from the mempool.
+    pub payload: Vec<Transaction>,
+}
+
+/// The four protocol-specific rules of a chained-BFT protocol.
+///
+/// Implementations are deliberately small (a few hundred lines each, matching
+/// the paper's "each protocol is around 300 LoC" observation) because all the
+/// heavy machinery lives in the shared modules.
+pub trait Safety: Send {
+    /// Which protocol this is (used for labeling and protocol-specific runner
+    /// behaviour such as wait-for-timeout after view changes).
+    fn kind(&self) -> ProtocolKind;
+
+    /// Where votes are sent.
+    fn vote_destination(&self) -> VoteDestination {
+        VoteDestination::NextLeader
+    }
+
+    /// Whether the protocol echoes proposals and votes to all replicas
+    /// (Streamlet does; this is what gives it cubic message complexity).
+    fn echo_messages(&self) -> bool {
+        false
+    }
+
+    /// Whether the protocol is optimistically responsive, i.e. a correct
+    /// leader can make progress at network speed without waiting for the
+    /// maximum network delay after a view change (§II-B). Used by the
+    /// responsiveness experiment (Fig. 15).
+    fn is_responsive(&self) -> bool {
+        false
+    }
+
+    /// **Proposing rule** — build the block for `input.view`. Returns `None`
+    /// if the proposer declines to propose (the silence attack does this).
+    fn propose(&mut self, input: &ProposalInput, forest: &BlockForest) -> Option<Block>;
+
+    /// **Voting rule** — decide whether to vote for `block`. Implementations
+    /// must also maintain whatever "last voted view" state they need; the
+    /// replica calls this at most once per received proposal.
+    fn should_vote(&mut self, block: &Block, forest: &BlockForest) -> bool;
+
+    /// **State-updating rule** — called whenever a new QC is observed (either
+    /// received directly, assembled from votes, or carried inside a block).
+    fn update_state(&mut self, qc: &QuorumCert, forest: &BlockForest);
+
+    /// **Commit rule** — called after `update_state` with the same QC; returns
+    /// the id of the highest block that can now be committed (its entire
+    /// prefix commits with it), or `None` if the rule is not met.
+    fn try_commit(&mut self, qc: &QuorumCert, forest: &BlockForest) -> Option<BlockId>;
+
+    /// Hook used by the forking attack: the deepest ancestor of the certified
+    /// tip that the attacker can build on while still having honest replicas
+    /// vote for the proposal. `None` means the protocol's voting rule leaves
+    /// no room to fork (the attacker then behaves like an honest proposer).
+    fn fork_parent(&self, forest: &BlockForest) -> Option<BlockId> {
+        let _ = forest;
+        None
+    }
+}
+
+/// Shared helper implementing the common happy-path Proposing rule: build a
+/// block on top of `parent`, carrying `justify` (normally the QC certifying
+/// the parent) and the given payload.
+///
+/// Returns `None` if `parent` is not in the forest.
+pub fn build_block(
+    input: &ProposalInput,
+    forest: &BlockForest,
+    parent: BlockId,
+    justify: QuorumCert,
+) -> Option<Block> {
+    let parent_block = forest.get(parent)?;
+    Some(Block::new(
+        input.view,
+        parent_block.height.next(),
+        parent,
+        input.proposer,
+        justify,
+        input.payload.clone(),
+    ))
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Helpers shared by the protocol unit tests.
+
+    use super::*;
+    use bamboo_crypto::KeyPair;
+    use bamboo_types::{SimTime, Vote};
+
+    /// Builds a deterministic quorum certificate for `block` at `view` signed
+    /// by replicas 0..3 (quorum for n = 4).
+    pub fn qc_for(block: BlockId, view: View) -> QuorumCert {
+        let keys: Vec<KeyPair> = (0..3).map(KeyPair::from_seed).collect();
+        let votes: Vec<Vote> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, kp)| Vote::new(block, view, NodeId(i as u64), kp))
+            .collect();
+        QuorumCert::from_votes(block, view, &votes)
+    }
+
+    /// Extends `parent` with a block proposed in `view`, inserts it into the
+    /// forest and returns its id.
+    pub fn extend(forest: &mut BlockForest, parent: BlockId, view: u64) -> BlockId {
+        let parent_block = forest.get(parent).expect("parent in forest").clone();
+        let block = Block::new(
+            View(view),
+            parent_block.height.next(),
+            parent,
+            NodeId(view % 4),
+            QuorumCert::genesis(),
+            vec![Transaction::new(NodeId(7), view, 4, SimTime::ZERO)],
+        );
+        let id = block.id;
+        forest.insert(block).expect("insert");
+        id
+    }
+
+    /// Extends and immediately certifies a block; returns `(id, qc)`.
+    pub fn extend_certified(
+        forest: &mut BlockForest,
+        parent: BlockId,
+        view: u64,
+    ) -> (BlockId, QuorumCert) {
+        let id = extend(forest, parent, view);
+        let qc = qc_for(id, View(view));
+        forest.register_qc(qc.clone()).expect("register qc");
+        (id, qc)
+    }
+
+    /// A standard proposal input.
+    pub fn input(view: u64, proposer: u64) -> ProposalInput {
+        ProposalInput {
+            view: View(view),
+            proposer: NodeId(proposer),
+            payload: vec![Transaction::new(NodeId(proposer), view, 8, SimTime::ZERO)],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+    use bamboo_forest::BlockForest;
+
+    #[test]
+    fn build_block_links_to_parent_and_carries_payload() {
+        let mut forest = BlockForest::new();
+        let (a, qc_a) = extend_certified(&mut forest, BlockId::GENESIS, 1);
+        let inp = input(2, 1);
+        let block = build_block(&inp, &forest, a, qc_a.clone()).expect("block");
+        assert_eq!(block.parent, a);
+        assert_eq!(block.height.as_u64(), 2);
+        assert_eq!(block.justify, qc_a);
+        assert_eq!(block.view, View(2));
+        assert_eq!(block.payload.len(), 1);
+    }
+
+    #[test]
+    fn build_block_fails_for_unknown_parent() {
+        let forest = BlockForest::new();
+        let ghost = BlockId(bamboo_crypto::Digest::of(b"missing"));
+        assert!(build_block(&input(1, 0), &forest, ghost, QuorumCert::genesis()).is_none());
+    }
+}

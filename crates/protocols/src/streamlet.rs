@@ -1,0 +1,217 @@
+//! Streamlet (§II-D of the paper).
+//!
+//! Streamlet follows the longest-notarized-chain principle:
+//! * **Proposing**: the leader builds on the tip of the longest notarized
+//!   (certified) chain it has seen.
+//! * **Voting**: a replica votes for the first proposal of a view only if it
+//!   extends the longest notarized chain; votes are *broadcast* to everyone
+//!   and every message is echoed, giving O(n³) communication.
+//! * **State updating**: maintain the notarized chain (delegated to the shared
+//!   block forest).
+//! * **Commit**: whenever three blocks proposed in *consecutive views* are all
+//!   notarized, the first two of the three (and their ancestors) commit.
+//!
+//! As in Bamboo, the synchronized 2Δ clock of the original protocol is
+//! replaced by the shared pacemaker, which preserves the protocol's structure
+//! while making the comparison fair.
+
+use bamboo_forest::BlockForest;
+use bamboo_types::{Block, BlockId, ProtocolKind, QuorumCert, View};
+
+use crate::safety::{build_block, ProposalInput, Safety, VoteDestination};
+
+/// Streamlet safety rules.
+#[derive(Clone, Debug)]
+pub struct StreamletSafety {
+    last_voted_view: View,
+}
+
+impl Default for StreamletSafety {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamletSafety {
+    /// Creates the initial state.
+    pub fn new() -> Self {
+        Self {
+            last_voted_view: View::GENESIS,
+        }
+    }
+
+    /// The last view this replica voted in.
+    pub fn last_voted_view(&self) -> View {
+        self.last_voted_view
+    }
+}
+
+impl Safety for StreamletSafety {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Streamlet
+    }
+
+    fn vote_destination(&self) -> VoteDestination {
+        VoteDestination::Broadcast
+    }
+
+    fn echo_messages(&self) -> bool {
+        true
+    }
+
+    fn is_responsive(&self) -> bool {
+        // Streamlet still relies on timeouts to guarantee liveness even though
+        // it has a three-chain-style commit rule (§II-D).
+        false
+    }
+
+    fn propose(&mut self, input: &ProposalInput, forest: &BlockForest) -> Option<Block> {
+        // Build on the tip of the longest notarized chain.
+        let tip = forest.highest_certified_block().clone();
+        let justify = forest
+            .qc_of(tip.id)
+            .cloned()
+            .unwrap_or_else(QuorumCert::genesis);
+        build_block(input, forest, tip.id, justify)
+    }
+
+    fn should_vote(&mut self, block: &Block, forest: &BlockForest) -> bool {
+        if block.view <= self.last_voted_view {
+            return false;
+        }
+        // Only vote for proposals extending the longest notarized chain the
+        // replica has seen: the parent must be notarized and at least as high
+        // as the highest notarized block.
+        let Some(parent) = forest.get(block.parent) else {
+            return false;
+        };
+        if !forest.is_certified(parent.id) {
+            return false;
+        }
+        let longest = forest.highest_certified_block();
+        if parent.height < longest.height {
+            return false;
+        }
+        self.last_voted_view = block.view;
+        true
+    }
+
+    fn update_state(&mut self, _qc: &QuorumCert, _forest: &BlockForest) {
+        // The notarized chain is maintained by the shared block forest; there
+        // is no additional protocol-local state to update.
+    }
+
+    fn try_commit(&mut self, qc: &QuorumCert, forest: &BlockForest) -> Option<BlockId> {
+        // Three notarized blocks in consecutive views commit the first two of
+        // the three: committing the middle block commits it and every
+        // ancestor, which is exactly "the first two out of the three".
+        let tip = forest.get(qc.block)?;
+        let head = forest.consecutive_view_chain(tip.id, 3)?;
+        if head.is_genesis() {
+            // The chain is g <- b1 <- b2 where genesis counts as certified but
+            // has no real view; require three real blocks.
+            return None;
+        }
+        let middle = forest.get(tip.parent)?;
+        Some(middle.id)
+    }
+
+    fn fork_parent(&self, _forest: &BlockForest) -> Option<BlockId> {
+        // Honest replicas only vote for blocks extending the longest notarized
+        // chain, so there is no ancestor the attacker can build on that both
+        // forks the chain and still collects votes: Streamlet is immune to the
+        // forking attack in a synchronous network (§IV-A1).
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::safety::testutil::*;
+
+    #[test]
+    fn proposes_on_longest_notarized_chain() {
+        let mut forest = bamboo_forest::BlockForest::new();
+        let (a, _) = extend_certified(&mut forest, BlockId::GENESIS, 1);
+        let (b, qc_b) = extend_certified(&mut forest, a, 2);
+        // A longer but uncertified fork must be ignored.
+        let f1 = extend(&mut forest, a, 3);
+        let _f2 = extend(&mut forest, f1, 4);
+        let mut sl = StreamletSafety::new();
+        let block = sl.propose(&input(5, 1), &forest).expect("proposal");
+        assert_eq!(block.parent, b, "builds on notarized tip, not longest raw fork");
+        assert_eq!(block.justify, qc_b);
+    }
+
+    #[test]
+    fn votes_only_for_extensions_of_longest_notarized_chain() {
+        let mut forest = bamboo_forest::BlockForest::new();
+        let (a, qc_a) = extend_certified(&mut forest, BlockId::GENESIS, 1);
+        let (b, qc_b) = extend_certified(&mut forest, a, 2);
+        let mut sl = StreamletSafety::new();
+
+        // Extending the notarized tip: accepted.
+        let good = build_block(&input(3, 3), &forest, b, qc_b).unwrap();
+        forest.insert(good.clone()).unwrap();
+        assert!(sl.should_vote(&good, &forest));
+
+        // A forking proposal built on `a` (shorter than the notarized tip `b`)
+        // is rejected — this is what makes Streamlet immune to forking.
+        let fork = build_block(&input(4, 0), &forest, a, qc_a).unwrap();
+        forest.insert(fork.clone()).unwrap();
+        assert!(!sl.should_vote(&fork, &forest));
+    }
+
+    #[test]
+    fn does_not_vote_twice_in_a_view_or_for_uncertified_parents() {
+        let mut forest = bamboo_forest::BlockForest::new();
+        let (a, qc_a) = extend_certified(&mut forest, BlockId::GENESIS, 1);
+        let mut sl = StreamletSafety::new();
+        let first = build_block(&input(2, 2), &forest, a, qc_a.clone()).unwrap();
+        forest.insert(first.clone()).unwrap();
+        assert!(sl.should_vote(&first, &forest));
+        assert!(!sl.should_vote(&first, &forest), "same view again");
+
+        // Parent not certified -> reject.
+        let dangling = extend(&mut forest, first.id, 3);
+        let child = build_block(&input(4, 0), &forest, dangling, QuorumCert::genesis()).unwrap();
+        forest.insert(child.clone()).unwrap();
+        assert!(!sl.should_vote(&child, &forest));
+    }
+
+    #[test]
+    fn commit_requires_three_consecutive_views() {
+        let mut forest = bamboo_forest::BlockForest::new();
+        let (a, _) = extend_certified(&mut forest, BlockId::GENESIS, 1);
+        let (b, _) = extend_certified(&mut forest, a, 2);
+        let (_c, qc_c) = extend_certified(&mut forest, b, 3);
+        let mut sl = StreamletSafety::new();
+        assert_eq!(sl.try_commit(&qc_c, &forest), Some(b), "commit first two of three");
+
+        // With a view gap there is no commit.
+        let mut forest2 = bamboo_forest::BlockForest::new();
+        let (x, _) = extend_certified(&mut forest2, BlockId::GENESIS, 1);
+        let (y, _) = extend_certified(&mut forest2, x, 2);
+        let (_z, qc_z) = extend_certified(&mut forest2, y, 4); // gap: 2 -> 4
+        assert_eq!(sl.try_commit(&qc_z, &forest2), None);
+    }
+
+    #[test]
+    fn two_notarized_blocks_are_not_enough() {
+        let mut forest = bamboo_forest::BlockForest::new();
+        let (a, _) = extend_certified(&mut forest, BlockId::GENESIS, 1);
+        let (_b, qc_b) = extend_certified(&mut forest, a, 2);
+        let mut sl = StreamletSafety::new();
+        assert_eq!(sl.try_commit(&qc_b, &forest), None);
+    }
+
+    #[test]
+    fn metadata_matches_paper_description() {
+        let sl = StreamletSafety::new();
+        assert_eq!(sl.vote_destination(), VoteDestination::Broadcast);
+        assert!(sl.echo_messages());
+        assert!(!sl.is_responsive());
+        assert!(sl.fork_parent(&bamboo_forest::BlockForest::new()).is_none());
+    }
+}

@@ -1,0 +1,207 @@
+//! Two-chain HotStuff (2CHS, §II-C of the paper).
+//!
+//! Identical to HotStuff except that:
+//! * the locked block is the head of the highest *one*-chain (the most
+//!   recently certified block itself), and
+//! * the commit rule needs only a two-chain,
+//!
+//! which saves one round of voting at the price of losing optimistic
+//! responsiveness: after a view change the leader must wait for the maximal
+//! network delay (like Tendermint / Casper).
+
+use bamboo_forest::BlockForest;
+use bamboo_types::{Block, BlockId, Height, ProtocolKind, QuorumCert, View};
+
+use crate::safety::{build_block, ProposalInput, Safety, VoteDestination};
+
+/// Two-chain HotStuff safety rules.
+#[derive(Clone, Debug)]
+pub struct TwoChainHotStuffSafety {
+    locked: BlockId,
+    locked_height: Height,
+    locked_view: View,
+    last_voted_view: View,
+}
+
+impl Default for TwoChainHotStuffSafety {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TwoChainHotStuffSafety {
+    /// Creates the initial state: locked on genesis, nothing voted yet.
+    pub fn new() -> Self {
+        Self {
+            locked: BlockId::GENESIS,
+            locked_height: Height::GENESIS,
+            locked_view: View::GENESIS,
+            last_voted_view: View::GENESIS,
+        }
+    }
+
+    /// The currently locked block.
+    pub fn locked_block(&self) -> BlockId {
+        self.locked
+    }
+
+    /// The last view this replica voted in.
+    pub fn last_voted_view(&self) -> View {
+        self.last_voted_view
+    }
+}
+
+impl Safety for TwoChainHotStuffSafety {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::TwoChainHotStuff
+    }
+
+    fn vote_destination(&self) -> VoteDestination {
+        VoteDestination::NextLeader
+    }
+
+    fn is_responsive(&self) -> bool {
+        // Locking on the one-chain means the protocol must wait for the
+        // maximal network delay after a view change (§II-C).
+        false
+    }
+
+    fn propose(&mut self, input: &ProposalInput, forest: &BlockForest) -> Option<Block> {
+        let high_qc = forest.high_qc().clone();
+        build_block(input, forest, high_qc.block, high_qc)
+    }
+
+    fn should_vote(&mut self, block: &Block, forest: &BlockForest) -> bool {
+        if block.view <= self.last_voted_view {
+            return false;
+        }
+        let extends_lock = forest.extends(block.parent, self.locked);
+        let parent_view = forest
+            .get(block.parent)
+            .map(|p| p.view)
+            .unwrap_or(block.justify.view);
+        let higher_view = parent_view > self.locked_view;
+        if extends_lock || higher_view {
+            self.last_voted_view = block.view;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn update_state(&mut self, qc: &QuorumCert, forest: &BlockForest) {
+        // The lock is on the one-chain: the newly certified block itself.
+        if let Some(certified) = forest.get(qc.block) {
+            if certified.height > self.locked_height {
+                self.locked = certified.id;
+                self.locked_height = certified.height;
+                self.locked_view = certified.view;
+            }
+        }
+    }
+
+    fn try_commit(&mut self, qc: &QuorumCert, forest: &BlockForest) -> Option<BlockId> {
+        // A two-chain ending at the newly certified block commits its head.
+        let tip = forest.get(qc.block)?;
+        let parent = forest.get(tip.parent)?;
+        if forest.is_certified(tip.id) && forest.is_certified(parent.id) && !parent.is_genesis() {
+            Some(parent.id)
+        } else {
+            None
+        }
+    }
+
+    fn fork_parent(&self, forest: &BlockForest) -> Option<BlockId> {
+        // The lock sits on the certified tip itself, so the attacker can only
+        // rewrite a single block: it builds on the parent of the tip (the
+        // voting rule still accepts because that parent has a view no lower
+        // than the honest lock only when the tip QC has not been seen by the
+        // voters yet; in practice this overwrites at most one block, as the
+        // paper observes).
+        let tip = forest.highest_certified_block();
+        let target = forest.ancestor(tip.id, 1)?;
+        if forest.is_certified(target.id) {
+            Some(target.id)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::safety::testutil::*;
+
+    #[test]
+    fn two_chain_commits_parent_of_certified_tip() {
+        let mut forest = bamboo_forest::BlockForest::new();
+        let (a, qc_a) = extend_certified(&mut forest, BlockId::GENESIS, 1);
+        let mut p = TwoChainHotStuffSafety::new();
+        assert_eq!(p.try_commit(&qc_a, &forest), None, "one-chain insufficient");
+        let (_b, qc_b) = extend_certified(&mut forest, a, 2);
+        assert_eq!(p.try_commit(&qc_b, &forest), Some(a));
+    }
+
+    #[test]
+    fn commits_one_round_earlier_than_hotstuff() {
+        use crate::hotstuff::HotStuffSafety;
+        let mut forest = bamboo_forest::BlockForest::new();
+        let (a, _) = extend_certified(&mut forest, BlockId::GENESIS, 1);
+        let (_b, qc_b) = extend_certified(&mut forest, a, 2);
+        let mut two = TwoChainHotStuffSafety::new();
+        let mut three = HotStuffSafety::new();
+        assert_eq!(two.try_commit(&qc_b, &forest), Some(a));
+        assert_eq!(three.try_commit(&qc_b, &forest), None);
+    }
+
+    #[test]
+    fn lock_moves_to_certified_tip() {
+        let mut forest = bamboo_forest::BlockForest::new();
+        let (a, qc_a) = extend_certified(&mut forest, BlockId::GENESIS, 1);
+        let mut p = TwoChainHotStuffSafety::new();
+        p.update_state(&qc_a, &forest);
+        assert_eq!(p.locked_block(), a, "lock is on the one-chain head");
+    }
+
+    #[test]
+    fn voting_respects_lock_and_view_monotonicity() {
+        let mut forest = bamboo_forest::BlockForest::new();
+        let (a, qc_a) = extend_certified(&mut forest, BlockId::GENESIS, 1);
+        let mut p = TwoChainHotStuffSafety::new();
+        p.update_state(&qc_a, &forest);
+
+        let good = build_block(&input(2, 2), &forest, a, qc_a).unwrap();
+        forest.insert(good.clone()).unwrap();
+        assert!(p.should_vote(&good, &forest));
+
+        // Conflicting proposal from genesis is rejected (lock is on `a`).
+        let bad = build_block(&input(3, 3), &forest, BlockId::GENESIS, QuorumCert::genesis())
+            .unwrap();
+        forest.insert(bad.clone()).unwrap();
+        assert!(!p.should_vote(&bad, &forest));
+
+        // A stale view is rejected even if it extends the lock.
+        let stale = {
+            let mut i = input(2, 1);
+            i.view = View(1);
+            build_block(&i, &forest, a, QuorumCert::genesis()).unwrap()
+        };
+        assert!(!p.should_vote(&stale, &forest));
+    }
+
+    #[test]
+    fn fork_parent_overwrites_only_one_block() {
+        let mut forest = bamboo_forest::BlockForest::new();
+        let (a, _) = extend_certified(&mut forest, BlockId::GENESIS, 1);
+        let (b, _) = extend_certified(&mut forest, a, 2);
+        let (_c, _) = extend_certified(&mut forest, b, 3);
+        let p = TwoChainHotStuffSafety::new();
+        assert_eq!(p.fork_parent(&forest), Some(b), "parent of tip, not grandparent");
+    }
+
+    #[test]
+    fn not_responsive() {
+        assert!(!TwoChainHotStuffSafety::new().is_responsive());
+    }
+}

@@ -1,0 +1,98 @@
+//! CPU cost model.
+//!
+//! The paper's model charges a constant `t_CPU` per cryptographic operation
+//! (signing a vote, verifying a signature, assembling or checking a QC). The
+//! [`CpuModel`] translates counts of such operations into simulated time and
+//! also exposes a per-transaction execution cost so that very large blocks are
+//! not free to process.
+
+use bamboo_types::SimDuration;
+
+/// Charges simulated CPU time for protocol processing steps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CpuModel {
+    /// Cost of one signature/verification (`t_CPU`).
+    crypto_op: SimDuration,
+    /// Cost of handling one transaction (hashing, mempool bookkeeping).
+    per_tx: SimDuration,
+}
+
+impl CpuModel {
+    /// Creates a CPU model with the given per-crypto-operation cost and no
+    /// per-transaction cost.
+    pub fn new(crypto_op: SimDuration) -> Self {
+        Self {
+            crypto_op,
+            per_tx: SimDuration::ZERO,
+        }
+    }
+
+    /// Sets the per-transaction processing cost.
+    pub fn with_per_tx(mut self, per_tx: SimDuration) -> Self {
+        self.per_tx = per_tx;
+        self
+    }
+
+    /// The cost of one cryptographic operation.
+    pub fn crypto_op(&self) -> SimDuration {
+        self.crypto_op
+    }
+
+    /// Cost of signing a single message (vote, proposal, timeout).
+    pub fn sign(&self) -> SimDuration {
+        self.crypto_op
+    }
+
+    /// Cost of verifying `signatures` signatures (e.g. the contents of a QC).
+    pub fn verify(&self, signatures: usize) -> SimDuration {
+        SimDuration::from_nanos(self.crypto_op.as_nanos() * signatures as u64)
+    }
+
+    /// Cost of processing a proposal carrying `txs` transactions: one
+    /// signature verification for the proposer, one for the embedded QC
+    /// (treated as a single aggregate check), plus per-transaction work.
+    pub fn process_proposal(&self, txs: usize) -> SimDuration {
+        self.verify(2) + SimDuration::from_nanos(self.per_tx.as_nanos() * txs as u64)
+    }
+
+    /// Cost of assembling a block of `txs` transactions (batching + hashing +
+    /// signing the proposal).
+    pub fn assemble_block(&self, txs: usize) -> SimDuration {
+        self.sign() + SimDuration::from_nanos(self.per_tx.as_nanos() * txs as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verify_scales_with_signature_count() {
+        let cpu = CpuModel::new(SimDuration::from_micros(20));
+        assert_eq!(cpu.verify(0), SimDuration::ZERO);
+        assert_eq!(cpu.verify(3), SimDuration::from_micros(60));
+        assert_eq!(cpu.sign(), SimDuration::from_micros(20));
+    }
+
+    #[test]
+    fn per_tx_cost_applies_to_blocks() {
+        let cpu = CpuModel::new(SimDuration::from_micros(10))
+            .with_per_tx(SimDuration::from_nanos(100));
+        let small = cpu.process_proposal(10);
+        let large = cpu.process_proposal(1_000);
+        assert!(large > small);
+        assert_eq!(
+            large.as_nanos() - small.as_nanos(),
+            990 * 100,
+            "difference is purely per-tx work"
+        );
+        assert!(cpu.assemble_block(400) > cpu.sign());
+    }
+
+    #[test]
+    fn zero_cost_model_is_free() {
+        let cpu = CpuModel::new(SimDuration::ZERO);
+        assert_eq!(cpu.process_proposal(400), SimDuration::ZERO);
+        assert_eq!(cpu.assemble_block(400), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,329 @@
+//! Network latency model.
+//!
+//! One-way message delay between two replicas is sampled as
+//!
+//! ```text
+//! delay = max(floor, Normal(mean, std)) + extra ± jitter + fluctuation(t) + slow(node)
+//! ```
+//!
+//! mirroring the paper's assumption that the RTT between any two nodes follows
+//! a normal distribution (§V-A2), plus the Table-I `delay` knob, the run-time
+//! "slow" command, and the 10-second network-fluctuation window used in the
+//! responsiveness experiment (Fig. 15). Partitions drop messages entirely.
+
+use bamboo_types::{NodeId, SimDuration, SimTime};
+
+use crate::rng::SimRng;
+
+/// A time window during which every link experiences additional, uniformly
+/// distributed delay in `[min_extra, max_extra]` — the paper's "network
+/// fluctuation" injection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FluctuationWindow {
+    /// Window start (inclusive).
+    pub start: SimTime,
+    /// Window end (exclusive).
+    pub end: SimTime,
+    /// Minimum extra one-way delay during the window.
+    pub min_extra: SimDuration,
+    /// Maximum extra one-way delay during the window.
+    pub max_extra: SimDuration,
+}
+
+impl FluctuationWindow {
+    /// Returns true if `t` falls inside the window.
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
+/// A link-level fault: either a partition (messages dropped) or a slow link
+/// (extra delay), active during a time window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkFault {
+    /// Drop every message from `from` to `to` during the window.
+    Partition {
+        /// Sender side of the severed link (`None` = any sender).
+        from: Option<NodeId>,
+        /// Receiver side of the severed link (`None` = any receiver).
+        to: Option<NodeId>,
+        /// Window start.
+        start: SimTime,
+        /// Window end.
+        end: SimTime,
+    },
+    /// Add a fixed extra delay to every message sent by `node` during the
+    /// window (the run-time "slow" command).
+    SlowNode {
+        /// The slowed node.
+        node: NodeId,
+        /// Extra one-way delay.
+        extra: SimDuration,
+        /// Window start.
+        start: SimTime,
+        /// Window end.
+        end: SimTime,
+    },
+}
+
+/// Samples one-way network delays and applies injected faults.
+#[derive(Clone, Debug)]
+pub struct LatencyModel {
+    mean: SimDuration,
+    std: SimDuration,
+    extra: SimDuration,
+    extra_jitter: SimDuration,
+    floor: SimDuration,
+    fluctuations: Vec<FluctuationWindow>,
+    faults: Vec<LinkFault>,
+}
+
+impl LatencyModel {
+    /// Creates a model with the base normal distribution.
+    pub fn new(mean: SimDuration, std: SimDuration) -> Self {
+        Self {
+            mean,
+            std,
+            extra: SimDuration::ZERO,
+            extra_jitter: SimDuration::ZERO,
+            floor: SimDuration::from_micros(1),
+            fluctuations: Vec::new(),
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds the Table-I style constant extra delay with ± jitter.
+    pub fn with_extra_delay(mut self, extra: SimDuration, jitter: SimDuration) -> Self {
+        self.extra = extra;
+        self.extra_jitter = jitter;
+        self
+    }
+
+    /// Sets the minimum possible one-way delay.
+    pub fn with_floor(mut self, floor: SimDuration) -> Self {
+        self.floor = floor;
+        self
+    }
+
+    /// Registers a network-fluctuation window.
+    pub fn add_fluctuation(&mut self, window: FluctuationWindow) {
+        self.fluctuations.push(window);
+    }
+
+    /// Registers a link fault (partition or slow node).
+    pub fn add_fault(&mut self, fault: LinkFault) {
+        self.faults.push(fault);
+    }
+
+    /// The configured mean one-way delay.
+    pub fn mean(&self) -> SimDuration {
+        self.mean
+    }
+
+    /// Returns `None` if the message is dropped (partition), otherwise the
+    /// sampled one-way delay from `from` to `to` at send time `now`.
+    pub fn sample(
+        &self,
+        rng: &mut SimRng,
+        from: NodeId,
+        to: NodeId,
+        now: SimTime,
+    ) -> Option<SimDuration> {
+        // Partitions first.
+        for fault in &self.faults {
+            if let LinkFault::Partition {
+                from: f,
+                to: t,
+                start,
+                end,
+            } = fault
+            {
+                let from_matches = f.map(|n| n == from).unwrap_or(true);
+                let to_matches = t.map(|n| n == to).unwrap_or(true);
+                if from_matches && to_matches && now >= *start && now < *end {
+                    return None;
+                }
+            }
+        }
+
+        // Base normally distributed propagation delay.
+        let base_ns = rng
+            .normal(self.mean.as_nanos() as f64, self.std.as_nanos() as f64)
+            .max(self.floor.as_nanos() as f64);
+        let mut total = SimDuration::from_nanos(base_ns as u64);
+
+        // Constant extra delay with uniform jitter in [-jitter, +jitter].
+        if !self.extra.is_zero() || !self.extra_jitter.is_zero() {
+            let jitter_ns = self.extra_jitter.as_nanos() as i64;
+            let offset = if jitter_ns > 0 {
+                rng.uniform_range(0, (2 * jitter_ns + 1) as u64) as i64 - jitter_ns
+            } else {
+                0
+            };
+            let extra_ns = (self.extra.as_nanos() as i64 + offset).max(0) as u64;
+            total += SimDuration::from_nanos(extra_ns);
+        }
+
+        // Fluctuation windows.
+        for window in &self.fluctuations {
+            if window.contains(now) {
+                let lo = window.min_extra.as_nanos();
+                let hi = window.max_extra.as_nanos().max(lo + 1);
+                total += SimDuration::from_nanos(rng.uniform_range(lo, hi));
+            }
+        }
+
+        // Slow-node faults on the sender.
+        for fault in &self.faults {
+            if let LinkFault::SlowNode {
+                node,
+                extra,
+                start,
+                end,
+            } = fault
+            {
+                if *node == from && now >= *start && now < *end {
+                    total += *extra;
+                }
+            }
+        }
+
+        // Local delivery is cheap but not free.
+        if from == to {
+            return Some(self.floor);
+        }
+        Some(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn base_delay_matches_distribution() {
+        let model = LatencyModel::new(ms(5), SimDuration::from_micros(500));
+        let mut rng = SimRng::new(1);
+        let n = 5_000;
+        let mean: f64 = (0..n)
+            .map(|_| {
+                model
+                    .sample(&mut rng, NodeId(0), NodeId(1), SimTime::ZERO)
+                    .unwrap()
+                    .as_millis_f64()
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn extra_delay_shifts_the_mean() {
+        let model =
+            LatencyModel::new(ms(1), SimDuration::from_micros(100)).with_extra_delay(ms(10), ms(2));
+        let mut rng = SimRng::new(2);
+        let n = 5_000;
+        let mean: f64 = (0..n)
+            .map(|_| {
+                model
+                    .sample(&mut rng, NodeId(0), NodeId(1), SimTime::ZERO)
+                    .unwrap()
+                    .as_millis_f64()
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 11.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn delay_never_goes_below_floor() {
+        let model = LatencyModel::new(SimDuration::from_nanos(10), ms(50))
+            .with_floor(SimDuration::from_micros(3));
+        let mut rng = SimRng::new(3);
+        for _ in 0..1000 {
+            let d = model
+                .sample(&mut rng, NodeId(0), NodeId(1), SimTime::ZERO)
+                .unwrap();
+            assert!(d >= SimDuration::from_micros(3));
+        }
+    }
+
+    #[test]
+    fn fluctuation_applies_only_inside_window() {
+        let mut model = LatencyModel::new(ms(1), SimDuration::ZERO);
+        model.add_fluctuation(FluctuationWindow {
+            start: SimTime(1_000_000_000),
+            end: SimTime(2_000_000_000),
+            min_extra: ms(10),
+            max_extra: ms(100),
+        });
+        let mut rng = SimRng::new(4);
+        let before = model
+            .sample(&mut rng, NodeId(0), NodeId(1), SimTime(0))
+            .unwrap();
+        let during = model
+            .sample(&mut rng, NodeId(0), NodeId(1), SimTime(1_500_000_000))
+            .unwrap();
+        let after = model
+            .sample(&mut rng, NodeId(0), NodeId(1), SimTime(2_500_000_000))
+            .unwrap();
+        assert!(before < ms(5));
+        assert!(during >= ms(10));
+        assert!(after < ms(5));
+    }
+
+    #[test]
+    fn partition_drops_messages_in_window() {
+        let mut model = LatencyModel::new(ms(1), SimDuration::ZERO);
+        model.add_fault(LinkFault::Partition {
+            from: Some(NodeId(0)),
+            to: None,
+            start: SimTime(0),
+            end: SimTime(1_000),
+        });
+        let mut rng = SimRng::new(5);
+        assert!(model
+            .sample(&mut rng, NodeId(0), NodeId(1), SimTime(500))
+            .is_none());
+        assert!(model
+            .sample(&mut rng, NodeId(1), NodeId(0), SimTime(500))
+            .is_some());
+        assert!(model
+            .sample(&mut rng, NodeId(0), NodeId(1), SimTime(5_000))
+            .is_some());
+    }
+
+    #[test]
+    fn slow_node_fault_only_affects_sender() {
+        let mut model = LatencyModel::new(ms(1), SimDuration::ZERO);
+        model.add_fault(LinkFault::SlowNode {
+            node: NodeId(2),
+            extra: ms(20),
+            start: SimTime(0),
+            end: SimTime(u64::MAX),
+        });
+        let mut rng = SimRng::new(6);
+        let slow = model
+            .sample(&mut rng, NodeId(2), NodeId(0), SimTime(0))
+            .unwrap();
+        let normal = model
+            .sample(&mut rng, NodeId(0), NodeId(2), SimTime(0))
+            .unwrap();
+        assert!(slow >= ms(20));
+        assert!(normal < ms(5));
+    }
+
+    #[test]
+    fn self_delivery_uses_floor() {
+        let model = LatencyModel::new(ms(5), ms(1));
+        let mut rng = SimRng::new(7);
+        let d = model
+            .sample(&mut rng, NodeId(3), NodeId(3), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(d, SimDuration::from_micros(1));
+    }
+}

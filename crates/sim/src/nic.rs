@@ -1,0 +1,82 @@
+//! NIC / bandwidth model.
+//!
+//! Following §V-B1 of the paper, the NIC delay of a message of size `m` bytes
+//! over a link of bandwidth `b` bytes/second is `t_NIC = 2·m/b`: the message
+//! is serialised once through the sender's NIC and once through the
+//! receiver's.
+
+use bamboo_types::SimDuration;
+
+/// Bandwidth-proportional transmission delay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NicModel {
+    bytes_per_sec: u64,
+}
+
+impl NicModel {
+    /// Creates a NIC model for a link of `bytes_per_sec` bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is zero.
+    pub fn new(bytes_per_sec: u64) -> Self {
+        assert!(bytes_per_sec > 0, "bandwidth must be positive");
+        Self { bytes_per_sec }
+    }
+
+    /// The configured bandwidth in bytes per second.
+    pub fn bandwidth(&self) -> u64 {
+        self.bytes_per_sec
+    }
+
+    /// Transmission delay for a message of `bytes` through *one* NIC.
+    pub fn one_way(&self, bytes: usize) -> SimDuration {
+        let ns = (bytes as u128 * 1_000_000_000u128) / self.bytes_per_sec as u128;
+        SimDuration::from_nanos(ns as u64)
+    }
+
+    /// Total NIC delay for one hop (sender NIC + receiver NIC), i.e. `2·m/b`.
+    pub fn transfer(&self, bytes: usize) -> SimDuration {
+        self.one_way(bytes) * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_is_twice_one_way() {
+        let nic = NicModel::new(1_000_000); // 1 MB/s
+        assert_eq!(nic.one_way(1_000), SimDuration::from_millis(1));
+        assert_eq!(nic.transfer(1_000), SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn scales_linearly_with_size() {
+        let nic = NicModel::new(1_250_000_000); // 10 Gbit/s
+        let small = nic.transfer(1_000);
+        let large = nic.transfer(100_000);
+        assert_eq!(large.as_nanos(), small.as_nanos() * 100);
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let nic = NicModel::new(1_000);
+        assert_eq!(nic.transfer(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        let _ = NicModel::new(0);
+    }
+
+    #[test]
+    fn typical_block_at_datacenter_bandwidth_is_sub_millisecond() {
+        // 400 txs of 128 B payload ≈ 73.6 kB block at 10 Gbit/s.
+        let nic = NicModel::new(1_250_000_000);
+        let block_bytes = 400 * (128 + 56) + 200;
+        assert!(nic.transfer(block_bytes) < SimDuration::from_millis(1));
+    }
+}

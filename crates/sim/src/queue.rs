@@ -1,0 +1,169 @@
+//! The pending-event queue at the heart of the discrete-event simulator.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use bamboo_types::SimTime;
+
+/// A time-ordered event queue.
+///
+/// Events scheduled for the same instant are delivered in insertion order
+/// (FIFO), which keeps simulations deterministic.
+///
+/// # Example
+///
+/// ```
+/// use bamboo_sim::EventQueue;
+/// use bamboo_types::SimTime;
+///
+/// let mut queue = EventQueue::new();
+/// queue.schedule(SimTime(20), "second");
+/// queue.schedule(SimTime(10), "first");
+/// queue.schedule(SimTime(20), "third");
+/// assert_eq!(queue.pop(), Some((SimTime(10), "first")));
+/// assert_eq!(queue.pop(), Some((SimTime(20), "second")));
+/// assert_eq!(queue.pop(), Some((SimTime(20), "third")));
+/// assert_eq!(queue.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    /// Total number of events ever scheduled (for diagnostics).
+    scheduled: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            scheduled: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        self.heap.push(Reverse(Entry {
+            time,
+            seq: self.seq,
+            event,
+        }));
+        self.seq += 1;
+        self.scheduled += 1;
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(entry)| (entry.time, entry.event))
+    }
+
+    /// The timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(entry)| entry.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns true if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events scheduled over the queue's lifetime.
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(30), 3);
+        q.schedule(SimTime(10), 1);
+        q.schedule(SimTime(20), 2);
+        assert_eq!(q.pop(), Some((SimTime(10), 1)));
+        assert_eq!(q.pop(), Some((SimTime(20), 2)));
+        assert_eq!(q.pop(), Some((SimTime(30), 3)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((SimTime(5), i)));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(7), "x");
+        assert_eq!(q.peek_time(), Some(SimTime(7)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.total_scheduled(), 1);
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.pop().is_none());
+        assert!(q.peek_time().is_none());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), "a");
+        q.schedule(SimTime(40), "d");
+        assert_eq!(q.pop(), Some((SimTime(10), "a")));
+        q.schedule(SimTime(20), "b");
+        q.schedule(SimTime(30), "c");
+        assert_eq!(q.pop(), Some((SimTime(20), "b")));
+        assert_eq!(q.pop(), Some((SimTime(30), "c")));
+        assert_eq!(q.pop(), Some((SimTime(40), "d")));
+    }
+}

@@ -1,0 +1,183 @@
+//! Deterministic random number generation for the simulator.
+//!
+//! Every run of the simulator is a pure function of the configuration seed,
+//! so experiments are exactly reproducible. The normal sampler is implemented
+//! with the Box–Muller transform to avoid an extra dependency on `rand_distr`.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// A seeded RNG with domain-specific sampling helpers.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: ChaCha12Rng,
+    /// Cached second value from the Box–Muller transform.
+    cached_gaussian: Option<f64>,
+}
+
+impl SimRng {
+    /// Creates an RNG from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: ChaCha12Rng::seed_from_u64(seed),
+            cached_gaussian: None,
+        }
+    }
+
+    /// Derives an independent sub-stream, e.g. one per replica or per model,
+    /// so adding randomness consumers does not perturb unrelated streams.
+    pub fn derive(&self, label: u64) -> Self {
+        let mut seed_bytes = [0u8; 32];
+        let base = self.inner.get_seed();
+        seed_bytes.copy_from_slice(&base);
+        for (i, byte) in label.to_be_bytes().iter().enumerate() {
+            seed_bytes[i] ^= *byte;
+            seed_bytes[24 + i] ^= byte.wrapping_mul(0x9e);
+        }
+        Self {
+            inner: ChaCha12Rng::from_seed(seed_bytes),
+            cached_gaussian: None,
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform `u64` in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn uniform_range(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform choice of an index in `[0, n)`. Panics if `n == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero, because there is nothing to choose.
+    pub fn choose_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot choose from an empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Standard-normal sample via Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(cached) = self.cached_gaussian.take() {
+            return cached;
+        }
+        // Draw u1 in (0, 1] to avoid ln(0).
+        let u1: f64 = 1.0 - self.inner.gen::<f64>();
+        let u2: f64 = self.inner.gen::<f64>();
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.cached_gaussian = Some(radius * theta.sin());
+        radius * theta.cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Exponential sample with the given rate (events per unit time); used for
+    /// Poisson inter-arrival times in the open-loop workload generator.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        let u: f64 = 1.0 - self.inner.gen::<f64>();
+        -u.ln() / rate
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, probability: f64) -> bool {
+        self.inner.gen_bool(probability.clamp(0.0, 1.0))
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn derived_streams_are_independent_and_deterministic() {
+        let base = SimRng::new(99);
+        let mut d1 = base.derive(1);
+        let mut d1_again = base.derive(1);
+        let mut d2 = base.derive(2);
+        assert_eq!(d1.next_u64(), d1_again.next_u64());
+        assert_ne!(d1.next_u64(), d2.next_u64());
+    }
+
+    #[test]
+    fn normal_sampling_matches_moments() {
+        let mut rng = SimRng::new(5);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn exponential_sampling_matches_mean() {
+        let mut rng = SimRng::new(6);
+        let rate = 4.0;
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.exponential(rate)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_range_and_choose_index_bounds() {
+        let mut rng = SimRng::new(3);
+        for _ in 0..1000 {
+            let v = rng.uniform_range(10, 20);
+            assert!((10..20).contains(&v));
+            let idx = rng.choose_index(7);
+            assert!(idx < 7);
+        }
+        assert_eq!(rng.uniform_range(5, 5), 5);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(8);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}

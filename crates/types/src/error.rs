@@ -1,0 +1,47 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or validating core data types.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TypeError {
+    /// A configuration constraint was violated.
+    InvalidConfig(String),
+    /// A block failed structural validation (bad id, bad height, ...).
+    InvalidBlock(String),
+    /// A certificate failed verification.
+    InvalidCertificate(String),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            TypeError::InvalidBlock(msg) => write!(f, "invalid block: {msg}"),
+            TypeError::InvalidCertificate(msg) => write!(f, "invalid certificate: {msg}"),
+        }
+    }
+}
+
+impl Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_descriptive() {
+        let err = TypeError::InvalidConfig("nodes must be positive".into());
+        let rendered = err.to_string();
+        assert!(rendered.starts_with("invalid configuration"));
+        assert!(rendered.contains("nodes must be positive"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<TypeError>();
+    }
+}

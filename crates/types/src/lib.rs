@@ -1,0 +1,35 @@
+//! Core data types shared by every crate in the bamboo-rs workspace.
+//!
+//! This crate defines the vocabulary of a chained-BFT (cBFT) system as
+//! described in *Dissecting the Performance of Chained-BFT* (ICDCS 2021):
+//!
+//! * identifiers — [`NodeId`], [`View`], [`Height`], [`BlockId`],
+//! * payload — [`Transaction`], [`Block`],
+//! * certificates — [`Vote`], [`QuorumCert`], [`TimeoutVote`], [`TimeoutCert`],
+//! * the wire [`Message`] enum exchanged by replicas and clients,
+//! * simulated time — [`SimTime`], [`SimDuration`],
+//! * the Table-I [`Config`] surface.
+//!
+//! Everything here is a plain, serialisable data structure; behaviour lives in
+//! the other crates (`bamboo-forest`, `bamboo-protocols`, `bamboo-core`, ...).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod certificate;
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod message;
+pub mod time;
+pub mod transaction;
+
+pub use block::{Block, BlockId};
+pub use certificate::{QuorumCert, TimeoutCert, TimeoutVote, Vote};
+pub use config::{ByzantineStrategy, Config, ConfigBuilder, ProtocolKind};
+pub use error::TypeError;
+pub use ids::{Height, NodeId, View};
+pub use message::{ClientRequest, ClientResponse, Message, MessageKind};
+pub use time::{SimDuration, SimTime};
+pub use transaction::{Transaction, TxId};

@@ -1,0 +1,251 @@
+//! Wire messages exchanged between replicas and clients.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::Block;
+use crate::certificate::{QuorumCert, TimeoutCert, TimeoutVote, Vote};
+use crate::ids::{NodeId, View};
+use crate::time::SimTime;
+use crate::transaction::{Transaction, TxId};
+
+/// A client request carrying one transaction.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ClientRequest {
+    /// The transaction to be ordered.
+    pub transaction: Transaction,
+}
+
+impl ClientRequest {
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.transaction.wire_size()
+    }
+}
+
+/// A client response confirming a committed transaction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ClientResponse {
+    /// Id of the committed transaction.
+    pub tx: TxId,
+    /// The client that issued it.
+    pub client: NodeId,
+    /// When the transaction was issued (echoed back for latency bookkeeping).
+    pub issued_at: SimTime,
+    /// Simulated time at which the replica committed the transaction.
+    pub committed_at: SimTime,
+}
+
+impl ClientResponse {
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        32 + 8 + 8 + 8
+    }
+}
+
+/// Every message type exchanged in the system.
+///
+/// The enum mirrors Bamboo's message handlers: block proposals, votes, the
+/// pacemaker's timeout votes and timeout certificates, plus the client-facing
+/// request/response pair.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Message {
+    /// A block proposal broadcast by the view leader.
+    Proposal(Block),
+    /// A vote sent to the next leader (HotStuff family) or broadcast
+    /// (Streamlet).
+    Vote(Vote),
+    /// An echoed vote (Streamlet echoes every message it receives).
+    VoteEcho(Vote),
+    /// An echoed proposal (Streamlet).
+    ProposalEcho(Block),
+    /// A pacemaker timeout vote, broadcast when a replica's view timer fires.
+    Timeout(TimeoutVote),
+    /// A timeout certificate forwarded to the next leader.
+    TimeoutCertMsg(TimeoutCert),
+    /// A standalone QC forwarded to the next leader (used by protocols whose
+    /// votes are collected by the current leader rather than the next one).
+    NewView(QuorumCert),
+    /// A client request.
+    Request(ClientRequest),
+    /// A client response.
+    Response(ClientResponse),
+}
+
+/// Coarse classification of a message, used by metrics and the network model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum MessageKind {
+    /// Block proposals (and proposal echoes).
+    Proposal,
+    /// Votes (and vote echoes).
+    Vote,
+    /// Pacemaker messages (timeouts, TCs, new-view).
+    Pacemaker,
+    /// Client traffic.
+    Client,
+}
+
+impl Message {
+    /// Returns the coarse kind of the message.
+    pub fn kind(&self) -> MessageKind {
+        match self {
+            Message::Proposal(_) | Message::ProposalEcho(_) => MessageKind::Proposal,
+            Message::Vote(_) | Message::VoteEcho(_) => MessageKind::Vote,
+            Message::Timeout(_) | Message::TimeoutCertMsg(_) | Message::NewView(_) => {
+                MessageKind::Pacemaker
+            }
+            Message::Request(_) | Message::Response(_) => MessageKind::Client,
+        }
+    }
+
+    /// Approximate wire size of the message in bytes. The NIC model charges
+    /// `2 * size / bandwidth` per hop, following the paper's model (§V-B1).
+    pub fn wire_size(&self) -> usize {
+        const ENVELOPE: usize = 16;
+        ENVELOPE
+            + match self {
+                Message::Proposal(b) | Message::ProposalEcho(b) => b.wire_size(),
+                Message::Vote(v) | Message::VoteEcho(v) => v.wire_size(),
+                Message::Timeout(t) => t.wire_size(),
+                Message::TimeoutCertMsg(tc) => tc.wire_size(),
+                Message::NewView(qc) => qc.wire_size(),
+                Message::Request(r) => r.wire_size(),
+                Message::Response(r) => r.wire_size(),
+            }
+    }
+
+    /// The view the message pertains to, if any.
+    pub fn view(&self) -> Option<View> {
+        match self {
+            Message::Proposal(b) | Message::ProposalEcho(b) => Some(b.view),
+            Message::Vote(v) | Message::VoteEcho(v) => Some(v.view),
+            Message::Timeout(t) => Some(t.view),
+            Message::TimeoutCertMsg(tc) => Some(tc.view),
+            Message::NewView(qc) => Some(qc.view),
+            Message::Request(_) | Message::Response(_) => None,
+        }
+    }
+
+    /// Short human-readable tag for logging.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Message::Proposal(_) => "proposal",
+            Message::ProposalEcho(_) => "proposal-echo",
+            Message::Vote(_) => "vote",
+            Message::VoteEcho(_) => "vote-echo",
+            Message::Timeout(_) => "timeout",
+            Message::TimeoutCertMsg(_) => "timeout-cert",
+            Message::NewView(_) => "new-view",
+            Message::Request(_) => "request",
+            Message::Response(_) => "response",
+        }
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.view() {
+            Some(view) => write!(f, "{}@{}", self.tag(), view),
+            None => write!(f, "{}", self.tag()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bamboo_crypto::KeyPair;
+    use crate::block::BlockId;
+
+    fn sample_block() -> Block {
+        Block::new(
+            View(2),
+            crate::ids::Height(1),
+            BlockId::GENESIS,
+            NodeId(0),
+            QuorumCert::genesis(),
+            vec![Transaction::new(NodeId(1), 0, 64, SimTime::ZERO)],
+        )
+    }
+
+    #[test]
+    fn kinds_cover_all_variants() {
+        let kp = KeyPair::from_seed(0);
+        let block = sample_block();
+        let vote = Vote::new(block.id, block.view, NodeId(0), &kp);
+        let timeout = TimeoutVote::new(View(2), NodeId(0), QuorumCert::genesis(), &kp);
+        let tc = TimeoutCert::from_votes(View(2), &[timeout.clone()]);
+        let cases = vec![
+            (Message::Proposal(block.clone()), MessageKind::Proposal),
+            (Message::ProposalEcho(block.clone()), MessageKind::Proposal),
+            (Message::Vote(vote.clone()), MessageKind::Vote),
+            (Message::VoteEcho(vote), MessageKind::Vote),
+            (Message::Timeout(timeout), MessageKind::Pacemaker),
+            (Message::TimeoutCertMsg(tc), MessageKind::Pacemaker),
+            (Message::NewView(QuorumCert::genesis()), MessageKind::Pacemaker),
+            (
+                Message::Request(ClientRequest {
+                    transaction: Transaction::new(NodeId(1), 0, 0, SimTime::ZERO),
+                }),
+                MessageKind::Client,
+            ),
+            (
+                Message::Response(ClientResponse {
+                    tx: TxId::default(),
+                    client: NodeId(1),
+                    issued_at: SimTime::ZERO,
+                    committed_at: SimTime(10),
+                }),
+                MessageKind::Client,
+            ),
+        ];
+        for (msg, kind) in cases {
+            assert_eq!(msg.kind(), kind, "{}", msg.tag());
+            assert!(msg.wire_size() > 0);
+            assert!(!msg.tag().is_empty());
+        }
+    }
+
+    #[test]
+    fn proposal_wire_size_dominated_by_payload() {
+        let small = Message::Proposal(Block::new(
+            View(1),
+            crate::ids::Height(1),
+            BlockId::GENESIS,
+            NodeId(0),
+            QuorumCert::genesis(),
+            vec![],
+        ));
+        let big = Message::Proposal(Block::new(
+            View(1),
+            crate::ids::Height(1),
+            BlockId::GENESIS,
+            NodeId(0),
+            QuorumCert::genesis(),
+            (0..400)
+                .map(|i| Transaction::new(NodeId(1), i, 128, SimTime::ZERO))
+                .collect(),
+        ));
+        assert!(big.wire_size() > small.wire_size() + 400 * 128);
+    }
+
+    #[test]
+    fn views_are_exposed() {
+        let block = sample_block();
+        assert_eq!(Message::Proposal(block).view(), Some(View(2)));
+        let req = Message::Request(ClientRequest {
+            transaction: Transaction::new(NodeId(1), 0, 0, SimTime::ZERO),
+        });
+        assert_eq!(req.view(), None);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let block = sample_block();
+        let msg = Message::Proposal(block);
+        let json = serde_json::to_string(&msg).expect("serialize");
+        let back: Message = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(msg, back);
+    }
+}

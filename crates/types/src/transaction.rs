@@ -1,0 +1,136 @@
+//! Client transactions.
+
+use std::fmt;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use bamboo_crypto::Digest;
+
+use crate::ids::NodeId;
+use crate::time::SimTime;
+
+/// Unique identifier of a transaction (hash of its origin and sequence).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct TxId(pub Digest);
+
+impl TxId {
+    /// Derives a transaction id from the issuing client and a per-client
+    /// sequence number.
+    pub fn derive(client: NodeId, seq: u64) -> Self {
+        let mut buf = [0u8; 16];
+        buf[..8].copy_from_slice(&client.as_u64().to_be_bytes());
+        buf[8..].copy_from_slice(&seq.to_be_bytes());
+        TxId(Digest::of(&buf))
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tx:{}", self.0.short_hex())
+    }
+}
+
+/// A client transaction (an opaque payload in this reproduction, mirroring the
+/// paper's in-memory key-value workload where only the payload size matters
+/// to protocol-level performance).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Unique id.
+    pub id: TxId,
+    /// Client that issued the transaction.
+    pub client: NodeId,
+    /// Per-client sequence number.
+    pub seq: u64,
+    /// Opaque payload bytes (`psize` in Table I).
+    pub payload: Bytes,
+    /// Simulated time at which the client issued the transaction. Used by the
+    /// benchmarker to compute end-to-end latency.
+    pub issued_at: SimTime,
+}
+
+impl Transaction {
+    /// Creates a new transaction with a zero-filled payload of `payload_size`
+    /// bytes.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bamboo_types::{NodeId, SimTime, Transaction};
+    ///
+    /// let tx = Transaction::new(NodeId(1), 7, 128, SimTime::ZERO);
+    /// assert_eq!(tx.payload.len(), 128);
+    /// assert_eq!(tx.wire_size(), 128 + Transaction::HEADER_BYTES);
+    /// ```
+    pub fn new(client: NodeId, seq: u64, payload_size: usize, issued_at: SimTime) -> Self {
+        Self {
+            id: TxId::derive(client, seq),
+            client,
+            seq,
+            payload: Bytes::from(vec![0u8; payload_size]),
+            issued_at,
+        }
+    }
+
+    /// Creates a transaction carrying the given payload.
+    pub fn with_payload(client: NodeId, seq: u64, payload: Bytes, issued_at: SimTime) -> Self {
+        Self {
+            id: TxId::derive(client, seq),
+            client,
+            seq,
+            payload,
+            issued_at,
+        }
+    }
+
+    /// Fixed serialisation overhead of a transaction on the wire (id, client,
+    /// sequence number, timestamp), independent of the payload.
+    pub const HEADER_BYTES: usize = 32 + 8 + 8 + 8;
+
+    /// Approximate wire size of the transaction in bytes.
+    pub fn wire_size(&self) -> usize {
+        Self::HEADER_BYTES + self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_per_client_and_sequence() {
+        let a = TxId::derive(NodeId(1), 1);
+        let b = TxId::derive(NodeId(1), 2);
+        let c = TxId::derive(NodeId(2), 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, TxId::derive(NodeId(1), 1));
+    }
+
+    #[test]
+    fn wire_size_includes_header_and_payload() {
+        let tx = Transaction::new(NodeId(0), 0, 0, SimTime::ZERO);
+        assert_eq!(tx.wire_size(), Transaction::HEADER_BYTES);
+        let tx = Transaction::new(NodeId(0), 0, 1024, SimTime::ZERO);
+        assert_eq!(tx.wire_size(), Transaction::HEADER_BYTES + 1024);
+    }
+
+    #[test]
+    fn with_payload_preserves_bytes() {
+        let payload = Bytes::from_static(b"hello world");
+        let tx = Transaction::with_payload(NodeId(3), 9, payload.clone(), SimTime(42));
+        assert_eq!(tx.payload, payload);
+        assert_eq!(tx.issued_at, SimTime(42));
+        assert_eq!(tx.id, TxId::derive(NodeId(3), 9));
+    }
+
+    #[test]
+    fn display_of_txid_is_short() {
+        let id = TxId::derive(NodeId(5), 77);
+        let rendered = id.to_string();
+        assert!(rendered.starts_with("tx:"));
+        assert_eq!(rendered.len(), 3 + 8);
+    }
+}

@@ -1,0 +1,82 @@
+//! Compare HotStuff, two-chain HotStuff and Streamlet head-to-head on the
+//! same workload — the core use case of the Bamboo framework.
+//!
+//! ```bash
+//! cargo run --release --example protocol_comparison
+//! ```
+
+use bamboo::core::{Benchmarker, RunOptions, SweepOptions};
+use bamboo::model::PerfModel;
+use bamboo::types::{Config, ProtocolKind, SimDuration, TypeError};
+
+fn main() -> Result<(), TypeError> {
+    let config = Config::builder()
+        .nodes(4)
+        .block_size(400)
+        .payload_size(128)
+        .runtime(SimDuration::from_millis(800))
+        .seed(3)
+        .build()?;
+
+    println!("protocol | offered (tx/s) | throughput (ktx/s) | latency (ms) | p99 (ms)");
+    println!("{:-<78}", "");
+    for protocol in ProtocolKind::evaluated() {
+        let bench = Benchmarker::new(config.clone(), protocol, RunOptions::default()).with_sweep(
+            SweepOptions {
+                start_rate: 5_000.0,
+                growth: 2.0,
+                max_points: 5,
+                ..Default::default()
+            },
+        );
+        let points = bench.sweep();
+        for point in &points {
+            println!(
+                "{:<8} | {:>14.0} | {:>18.1} | {:>12.2} | {:>8.2}",
+                protocol.label(),
+                point.offered_tx_per_sec,
+                point.throughput_tx_per_sec / 1_000.0,
+                point.latency_ms,
+                point.p99_latency_ms
+            );
+        }
+        println!(
+            "{:<8} | peak throughput {:.1} ktx/s, unloaded latency {:.2} ms",
+            protocol.label(),
+            Benchmarker::peak_throughput(&points) / 1_000.0,
+            Benchmarker::base_latency(&points)
+        );
+        println!("{:-<78}", "");
+    }
+
+    // The analytical model gives a back-of-the-envelope sanity check.
+    println!("\nanalytical model (unloaded latency prediction):");
+    for protocol in ProtocolKind::evaluated() {
+        let params = bamboo_bench_params(&config);
+        let model = PerfModel::new(protocol, params);
+        println!(
+            "  {:<5} t_s = {:.3} ms, commit after {:.3} ms, predicted latency {:.3} ms",
+            protocol.label(),
+            model.params.t_s() * 1e3,
+            model.t_commit() * 1e3,
+            model.latency(5_000.0) * 1e3
+        );
+    }
+    Ok(())
+}
+
+/// Maps the simulator configuration onto model parameters (same mapping the
+/// benches use).
+fn bamboo_bench_params(config: &Config) -> bamboo::model::ModelParams {
+    bamboo::model::ModelParams {
+        nodes: config.nodes,
+        block_size: config.block_size,
+        tx_bytes: bamboo::types::Transaction::HEADER_BYTES + config.payload_size,
+        block_overhead_bytes: bamboo::types::Block::HEADER_BYTES + 40 + 40 * config.quorum(),
+        link_mean: config.link_latency_mean.as_secs_f64(),
+        link_std: config.link_latency_std.as_secs_f64(),
+        client_rtt: 2.0 * config.link_latency_mean.as_secs_f64(),
+        t_cpu: config.cpu_delay.as_secs_f64(),
+        bandwidth: config.bandwidth_bytes_per_sec as f64,
+    }
+}

@@ -1,0 +1,59 @@
+//! Reproduce (a compressed version of) the paper's responsiveness experiment
+//! interactively: inject a network-fluctuation window, crash a node, and watch
+//! how a responsive protocol (HotStuff) and a non-responsive one (2CHS) behave
+//! with an aggressive 10 ms timeout.
+//!
+//! ```bash
+//! cargo run --release --example responsiveness
+//! ```
+
+use bamboo::core::{FluctuationWindow, RunOptions, SimRunner};
+use bamboo::types::{Config, NodeId, ProtocolKind, SimDuration, SimTime, TypeError};
+
+fn main() -> Result<(), TypeError> {
+    let fluctuation = FluctuationWindow {
+        start: SimTime::ZERO + SimDuration::from_secs(2),
+        end: SimTime::ZERO + SimDuration::from_secs(4),
+        min_extra: SimDuration::from_millis(10),
+        max_extra: SimDuration::from_millis(100),
+    };
+    let crash_at = SimTime::ZERO + SimDuration::from_secs(5);
+
+    for protocol in [ProtocolKind::HotStuff, ProtocolKind::TwoChainHotStuff] {
+        let config = Config::builder()
+            .nodes(4)
+            .block_size(400)
+            .payload_size(128)
+            .runtime(SimDuration::from_secs(7))
+            .timeout(SimDuration::from_millis(10))
+            .arrival_rate(20_000.0)
+            .seed(9)
+            .build()?;
+        let options = RunOptions {
+            fluctuation: Some(fluctuation),
+            silence_node_from: Some((NodeId(0), crash_at)),
+            series_bucket: SimDuration::from_millis(500),
+            ..Default::default()
+        };
+        let report = SimRunner::new(config, protocol, options).run();
+        println!(
+            "\n{} (responsive: {}), timeout 10 ms — committed {} txs, {} timeout view changes",
+            protocol.label(),
+            protocol == ProtocolKind::HotStuff,
+            report.committed_txs,
+            report.timeout_view_changes
+        );
+        println!("throughput per 500 ms bucket (ktx/s):");
+        print!("  ");
+        for sample in &report.throughput_series {
+            print!("{:>5.0}", sample.tx_per_sec / 1_000.0);
+        }
+        println!();
+        println!("  (fluctuation at 2–4 s, node 0 crashes at 5 s)");
+    }
+
+    println!(
+        "\ntakeaway (matches the paper): with a tight timeout both protocols stall during\nthe fluctuation; the responsive protocol recovers at network speed as soon as the\nnetwork settles, while the non-responsive one needs its timeouts to line up."
+    );
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! # Bamboo-rs
+//!
+//! A Rust reproduction of **Bamboo**, the prototyping and evaluation framework
+//! for chained-BFT (cBFT) protocols from *Dissecting the Performance of
+//! Chained-BFT* (ICDCS 2021).
+//!
+//! This crate is a convenience facade that re-exports the workspace crates
+//! under one roof. The layering is:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`types`] | `bamboo-types` | blocks, QCs, messages, Table-I configuration |
+//! | [`crypto`] | `bamboo-crypto` | SHA-256, simulated signatures, aggregation |
+//! | [`forest`] | `bamboo-forest` | block forest, chain predicates, ledger |
+//! | [`mempool`] | `bamboo-mempool` | bidirectional-queue memory pool |
+//! | [`pacemaker`] | `bamboo-pacemaker` | view synchronisation, leader election |
+//! | [`protocols`] | `bamboo-protocols` | Safety rules: HotStuff, 2CHS, Streamlet, … + attacks |
+//! | [`sim`] | `bamboo-sim` | discrete-event engine, latency/NIC/CPU models |
+//! | [`core`] | `bamboo-core` | replica, quorum, workload, runner, benchmarker, threaded cluster |
+//! | [`model`] | `bamboo-model` | analytical queuing model (§V of the paper) |
+//!
+//! # Example
+//!
+//! Run a 4-node HotStuff deployment on the deterministic simulator and check
+//! that it commits transactions:
+//!
+//! ```
+//! use bamboo::core::{RunOptions, SimRunner};
+//! use bamboo::types::{Config, ProtocolKind, SimDuration};
+//!
+//! let config = Config::builder()
+//!     .nodes(4)
+//!     .block_size(100)
+//!     .runtime(SimDuration::from_millis(200))
+//!     .arrival_rate(5_000.0)
+//!     .build()?;
+//! let report = SimRunner::new(config, ProtocolKind::HotStuff, RunOptions::default()).run();
+//! assert!(report.committed_txs > 0);
+//! assert_eq!(report.safety_violations, 0);
+//! # Ok::<(), bamboo::types::TypeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Core data types: blocks, certificates, messages, configuration.
+pub mod types {
+    pub use bamboo_types::*;
+}
+
+/// Cryptographic primitives (SHA-256, simulated signatures).
+pub mod crypto {
+    pub use bamboo_crypto::*;
+}
+
+/// Block forest storage and the committed ledger.
+pub mod forest {
+    pub use bamboo_forest::*;
+}
+
+/// The memory pool.
+pub mod mempool {
+    pub use bamboo_mempool::*;
+}
+
+/// Pacemaker (view synchronisation) and leader election.
+pub mod pacemaker {
+    pub use bamboo_pacemaker::*;
+}
+
+/// Chained-BFT protocol implementations and Byzantine strategies.
+pub mod protocols {
+    pub use bamboo_protocols::*;
+}
+
+/// Discrete-event simulation substrate.
+pub mod sim {
+    pub use bamboo_sim::*;
+}
+
+/// Replica, runner, workload generation and benchmarking facilities.
+pub mod core {
+    pub use bamboo_core::*;
+}
+
+/// Analytical performance model.
+pub mod model {
+    pub use bamboo_model::*;
+}

@@ -1,0 +1,126 @@
+//! End-to-end safety and liveness tests across the three evaluated protocols,
+//! run on the deterministic simulator.
+
+use bamboo::core::{RunOptions, SimRunner};
+use bamboo::types::{ByzantineStrategy, Config, ProtocolKind, SimDuration};
+
+fn config(nodes: usize) -> Config {
+    Config::builder()
+        .nodes(nodes)
+        .block_size(100)
+        .payload_size(32)
+        .runtime(SimDuration::from_millis(500))
+        .arrival_rate(5_000.0)
+        .seed(77)
+        .build()
+        .expect("valid config")
+}
+
+#[test]
+fn every_protocol_commits_and_preserves_safety_in_the_happy_path() {
+    for protocol in ProtocolKind::evaluated() {
+        let report = SimRunner::new(config(4), protocol, RunOptions::default()).run();
+        assert_eq!(report.safety_violations, 0, "{protocol}");
+        assert!(report.committed_blocks > 5, "{protocol} committed too little");
+        assert!(report.committed_txs > 0, "{protocol}");
+        assert!(report.chain_growth_rate > 0.5, "{protocol} CGR {}", report.chain_growth_rate);
+    }
+}
+
+#[test]
+fn larger_clusters_still_commit() {
+    for protocol in [ProtocolKind::HotStuff, ProtocolKind::TwoChainHotStuff] {
+        let report = SimRunner::new(config(16), protocol, RunOptions::default()).run();
+        assert_eq!(report.safety_violations, 0);
+        assert!(report.committed_blocks > 3, "{protocol}");
+    }
+}
+
+#[test]
+fn commit_latency_ordering_matches_commit_rules() {
+    // 2CHS commits one certified block earlier than HS; Streamlet commits on
+    // consecutive-view chains. Under an unloaded, fault-free network, block
+    // intervals must therefore order as: 2CHS < HS, and 2CHS <= SL.
+    let hs = SimRunner::new(config(4), ProtocolKind::HotStuff, RunOptions::default()).run();
+    let two = SimRunner::new(config(4), ProtocolKind::TwoChainHotStuff, RunOptions::default()).run();
+    let sl = SimRunner::new(config(4), ProtocolKind::Streamlet, RunOptions::default()).run();
+    assert!(
+        two.block_interval < hs.block_interval,
+        "2CHS BI {} vs HS BI {}",
+        two.block_interval,
+        hs.block_interval
+    );
+    assert!(two.latency.mean_ms < hs.latency.mean_ms);
+    assert!(sl.block_interval <= hs.block_interval + 0.5);
+}
+
+#[test]
+fn liveness_is_retained_under_silence_attack_with_adequate_timeouts() {
+    for protocol in ProtocolKind::evaluated() {
+        let mut cfg = config(8);
+        cfg.byzantine_strategy = ByzantineStrategy::Silence;
+        cfg.byz_nodes = 2;
+        cfg.timeout = SimDuration::from_millis(20);
+        cfg.runtime = SimDuration::from_millis(800);
+        let report = SimRunner::new(cfg, protocol, RunOptions::default()).run();
+        assert_eq!(report.safety_violations, 0, "{protocol}");
+        assert!(
+            report.committed_blocks > 3,
+            "{protocol} lost liveness under silence attack ({} blocks)",
+            report.committed_blocks
+        );
+        assert!(
+            report.timeout_view_changes > 0,
+            "{protocol} should have timed out on silent leaders"
+        );
+    }
+}
+
+#[test]
+fn forking_attack_never_causes_conflicting_commits() {
+    for protocol in ProtocolKind::evaluated() {
+        let mut cfg = config(8);
+        cfg.byzantine_strategy = ByzantineStrategy::Forking;
+        cfg.byz_nodes = 2;
+        let report = SimRunner::new(cfg, protocol, RunOptions::default()).run();
+        assert_eq!(report.safety_violations, 0, "{protocol}");
+        assert!(report.committed_blocks > 0, "{protocol}");
+    }
+}
+
+#[test]
+fn streamlet_is_immune_to_forking_while_hotstuff_is_not() {
+    let mut cfg = config(8);
+    cfg.byzantine_strategy = ByzantineStrategy::Forking;
+    cfg.byz_nodes = 2;
+    cfg.runtime = SimDuration::from_millis(800);
+    let hs = SimRunner::new(cfg.clone(), ProtocolKind::HotStuff, RunOptions::default()).run();
+    let sl = SimRunner::new(cfg, ProtocolKind::Streamlet, RunOptions::default()).run();
+    assert!(
+        sl.chain_growth_rate > 0.9,
+        "Streamlet CGR under forking was {}",
+        sl.chain_growth_rate
+    );
+    assert!(
+        hs.chain_growth_rate < sl.chain_growth_rate,
+        "HotStuff CGR {} should be below Streamlet's {}",
+        hs.chain_growth_rate,
+        sl.chain_growth_rate
+    );
+}
+
+#[test]
+fn two_chain_is_more_forking_resilient_than_three_chain() {
+    let mut cfg = config(8);
+    cfg.byzantine_strategy = ByzantineStrategy::Forking;
+    cfg.byz_nodes = 2;
+    cfg.runtime = SimDuration::from_millis(800);
+    let hs = SimRunner::new(cfg.clone(), ProtocolKind::HotStuff, RunOptions::default()).run();
+    let two = SimRunner::new(cfg, ProtocolKind::TwoChainHotStuff, RunOptions::default()).run();
+    assert!(
+        two.chain_growth_rate >= hs.chain_growth_rate,
+        "2CHS CGR {} should be at least HS CGR {}",
+        two.chain_growth_rate,
+        hs.chain_growth_rate
+    );
+}
