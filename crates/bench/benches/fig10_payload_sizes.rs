@@ -6,7 +6,10 @@
 //! latency gap between HS and 2CHS narrows as the payload grows (transmission
 //! delay starts to dominate).
 
-use bamboo_bench::{banner, default_sweep, eval_config, evaluated_protocols, print_curve, save_json, sweep, LabelledCurve};
+use bamboo_bench::{
+    banner, default_sweep, eval_config, evaluated_protocols, print_curve, save_json, sweep,
+    LabelledCurve,
+};
 
 fn main() {
     banner("Figure 10: throughput vs latency, payload sizes 0/128/1024 B");

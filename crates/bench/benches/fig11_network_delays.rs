@@ -6,7 +6,9 @@
 //! comparable to 2CHS because propagation delay dominates the cost of its
 //! message echoing.
 
-use bamboo_bench::{banner, eval_config, evaluated_protocols, print_curve, save_json, sweep, LabelledCurve};
+use bamboo_bench::{
+    banner, eval_config, evaluated_protocols, print_curve, save_json, sweep, LabelledCurve,
+};
 use bamboo_core::SweepOptions;
 use bamboo_types::SimDuration;
 

@@ -6,13 +6,10 @@
 //! degrades fastest and its large-n points are of limited meaning due to its
 //! cubic message complexity (the paper makes the same caveat for n > 64).
 
-use serde::Serialize;
-
-use bamboo_bench::{banner, eval_config, evaluated_protocols, save_json};
+use bamboo_bench::{banner, eval_config, evaluated_protocols, save_json, Json, ToJson};
 use bamboo_core::{Benchmarker, RunOptions};
 use bamboo_types::ProtocolKind;
 
-#[derive(Serialize)]
 struct ScalePoint {
     protocol: String,
     nodes: usize,
@@ -20,6 +17,22 @@ struct ScalePoint {
     std_throughput: f64,
     mean_latency_ms: f64,
     std_latency_ms: f64,
+}
+
+impl ToJson for ScalePoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("protocol", Json::from(self.protocol.as_str())),
+            ("nodes", Json::from(self.nodes)),
+            (
+                "mean_throughput_tx_per_sec",
+                Json::from(self.mean_throughput_tx_per_sec),
+            ),
+            ("std_throughput", Json::from(self.std_throughput)),
+            ("mean_latency_ms", Json::from(self.mean_latency_ms)),
+            ("std_latency_ms", Json::from(self.std_latency_ms)),
+        ])
+    }
 }
 
 fn mean_std(values: &[f64]) -> (f64, f64) {

@@ -6,13 +6,10 @@
 //! block instead of two; block intervals start at 2 (2CHS) and 3 (HS); HS
 //! latency grows fastest because forked transactions are re-queued.
 
-use serde::Serialize;
-
-use bamboo_bench::{banner, eval_config, evaluated_protocols, save_json};
+use bamboo_bench::{banner, eval_config, evaluated_protocols, save_json, Json, ToJson};
 use bamboo_core::{Benchmarker, RunOptions};
 use bamboo_types::{ByzantineStrategy, ProtocolKind};
 
-#[derive(Serialize)]
 struct AttackPoint {
     protocol: String,
     byz_nodes: usize,
@@ -22,12 +19,32 @@ struct AttackPoint {
     block_interval: f64,
 }
 
+impl ToJson for AttackPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("protocol", Json::from(self.protocol.as_str())),
+            ("byz_nodes", Json::from(self.byz_nodes)),
+            (
+                "throughput_tx_per_sec",
+                Json::from(self.throughput_tx_per_sec),
+            ),
+            ("latency_ms", Json::from(self.latency_ms)),
+            ("chain_growth_rate", Json::from(self.chain_growth_rate)),
+            ("block_interval", Json::from(self.block_interval)),
+        ])
+    }
+}
+
 fn main() {
     banner("Figure 13: forking attack, 32 nodes, 0..10 Byzantine");
     let mut points = Vec::new();
     for protocol in evaluated_protocols() {
         for byz in [0usize, 2, 4, 6, 8, 10] {
-            let runtime_ms = if protocol == ProtocolKind::Streamlet { 200 } else { 400 };
+            let runtime_ms = if protocol == ProtocolKind::Streamlet {
+                200
+            } else {
+                400
+            };
             let mut config = eval_config(32, 400, 128, runtime_ms);
             config.byzantine_strategy = ByzantineStrategy::Forking;
             config.byz_nodes = byz;

@@ -6,13 +6,10 @@
 //! the last block); Streamlet's CGR stays at 1 (no forks) and it degrades
 //! gracefully; block intervals are higher than under the forking attack.
 
-use serde::Serialize;
-
-use bamboo_bench::{banner, eval_config, evaluated_protocols, save_json};
+use bamboo_bench::{banner, eval_config, evaluated_protocols, save_json, Json, ToJson};
 use bamboo_core::{Benchmarker, RunOptions};
 use bamboo_types::{ByzantineStrategy, ProtocolKind, SimDuration};
 
-#[derive(Serialize)]
 struct AttackPoint {
     protocol: String,
     byz_nodes: usize,
@@ -23,12 +20,36 @@ struct AttackPoint {
     timeout_view_changes: u64,
 }
 
+impl ToJson for AttackPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("protocol", Json::from(self.protocol.as_str())),
+            ("byz_nodes", Json::from(self.byz_nodes)),
+            (
+                "throughput_tx_per_sec",
+                Json::from(self.throughput_tx_per_sec),
+            ),
+            ("latency_ms", Json::from(self.latency_ms)),
+            ("chain_growth_rate", Json::from(self.chain_growth_rate)),
+            ("block_interval", Json::from(self.block_interval)),
+            (
+                "timeout_view_changes",
+                Json::from(self.timeout_view_changes),
+            ),
+        ])
+    }
+}
+
 fn main() {
     banner("Figure 14: silence attack, 32 nodes, 0..10 Byzantine, 50 ms timeout");
     let mut points = Vec::new();
     for protocol in evaluated_protocols() {
         for byz in [0usize, 2, 4, 6, 8, 10] {
-            let runtime_ms = if protocol == ProtocolKind::Streamlet { 250 } else { 500 };
+            let runtime_ms = if protocol == ProtocolKind::Streamlet {
+                250
+            } else {
+                500
+            };
             let mut config = eval_config(32, 400, 128, runtime_ms);
             config.byzantine_strategy = ByzantineStrategy::Silence;
             config.byz_nodes = byz;

@@ -11,18 +11,26 @@
 //! (and may stall entirely once the crashed node's views come around). With
 //! t=100 ms all protocols retain liveness but at much lower throughput.
 
-use serde::Serialize;
-
-use bamboo_bench::{banner, eval_config, evaluated_protocols, save_json};
+use bamboo_bench::{banner, eval_config, evaluated_protocols, save_json, Json, ToJson};
 use bamboo_core::{FluctuationWindow, RunOptions, SimRunner, ThroughputSample};
 use bamboo_types::{NodeId, SimDuration, SimTime};
 
-#[derive(Serialize)]
 struct Series {
     protocol: String,
     timeout_ms: u64,
     series: Vec<ThroughputSample>,
     total_committed: u64,
+}
+
+impl ToJson for Series {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("protocol", Json::from(self.protocol.as_str())),
+            ("timeout_ms", Json::from(self.timeout_ms)),
+            ("series", self.series.to_json()),
+            ("total_committed", Json::from(self.total_committed)),
+        ])
+    }
 }
 
 fn main() {

@@ -5,12 +5,9 @@
 //! measured latency next to the model's Eq. (3) prediction, which is how the
 //! paper validates the implementation.
 
-use serde::Serialize;
-
-use bamboo_bench::{banner, eval_config, evaluated_protocols, model_for, save_json};
+use bamboo_bench::{banner, eval_config, evaluated_protocols, model_for, save_json, Json, ToJson};
 use bamboo_core::{Benchmarker, RunOptions};
 
-#[derive(Serialize)]
 struct Point {
     protocol: String,
     nodes: usize,
@@ -19,6 +16,23 @@ struct Point {
     measured_throughput_tx_per_sec: f64,
     measured_latency_ms: f64,
     model_latency_ms: f64,
+}
+
+impl ToJson for Point {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("protocol", Json::from(self.protocol.as_str())),
+            ("nodes", Json::from(self.nodes)),
+            ("block_size", Json::from(self.block_size)),
+            ("offered_tx_per_sec", Json::from(self.offered_tx_per_sec)),
+            (
+                "measured_throughput_tx_per_sec",
+                Json::from(self.measured_throughput_tx_per_sec),
+            ),
+            ("measured_latency_ms", Json::from(self.measured_latency_ms)),
+            ("model_latency_ms", Json::from(self.model_latency_ms)),
+        ])
+    }
 }
 
 fn main() {

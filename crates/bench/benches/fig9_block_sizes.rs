@@ -7,7 +7,10 @@
 //! envelope as Bamboo-HS; Streamlet has the lowest throughput at every block
 //! size.
 
-use bamboo_bench::{banner, default_sweep, eval_config, evaluated_protocols, print_curve, save_json, sweep, LabelledCurve};
+use bamboo_bench::{
+    banner, default_sweep, eval_config, evaluated_protocols, print_curve, save_json, sweep,
+    LabelledCurve,
+};
 use bamboo_types::ProtocolKind;
 
 fn main() {

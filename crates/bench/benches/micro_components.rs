@@ -1,11 +1,13 @@
-//! Criterion micro-benchmarks of the framework components (not a paper figure;
-//! used as an ablation of where time goes inside a replica).
+//! Micro-benchmarks of the framework components (not a paper figure; used as
+//! an ablation of where time goes inside a replica).
 //!
 //! Covers: SHA-256 hashing, signing/verification, block-forest insertion and
-//! chain predicates, quorum accumulation, and mempool batching.
+//! chain predicates, quorum accumulation, and mempool batching. Uses the
+//! wall-clock harness from `bamboo_bench::harness` (no external bench
+//! framework) and saves a JSON artifact for trend tracking.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-
+use bamboo_bench::harness::{bench, bench_with_setup, MicroResult};
+use bamboo_bench::{banner, save_json};
 use bamboo_crypto::{sha256, KeyPair};
 use bamboo_forest::BlockForest;
 use bamboo_mempool::Mempool;
@@ -34,30 +36,28 @@ fn chain_blocks(len: u64, txs_per_block: u64) -> Vec<Block> {
     blocks
 }
 
-fn bench_crypto(c: &mut Criterion) {
+fn bench_crypto(results: &mut Vec<MicroResult>) {
     let data = vec![0xa5u8; 1024];
-    c.bench_function("sha256_1k", |b| b.iter(|| sha256(&data)));
+    results.push(bench("sha256_1k", || sha256(&data)));
 
     let kp = KeyPair::from_seed(1);
-    c.bench_function("sign", |b| b.iter(|| kp.sign(&data)));
+    results.push(bench("sign", || kp.sign(&data)));
     let sig = kp.sign(&data);
-    c.bench_function("verify", |b| b.iter(|| kp.public_key().verify(&data, &sig)));
+    results.push(bench("verify", || kp.public_key().verify(&data, &sig)));
 }
 
-fn bench_forest(c: &mut Criterion) {
+fn bench_forest(results: &mut Vec<MicroResult>) {
     let blocks = chain_blocks(200, 10);
-    c.bench_function("forest_insert_200_blocks", |b| {
-        b.iter_batched(
-            BlockForest::new,
-            |mut forest| {
-                for block in &blocks {
-                    forest.insert(block.clone()).unwrap();
-                }
-                forest
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    results.push(bench_with_setup(
+        "forest_insert_200_blocks",
+        BlockForest::new,
+        |mut forest| {
+            for block in &blocks {
+                forest.insert(block.clone()).unwrap();
+            }
+            forest
+        },
+    ));
 
     let mut forest = BlockForest::new();
     for block in &blocks {
@@ -71,15 +71,15 @@ fn bench_forest(c: &mut Criterion) {
             .unwrap();
     }
     let tip = blocks.last().unwrap().id;
-    c.bench_function("forest_certified_chain_length", |b| {
-        b.iter(|| forest.certified_chain_length(tip))
-    });
-    c.bench_function("forest_extends_deep", |b| {
-        b.iter(|| forest.extends(tip, BlockId::GENESIS))
-    });
+    results.push(bench("forest_certified_chain_length", || {
+        forest.certified_chain_length(tip)
+    }));
+    results.push(bench("forest_extends_deep", || {
+        forest.extends(tip, BlockId::GENESIS)
+    }));
 }
 
-fn bench_quorum(c: &mut Criterion) {
+fn bench_quorum(results: &mut Vec<MicroResult>) {
     let keys: Vec<KeyPair> = (0..32).map(KeyPair::from_seed).collect();
     let block = BlockId(bamboo_crypto::Digest::of(b"bench"));
     let votes: Vec<Vote> = keys
@@ -87,44 +87,43 @@ fn bench_quorum(c: &mut Criterion) {
         .enumerate()
         .map(|(i, kp)| Vote::new(block, View(5), NodeId(i as u64), kp))
         .collect();
-    c.bench_function("quorum_accumulate_32_votes", |b| {
-        b.iter_batched(
-            || bamboo_core::QuorumTracker::new(32),
-            |mut tracker| {
-                for vote in &votes {
-                    let _ = tracker.add_vote(vote.clone());
-                }
-                tracker
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    results.push(bench_with_setup(
+        "quorum_accumulate_32_votes",
+        || bamboo_core::QuorumTracker::new(32),
+        |mut tracker| {
+            for vote in &votes {
+                let _ = tracker.add_vote(vote.clone());
+            }
+            tracker
+        },
+    ));
 }
 
-fn bench_mempool(c: &mut Criterion) {
+fn bench_mempool(results: &mut Vec<MicroResult>) {
     let txs: Vec<Transaction> = (0..4_000)
         .map(|i| Transaction::new(NodeId(1), i, 128, SimTime::ZERO))
         .collect();
-    c.bench_function("mempool_push_4000_batch_400", |b| {
-        b.iter_batched(
-            || Mempool::new(10_000),
-            |mut pool| {
-                for tx in &txs {
-                    pool.push(tx.clone());
-                }
-                while !pool.is_empty() {
-                    pool.next_batch(400);
-                }
-                pool
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    results.push(bench_with_setup(
+        "mempool_push_4000_batch_400",
+        || Mempool::new(10_000),
+        |mut pool| {
+            for tx in &txs {
+                pool.push(tx.clone());
+            }
+            while !pool.is_empty() {
+                pool.next_batch(400);
+            }
+            pool
+        },
+    ));
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_crypto, bench_forest, bench_quorum, bench_mempool
-);
-criterion_main!(benches);
+fn main() {
+    banner("Micro-benchmarks: component costs inside a replica");
+    let mut results = Vec::new();
+    bench_crypto(&mut results);
+    bench_forest(&mut results);
+    bench_quorum(&mut results);
+    bench_mempool(&mut results);
+    save_json("micro_components", &results);
+}

@@ -7,17 +7,33 @@
 //! scaled to the simulator's capacity, the tracking behaviour is the result
 //! under test).
 
-use serde::Serialize;
-
-use bamboo_bench::{banner, eval_config, save_json};
+use bamboo_bench::{banner, eval_config, save_json, Json, ToJson};
 use bamboo_core::{Benchmarker, RunOptions};
 use bamboo_types::ProtocolKind;
 
-#[derive(Serialize)]
 struct Row {
     arrival_rate_tx_per_sec: f64,
     throughput_tx_per_sec: f64,
     tracking_error_percent: f64,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "arrival_rate_tx_per_sec",
+                Json::from(self.arrival_rate_tx_per_sec),
+            ),
+            (
+                "throughput_tx_per_sec",
+                Json::from(self.throughput_tx_per_sec),
+            ),
+            (
+                "tracking_error_percent",
+                Json::from(self.tracking_error_percent),
+            ),
+        ])
+    }
 }
 
 fn main() {
@@ -32,7 +48,10 @@ fn main() {
         10_000.0, 20_000.0, 40_000.0, 60_000.0, 80_000.0, 100_000.0, 120_000.0,
     ];
     let mut rows = Vec::new();
-    println!("{:>22} | {:>22} | {:>10}", "Arrival rate (Tx/s)", "Throughput (Tx/s)", "error %");
+    println!(
+        "{:>22} | {:>22} | {:>10}",
+        "Arrival rate (Tx/s)", "Throughput (Tx/s)", "error %"
+    );
     println!("{:-<62}", "");
     for &rate in &rates {
         let report = bench.run_at(rate);

@@ -1,0 +1,117 @@
+//! A small wall-clock micro-benchmark harness.
+//!
+//! Replaces the external `criterion` dependency for the component
+//! micro-benches: auto-calibrating warm-up, a fixed measurement budget, and
+//! nanoseconds-per-iteration output that can be saved as a JSON artifact.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use crate::json::{Json, ToJson};
+
+/// One micro-benchmark measurement.
+#[derive(Clone, Debug)]
+pub struct MicroResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Number of measured iterations.
+    pub iters: u64,
+}
+
+impl ToJson for MicroResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            ("ns_per_iter", Json::from(self.ns_per_iter)),
+            ("iters", Json::from(self.iters)),
+        ])
+    }
+}
+
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(300);
+
+/// Measures `op` and prints one aligned result line.
+pub fn bench<R>(name: &str, mut op: impl FnMut() -> R) -> MicroResult {
+    // Warm-up: let caches, branch predictors and allocator settle.
+    let warmup_end = Instant::now() + WARMUP;
+    while Instant::now() < warmup_end {
+        black_box(op());
+    }
+    // Measurement: batch iterations between clock reads to amortise timer
+    // overhead for very fast operations.
+    let mut iters: u64 = 0;
+    let mut batch: u64 = 1;
+    let mut elapsed = Duration::ZERO;
+    while elapsed < MEASURE {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(op());
+        }
+        elapsed += start.elapsed();
+        iters += batch;
+        // Grow the batch until one batch costs about a millisecond.
+        if start.elapsed() < Duration::from_millis(1) && batch < (1 << 20) {
+            batch *= 2;
+        }
+    }
+    finish(name, elapsed, iters)
+}
+
+/// Measures `routine` applied to a fresh value from `setup` per iteration;
+/// only the routine is timed (the analogue of criterion's `iter_batched`).
+pub fn bench_with_setup<S, R>(
+    name: &str,
+    mut setup: impl FnMut() -> S,
+    mut routine: impl FnMut(S) -> R,
+) -> MicroResult {
+    let warmup_end = Instant::now() + WARMUP;
+    while Instant::now() < warmup_end {
+        let input = setup();
+        black_box(routine(input));
+    }
+    let mut iters: u64 = 0;
+    let mut elapsed = Duration::ZERO;
+    while elapsed < MEASURE {
+        let input = setup();
+        let start = Instant::now();
+        let output = routine(input);
+        elapsed += start.elapsed();
+        black_box(output);
+        iters += 1;
+    }
+    finish(name, elapsed, iters)
+}
+
+fn finish(name: &str, elapsed: Duration, iters: u64) -> MicroResult {
+    let ns_per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    println!("{name:<36} {:>14.1} ns/iter   ({iters} iters)", ns_per_iter);
+    MicroResult {
+        name: name.to_string(),
+        ns_per_iter,
+        iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something_positive() {
+        let result = bench("noop_add", || std::hint::black_box(1u64) + 1);
+        assert!(result.ns_per_iter > 0.0);
+        assert!(result.iters > 0);
+    }
+
+    #[test]
+    fn bench_with_setup_times_only_the_routine() {
+        let result = bench_with_setup("sum_vec", || vec![1u64; 64], |v| v.iter().sum::<u64>());
+        assert!(result.ns_per_iter > 0.0);
+        // Summing 64 integers is far below a microsecond; if setup were
+        // included the per-iteration cost would be dominated by the allocation.
+        assert!(result.ns_per_iter < 100_000.0);
+    }
+}

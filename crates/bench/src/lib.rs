@@ -5,38 +5,56 @@
 //! series the paper reports (as aligned text and CSV) and writes a JSON
 //! artifact under `target/bamboo-bench/` so EXPERIMENTS.md can reference
 //! machine-readable results.
+//!
+//! The crate also provides the two pieces of infrastructure the benches need
+//! and that the workspace deliberately does not pull in as dependencies:
+//!
+//! * [`json`] — a minimal JSON document model + pretty printer,
+//! * [`harness`] — a wall-clock micro-benchmark harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+pub mod json;
+
 use std::fs;
 use std::path::PathBuf;
 
-use serde::Serialize;
-
-use bamboo_core::{Benchmarker, CurvePoint, RunOptions, SweepOptions};
+use bamboo_core::{
+    Benchmarker, CurvePoint, LatencyStats, RunOptions, RunReport, SweepOptions, ThroughputSample,
+};
 use bamboo_model::{ModelParams, PerfModel};
 use bamboo_types::{Block, Config, ProtocolKind, SimDuration, Transaction};
 
-/// Directory where benches drop their JSON artifacts.
+pub use json::{Json, ToJson};
+
+/// Directory where benches drop their JSON artifacts: the workspace
+/// `target/bamboo-bench/`, independent of the working directory cargo runs
+/// the bench from.
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from("target").join("bamboo-bench");
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // crates/bench -> workspace root -> target/
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+                .join("target")
+        });
+    let dir = target.join("bamboo-bench");
     let _ = fs::create_dir_all(&dir);
     dir
 }
 
 /// Serialises `value` as pretty JSON under `target/bamboo-bench/<name>.json`.
-pub fn save_json<T: Serialize>(name: &str, value: &T) {
+pub fn save_json<T: ToJson + ?Sized>(name: &str, value: &T) {
     let path = results_dir().join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => {
-            if let Err(err) = fs::write(&path, json) {
-                eprintln!("warning: could not write {}: {err}", path.display());
-            } else {
-                println!("# artifact: {}", path.display());
-            }
-        }
-        Err(err) => eprintln!("warning: could not serialise {name}: {err}"),
+    let json = value.to_json().render_pretty();
+    if let Err(err) = fs::write(&path, json) {
+        eprintln!("warning: could not write {}: {err}", path.display());
+    } else {
+        println!("# artifact: {}", path.display());
     }
 }
 
@@ -117,7 +135,6 @@ pub fn print_curve(label: &str, points: &[CurvePoint]) {
 }
 
 /// A serialisable labelled curve, shared by several artifacts.
-#[derive(Serialize)]
 pub struct LabelledCurve {
     /// Series label (e.g. "HS-b400").
     pub label: String,
@@ -128,6 +145,83 @@ pub struct LabelledCurve {
 /// The three protocols compared throughout the evaluation.
 pub fn evaluated_protocols() -> [ProtocolKind; 3] {
     ProtocolKind::evaluated()
+}
+
+// ---- JSON views of the report types --------------------------------------
+
+impl ToJson for LabelledCurve {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", Json::from(self.label.as_str())),
+            ("points", self.points.to_json()),
+        ])
+    }
+}
+
+impl ToJson for CurvePoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("offered_tx_per_sec", Json::from(self.offered_tx_per_sec)),
+            (
+                "throughput_tx_per_sec",
+                Json::from(self.throughput_tx_per_sec),
+            ),
+            ("latency_ms", Json::from(self.latency_ms)),
+            ("p99_latency_ms", Json::from(self.p99_latency_ms)),
+            ("report", self.report.to_json()),
+        ])
+    }
+}
+
+impl ToJson for LatencyStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::from(self.count)),
+            ("mean_ms", Json::from(self.mean_ms)),
+            ("p50_ms", Json::from(self.p50_ms)),
+            ("p99_ms", Json::from(self.p99_ms)),
+            ("max_ms", Json::from(self.max_ms)),
+        ])
+    }
+}
+
+impl ToJson for ThroughputSample {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("at_ms", Json::from(self.at.as_millis_f64())),
+            ("tx_per_sec", Json::from(self.tx_per_sec)),
+        ])
+    }
+}
+
+impl ToJson for RunReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("protocol", Json::from(self.protocol.label())),
+            ("nodes", Json::from(self.nodes)),
+            ("byz_nodes", Json::from(self.byz_nodes)),
+            ("duration_secs", Json::from(self.duration_secs)),
+            (
+                "throughput_tx_per_sec",
+                Json::from(self.throughput_tx_per_sec),
+            ),
+            ("latency", self.latency.to_json()),
+            ("committed_txs", Json::from(self.committed_txs)),
+            ("committed_blocks", Json::from(self.committed_blocks)),
+            ("views_advanced", Json::from(self.views_advanced)),
+            ("chain_growth_rate", Json::from(self.chain_growth_rate)),
+            ("block_interval", Json::from(self.block_interval)),
+            (
+                "timeout_view_changes",
+                Json::from(self.timeout_view_changes),
+            ),
+            ("messages_sent", Json::from(self.messages_sent)),
+            ("bytes_sent", Json::from(self.bytes_sent)),
+            ("throughput_series", self.throughput_series.to_json()),
+            ("safety_violations", Json::from(self.safety_violations)),
+            ("pending_txs", Json::from(self.pending_txs)),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -159,5 +253,16 @@ mod tests {
     fn results_dir_is_creatable() {
         let dir = results_dir();
         assert!(dir.ends_with("bamboo-bench"));
+    }
+
+    #[test]
+    fn labelled_curve_serialises_to_json() {
+        let curve = LabelledCurve {
+            label: "HS-b400".to_string(),
+            points: Vec::new(),
+        };
+        let rendered = curve.to_json().render_pretty();
+        assert!(rendered.contains("\"label\": \"HS-b400\""));
+        assert!(rendered.contains("\"points\": []"));
     }
 }

@@ -7,15 +7,13 @@
 //! additional load no longer increases committed throughput (or latency
 //! explodes).
 
-use serde::{Deserialize, Serialize};
-
 use bamboo_types::{Config, ProtocolKind};
 
 use crate::metrics::RunReport;
 use crate::runner::{RunOptions, SimRunner};
 
 /// One point of a latency/throughput curve.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CurvePoint {
     /// Offered load (transaction arrival rate, tx/s).
     pub offered_tx_per_sec: f64,

@@ -16,8 +16,10 @@
 //!   curves of the paper's figures.
 //! * [`Metrics`] / [`RunReport`] — throughput, latency, chain growth rate and
 //!   block interval (§IV-B).
+//! * [`runtime`] — the shared runtime spine: the [`Transport`] trait and the
+//!   [`NodeHost`] driver both deployment backends are built on.
 //! * [`threaded::ThreadedCluster`] — a live, multi-threaded in-process cluster
-//!   used by the examples.
+//!   used by the examples and the cross-runtime agreement tests.
 //!
 //! # Quickstart
 //!
@@ -45,6 +47,7 @@ pub mod metrics;
 pub mod quorum;
 pub mod replica;
 pub mod runner;
+pub mod runtime;
 pub mod threaded;
 pub mod workload;
 
@@ -54,4 +57,6 @@ pub use metrics::{LatencyStats, Metrics, RunReport, ThroughputSample};
 pub use quorum::QuorumTracker;
 pub use replica::{Destination, HandleResult, Outbound, Replica, ReplicaEvent, ReplicaOptions};
 pub use runner::{RunOptions, SimRunner};
+pub use runtime::{BufferedTransport, NodeHost, StepReport, Transport};
+pub use threaded::{ClusterReport, ThreadedCluster};
 pub use workload::{ClosedLoopWorkload, OpenLoopWorkload, Workload};

@@ -6,12 +6,10 @@
 //! `t_L` term). Chain growth rate and block interval are the two micro-metrics
 //! introduced for the Byzantine experiments.
 
-use serde::{Deserialize, Serialize};
-
 use bamboo_types::{ProtocolKind, SimDuration, SimTime};
 
 /// A latency distribution summary in milliseconds.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct LatencyStats {
     /// Number of samples.
     pub count: u64,
@@ -27,7 +25,7 @@ pub struct LatencyStats {
 
 /// One point of the throughput time series (used by the responsiveness
 /// experiment, Fig. 15).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ThroughputSample {
     /// Start of the bucket.
     pub at: SimTime,
@@ -133,7 +131,7 @@ impl Metrics {
 }
 
 /// The final report of one simulation run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RunReport {
     /// Protocol under test.
     pub protocol: ProtocolKind,

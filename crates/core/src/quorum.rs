@@ -76,12 +76,8 @@ impl QuorumTracker {
     /// Drops buffered votes for blocks proposed before `view`; called after
     /// commits to keep memory bounded over long runs.
     pub fn prune_below(&mut self, view: View) {
-        self.votes.retain(|_, votes| {
-            votes
-                .first()
-                .map(|v| v.view >= view)
-                .unwrap_or(false)
-        });
+        self.votes
+            .retain(|_, votes| votes.first().map(|v| v.view >= view).unwrap_or(false));
         self.certified.retain(|_, v| *v >= view);
     }
 
@@ -99,7 +95,12 @@ mod tests {
 
     fn vote(block: u8, view: u64, voter: u64) -> Vote {
         let kp = KeyPair::from_seed(voter);
-        Vote::new(BlockId(Digest::of(&[block])), View(view), NodeId(voter), &kp)
+        Vote::new(
+            BlockId(Digest::of(&[block])),
+            View(view),
+            NodeId(voter),
+            &kp,
+        )
     }
 
     #[test]
@@ -130,7 +131,10 @@ mod tests {
         q.add_vote(vote(1, 2, 0));
         q.add_vote(vote(1, 2, 1));
         assert!(q.add_vote(vote(1, 2, 2)).is_some());
-        assert!(q.add_vote(vote(1, 2, 3)).is_none(), "late vote produces no second QC");
+        assert!(
+            q.add_vote(vote(1, 2, 3)).is_none(),
+            "late vote produces no second QC"
+        );
     }
 
     #[test]

@@ -283,7 +283,10 @@ impl Replica {
 
         // Echo the proposal once (Streamlet's O(n^3) behaviour).
         if self.safety.echo_messages() && !echoed && !self.forest.contains(block_id) {
-            out.send(Destination::AllReplicas, Message::ProposalEcho(block.clone()));
+            out.send(
+                Destination::AllReplicas,
+                Message::ProposalEcho(block.clone()),
+            );
         }
 
         // Store the block (orphans are buffered inside the forest).
@@ -530,32 +533,33 @@ mod tests {
             let result = replica.start(now);
             startup.push((replica.id(), result));
         }
-        let route = |from: NodeId, result: HandleResult, inbox: &mut Vec<(NodeId, ReplicaEvent)>| {
-            for outbound in result.outbound {
-                match outbound.to {
-                    Destination::Node(node) => inbox.push((
-                        node,
-                        ReplicaEvent::Message {
-                            from,
-                            message: outbound.message.clone(),
-                        },
-                    )),
-                    Destination::AllReplicas => {
-                        for node in 0..4u64 {
-                            if NodeId(node) != from {
-                                inbox.push((
-                                    NodeId(node),
-                                    ReplicaEvent::Message {
-                                        from,
-                                        message: outbound.message.clone(),
-                                    },
-                                ));
+        let route =
+            |from: NodeId, result: HandleResult, inbox: &mut Vec<(NodeId, ReplicaEvent)>| {
+                for outbound in result.outbound {
+                    match outbound.to {
+                        Destination::Node(node) => inbox.push((
+                            node,
+                            ReplicaEvent::Message {
+                                from,
+                                message: outbound.message.clone(),
+                            },
+                        )),
+                        Destination::AllReplicas => {
+                            for node in 0..4u64 {
+                                if NodeId(node) != from {
+                                    inbox.push((
+                                        NodeId(node),
+                                        ReplicaEvent::Message {
+                                            from,
+                                            message: outbound.message.clone(),
+                                        },
+                                    ));
+                                }
                             }
                         }
                     }
                 }
-            }
-        };
+            };
         for (from, result) in startup {
             route(from, result, &mut inbox);
         }
@@ -570,10 +574,7 @@ mod tests {
                 let result = replicas[to.index()].handle(event, now);
                 route(to, result, &mut inbox);
             }
-            if replicas
-                .iter()
-                .all(|r| r.current_view().as_u64() >= views)
-            {
+            if replicas.iter().all(|r| r.current_view().as_u64() >= views) {
                 break;
             }
         }

@@ -1,23 +1,27 @@
 //! The discrete-event simulation runner.
 //!
-//! [`SimRunner`] wires `N` [`Replica`]s, a workload generator, and the network
-//! / NIC / CPU models of `bamboo-sim` into one deterministic simulation. One
-//! run corresponds to one benchmark configuration in the paper (one point of a
-//! figure); the sweep logic lives in [`crate::Benchmarker`].
+//! [`SimRunner`] wires `N` replicas (each behind a [`NodeHost`]), a workload
+//! generator, and the network / NIC / CPU models of `bamboo-sim` into one
+//! deterministic simulation. One run corresponds to one benchmark
+//! configuration in the paper (one point of a figure); the sweep logic lives
+//! in [`crate::Benchmarker`].
 //!
-//! The delay composition per message is exactly the paper's model (§V):
-//! normally distributed propagation delay, `2·m/b` NIC serialisation, and a
-//! constant CPU cost per crypto operation (modelled as a per-replica busy
-//! server, which is what produces the M/D/1-style queueing behaviour the
-//! analytical model assumes).
+//! The runner is a *backend* of the shared runtime layer
+//! ([`crate::runtime`]): replica effects are collected through a
+//! [`BufferedTransport`] and mapped onto the event queue with the paper's
+//! delay composition (§V) — normally distributed propagation delay, `2·m/b`
+//! NIC serialisation, and a constant CPU cost per crypto operation (modelled
+//! as a per-replica busy server, which is what produces the M/D/1-style
+//! queueing behaviour the analytical model assumes).
 
-use bamboo_sim::{CpuModel, EventQueue, FluctuationWindow, LatencyModel, LinkFault, NicModel, SimRng};
+use bamboo_sim::{EventQueue, FluctuationWindow, LatencyModel, LinkFault, NicModel, SimRng};
 use bamboo_types::{
     Config, Message, NodeId, ProtocolKind, SimDuration, SimTime, Transaction, View,
 };
 
 use crate::metrics::{Metrics, RunReport};
-use crate::replica::{Destination, HandleResult, Replica, ReplicaEvent, ReplicaOptions};
+use crate::replica::{Replica, ReplicaEvent, ReplicaOptions};
+use crate::runtime::{BufferedTransport, NodeHost, StepReport};
 use crate::workload::{ClosedLoopWorkload, OpenLoopWorkload, Workload};
 
 /// Run-level options that are not part of the shared Table-I [`Config`].
@@ -79,20 +83,25 @@ enum SimEvent {
     WorkloadTick,
 }
 
+/// The simulated network substrate: event queue plus the delay models and the
+/// randomness they consume. Split out of [`SimRunner`] so the runner can
+/// borrow hosts and network disjointly.
+struct SimNet {
+    latency: LatencyModel,
+    nic: NicModel,
+    rng: SimRng,
+    queue: EventQueue<SimEvent>,
+}
+
 /// A deterministic discrete-event simulation of one Bamboo deployment.
 pub struct SimRunner {
     config: Config,
     protocol: ProtocolKind,
     options: RunOptions,
-    replicas: Vec<Replica>,
-    latency: LatencyModel,
-    nic: NicModel,
-    #[allow(dead_code)]
-    cpu: CpuModel,
-    rng: SimRng,
+    hosts: Vec<NodeHost>,
+    net: SimNet,
     workload: Box<dyn Workload>,
     metrics: Metrics,
-    queue: EventQueue<SimEvent>,
     busy_until: Vec<SimTime>,
 }
 
@@ -114,10 +123,9 @@ impl SimRunner {
             latency.add_fault(*fault);
         }
         let nic = NicModel::new(config.bandwidth_bytes_per_sec);
-        let cpu = CpuModel::new(config.cpu_delay);
         let rng = SimRng::new(config.seed);
 
-        let replicas: Vec<Replica> = (0..config.nodes as u64)
+        let hosts: Vec<NodeHost> = (0..config.nodes as u64)
             .map(|i| {
                 let mut replica_options = options.replica;
                 if let Some((node, from)) = options.silence_node_from {
@@ -125,7 +133,7 @@ impl SimRunner {
                         replica_options.silence_from = Some(from);
                     }
                 }
-                Replica::new(NodeId(i), protocol, config.clone(), replica_options)
+                NodeHost::new(NodeId(i), protocol, config.clone(), replica_options)
             })
             .collect();
 
@@ -147,14 +155,15 @@ impl SimRunner {
             config,
             protocol,
             options,
-            replicas,
-            latency,
-            nic,
-            cpu,
-            rng,
+            hosts,
+            net: SimNet {
+                latency,
+                nic,
+                rng,
+                queue: EventQueue::new(),
+            },
             workload,
             metrics,
-            queue: EventQueue::new(),
             busy_until: Vec::new(),
         }
     }
@@ -172,19 +181,18 @@ impl SimRunner {
         let end = SimTime::ZERO + runtime;
         self.busy_until = vec![SimTime::ZERO; self.config.nodes];
 
-        // Boot every replica.
-        let start_results: Vec<(NodeId, HandleResult)> = self
-            .replicas
-            .iter_mut()
-            .map(|r| (r.id(), r.start(SimTime::ZERO)))
-            .collect();
-        for (node, result) in start_results {
-            self.process_result(node, result, SimTime::ZERO);
+        // Boot every replica through the shared runtime layer.
+        for index in 0..self.hosts.len() {
+            let mut effects = BufferedTransport::new();
+            let report = self.hosts[index].start(SimTime::ZERO, &mut effects);
+            self.absorb(NodeId(index as u64), report, effects, SimTime::ZERO);
         }
-        self.queue.schedule(SimTime::ZERO, SimEvent::WorkloadTick);
+        self.net
+            .queue
+            .schedule(SimTime::ZERO, SimEvent::WorkloadTick);
 
         let mut processed: u64 = 0;
-        while let Some((time, event)) = self.queue.pop() {
+        while let Some((time, event)) = self.net.queue.pop() {
             if time > end {
                 break;
             }
@@ -213,7 +221,7 @@ impl SimRunner {
 
     fn handle_workload_tick(&mut self, now: SimTime, end: SimTime) {
         let window_end = now + self.options.workload_tick;
-        let arrivals = self.workload.arrivals(now, window_end, &mut self.rng);
+        let arrivals = self.workload.arrivals(now, window_end, &mut self.net.rng);
         if !arrivals.is_empty() {
             // Group arrivals per replica to keep the event count manageable.
             let mut per_replica: std::collections::BTreeMap<NodeId, Vec<Transaction>> =
@@ -233,16 +241,18 @@ impl SimRunner {
             for (replica, txs) in per_replica {
                 // Client -> replica one-way delay.
                 let delay = self
+                    .net
                     .latency
-                    .sample(&mut self.rng, NodeId(u64::MAX), replica, now)
+                    .sample(&mut self.net.rng, NodeId(u64::MAX), replica, now)
                     .unwrap_or(SimDuration::ZERO);
                 let deliver_at = latest[&replica] + delay;
-                self.queue
+                self.net
+                    .queue
                     .schedule(deliver_at, SimEvent::ClientBatch { to: replica, txs });
             }
         }
         if window_end <= end {
-            self.queue.schedule(window_end, SimEvent::WorkloadTick);
+            self.net.queue.schedule(window_end, SimEvent::WorkloadTick);
         }
     }
 
@@ -250,23 +260,34 @@ impl SimRunner {
         // Model the replica as a single busy server: processing starts when
         // both the event has arrived and the CPU is free.
         let start = time.max(self.busy_until[node.index()]);
-        let result = self.replicas[node.index()].handle(event, start);
-        self.process_result(node, result, start);
+        let mut effects = BufferedTransport::new();
+        let report = self.hosts[node.index()].handle(event, start, &mut effects);
+        self.absorb(node, report, effects, start);
     }
 
-    fn process_result(&mut self, node: NodeId, result: HandleResult, start: SimTime) {
-        let finish = start + result.cpu;
+    /// Maps one step's effects onto the simulated substrate: commits into
+    /// metrics, timers and proposals onto the queue, outbound messages onto
+    /// the network models.
+    fn absorb(
+        &mut self,
+        node: NodeId,
+        report: StepReport,
+        effects: BufferedTransport,
+        start: SimTime,
+    ) {
+        let finish = start + report.cpu;
         self.busy_until[node.index()] = finish;
 
         // Commits: record metrics at the observer replica only, so every
         // transaction is counted exactly once, and feed closed-loop clients.
         if node == self.observer() {
-            for block in &result.committed {
+            for block in &report.committed {
                 self.metrics.record_block();
                 for tx in &block.payload {
                     let response_delay = self
+                        .net
                         .latency
-                        .sample(&mut self.rng, node, NodeId(u64::MAX), finish)
+                        .sample(&mut self.net.rng, node, NodeId(u64::MAX), finish)
                         .unwrap_or(SimDuration::ZERO);
                     let confirmed = finish + response_delay;
                     self.metrics.record_commit(tx.issued_at, confirmed);
@@ -276,32 +297,38 @@ impl SimRunner {
         }
 
         // Timers and delayed proposals.
-        for (view, deadline) in result.timers {
-            self.queue.schedule(deadline, SimEvent::Timer { node, view });
+        for (view, deadline) in effects.timers {
+            self.net
+                .queue
+                .schedule(deadline, SimEvent::Timer { node, view });
         }
-        for (view, at) in result.delayed_proposals {
-            self.queue.schedule(at, SimEvent::ProposeNow { node, view });
+        for (view, at) in effects.proposals {
+            self.net
+                .queue
+                .schedule(at, SimEvent::ProposeNow { node, view });
         }
 
         // Outbound messages leave the sender once its CPU is done.
-        for outbound in result.outbound {
-            let bytes = outbound.message.wire_size();
-            let nic_delay = self.nic.transfer(bytes);
-            match outbound.to {
-                Destination::Node(to) => {
+        for (dest, message) in effects.sends {
+            let bytes = message.wire_size();
+            let nic_delay = self.net.nic.transfer(bytes);
+            match dest {
+                Some(to) => {
                     self.metrics.record_message(bytes);
-                    if let Some(delay) = self.latency.sample(&mut self.rng, node, to, finish) {
-                        self.queue.schedule(
+                    if let Some(delay) =
+                        self.net.latency.sample(&mut self.net.rng, node, to, finish)
+                    {
+                        self.net.queue.schedule(
                             finish + nic_delay + delay,
                             SimEvent::Deliver {
                                 from: node,
                                 to,
-                                message: outbound.message,
+                                message,
                             },
                         );
                     }
                 }
-                Destination::AllReplicas => {
+                None => {
                     for to in 0..self.config.nodes as u64 {
                         let to = NodeId(to);
                         if to == node {
@@ -309,14 +336,14 @@ impl SimRunner {
                         }
                         self.metrics.record_message(bytes);
                         if let Some(delay) =
-                            self.latency.sample(&mut self.rng, node, to, finish)
+                            self.net.latency.sample(&mut self.net.rng, node, to, finish)
                         {
-                            self.queue.schedule(
+                            self.net.queue.schedule(
                                 finish + nic_delay + delay,
                                 SimEvent::Deliver {
                                     from: node,
                                     to,
-                                    message: outbound.message.clone(),
+                                    message: message.clone(),
                                 },
                             );
                         }
@@ -327,7 +354,7 @@ impl SimRunner {
     }
 
     fn report(self, runtime: SimDuration) -> RunReport {
-        let observer = &self.replicas[self.observer().index()];
+        let observer = self.hosts[self.observer().index()].replica();
         let duration_secs = runtime.as_secs_f64();
         let committed_txs = self.metrics.committed_txs();
         let committed_blocks = observer.ledger().len() as u64;
@@ -337,11 +364,15 @@ impl SimRunner {
 
         // Safety audit: per-replica conflicting commits plus pairwise ledger
         // prefix consistency across honest replicas.
-        let mut safety_violations: u64 =
-            self.replicas.iter().map(Replica::safety_violations).sum();
-        let honest: Vec<&Replica> = self
-            .replicas
+        let mut safety_violations: u64 = self
+            .hosts
             .iter()
+            .map(|h| h.replica().safety_violations())
+            .sum();
+        let honest: Vec<&Replica> = self
+            .hosts
+            .iter()
+            .map(NodeHost::replica)
             .filter(|r| !self.config.is_byzantine(r.id()))
             .collect();
         for pair in honest.windows(2) {
@@ -367,10 +398,7 @@ impl SimRunner {
             bytes_sent,
             throughput_series: self.metrics.throughput_series(),
             safety_violations,
-            pending_txs: self
-                .workload
-                .total_issued()
-                .saturating_sub(committed_txs),
+            pending_txs: self.workload.total_issued().saturating_sub(committed_txs),
         }
     }
 }
@@ -412,12 +440,8 @@ mod tests {
             ProtocolKind::TwoChainHotStuff,
             ProtocolKind::Streamlet,
         ] {
-            let report = SimRunner::new(
-                base_config(4, 2_000.0),
-                protocol,
-                RunOptions::default(),
-            )
-            .run();
+            let report =
+                SimRunner::new(base_config(4, 2_000.0), protocol, RunOptions::default()).run();
             assert_eq!(report.safety_violations, 0, "{protocol} violated safety");
             assert!(report.committed_blocks > 0, "{protocol} committed nothing");
         }
@@ -478,8 +502,7 @@ mod tests {
         cfg.byz_nodes = 1;
         cfg.byzantine_strategy = ByzantineStrategy::Silence;
         cfg.timeout = SimDuration::from_millis(20);
-        let attacked =
-            SimRunner::new(cfg, ProtocolKind::HotStuff, RunOptions::default()).run();
+        let attacked = SimRunner::new(cfg, ProtocolKind::HotStuff, RunOptions::default()).run();
         assert_eq!(attacked.safety_violations, 0);
         assert!(attacked.chain_growth_rate < honest.chain_growth_rate);
         assert!(attacked.timeout_view_changes > 0);
@@ -490,12 +513,7 @@ mod tests {
         let mut cfg = base_config(4, 2_000.0);
         cfg.byz_nodes = 1;
         cfg.byzantine_strategy = ByzantineStrategy::Forking;
-        let hs = SimRunner::new(
-            cfg.clone(),
-            ProtocolKind::HotStuff,
-            RunOptions::default(),
-        )
-        .run();
+        let hs = SimRunner::new(cfg.clone(), ProtocolKind::HotStuff, RunOptions::default()).run();
         let sl = SimRunner::new(cfg, ProtocolKind::Streamlet, RunOptions::default()).run();
         assert_eq!(hs.safety_violations, 0);
         assert_eq!(sl.safety_violations, 0);

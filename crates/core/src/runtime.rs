@@ -1,0 +1,266 @@
+//! The shared runtime spine of both deployment modes.
+//!
+//! A [`crate::Replica`] is a pure state machine: it consumes
+//! [`ReplicaEvent`]s and returns a [`HandleResult`] describing messages to
+//! send, timers to arm and delayed proposals to schedule. Everything that
+//! differs between the deterministic simulator and the live threaded cluster
+//! is *how* those effects are realised — which is exactly what the
+//! [`Transport`] trait captures:
+//!
+//! * the simulator buffers the effects (via [`BufferedTransport`]) and maps
+//!   them onto its discrete-event queue with modelled latency, NIC and CPU
+//!   delays,
+//! * the threaded runtime pushes messages straight into per-replica channels
+//!   and keeps timer deadlines in a thread-local list checked against the
+//!   wall clock.
+//!
+//! The [`NodeHost`] is the common driver: it owns the replica, feeds events
+//! into it, routes every effect into the backend's `Transport`, and hands the
+//! backend a [`StepReport`] (CPU time consumed plus newly committed blocks)
+//! for accounting. Future backends — sharded, async, networked — implement
+//! `Transport` and reuse the host unchanged.
+
+use bamboo_types::{Block, Config, Message, NodeId, ProtocolKind, SimDuration, SimTime, View};
+
+use crate::replica::{Destination, HandleResult, Replica, ReplicaEvent, ReplicaOptions};
+
+/// Backend-provided effect sink for a single replica.
+///
+/// All methods are invoked while the replica handles one event; the backend
+/// decides delivery timing (immediate for live channels, modelled for the
+/// simulator). `deadline`/`at` are absolute times on the backend's clock —
+/// simulated time for the simulator, nanoseconds since cluster start for the
+/// threaded runtime.
+pub trait Transport {
+    /// Deliver `message` to a single replica.
+    fn unicast(&mut self, to: NodeId, message: Message);
+
+    /// Deliver `message` to every replica except the sender.
+    fn broadcast(&mut self, message: Message);
+
+    /// Arm a view timer that must fire at `deadline` unless the view has
+    /// advanced past `view` by then.
+    fn arm_timer(&mut self, view: View, deadline: SimTime);
+
+    /// Schedule a delayed proposal slot for `view` at time `at` (used by the
+    /// non-responsive wait-for-timeout deployment of Fig. 15).
+    fn schedule_proposal(&mut self, view: View, at: SimTime);
+}
+
+/// What one event step produced, after all effects were routed into the
+/// backend's [`Transport`].
+#[derive(Debug, Default)]
+pub struct StepReport {
+    /// CPU time the replica consumed handling the event.
+    pub cpu: SimDuration,
+    /// Blocks that became committed during the step (oldest first).
+    pub committed: Vec<Block>,
+}
+
+/// The shared node-host driver: one replica plus the logic that routes its
+/// effects into a [`Transport`].
+///
+/// Both [`crate::SimRunner`] and [`crate::threaded::ThreadedCluster`] drive
+/// their replicas exclusively through this type, so the two runtimes cannot
+/// drift apart in how replica output is interpreted.
+pub struct NodeHost {
+    replica: Replica,
+}
+
+impl NodeHost {
+    /// Creates a host for a fresh replica.
+    pub fn new(
+        id: NodeId,
+        protocol: ProtocolKind,
+        config: Config,
+        options: ReplicaOptions,
+    ) -> Self {
+        Self {
+            replica: Replica::new(id, protocol, config, options),
+        }
+    }
+
+    /// Wraps an already-constructed replica.
+    pub fn from_replica(replica: Replica) -> Self {
+        Self { replica }
+    }
+
+    /// The hosted replica.
+    pub fn replica(&self) -> &Replica {
+        &self.replica
+    }
+
+    /// Mutable access to the hosted replica (for run-time reconfiguration
+    /// such as timeout changes).
+    pub fn replica_mut(&mut self) -> &mut Replica {
+        &mut self.replica
+    }
+
+    /// Consumes the host and returns the replica (used at shutdown).
+    pub fn into_replica(self) -> Replica {
+        self.replica
+    }
+
+    /// Boots the replica: arms the first view timer and, if it leads the
+    /// first view, proposes.
+    pub fn start(&mut self, now: SimTime, transport: &mut dyn Transport) -> StepReport {
+        let result = self.replica.start(now);
+        route(result, transport)
+    }
+
+    /// Feeds one event into the replica and routes the produced effects.
+    pub fn handle(
+        &mut self,
+        event: ReplicaEvent,
+        now: SimTime,
+        transport: &mut dyn Transport,
+    ) -> StepReport {
+        let result = self.replica.handle(event, now);
+        route(result, transport)
+    }
+}
+
+/// Routes a raw [`HandleResult`] into a transport and condenses the
+/// accounting part into a [`StepReport`].
+fn route(result: HandleResult, transport: &mut dyn Transport) -> StepReport {
+    let HandleResult {
+        outbound,
+        timers,
+        delayed_proposals,
+        cpu,
+        committed,
+    } = result;
+    for (view, deadline) in timers {
+        transport.arm_timer(view, deadline);
+    }
+    for (view, at) in delayed_proposals {
+        transport.schedule_proposal(view, at);
+    }
+    for out in outbound {
+        match out.to {
+            Destination::Node(to) => transport.unicast(to, out.message),
+            Destination::AllReplicas => transport.broadcast(out.message),
+        }
+    }
+    StepReport { cpu, committed }
+}
+
+/// A [`Transport`] that simply records every effect, in order.
+///
+/// Backends whose delivery timing depends on the *total* CPU cost of the step
+/// (the simulator charges outbound messages only once the sender's CPU is
+/// free) buffer effects here and map them onto their event queue afterwards.
+/// Also convenient in tests.
+#[derive(Debug, Default)]
+pub struct BufferedTransport {
+    /// Buffered sends; `None` destination means broadcast.
+    pub sends: Vec<(Option<NodeId>, Message)>,
+    /// Buffered timer arms.
+    pub timers: Vec<(View, SimTime)>,
+    /// Buffered delayed proposals.
+    pub proposals: Vec<(View, SimTime)>,
+}
+
+impl BufferedTransport {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Transport for BufferedTransport {
+    fn unicast(&mut self, to: NodeId, message: Message) {
+        self.sends.push((Some(to), message));
+    }
+
+    fn broadcast(&mut self, message: Message) {
+        self.sends.push((None, message));
+    }
+
+    fn arm_timer(&mut self, view: View, deadline: SimTime) {
+        self.timers.push((view, deadline));
+    }
+
+    fn schedule_proposal(&mut self, view: View, at: SimTime) {
+        self.proposals.push((view, at));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bamboo_types::Transaction;
+
+    fn config(nodes: usize) -> Config {
+        Config::builder()
+            .nodes(nodes)
+            .block_size(10)
+            .seed(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn host_start_routes_timer_into_transport() {
+        let mut host = NodeHost::new(
+            NodeId(3),
+            ProtocolKind::HotStuff,
+            config(4),
+            ReplicaOptions::default(),
+        );
+        let mut transport = BufferedTransport::new();
+        let report = host.start(SimTime::ZERO, &mut transport);
+        assert!(report.cpu.is_zero());
+        assert_eq!(transport.timers.len(), 1);
+        assert_eq!(transport.timers[0].0, View(1));
+        assert!(transport.sends.is_empty(), "non-leader does not propose");
+    }
+
+    #[test]
+    fn leader_proposal_is_broadcast_through_transport() {
+        let mut host = NodeHost::new(
+            NodeId(1),
+            ProtocolKind::HotStuff,
+            config(4),
+            ReplicaOptions::default(),
+        );
+        let txs: Vec<Transaction> = (0..5)
+            .map(|i| Transaction::new(NodeId(9), i, 8, SimTime::ZERO))
+            .collect();
+        let mut transport = BufferedTransport::new();
+        host.handle(
+            ReplicaEvent::ClientRequests(txs),
+            SimTime::ZERO,
+            &mut transport,
+        );
+        // Node 1 leads view 1.
+        let report = host.start(SimTime::ZERO, &mut transport);
+        assert!(report.cpu > SimDuration::ZERO, "proposing costs CPU");
+        assert!(transport
+            .sends
+            .iter()
+            .any(|(to, m)| to.is_none() && matches!(m, Message::Proposal(_))));
+    }
+
+    #[test]
+    fn timer_fired_event_produces_timeout_broadcast() {
+        let mut host = NodeHost::new(
+            NodeId(2),
+            ProtocolKind::HotStuff,
+            config(4),
+            ReplicaOptions::default(),
+        );
+        let mut transport = BufferedTransport::new();
+        host.start(SimTime::ZERO, &mut transport);
+        let report = host.handle(
+            ReplicaEvent::TimerFired { view: View(1) },
+            SimTime(200_000_000),
+            &mut transport,
+        );
+        assert!(report.committed.is_empty());
+        assert!(transport
+            .sends
+            .iter()
+            .any(|(to, m)| to.is_none() && matches!(m, Message::Timeout(_))));
+    }
+}

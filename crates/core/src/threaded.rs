@@ -3,25 +3,27 @@
 //! The deterministic simulator is what the benchmarks use; this module
 //! provides the complementary "real concurrency" deployment mode that the
 //! original Bamboo gets from its Go-channel transport: every replica runs on
-//! its own OS thread, messages travel over `crossbeam` channels, and time is
-//! the real wall clock. The examples use it to show the public API driving an
-//! actually concurrent cluster.
+//! its own OS thread, messages travel over `std::sync::mpsc` channels, and
+//! time is the real wall clock.
 //!
-//! The threaded cluster re-uses the exact same [`Replica`] state machine as
-//! the simulator — only the event loop differs.
+//! The threaded cluster is a thin backend over the shared runtime layer
+//! ([`crate::runtime`]): the same [`NodeHost`] drives the same replica state
+//! machine as the simulator, and all backend-specific behaviour lives in
+//! [`ThreadTransport`] — immediate channel delivery plus a thread-local list
+//! of armed view timers checked against the wall clock. Because the timers
+//! are real, a stalled or silenced leader cannot hang the cluster: every
+//! replica times out, broadcasts its timeout vote, and the view advances
+//! without requiring any message traffic to keep the loop turning.
 
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use bamboo_types::{Config, Message, NodeId, ProtocolKind, SimTime, Transaction, View};
 
-use bamboo_types::{
-    Config, Message, NodeId, ProtocolKind, SimTime, Transaction, View,
-};
-
-use crate::replica::{Destination, HandleResult, Replica, ReplicaEvent, ReplicaOptions};
+use crate::replica::{Replica, ReplicaEvent, ReplicaOptions};
+use crate::runtime::{NodeHost, StepReport, Transport};
 
 /// Summary of one threaded run.
 #[derive(Clone, Debug)]
@@ -34,14 +36,98 @@ pub struct ClusterReport {
     pub max_view: u64,
     /// Whether all honest ledgers were pairwise consistent at shutdown.
     pub ledgers_consistent: bool,
+    /// Conflicting-commit events observed across all replicas (must be 0).
+    pub safety_violations: u64,
+    /// Timeout-driven view changes summed across replicas.
+    pub timeout_view_changes: u64,
 }
 
 enum ThreadEvent {
     Inbound { from: NodeId, message: Message },
     Client(Vec<Transaction>),
-    #[allow(dead_code)]
-    Timer { view: View },
     Shutdown,
+}
+
+/// The threaded backend's [`Transport`]: messages go straight into the peer
+/// channels; timers and delayed proposals are kept thread-local and fired by
+/// the replica thread's own loop when the wall clock passes their deadline.
+struct ThreadTransport {
+    id: NodeId,
+    peers: Vec<Sender<ThreadEvent>>,
+    /// Armed view timers: `(view, absolute deadline)`.
+    timers: Vec<(View, SimTime)>,
+    /// Scheduled delayed proposals: `(view, absolute time)`.
+    proposals: Vec<(View, SimTime)>,
+}
+
+impl ThreadTransport {
+    fn new(id: NodeId, peers: Vec<Sender<ThreadEvent>>) -> Self {
+        Self {
+            id,
+            peers,
+            timers: Vec::new(),
+            proposals: Vec::new(),
+        }
+    }
+
+    /// Earliest pending deadline among timers and delayed proposals.
+    fn next_deadline(&self) -> Option<SimTime> {
+        let timer = self.timers.iter().map(|&(_, d)| d).min();
+        let proposal = self.proposals.iter().map(|&(_, d)| d).min();
+        match (timer, proposal) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Removes and returns one timer whose deadline has passed.
+    fn due_timer(&mut self, now: SimTime) -> Option<View> {
+        let index = self.timers.iter().position(|&(_, d)| d <= now)?;
+        Some(self.timers.swap_remove(index).0)
+    }
+
+    /// Removes and returns one delayed proposal whose time has come.
+    fn due_proposal(&mut self, now: SimTime) -> Option<View> {
+        let index = self.proposals.iter().position(|&(_, d)| d <= now)?;
+        Some(self.proposals.swap_remove(index).0)
+    }
+
+    /// Drops timers and proposals for views the replica has already left, so
+    /// the pending lists stay bounded over long runs.
+    fn prune_stale(&mut self, current_view: View) {
+        self.timers.retain(|&(view, _)| view >= current_view);
+        self.proposals.retain(|&(view, _)| view >= current_view);
+    }
+}
+
+impl Transport for ThreadTransport {
+    fn unicast(&mut self, to: NodeId, message: Message) {
+        if let Some(sender) = self.peers.get(to.index()) {
+            let _ = sender.send(ThreadEvent::Inbound {
+                from: self.id,
+                message,
+            });
+        }
+    }
+
+    fn broadcast(&mut self, message: Message) {
+        for (index, sender) in self.peers.iter().enumerate() {
+            if index != self.id.index() {
+                let _ = sender.send(ThreadEvent::Inbound {
+                    from: self.id,
+                    message: message.clone(),
+                });
+            }
+        }
+    }
+
+    fn arm_timer(&mut self, view: View, deadline: SimTime) {
+        self.timers.push((view, deadline));
+    }
+
+    fn schedule_proposal(&mut self, view: View, at: SimTime) {
+        self.proposals.push((view, at));
+    }
 }
 
 /// A running in-process cluster of replica threads.
@@ -60,7 +146,7 @@ impl ThreadedCluster {
         let mut senders: Vec<Sender<ThreadEvent>> = Vec::with_capacity(nodes);
         let mut receivers: Vec<Receiver<ThreadEvent>> = Vec::with_capacity(nodes);
         for _ in 0..nodes {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(rx);
         }
@@ -93,8 +179,8 @@ impl ThreadedCluster {
         }
     }
 
-    /// Convenience: submits `count` zero-payload transactions round-robin
-    /// across all replicas.
+    /// Convenience: submits `count` transactions of `payload` bytes
+    /// round-robin across all replicas.
     pub fn submit_round_robin(&self, count: u64, payload: usize) {
         let now = SimTime(self.started_at.elapsed().as_nanos() as u64);
         for seq in 0..count {
@@ -106,12 +192,30 @@ impl ThreadedCluster {
 
     /// Committed transactions observed so far (at replica 0).
     pub fn committed_txs(&self) -> u64 {
-        *self.committed_txs.lock()
+        *self.committed_txs.lock().expect("counter lock poisoned")
     }
 
     /// Lets the cluster run for `duration` of wall-clock time.
     pub fn run_for(&self, duration: Duration) {
         std::thread::sleep(duration);
+    }
+
+    /// Runs until replica 0 has observed at least `min_txs` committed
+    /// transactions or `max_wait` elapses; returns whether the target was
+    /// reached. Prefer this over a fixed [`ThreadedCluster::run_for`] in
+    /// tests — wall-clock progress depends on scheduler pressure, so a fixed
+    /// window flakes on loaded machines while a progress poll does not.
+    pub fn run_until_committed(&self, min_txs: u64, max_wait: Duration) -> bool {
+        let deadline = Instant::now() + max_wait;
+        loop {
+            if self.committed_txs() >= min_txs {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return self.committed_txs() >= min_txs;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
     }
 
     /// Stops every replica thread and returns the final report.
@@ -130,20 +234,33 @@ impl ThreadedCluster {
             .map(|r| r.current_view().as_u64())
             .max()
             .unwrap_or(0);
+        let mut safety_violations: u64 = replicas.iter().map(Replica::safety_violations).sum();
+        let timeout_view_changes: u64 = replicas.iter().map(Replica::timeout_view_changes).sum();
+        let honest: Vec<&Replica> = replicas
+            .iter()
+            .filter(|r| !self.config.is_byzantine(r.id()))
+            .collect();
         let mut consistent = true;
-        for pair in replicas.windows(2) {
+        for pair in honest.windows(2) {
             if !pair[0].ledger().consistent_with(pair[1].ledger()) {
                 consistent = false;
+                safety_violations += 1;
             }
         }
         ClusterReport {
             committed_blocks,
-            committed_txs: *self.committed_txs.lock(),
+            committed_txs: *self.committed_txs.lock().expect("counter lock poisoned"),
             max_view,
             ledgers_consistent: consistent,
+            safety_violations,
+            timeout_view_changes,
         }
     }
 }
+
+/// Upper bound on how long a replica thread sleeps when it has nothing armed;
+/// keeps shutdown latency bounded even if no timer is pending.
+const IDLE_WAIT: Duration = Duration::from_millis(20);
 
 #[allow(clippy::too_many_arguments)]
 fn run_replica_thread(
@@ -155,88 +272,82 @@ fn run_replica_thread(
     started_at: Instant,
     committed_txs: Arc<Mutex<u64>>,
 ) -> Replica {
-    let timeout = Duration::from_nanos(config.timeout.as_nanos());
-    let mut replica = Replica::new(id, protocol, config, ReplicaOptions::default());
+    let mut host = NodeHost::new(id, protocol, config, ReplicaOptions::default());
+    let mut transport = ThreadTransport::new(id, peers);
     let now = || SimTime(started_at.elapsed().as_nanos() as u64);
 
-    let mut pending_timer: Option<(View, SimTime)> = None;
-    let process = |_replica: &mut Replica,
-                       result: HandleResult,
-                       pending_timer: &mut Option<(View, SimTime)>| {
+    // Replica 0 is the designated observer for the cluster-wide commit
+    // counter, mirroring the simulator's single-observer accounting.
+    let account = |report: &StepReport| {
         if id == NodeId(0) {
-            let newly: u64 = result.committed.iter().map(|b| b.payload.len() as u64).sum();
+            let newly: u64 = report
+                .committed
+                .iter()
+                .map(|b| b.payload.len() as u64)
+                .sum();
             if newly > 0 {
-                *committed_txs.lock() += newly;
+                *committed_txs.lock().expect("counter lock poisoned") += newly;
             }
         }
-        for (view, deadline) in result.timers {
-            *pending_timer = Some((view, deadline));
-        }
-        for outbound in result.outbound {
-            match outbound.to {
-                Destination::Node(node) => {
-                    if let Some(sender) = peers.get(node.index()) {
-                        let _ = sender.send(ThreadEvent::Inbound {
-                            from: id,
-                            message: outbound.message.clone(),
-                        });
-                    }
-                }
-                Destination::AllReplicas => {
-                    for (index, sender) in peers.iter().enumerate() {
-                        if index != id.index() {
-                            let _ = sender.send(ThreadEvent::Inbound {
-                                from: id,
-                                message: outbound.message.clone(),
-                            });
-                        }
-                    }
-                }
-            }
-        }
-        // Delayed proposals degrade to immediate proposals on the threaded
-        // runtime (it is a demo path, not a measurement path).
-        let _ = result.delayed_proposals;
     };
 
-    let start_result = replica.start(now());
-    process(&mut replica, start_result, &mut pending_timer);
+    let report = host.start(now(), &mut transport);
+    account(&report);
 
     loop {
-        // Fire an expired view timer.
-        if let Some((view, deadline)) = pending_timer {
-            if now() >= deadline {
-                pending_timer = None;
-                let result = replica.handle(ReplicaEvent::TimerFired { view }, now());
-                process(&mut replica, result, &mut pending_timer);
-                continue;
-            }
+        let current = now();
+
+        // Fire one expired view timer: this is what keeps a live cluster
+        // moving when a leader is silent — no message traffic is needed for
+        // the view change to happen.
+        if let Some(view) = transport.due_timer(current) {
+            let report = host.handle(ReplicaEvent::TimerFired { view }, current, &mut transport);
+            account(&report);
+            transport.prune_stale(host.replica().current_view());
+            continue;
         }
-        match receiver.recv_timeout(timeout.min(Duration::from_millis(5))) {
+
+        // Fire one due delayed proposal (the non-responsive Fig. 15 mode).
+        if let Some(view) = transport.due_proposal(current) {
+            let report = host.handle(ReplicaEvent::ProposeNow { view }, current, &mut transport);
+            account(&report);
+            continue;
+        }
+
+        // Block on the channel, but never sleep past the next armed deadline.
+        let wait = match transport.next_deadline() {
+            Some(deadline) => {
+                Duration::from_nanos(deadline.as_nanos().saturating_sub(current.as_nanos()))
+                    .min(IDLE_WAIT)
+            }
+            None => IDLE_WAIT,
+        };
+        match receiver.recv_timeout(wait) {
             Ok(ThreadEvent::Shutdown) => break,
             Ok(ThreadEvent::Inbound { from, message }) => {
-                let result = replica.handle(ReplicaEvent::Message { from, message }, now());
-                process(&mut replica, result, &mut pending_timer);
+                let report = host.handle(
+                    ReplicaEvent::Message { from, message },
+                    now(),
+                    &mut transport,
+                );
+                account(&report);
+                transport.prune_stale(host.replica().current_view());
             }
             Ok(ThreadEvent::Client(txs)) => {
-                let result = replica.handle(ReplicaEvent::ClientRequests(txs), now());
-                process(&mut replica, result, &mut pending_timer);
+                let report = host.handle(ReplicaEvent::ClientRequests(txs), now(), &mut transport);
+                account(&report);
             }
-            Ok(ThreadEvent::Timer { view }) => {
-                let result = replica.handle(ReplicaEvent::TimerFired { view }, now());
-                process(&mut replica, result, &mut pending_timer);
-            }
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
         }
     }
-    replica
+    host.into_replica()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bamboo_types::SimDuration;
+    use bamboo_types::{ByzantineStrategy, SimDuration};
 
     #[test]
     fn threaded_cluster_commits_and_stays_consistent() {
@@ -248,7 +359,14 @@ mod tests {
             .unwrap();
         let cluster = ThreadedCluster::spawn(config, ProtocolKind::HotStuff);
         cluster.submit_round_robin(400, 16);
-        cluster.run_for(Duration::from_millis(400));
+        // Poll for progress instead of sleeping a fixed window: wall-clock
+        // progress depends on scheduler pressure, and a fixed sleep flakes on
+        // loaded CI runners.
+        assert!(
+            cluster.run_until_committed(40, Duration::from_secs(20)),
+            "cluster committed {} txs before the deadline",
+            cluster.committed_txs()
+        );
         let report = cluster.shutdown();
         assert!(report.max_view > 2, "views advanced: {}", report.max_view);
         assert!(
@@ -257,5 +375,48 @@ mod tests {
             report.committed_blocks
         );
         assert!(report.ledgers_consistent);
+        assert_eq!(report.safety_violations, 0);
+    }
+
+    #[test]
+    fn silenced_leader_cannot_hang_the_cluster() {
+        // Node 0 runs the silence strategy: it never proposes. Without real
+        // view timers the cluster would stall forever in every view node 0
+        // leads; with them, replicas time out and keep committing.
+        let mut config = Config::builder()
+            .nodes(4)
+            .block_size(20)
+            .timeout(SimDuration::from_millis(30))
+            .build()
+            .unwrap();
+        config.byzantine_strategy = ByzantineStrategy::Silence;
+        config.byz_nodes = 1;
+        let cluster = ThreadedCluster::spawn(config, ProtocolKind::HotStuff);
+        cluster.submit_round_robin(400, 16);
+        // Five committed blocks at replica 0 means the cluster moved past
+        // view 4 — node 0's first leadership slot — which under silence is
+        // only possible via a timeout-driven view change.
+        assert!(
+            cluster.run_until_committed(100, Duration::from_secs(20)),
+            "cluster committed {} txs before the deadline",
+            cluster.committed_txs()
+        );
+        let report = cluster.shutdown();
+        assert!(
+            report.timeout_view_changes > 0,
+            "view changes must happen via timeouts"
+        );
+        assert!(
+            report.max_view > 4,
+            "views must advance past the silent leader: {}",
+            report.max_view
+        );
+        assert!(
+            report.committed_blocks.iter().any(|&c| c > 0),
+            "cluster must keep committing: {:?}",
+            report.committed_blocks
+        );
+        assert!(report.ledgers_consistent);
+        assert_eq!(report.safety_violations, 0);
     }
 }

@@ -81,15 +81,14 @@ impl Workload for OpenLoopWorkload {
         });
         while cursor < to {
             let replica = NodeId(rng.choose_index(self.replicas) as u64);
-            let tx =
-                Transaction::new(self.client, self.next_seq, self.payload_size, cursor);
+            let tx = Transaction::new(self.client, self.next_seq, self.payload_size, cursor);
             self.next_seq += 1;
             out.push(Arrival {
                 issued_at: cursor,
                 replica,
                 transaction: tx,
             });
-            cursor = cursor + SimDuration::from_secs_f64(rng.exponential(self.rate_tx_per_sec));
+            cursor += SimDuration::from_secs_f64(rng.exponential(self.rate_tx_per_sec));
         }
         self.next_arrival = Some(cursor);
         out

@@ -7,8 +7,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::keys::{PublicKey, Signature};
 
 /// A multi-signature over a single message, keyed by signer index.
@@ -28,7 +26,7 @@ use crate::keys::{PublicKey, Signature};
 /// let pks: Vec<_> = keys.iter().map(|k| k.public_key()).collect();
 /// assert!(agg.verify(msg, |i| pks.get(i as usize).copied()));
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct AggregateSignature {
     signatures: BTreeMap<u64, Signature>,
 }

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::sha256::sha256;
 
 /// A 32-byte SHA-256 digest.
@@ -21,7 +19,7 @@ use crate::sha256::sha256;
 /// assert_eq!(a, b);
 /// assert_ne!(a, Digest::of(b"world"));
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Digest([u8; 32]);
 
 impl Digest {

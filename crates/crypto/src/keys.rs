@@ -12,15 +12,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::hash::{hash_two, Digest};
 
 const SIGN_TAG: &[u8] = b"bamboo-sim-signature-v1";
 const PK_TAG: &[u8] = b"bamboo-sim-public-key-v1";
 
 /// A secret signing key.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct SecretKey(Digest);
 
 impl fmt::Debug for SecretKey {
@@ -31,7 +29,7 @@ impl fmt::Debug for SecretKey {
 }
 
 /// A public verification key derived from a [`SecretKey`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PublicKey(Digest);
 
 impl fmt::Debug for PublicKey {
@@ -59,7 +57,7 @@ impl PublicKey {
 }
 
 /// A signature over a message.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Signature(Digest);
 
 impl fmt::Debug for Signature {
@@ -94,7 +92,7 @@ impl Signature {
 /// assert!(kp.public_key().verify(b"vote for block 7", &sig));
 /// assert!(!kp.public_key().verify(b"vote for block 8", &sig));
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct KeyPair {
     secret: SecretKey,
     public: PublicKey,

@@ -3,8 +3,6 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use bamboo_types::{Block, BlockId, Height, QuorumCert};
 
 /// Errors returned by [`BlockForest`] operations.
@@ -70,7 +68,7 @@ impl fmt::Display for ForestError {
 impl std::error::Error for ForestError {}
 
 /// Aggregate statistics about the forest, used by metrics and tests.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ForestStats {
     /// Number of blocks currently stored (excluding orphans).
     pub stored_blocks: usize,
@@ -173,7 +171,10 @@ impl BlockForest {
     /// Returns true if the block is certified (a *one-chain* in HotStuff
     /// terminology, *notarized* in Streamlet terminology).
     pub fn is_certified(&self, id: BlockId) -> bool {
-        self.vertices.get(&id).map(|v| v.qc.is_some()).unwrap_or(false)
+        self.vertices
+            .get(&id)
+            .map(|v| v.qc.is_some())
+            .unwrap_or(false)
     }
 
     /// The highest QC observed so far.
@@ -528,8 +529,8 @@ impl BlockForest {
 mod tests {
     use super::*;
     use bamboo_crypto::KeyPair;
-    use bamboo_types::{NodeId, Transaction, View, Vote};
     use bamboo_types::SimTime;
+    use bamboo_types::{NodeId, Transaction, View, Vote};
 
     /// Builds a child of `parent` proposed in `view` and inserts it.
     fn add_child(forest: &mut BlockForest, parent: BlockId, view: u64) -> BlockId {
@@ -688,7 +689,10 @@ mod tests {
             vec![a, b]
         );
         let committed = forest.commit(c).unwrap();
-        assert_eq!(committed.iter().map(|bk| bk.id).collect::<Vec<_>>(), vec![c]);
+        assert_eq!(
+            committed.iter().map(|bk| bk.id).collect::<Vec<_>>(),
+            vec![c]
+        );
         assert_eq!(forest.commit(c).unwrap(), Vec::<Block>::new());
         assert_eq!(forest.stats().committed_blocks, 3);
     }

@@ -5,12 +5,10 @@
 //! simulation: it records every committed block together with commit-time
 //! metadata needed by the chain-growth-rate and block-interval metrics.
 
-use serde::{Deserialize, Serialize};
-
 use bamboo_types::{Block, BlockId, SimTime, View};
 
 /// A committed block plus commit metadata.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CommittedBlock {
     /// The block itself.
     pub block: Block,
@@ -31,7 +29,7 @@ impl CommittedBlock {
 }
 
 /// The linear committed history of one replica.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Ledger {
     blocks: Vec<CommittedBlock>,
     committed_txs: u64,

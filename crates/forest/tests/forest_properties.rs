@@ -1,20 +1,21 @@
-//! Property-based tests for the block forest invariants.
+//! Property-style tests for the block forest invariants.
+//!
+//! Randomised forests are generated from the workspace's own deterministic
+//! [`SimRng`] over a grid of seeds (no external property-testing framework),
+//! so every failure is reproducible from the printed seed.
 
 use bamboo_forest::BlockForest;
+use bamboo_sim::SimRng;
 use bamboo_types::{Block, BlockId, NodeId, QuorumCert, SimTime, Transaction, View};
-use proptest::prelude::*;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 
 /// Builds a random forest from a seed: at each step pick a random existing
 /// block and extend it, occasionally certifying blocks.
 fn build_random_forest(seed: u64, steps: usize) -> (BlockForest, Vec<BlockId>) {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SimRng::new(seed);
     let mut forest = BlockForest::new();
     let mut ids = vec![BlockId::GENESIS];
     for view in 1..=steps as u64 {
-        let parent_id = *ids.choose(&mut rng).unwrap();
+        let parent_id = ids[rng.choose_index(ids.len())];
         let parent = forest.get(parent_id).unwrap().clone();
         let block = Block::new(
             View(view),
@@ -27,7 +28,7 @@ fn build_random_forest(seed: u64, steps: usize) -> (BlockForest, Vec<BlockId>) {
         let id = block.id;
         forest.insert(block).unwrap();
         ids.push(id);
-        if rng.gen_bool(0.6) {
+        if rng.chance(0.6) {
             let qc = QuorumCert {
                 block: id,
                 view: View(view),
@@ -39,60 +40,82 @@ fn build_random_forest(seed: u64, steps: usize) -> (BlockForest, Vec<BlockId>) {
     (forest, ids)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// The seed/size grid every invariant is checked over.
+fn cases() -> impl Iterator<Item = (u64, usize)> {
+    (0u64..64).map(|seed| {
+        let steps = 1 + (seed as usize * 7) % 60;
+        (seed, steps)
+    })
+}
 
-    /// Every stored block's height is exactly its parent's height + 1, and
-    /// every non-genesis block extends genesis.
-    #[test]
-    fn heights_are_parent_plus_one(seed in 0u64..1_000, steps in 1usize..60) {
+/// Every stored block's height is exactly its parent's height + 1, and every
+/// non-genesis block extends genesis.
+#[test]
+fn heights_are_parent_plus_one() {
+    for (seed, steps) in cases() {
         let (forest, ids) = build_random_forest(seed, steps);
         for id in &ids {
             let block = forest.get(*id).unwrap();
             if !block.is_genesis() {
                 let parent = forest.get(block.parent).unwrap();
-                prop_assert_eq!(block.height.as_u64(), parent.height.as_u64() + 1);
-                prop_assert!(forest.extends(*id, BlockId::GENESIS));
+                assert_eq!(
+                    block.height.as_u64(),
+                    parent.height.as_u64() + 1,
+                    "seed {seed}"
+                );
+                assert!(forest.extends(*id, BlockId::GENESIS), "seed {seed}");
             }
         }
     }
+}
 
-    /// `extends` is reflexive and transitive along sampled ancestry chains.
-    #[test]
-    fn extends_is_reflexive_and_transitive(seed in 0u64..1_000, steps in 2usize..60) {
+/// `extends` is reflexive and transitive along sampled ancestry chains.
+#[test]
+fn extends_is_reflexive_and_transitive() {
+    for (seed, steps) in cases() {
+        let steps = steps.max(2);
         let (forest, ids) = build_random_forest(seed, steps);
         for id in &ids {
-            prop_assert!(forest.extends(*id, *id));
+            assert!(forest.extends(*id, *id), "seed {seed}");
             let block = forest.get(*id).unwrap();
             if !block.is_genesis() {
                 let parent = forest.get(block.parent).unwrap();
                 if !parent.is_genesis() {
-                    prop_assert!(forest.extends(*id, parent.parent));
+                    assert!(forest.extends(*id, parent.parent), "seed {seed}");
                 }
             }
         }
     }
+}
 
-    /// The certified-chain-length predicate never exceeds the block's height+1
-    /// and is monotone along parent links of certified blocks.
-    #[test]
-    fn certified_chain_length_is_bounded(seed in 0u64..1_000, steps in 1usize..60) {
+/// The certified-chain-length predicate never exceeds the block's height+1
+/// and is monotone along parent links of certified blocks.
+#[test]
+fn certified_chain_length_is_bounded() {
+    for (seed, steps) in cases() {
         let (forest, ids) = build_random_forest(seed, steps);
         for id in &ids {
             let block = forest.get(*id).unwrap();
             let len = forest.certified_chain_length(*id);
-            prop_assert!(len as u64 <= block.height.as_u64() + 1);
+            assert!(len as u64 <= block.height.as_u64() + 1, "seed {seed}");
             if len > 1 {
-                prop_assert_eq!(forest.certified_chain_length(block.parent), len - 1);
+                assert_eq!(
+                    forest.certified_chain_length(block.parent),
+                    len - 1,
+                    "seed {seed}"
+                );
             }
         }
     }
+}
 
-    /// Committing the deepest certified block and pruning preserves exactly
-    /// the committed chain plus blocks above the horizon, and forked blocks
-    /// returned by pruning are never on the committed chain.
-    #[test]
-    fn prune_preserves_committed_chain(seed in 0u64..1_000, steps in 5usize..80) {
+/// Committing the deepest certified block and pruning preserves exactly the
+/// committed chain plus blocks above the horizon, and forked blocks returned
+/// by pruning are never on the committed chain.
+#[test]
+fn prune_preserves_committed_chain() {
+    for (seed, steps) in cases() {
+        let steps = steps.max(5);
         let (mut forest, ids) = build_random_forest(seed, steps);
         // Commit the highest block (any leaf works for the invariant).
         let deepest = ids
@@ -104,27 +127,34 @@ proptest! {
         let committed_ids: Vec<BlockId> = committed.iter().map(|b| b.id).collect();
         let forked = forest.prune_to_committed();
         for f in &forked {
-            prop_assert!(!committed_ids.contains(&f.id), "forked block was committed");
+            assert!(
+                !committed_ids.contains(&f.id),
+                "seed {seed}: forked block was committed"
+            );
         }
         // The committed head must survive pruning.
-        prop_assert!(forest.contains(deepest));
-        // Everything still stored is either the head, above the horizon, or genesis.
+        assert!(forest.contains(deepest), "seed {seed}");
+        // Everything still stored is either the head, above the horizon, or
+        // genesis.
         let horizon = forest.prune_horizon();
         for block in forest.iter() {
-            prop_assert!(
+            assert!(
                 block.id == deepest || block.height >= horizon || block.is_genesis(),
-                "block {} below horizon survived", block.id
+                "seed {seed}: block {} below horizon survived",
+                block.id
             );
         }
     }
+}
 
-    /// Stats are internally consistent.
-    #[test]
-    fn stats_are_consistent(seed in 0u64..1_000, steps in 1usize..60) {
+/// Stats are internally consistent.
+#[test]
+fn stats_are_consistent() {
+    for (seed, steps) in cases() {
         let (forest, _) = build_random_forest(seed, steps);
         let stats = forest.stats();
-        prop_assert_eq!(stats.stored_blocks, forest.len());
-        prop_assert!(stats.max_height as usize <= steps);
-        prop_assert_eq!(stats.committed_blocks, 0);
+        assert_eq!(stats.stored_blocks, forest.len(), "seed {seed}");
+        assert!(stats.max_height as usize <= steps, "seed {seed}");
+        assert_eq!(stats.committed_blocks, 0, "seed {seed}");
     }
 }

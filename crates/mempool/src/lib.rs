@@ -246,7 +246,7 @@ mod tests {
         for seq in 0..5 {
             pool.push(tx(seq));
         }
-        let victim_ids = vec![tx(1).id, tx(3).id, tx(77).id];
+        let victim_ids = [tx(1).id, tx(3).id, tx(77).id];
         let removed = pool.remove_committed(victim_ids.iter());
         assert_eq!(removed, 2);
         let seqs: Vec<u64> = pool.next_batch(10).iter().map(|t| t.seq).collect();

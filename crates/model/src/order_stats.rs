@@ -11,8 +11,7 @@
 //!
 //! They agree to within a few percent, which the tests check.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha12Rng;
+use bamboo_sim::SimRng;
 
 use crate::normal::inverse_normal_cdf;
 
@@ -49,16 +48,13 @@ pub fn expected_order_statistic_monte_carlo(
 ) -> f64 {
     assert!(n > 0, "need at least one sample");
     assert!(k >= 1 && k <= n, "k={k} out of range for n={n}");
-    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut rng = SimRng::new(seed);
     let mut total = 0.0;
     let mut samples = vec![0.0f64; n];
     for _ in 0..iterations {
         for slot in samples.iter_mut() {
             // Box–Muller.
-            let u1: f64 = 1.0 - rng.gen::<f64>();
-            let u2: f64 = rng.gen::<f64>();
-            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-            *slot = mean + std * z;
+            *slot = rng.normal(mean, std);
         }
         samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         total += samples[k - 1];

@@ -1,7 +1,5 @@
 //! The per-protocol latency/throughput model (Eq. 3–5 and §V-D).
 
-use serde::{Deserialize, Serialize};
-
 use bamboo_types::ProtocolKind;
 
 use crate::order_stats::expected_order_statistic;
@@ -9,7 +7,7 @@ use crate::queueing::md1_waiting_time;
 
 /// Inputs of the analytical model. All times are in **seconds**, sizes in
 /// bytes, rates in events per second.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ModelParams {
     /// Number of replicas `N`.
     pub nodes: usize,
@@ -61,7 +59,7 @@ impl ModelParams {
 }
 
 /// One predicted operating point.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ModelPoint {
     /// Offered transaction arrival rate λ (tx/s).
     pub arrival_rate: f64,
@@ -73,7 +71,7 @@ pub struct ModelPoint {
 }
 
 /// The analytical model specialised to one protocol.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PerfModel {
     /// Protocol being modelled.
     pub protocol: ProtocolKind,

@@ -115,7 +115,7 @@ mod tests {
             assert!(a.index() < 7);
         }
         // All nodes should lead at least once over a long horizon.
-        let mut seen = vec![false; 7];
+        let mut seen = [false; 7];
         for v in 0..2_000 {
             seen[election.leader_of(View(v)).index()] = true;
         }

@@ -4,8 +4,7 @@ use std::collections::BTreeMap;
 
 use bamboo_crypto::KeyPair;
 use bamboo_types::{
-    ids::quorum_threshold, NodeId, QuorumCert, SimDuration, SimTime, TimeoutCert, TimeoutVote,
-    View,
+    ids::quorum_threshold, NodeId, QuorumCert, SimDuration, SimTime, TimeoutCert, TimeoutVote, View,
 };
 
 /// Actions the pacemaker asks the replica to perform.
@@ -228,9 +227,13 @@ mod tests {
         assert_eq!(actions.len(), 1);
         assert!(matches!(actions[0], PacemakerAction::BroadcastTimeout(_)));
         // A duplicate timer for the same view does nothing.
-        assert!(pm.on_timer(View(1), QuorumCert::genesis(), &kps[0]).is_empty());
+        assert!(pm
+            .on_timer(View(1), QuorumCert::genesis(), &kps[0])
+            .is_empty());
         // A stale timer for an old view does nothing either.
-        assert!(pm.on_timer(View(0), QuorumCert::genesis(), &kps[0]).is_empty());
+        assert!(pm
+            .on_timer(View(0), QuorumCert::genesis(), &kps[0])
+            .is_empty());
     }
 
     #[test]
@@ -240,7 +243,8 @@ mod tests {
         let now = SimTime(1_000);
         let mut produced_tc = None;
         for i in 0..3u64 {
-            let vote = TimeoutVote::new(View(1), NodeId(i), QuorumCert::genesis(), &kps[i as usize]);
+            let vote =
+                TimeoutVote::new(View(1), NodeId(i), QuorumCert::genesis(), &kps[i as usize]);
             let actions = pm.on_timeout_vote(vote, now);
             if i < 2 {
                 assert!(actions.is_empty(), "no TC before quorum");

@@ -188,8 +188,13 @@ mod tests {
 
         // A proposal branching from genesis (conflicting with the lock, with a
         // stale justify) must be rejected...
-        let stale = build_block(&input(4, 0), &forest, BlockId::GENESIS, QuorumCert::genesis())
-            .unwrap();
+        let stale = build_block(
+            &input(4, 0),
+            &forest,
+            BlockId::GENESIS,
+            QuorumCert::genesis(),
+        )
+        .unwrap();
         forest.insert(stale.clone()).unwrap();
         assert!(!hs.should_vote(&stale, &forest));
 
@@ -205,7 +210,11 @@ mod tests {
         let (a, qc_a) = extend_certified(&mut forest, BlockId::GENESIS, 1);
         let mut hs = HotStuffSafety::new();
         hs.update_state(&qc_a, &forest);
-        assert_eq!(hs.locked_block(), BlockId::GENESIS, "one-chain does not lock");
+        assert_eq!(
+            hs.locked_block(),
+            BlockId::GENESIS,
+            "one-chain does not lock"
+        );
         let (_b, qc_b) = extend_certified(&mut forest, a, 2);
         hs.update_state(&qc_b, &forest);
         assert_eq!(hs.locked_block(), a, "two-chain locks its head");
@@ -218,7 +227,11 @@ mod tests {
         let (b, qc_b) = extend_certified(&mut forest, a, 2);
         let mut hs = HotStuffSafety::new();
         assert_eq!(hs.try_commit(&qc_a, &forest), None);
-        assert_eq!(hs.try_commit(&qc_b, &forest), None, "two-chain is not enough");
+        assert_eq!(
+            hs.try_commit(&qc_b, &forest),
+            None,
+            "two-chain is not enough"
+        );
         let (_c, qc_c) = extend_certified(&mut forest, b, 3);
         assert_eq!(hs.try_commit(&qc_c, &forest), Some(a));
     }

@@ -114,8 +114,13 @@ mod tests {
         let good = build_block(&input(2, 2), &forest, a, qc_a).unwrap();
         forest.insert(good.clone()).unwrap();
         assert!(lbft.should_vote(&good, &forest));
-        let stale = build_block(&input(3, 3), &forest, BlockId::GENESIS, QuorumCert::genesis())
-            .unwrap();
+        let stale = build_block(
+            &input(3, 3),
+            &forest,
+            BlockId::GENESIS,
+            QuorumCert::genesis(),
+        )
+        .unwrap();
         forest.insert(stale.clone()).unwrap();
         assert!(!lbft.should_vote(&stale, &forest));
     }

@@ -140,7 +140,10 @@ mod tests {
         let _f2 = extend(&mut forest, f1, 4);
         let mut sl = StreamletSafety::new();
         let block = sl.propose(&input(5, 1), &forest).expect("proposal");
-        assert_eq!(block.parent, b, "builds on notarized tip, not longest raw fork");
+        assert_eq!(
+            block.parent, b,
+            "builds on notarized tip, not longest raw fork"
+        );
         assert_eq!(block.justify, qc_b);
     }
 
@@ -187,7 +190,11 @@ mod tests {
         let (b, _) = extend_certified(&mut forest, a, 2);
         let (_c, qc_c) = extend_certified(&mut forest, b, 3);
         let mut sl = StreamletSafety::new();
-        assert_eq!(sl.try_commit(&qc_c, &forest), Some(b), "commit first two of three");
+        assert_eq!(
+            sl.try_commit(&qc_c, &forest),
+            Some(b),
+            "commit first two of three"
+        );
 
         // With a view gap there is no commit.
         let mut forest2 = bamboo_forest::BlockForest::new();

@@ -176,8 +176,13 @@ mod tests {
         assert!(p.should_vote(&good, &forest));
 
         // Conflicting proposal from genesis is rejected (lock is on `a`).
-        let bad = build_block(&input(3, 3), &forest, BlockId::GENESIS, QuorumCert::genesis())
-            .unwrap();
+        let bad = build_block(
+            &input(3, 3),
+            &forest,
+            BlockId::GENESIS,
+            QuorumCert::genesis(),
+        )
+        .unwrap();
         forest.insert(bad.clone()).unwrap();
         assert!(!p.should_vote(&bad, &forest));
 
@@ -197,7 +202,11 @@ mod tests {
         let (b, _) = extend_certified(&mut forest, a, 2);
         let (_c, _) = extend_certified(&mut forest, b, 3);
         let p = TwoChainHotStuffSafety::new();
-        assert_eq!(p.fork_parent(&forest), Some(b), "parent of tip, not grandparent");
+        assert_eq!(
+            p.fork_parent(&forest),
+            Some(b),
+            "parent of tip, not grandparent"
+        );
     }
 
     #[test]

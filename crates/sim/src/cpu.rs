@@ -76,8 +76,8 @@ mod tests {
 
     #[test]
     fn per_tx_cost_applies_to_blocks() {
-        let cpu = CpuModel::new(SimDuration::from_micros(10))
-            .with_per_tx(SimDuration::from_nanos(100));
+        let cpu =
+            CpuModel::new(SimDuration::from_micros(10)).with_per_tx(SimDuration::from_nanos(100));
         let small = cpu.process_proposal(10);
         let large = cpu.process_proposal(1_000);
         assert!(large > small);

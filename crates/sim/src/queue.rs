@@ -86,7 +86,9 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|Reverse(entry)| (entry.time, entry.event))
+        self.heap
+            .pop()
+            .map(|Reverse(entry)| (entry.time, entry.event))
     }
 
     /// The timestamp of the next event without removing it.

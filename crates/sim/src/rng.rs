@@ -1,16 +1,28 @@
 //! Deterministic random number generation for the simulator.
 //!
 //! Every run of the simulator is a pure function of the configuration seed,
-//! so experiments are exactly reproducible. The normal sampler is implemented
-//! with the Box–Muller transform to avoid an extra dependency on `rand_distr`.
+//! so experiments are exactly reproducible. The generator is a from-scratch
+//! xoshiro256++ (Blackman & Vigna) seeded through SplitMix64, so the
+//! workspace carries no external RNG dependency; the normal sampler is
+//! implemented with the Box–Muller transform.
 
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha12Rng;
+/// SplitMix64 step, used for seeding and sub-stream derivation.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A seeded RNG with domain-specific sampling helpers.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: ChaCha12Rng,
+    /// xoshiro256++ state.
+    s: [u64; 4],
+    /// The seed the generator was created from (kept for sub-stream
+    /// derivation).
+    seed: u64,
     /// Cached second value from the Box–Muller transform.
     cached_gaussian: Option<f64>,
 }
@@ -18,8 +30,16 @@ pub struct SimRng {
 impl SimRng {
     /// Creates an RNG from a seed.
     pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
         Self {
-            inner: ChaCha12Rng::seed_from_u64(seed),
+            s,
+            seed,
             cached_gaussian: None,
         }
     }
@@ -27,22 +47,35 @@ impl SimRng {
     /// Derives an independent sub-stream, e.g. one per replica or per model,
     /// so adding randomness consumers does not perturb unrelated streams.
     pub fn derive(&self, label: u64) -> Self {
-        let mut seed_bytes = [0u8; 32];
-        let base = self.inner.get_seed();
-        seed_bytes.copy_from_slice(&base);
-        for (i, byte) in label.to_be_bytes().iter().enumerate() {
-            seed_bytes[i] ^= *byte;
-            seed_bytes[24 + i] ^= byte.wrapping_mul(0x9e);
-        }
-        Self {
-            inner: ChaCha12Rng::from_seed(seed_bytes),
-            cached_gaussian: None,
-        }
+        let mut sm = self.seed ^ label.wrapping_mul(0xA076_1D64_78BD_642F);
+        Self::new(splitmix64(&mut sm))
+    }
+
+    /// The next raw 64-bit value (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next raw 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 uniform mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform `u64` in `[lo, hi)`. Returns `lo` when the range is empty.
@@ -50,7 +83,10 @@ impl SimRng {
         if hi <= lo {
             return lo;
         }
-        self.inner.gen_range(lo..hi)
+        let range = hi - lo;
+        // Lemire's multiply-shift range reduction; the residual bias is below
+        // 2^-64 per draw, irrelevant for a simulation.
+        lo + ((self.next_u64() as u128 * range as u128) >> 64) as u64
     }
 
     /// Uniform choice of an index in `[0, n)`. Panics if `n == 0`.
@@ -60,7 +96,7 @@ impl SimRng {
     /// Panics when `n` is zero, because there is nothing to choose.
     pub fn choose_index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot choose from an empty range");
-        self.inner.gen_range(0..n)
+        self.uniform_range(0, n as u64) as usize
     }
 
     /// Standard-normal sample via Box–Muller.
@@ -69,8 +105,8 @@ impl SimRng {
             return cached;
         }
         // Draw u1 in (0, 1] to avoid ln(0).
-        let u1: f64 = 1.0 - self.inner.gen::<f64>();
-        let u2: f64 = self.inner.gen::<f64>();
+        let u1: f64 = 1.0 - self.uniform();
+        let u2: f64 = self.uniform();
         let radius = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         self.cached_gaussian = Some(radius * theta.sin());
@@ -86,28 +122,13 @@ impl SimRng {
     /// Poisson inter-arrival times in the open-loop workload generator.
     pub fn exponential(&mut self, rate: f64) -> f64 {
         assert!(rate > 0.0, "exponential rate must be positive");
-        let u: f64 = 1.0 - self.inner.gen::<f64>();
+        let u: f64 = 1.0 - self.uniform();
         -u.ln() / rate
     }
 
     /// Bernoulli trial.
     pub fn chance(&mut self, probability: f64) -> bool {
-        self.inner.gen_bool(probability.clamp(0.0, 1.0))
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+        self.uniform() < probability.clamp(0.0, 1.0)
     }
 }
 
@@ -140,6 +161,20 @@ mod tests {
         let mut d2 = base.derive(2);
         assert_eq!(d1.next_u64(), d1_again.next_u64());
         assert_ne!(d1.next_u64(), d2.next_u64());
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval_and_well_spread() {
+        let mut rng = SimRng::new(11);
+        let n = 20_000;
+        let mut mean = 0.0;
+        for _ in 0..n {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+            mean += u;
+        }
+        mean /= n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
     }
 
     #[test]

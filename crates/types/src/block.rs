@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use bamboo_crypto::{Digest, Sha256};
 
 use crate::certificate::QuorumCert;
@@ -11,9 +9,7 @@ use crate::ids::{Height, NodeId, View};
 use crate::transaction::Transaction;
 
 /// Identifier of a block: the hash of its header.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct BlockId(pub Digest);
 
 impl BlockId {
@@ -41,7 +37,7 @@ impl fmt::Display for BlockId {
 /// Every block carries the quorum certificate of (one of) its ancestors in the
 /// `justify` field — in the happy path this is the QC of its direct parent —
 /// plus a batch of transactions and bookkeeping metadata.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Block {
     /// Hash of the header (computed at construction time).
     pub id: BlockId,
@@ -144,7 +140,11 @@ impl Block {
     pub fn wire_size(&self) -> usize {
         Self::HEADER_BYTES
             + self.justify.wire_size()
-            + self.payload.iter().map(Transaction::wire_size).sum::<usize>()
+            + self
+                .payload
+                .iter()
+                .map(Transaction::wire_size)
+                .sum::<usize>()
     }
 
     /// Verifies that the stored id matches the header contents.

@@ -2,15 +2,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use bamboo_crypto::{AggregateSignature, Digest, KeyPair, PublicKey, Sha256, Signature};
 
 use crate::block::BlockId;
 use crate::ids::{NodeId, View};
 
 /// A vote cast by one replica for one block in one view.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Vote {
     /// The block being voted for.
     pub block: BlockId,
@@ -61,7 +59,7 @@ impl fmt::Display for Vote {
 
 /// A quorum certificate: proof that a quorum of replicas voted for `block` in
 /// `view`.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct QuorumCert {
     /// The certified block.
     pub block: BlockId,
@@ -157,7 +155,7 @@ impl fmt::Display for QuorumCert {
 ///
 /// Carries the sender's highest known QC so the next leader can adopt it, as
 /// in the LibraBFT pacemaker the paper adopts.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TimeoutVote {
     /// The view being abandoned.
     pub view: View,
@@ -201,7 +199,7 @@ impl TimeoutVote {
 }
 
 /// A timeout certificate: proof that a quorum of replicas timed out in `view`.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TimeoutCert {
     /// The abandoned view.
     pub view: View,
@@ -378,11 +376,8 @@ mod tests {
     fn wire_sizes_are_positive_and_monotone() {
         let kps = keys(4);
         let bid = block_id(1);
-        let one_vote = QuorumCert::from_votes(
-            bid,
-            View(1),
-            &[Vote::new(bid, View(1), NodeId(0), &kps[0])],
-        );
+        let one_vote =
+            QuorumCert::from_votes(bid, View(1), &[Vote::new(bid, View(1), NodeId(0), &kps[0])]);
         let three_votes = QuorumCert::from_votes(
             bid,
             View(1),

@@ -5,13 +5,11 @@
 //! by every node, exactly as in Bamboo. The [`ConfigBuilder`] provides the
 //! ergonomic construction path used by examples and benches.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::NodeId;
 use crate::time::SimDuration;
 
 /// Which chained-BFT protocol a replica runs.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum ProtocolKind {
     /// Three-chain HotStuff (chained HotStuff).
     HotStuff,
@@ -60,7 +58,7 @@ impl std::fmt::Display for ProtocolKind {
 }
 
 /// Byzantine strategy assigned to faulty replicas (Table I `strategy`).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum ByzantineStrategy {
     /// Faulty replicas behave exactly like honest ones.
     #[default]
@@ -84,7 +82,7 @@ impl std::fmt::Display for ByzantineStrategy {
 }
 
 /// Leader election policy.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum LeaderPolicy {
     /// Round-robin rotation (`master = 0` in Table I).
     #[default]
@@ -101,7 +99,7 @@ pub enum LeaderPolicy {
 ///
 /// Field names and default values follow the paper's Table I; extra fields
 /// configure the simulated network/CPU substrate (DESIGN.md §3).
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Config {
     // ---- Table I -------------------------------------------------------
     /// Number of replicas (the paper's `address` list length).
@@ -193,8 +191,7 @@ impl Config {
 
     /// Returns true if `node` is configured to be Byzantine.
     pub fn is_byzantine(&self, node: NodeId) -> bool {
-        self.byzantine_strategy != ByzantineStrategy::Honest
-            && (node.index()) < self.byz_nodes
+        self.byzantine_strategy != ByzantineStrategy::Honest && (node.index()) < self.byz_nodes
     }
 
     /// Validates internal consistency of the configuration.
@@ -206,7 +203,9 @@ impl Config {
     /// size, or an empty runtime).
     pub fn validate(&self) -> Result<(), crate::TypeError> {
         if self.nodes == 0 {
-            return Err(crate::TypeError::InvalidConfig("nodes must be positive".into()));
+            return Err(crate::TypeError::InvalidConfig(
+                "nodes must be positive".into(),
+            ));
         }
         if self.byz_nodes > crate::ids::max_faults(self.nodes) {
             return Err(crate::TypeError::InvalidConfig(format!(
@@ -371,7 +370,11 @@ mod tests {
         assert_eq!(c.concurrency, 10, "concurrency default");
         assert_eq!(c.byz_nodes, 0, "byzNo default");
         assert_eq!(c.byzantine_strategy, ByzantineStrategy::Honest);
-        assert_eq!(c.leader_policy, LeaderPolicy::RoundRobin, "master=0 means rotating");
+        assert_eq!(
+            c.leader_policy,
+            LeaderPolicy::RoundRobin,
+            "master=0 means rotating"
+        );
         assert_eq!(c.extra_delay, SimDuration::ZERO, "delay default");
     }
 
@@ -438,10 +441,12 @@ mod tests {
     }
 
     #[test]
-    fn config_serde_roundtrip() {
+    fn configs_are_cloneable_and_comparable() {
         let c = Config::builder().nodes(8).seed(3).build().unwrap();
-        let json = serde_json::to_string(&c).unwrap();
-        let back: Config = serde_json::from_str(&json).unwrap();
-        assert_eq!(c, back);
+        let copy = c.clone();
+        assert_eq!(c, copy);
+        let mut other = c.clone();
+        other.seed = 4;
+        assert_ne!(c, other);
     }
 }

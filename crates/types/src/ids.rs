@@ -2,15 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a replica (or client) in the system.
 ///
 /// Node ids are dense integers `0..N`; the quorum size and round-robin leader
 /// election are computed from them.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct NodeId(pub u64);
 
 impl NodeId {
@@ -38,9 +34,7 @@ impl From<u64> for NodeId {
 }
 
 /// A protocol view (round). Each view has a single designated leader.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct View(pub u64);
 
 impl View {
@@ -82,9 +76,7 @@ impl From<u64> for View {
 
 /// The height of a block in the block forest (distance from genesis along its
 /// branch). Heights increase strictly monotonically from parent to child.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct Height(pub u64);
 
 impl Height {

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod bytes;
 pub mod certificate;
 pub mod config;
 pub mod error;
@@ -26,6 +27,7 @@ pub mod time;
 pub mod transaction;
 
 pub use block::{Block, BlockId};
+pub use bytes::Bytes;
 pub use certificate::{QuorumCert, TimeoutCert, TimeoutVote, Vote};
 pub use config::{ByzantineStrategy, Config, ConfigBuilder, ProtocolKind};
 pub use error::TypeError;

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::block::Block;
 use crate::certificate::{QuorumCert, TimeoutCert, TimeoutVote, Vote};
 use crate::ids::{NodeId, View};
@@ -11,7 +9,7 @@ use crate::time::SimTime;
 use crate::transaction::{Transaction, TxId};
 
 /// A client request carrying one transaction.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ClientRequest {
     /// The transaction to be ordered.
     pub transaction: Transaction,
@@ -25,7 +23,7 @@ impl ClientRequest {
 }
 
 /// A client response confirming a committed transaction.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct ClientResponse {
     /// Id of the committed transaction.
     pub tx: TxId,
@@ -49,7 +47,7 @@ impl ClientResponse {
 /// The enum mirrors Bamboo's message handlers: block proposals, votes, the
 /// pacemaker's timeout votes and timeout certificates, plus the client-facing
 /// request/response pair.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Message {
     /// A block proposal broadcast by the view leader.
     Proposal(Block),
@@ -74,7 +72,7 @@ pub enum Message {
 }
 
 /// Coarse classification of a message, used by metrics and the network model.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum MessageKind {
     /// Block proposals (and proposal echoes).
     Proposal,
@@ -155,8 +153,8 @@ impl fmt::Display for Message {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bamboo_crypto::KeyPair;
     use crate::block::BlockId;
+    use bamboo_crypto::KeyPair;
 
     fn sample_block() -> Block {
         Block::new(
@@ -175,7 +173,7 @@ mod tests {
         let block = sample_block();
         let vote = Vote::new(block.id, block.view, NodeId(0), &kp);
         let timeout = TimeoutVote::new(View(2), NodeId(0), QuorumCert::genesis(), &kp);
-        let tc = TimeoutCert::from_votes(View(2), &[timeout.clone()]);
+        let tc = TimeoutCert::from_votes(View(2), std::slice::from_ref(&timeout));
         let cases = vec![
             (Message::Proposal(block.clone()), MessageKind::Proposal),
             (Message::ProposalEcho(block.clone()), MessageKind::Proposal),
@@ -183,7 +181,10 @@ mod tests {
             (Message::VoteEcho(vote), MessageKind::Vote),
             (Message::Timeout(timeout), MessageKind::Pacemaker),
             (Message::TimeoutCertMsg(tc), MessageKind::Pacemaker),
-            (Message::NewView(QuorumCert::genesis()), MessageKind::Pacemaker),
+            (
+                Message::NewView(QuorumCert::genesis()),
+                MessageKind::Pacemaker,
+            ),
             (
                 Message::Request(ClientRequest {
                     transaction: Transaction::new(NodeId(1), 0, 0, SimTime::ZERO),
@@ -241,11 +242,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn display_includes_tag_and_view() {
         let block = sample_block();
         let msg = Message::Proposal(block);
-        let json = serde_json::to_string(&msg).expect("serialize");
-        let back: Message = serde_json::from_str(&json).expect("deserialize");
-        assert_eq!(msg, back);
+        assert_eq!(msg.to_string(), "proposal@v2");
+        let req = Message::Request(ClientRequest {
+            transaction: Transaction::new(NodeId(1), 0, 0, SimTime::ZERO),
+        });
+        assert_eq!(req.to_string(), "request");
     }
 }

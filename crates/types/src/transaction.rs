@@ -2,18 +2,14 @@
 
 use std::fmt;
 
-use bytes::Bytes;
-use serde::{Deserialize, Serialize};
-
 use bamboo_crypto::Digest;
 
+use crate::bytes::Bytes;
 use crate::ids::NodeId;
 use crate::time::SimTime;
 
 /// Unique identifier of a transaction (hash of its origin and sequence).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct TxId(pub Digest);
 
 impl TxId {
@@ -36,7 +32,7 @@ impl fmt::Display for TxId {
 /// A client transaction (an opaque payload in this reproduction, mirroring the
 /// paper's in-memory key-value workload where only the payload size matters
 /// to protocol-level performance).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Transaction {
     /// Unique id.
     pub id: TxId,
@@ -69,7 +65,7 @@ impl Transaction {
             id: TxId::derive(client, seq),
             client,
             seq,
-            payload: Bytes::from(vec![0u8; payload_size]),
+            payload: Bytes::zeroed(payload_size),
             issued_at,
         }
     }
@@ -119,7 +115,7 @@ mod tests {
 
     #[test]
     fn with_payload_preserves_bytes() {
-        let payload = Bytes::from_static(b"hello world");
+        let payload = Bytes::from(&b"hello world"[..]);
         let tx = Transaction::with_payload(NodeId(3), 9, payload.clone(), SimTime(42));
         assert_eq!(tx.payload, payload);
         assert_eq!(tx.issued_at, SimTime(42));

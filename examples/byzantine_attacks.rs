@@ -30,7 +30,10 @@ fn run(strategy: ByzantineStrategy, byz: usize, protocol: ProtocolKind) -> Resul
         report.latency.mean_ms,
         report.safety_violations,
     );
-    assert_eq!(report.safety_violations, 0, "attacks must never break safety");
+    assert_eq!(
+        report.safety_violations, 0,
+        "attacks must never break safety"
+    );
     Ok(())
 }
 

@@ -86,7 +86,10 @@ fn main() {
             view: block.view,
             signatures: Default::default(),
         };
-        println!("view {view}: proposed {} on parent {}", block.id, block.parent);
+        println!(
+            "view {view}: proposed {} on parent {}",
+            block.id, block.parent
+        );
         let votes = protocol.should_vote(&block, &forest);
         forest.insert(block.clone()).expect("insert");
         forest.register_qc(qc.clone()).expect("certify");

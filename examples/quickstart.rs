@@ -28,7 +28,10 @@ fn main() -> Result<(), TypeError> {
     println!("committed blocks      : {}", report.committed_blocks);
     println!("committed transactions: {}", report.committed_txs);
     println!("views advanced        : {}", report.views_advanced);
-    println!("chain growth rate     : {:.3} blocks/view", report.chain_growth_rate);
+    println!(
+        "chain growth rate     : {:.3} blocks/view",
+        report.chain_growth_rate
+    );
     println!("block interval        : {:.2} views", report.block_interval);
     println!("mean latency          : {:.2} ms", report.latency.mean_ms);
     println!("p99 latency           : {:.2} ms", report.latency.p99_ms);

@@ -25,13 +25,22 @@ fn main() -> Result<(), TypeError> {
     // it run for half a second of wall-clock time.
     cluster.submit_round_robin(2_000, 64);
     cluster.run_for(Duration::from_millis(500));
-    println!("committed so far (observed at replica 0): {}", cluster.committed_txs());
+    println!(
+        "committed so far (observed at replica 0): {}",
+        cluster.committed_txs()
+    );
 
     let report = cluster.shutdown();
     println!("\n== shutdown report ==");
-    println!("committed blocks per replica: {:?}", report.committed_blocks);
+    println!(
+        "committed blocks per replica: {:?}",
+        report.committed_blocks
+    );
     println!("highest view reached        : {}", report.max_view);
-    println!("ledgers pairwise consistent : {}", report.ledgers_consistent);
+    println!(
+        "ledgers pairwise consistent : {}",
+        report.ledgers_consistent
+    );
     assert!(report.ledgers_consistent);
     Ok(())
 }

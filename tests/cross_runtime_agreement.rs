@@ -1,0 +1,106 @@
+//! Cross-runtime agreement: the same configuration driven through both
+//! deployment backends — the deterministic simulator and the live threaded
+//! cluster — must preserve safety for every protocol kind.
+//!
+//! Both backends drive the identical `Replica` state machine through the
+//! shared `runtime`/`Transport` layer, so any divergence here points at a
+//! backend bug, not a protocol bug.
+
+use std::time::Duration;
+
+use bamboo::core::{RunOptions, SimRunner, ThreadedCluster};
+use bamboo::types::{Config, ProtocolKind, SimDuration};
+
+const ALL_PROTOCOLS: [ProtocolKind; 6] = [
+    ProtocolKind::HotStuff,
+    ProtocolKind::TwoChainHotStuff,
+    ProtocolKind::Streamlet,
+    ProtocolKind::FastHotStuff,
+    ProtocolKind::Lbft,
+    ProtocolKind::OriginalHotStuff,
+];
+
+fn shared_config() -> Config {
+    Config::builder()
+        .nodes(4)
+        .block_size(50)
+        .payload_size(16)
+        .timeout(SimDuration::from_millis(50))
+        .runtime(SimDuration::from_millis(300))
+        .seed(2024)
+        .build()
+        .expect("valid config")
+}
+
+#[test]
+fn every_protocol_is_safe_on_the_simulator() {
+    for protocol in ALL_PROTOCOLS {
+        let mut config = shared_config();
+        config.arrival_rate = Some(3_000.0);
+        let report = SimRunner::new(config, protocol, RunOptions::default()).run();
+        assert_eq!(
+            report.safety_violations, 0,
+            "{protocol} violated safety on the simulator"
+        );
+        assert!(
+            report.committed_blocks > 0,
+            "{protocol} committed nothing on the simulator"
+        );
+    }
+}
+
+#[test]
+fn every_protocol_is_safe_on_the_threaded_cluster() {
+    for protocol in ALL_PROTOCOLS {
+        let cluster = ThreadedCluster::spawn(shared_config(), protocol);
+        cluster.submit_round_robin(600, 16);
+        // Poll for observed commits rather than sleeping a fixed window so
+        // the test does not flake on loaded CI runners.
+        assert!(
+            cluster.run_until_committed(50, Duration::from_secs(20)),
+            "{protocol} committed only {} txs before the deadline",
+            cluster.committed_txs()
+        );
+        let report = cluster.shutdown();
+        assert_eq!(
+            report.safety_violations, 0,
+            "{protocol} violated safety on the threaded cluster"
+        );
+        assert!(
+            report.ledgers_consistent,
+            "{protocol} honest ledgers diverged on the threaded cluster"
+        );
+        assert!(
+            report.max_view > 1,
+            "{protocol} made no progress on the threaded cluster"
+        );
+        assert!(
+            report.committed_blocks.iter().any(|&c| c > 0),
+            "{protocol} committed nothing on the threaded cluster: {:?}",
+            report.committed_blocks
+        );
+    }
+}
+
+#[test]
+fn both_backends_commit_comparable_work_for_hotstuff() {
+    // Not a performance assertion — wall-clock and simulated time are not
+    // comparable — but both backends must actually order transactions under
+    // the same configuration.
+    let mut sim_config = shared_config();
+    sim_config.arrival_rate = Some(3_000.0);
+    let sim = SimRunner::new(sim_config, ProtocolKind::HotStuff, RunOptions::default()).run();
+    assert!(sim.committed_txs > 0, "simulator committed nothing");
+
+    let cluster = ThreadedCluster::spawn(shared_config(), ProtocolKind::HotStuff);
+    cluster.submit_round_robin(600, 16);
+    assert!(
+        cluster.run_until_committed(1, Duration::from_secs(20)),
+        "threaded cluster committed nothing"
+    );
+    let report = cluster.shutdown();
+    assert!(
+        report.committed_txs > 0,
+        "threaded cluster committed nothing"
+    );
+}

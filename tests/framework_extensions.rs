@@ -26,14 +26,23 @@ fn extension_protocols_commit_without_safety_violations() {
     ] {
         let report = SimRunner::new(config(4), protocol, RunOptions::default()).run();
         assert_eq!(report.safety_violations, 0, "{protocol}");
-        assert!(report.committed_blocks > 3, "{protocol} committed {} blocks", report.committed_blocks);
+        assert!(
+            report.committed_blocks > 3,
+            "{protocol} committed {} blocks",
+            report.committed_blocks
+        );
     }
 }
 
 #[test]
 fn ohs_baseline_lands_in_the_same_envelope_as_bamboo_hotstuff() {
     let hs = SimRunner::new(config(4), ProtocolKind::HotStuff, RunOptions::default()).run();
-    let ohs = SimRunner::new(config(4), ProtocolKind::OriginalHotStuff, RunOptions::default()).run();
+    let ohs = SimRunner::new(
+        config(4),
+        ProtocolKind::OriginalHotStuff,
+        RunOptions::default(),
+    )
+    .run();
     let tput_ratio = ohs.throughput_tx_per_sec / hs.throughput_tx_per_sec.max(1.0);
     let latency_ratio = ohs.latency.mean_ms / hs.latency.mean_ms.max(1e-9);
     assert!(
@@ -98,5 +107,9 @@ fn closed_loop_workload_drives_the_system() {
         .expect("valid config");
     let report = SimRunner::new(cfg, ProtocolKind::HotStuff, RunOptions::default()).run();
     assert_eq!(report.safety_violations, 0);
-    assert!(report.committed_txs > 40, "closed loop committed {}", report.committed_txs);
+    assert!(
+        report.committed_txs > 40,
+        "closed loop committed {}",
+        report.committed_txs
+    );
 }

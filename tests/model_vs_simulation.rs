@@ -50,14 +50,18 @@ fn model_and_simulation_agree_on_unloaded_latency_within_a_small_factor() {
             } else {
                 model.saturation_rate() * 0.2
             };
-            let report = Benchmarker::new(config.clone(), protocol, RunOptions::default())
-                .run_at(rate);
+            let report =
+                Benchmarker::new(config.clone(), protocol, RunOptions::default()).run_at(rate);
             let predicted_ms = model.latency(rate) * 1e3;
             let measured_ms = report.latency.mean_ms;
             // Streamlet's broadcast-and-echo traffic is only captured by the
             // model through re-measured parameters (§V-E), so for SL we only
             // require the model to be a sane lower bound.
-            let upper_factor = if protocol == ProtocolKind::Streamlet { 10.0 } else { 5.0 };
+            let upper_factor = if protocol == ProtocolKind::Streamlet {
+                10.0
+            } else {
+                5.0
+            };
             assert!(
                 measured_ms < predicted_ms * upper_factor && measured_ms > predicted_ms / 5.0,
                 "{protocol} {nodes}/{bsize}: measured {measured_ms:.2} ms vs model {predicted_ms:.2} ms"
@@ -76,8 +80,12 @@ fn model_predicts_relative_latency_ordering_of_the_protocols() {
     assert!(two.latency(1_000.0) < hs.latency(1_000.0));
 
     // The simulator must show the same ordering.
-    let hs_report = Benchmarker::new(config.clone(), ProtocolKind::HotStuff, RunOptions::default())
-        .run_at(5_000.0);
+    let hs_report = Benchmarker::new(
+        config.clone(),
+        ProtocolKind::HotStuff,
+        RunOptions::default(),
+    )
+    .run_at(5_000.0);
     let two_report = Benchmarker::new(
         config,
         ProtocolKind::TwoChainHotStuff,

@@ -21,9 +21,16 @@ fn every_protocol_commits_and_preserves_safety_in_the_happy_path() {
     for protocol in ProtocolKind::evaluated() {
         let report = SimRunner::new(config(4), protocol, RunOptions::default()).run();
         assert_eq!(report.safety_violations, 0, "{protocol}");
-        assert!(report.committed_blocks > 5, "{protocol} committed too little");
+        assert!(
+            report.committed_blocks > 5,
+            "{protocol} committed too little"
+        );
         assert!(report.committed_txs > 0, "{protocol}");
-        assert!(report.chain_growth_rate > 0.5, "{protocol} CGR {}", report.chain_growth_rate);
+        assert!(
+            report.chain_growth_rate > 0.5,
+            "{protocol} CGR {}",
+            report.chain_growth_rate
+        );
     }
 }
 
@@ -42,7 +49,12 @@ fn commit_latency_ordering_matches_commit_rules() {
     // consecutive-view chains. Under an unloaded, fault-free network, block
     // intervals must therefore order as: 2CHS < HS, and 2CHS <= SL.
     let hs = SimRunner::new(config(4), ProtocolKind::HotStuff, RunOptions::default()).run();
-    let two = SimRunner::new(config(4), ProtocolKind::TwoChainHotStuff, RunOptions::default()).run();
+    let two = SimRunner::new(
+        config(4),
+        ProtocolKind::TwoChainHotStuff,
+        RunOptions::default(),
+    )
+    .run();
     let sl = SimRunner::new(config(4), ProtocolKind::Streamlet, RunOptions::default()).run();
     assert!(
         two.block_interval < hs.block_interval,
