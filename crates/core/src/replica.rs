@@ -17,7 +17,7 @@ use bamboo_pacemaker::{LeaderElection, Pacemaker, PacemakerAction};
 use bamboo_protocols::{make_safety, ProposalInput, Safety, VoteDestination};
 use bamboo_sim::CpuModel;
 use bamboo_types::{
-    Block, BlockId, Config, Message, NodeId, ProtocolKind, QuorumCert, SimDuration, SimTime,
+    BlockId, Config, Message, NodeId, ProtocolKind, QuorumCert, SharedBlock, SimDuration, SimTime,
     TimeoutCert, Transaction, View, Vote,
 };
 
@@ -78,7 +78,8 @@ pub struct HandleResult {
     /// CPU time consumed handling the event.
     pub cpu: SimDuration,
     /// Blocks that became committed while handling the event (oldest first).
-    pub committed: Vec<Block>,
+    /// Shared handles — the payload lives once, in the forest/ledger.
+    pub committed: Vec<SharedBlock>,
 }
 
 impl HandleResult {
@@ -272,7 +273,13 @@ impl Replica {
 
     // ---- internal handlers --------------------------------------------
 
-    fn on_proposal(&mut self, block: Block, echoed: bool, now: SimTime, out: &mut HandleResult) {
+    fn on_proposal(
+        &mut self,
+        block: SharedBlock,
+        echoed: bool,
+        now: SimTime,
+        out: &mut HandleResult,
+    ) {
         out.cpu += self.cpu.process_proposal(block.len());
         if !block.verify_id() {
             return;
@@ -281,7 +288,8 @@ impl Replica {
         let block_id = block.id;
         let block_view = block.view;
 
-        // Echo the proposal once (Streamlet's O(n^3) behaviour).
+        // Echo the proposal once (Streamlet's O(n^3) behaviour). The echo
+        // shares the same allocation as the stored block — a pointer bump.
         if self.safety.echo_messages() && !echoed && !self.forest.contains(block_id) {
             out.send(
                 Destination::AllReplicas,
@@ -289,7 +297,8 @@ impl Replica {
             );
         }
 
-        // Store the block (orphans are buffered inside the forest).
+        // Store the block (orphans are buffered inside the forest). Inserting
+        // the shared handle keeps the payload un-copied.
         match self.forest.insert(block.clone()) {
             Ok(()) => {
                 if let Some(qc) = self.pending_qcs.remove(&block_id) {
@@ -441,8 +450,9 @@ impl Replica {
         match self.safety.propose(&input, &self.forest) {
             Some(block) => {
                 out.cpu += self.cpu.assemble_block(payload_len);
-                // Process our own proposal locally (store + vote), then
-                // broadcast it.
+                // Wrap the block in its shared handle exactly once; the
+                // broadcast clone and the local store below are pointer bumps.
+                let block = SharedBlock::new(block);
                 out.send(Destination::AllReplicas, Message::Proposal(block.clone()));
                 self.on_proposal(block, true, now, out);
             }
@@ -477,7 +487,15 @@ impl Replica {
                 let recovered: Vec<Transaction> = forked
                     .into_iter()
                     .filter(|b| b.proposer == self.id)
-                    .flat_map(|b| b.payload.into_iter())
+                    .flat_map(|b| match SharedBlock::try_unwrap(b) {
+                        // Sole owner (the common case once the forest dropped
+                        // its handle): move the transactions out.
+                        Ok(block) => block.payload,
+                        // Still aliased elsewhere (e.g. by a peer's forest in
+                        // the threaded runtime): fall back to a copy. Forked
+                        // blocks are rare — this is the attack path only.
+                        Err(shared) => shared.payload.clone(),
+                    })
                     .collect();
                 if !recovered.is_empty() {
                     self.mempool.requeue_front(recovered);

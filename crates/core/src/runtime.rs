@@ -20,7 +20,9 @@
 //! for accounting. Future backends — sharded, async, networked — implement
 //! `Transport` and reuse the host unchanged.
 
-use bamboo_types::{Block, Config, Message, NodeId, ProtocolKind, SimDuration, SimTime, View};
+use bamboo_types::{
+    Config, Message, NodeId, ProtocolKind, SharedBlock, SimDuration, SimTime, View,
+};
 
 use crate::replica::{Destination, HandleResult, Replica, ReplicaEvent, ReplicaOptions};
 
@@ -53,8 +55,9 @@ pub trait Transport {
 pub struct StepReport {
     /// CPU time the replica consumed handling the event.
     pub cpu: SimDuration,
-    /// Blocks that became committed during the step (oldest first).
-    pub committed: Vec<Block>,
+    /// Blocks that became committed during the step (oldest first), as
+    /// shared handles into the replica's forest/ledger storage.
+    pub committed: Vec<SharedBlock>,
 }
 
 /// The shared node-host driver: one replica plus the logic that routes its

@@ -3,7 +3,7 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 
-use bamboo_types::{Block, BlockId, Height, QuorumCert};
+use bamboo_types::{Block, BlockId, Height, QuorumCert, SharedBlock};
 
 /// Errors returned by [`BlockForest`] operations.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -86,19 +86,23 @@ pub struct ForestStats {
 
 #[derive(Clone, Debug)]
 struct Vertex {
-    block: Block,
+    block: SharedBlock,
     qc: Option<QuorumCert>,
     children: Vec<BlockId>,
 }
 
 /// The block forest: every block the replica knows about, fork structure,
 /// certification status, the committed main chain and pruning.
+///
+/// Blocks are stored as [`SharedBlock`] handles: inserting a block received
+/// off the wire, committing a chain suffix, and handing forked blocks back to
+/// the mempool all move `Arc` pointers instead of copying payloads.
 #[derive(Clone, Debug)]
 pub struct BlockForest {
     vertices: HashMap<BlockId, Vertex>,
     by_height: BTreeMap<u64, Vec<BlockId>>,
     /// Blocks whose parent has not arrived yet, keyed by the missing parent.
-    orphans: HashMap<BlockId, Vec<Block>>,
+    orphans: HashMap<BlockId, Vec<SharedBlock>>,
     /// Highest QC observed so far (`hQC` in the paper's state variables).
     high_qc: QuorumCert,
     /// Block certified by `high_qc`'s view with the greatest height.
@@ -119,7 +123,7 @@ impl BlockForest {
     /// Creates a forest containing only the genesis block (which is committed
     /// and certified by convention).
     pub fn new() -> Self {
-        let genesis = Block::genesis();
+        let genesis = SharedBlock::new(Block::genesis());
         let genesis_id = genesis.id;
         let mut vertices = HashMap::new();
         vertices.insert(
@@ -152,6 +156,12 @@ impl BlockForest {
 
     /// Looks a block up by id.
     pub fn get(&self, id: BlockId) -> Option<&Block> {
+        self.vertices.get(&id).map(|v| &*v.block)
+    }
+
+    /// Looks a block up by id, returning the shared handle so callers can
+    /// retain the block without copying its payload.
+    pub fn get_shared(&self, id: BlockId) -> Option<&SharedBlock> {
         self.vertices.get(&id).map(|v| &v.block)
     }
 
@@ -187,6 +197,11 @@ impl BlockForest {
         &self.vertices[&self.highest_certified].block
     }
 
+    /// Shared handle to the certified block of greatest height.
+    pub fn highest_certified_shared(&self) -> &SharedBlock {
+        &self.vertices[&self.highest_certified].block
+    }
+
     /// The committed head block.
     pub fn committed_head(&self) -> &Block {
         &self.vertices[&self.committed_head].block
@@ -199,6 +214,10 @@ impl BlockForest {
 
     /// Inserts a block.
     ///
+    /// Accepts either an owned [`Block`] or an already-shared
+    /// [`SharedBlock`]; passing the shared handle (e.g. the one carried by a
+    /// proposal message) stores the block without copying its payload.
+    ///
     /// Blocks whose parent is unknown are buffered as orphans and attached
     /// automatically once the parent arrives; the call still returns
     /// [`ForestError::UnknownParent`] so callers can decide whether to fetch
@@ -210,7 +229,8 @@ impl BlockForest {
     /// * [`ForestError::BelowPruneHorizon`] if it is older than the prune cut,
     /// * [`ForestError::InvalidHeight`] if its height is not parent + 1,
     /// * [`ForestError::UnknownParent`] if the parent is missing (buffered).
-    pub fn insert(&mut self, block: Block) -> Result<(), ForestError> {
+    pub fn insert(&mut self, block: impl Into<SharedBlock>) -> Result<(), ForestError> {
+        let block: SharedBlock = block.into();
         if block.is_genesis() || self.vertices.contains_key(&block.id) {
             return Err(ForestError::Duplicate(block.id));
         }
@@ -271,30 +291,43 @@ impl BlockForest {
             .vertices
             .get_mut(&qc.block)
             .ok_or(ForestError::UnknownBlock(qc.block))?;
-        let height = vertex.block.height;
-        if vertex.qc.is_none() {
+        let certified = (vertex.block.height, vertex.block.view, qc.block);
+        let newly_certified = vertex.qc.is_none();
+        if newly_certified {
             vertex.qc = Some(qc.clone());
         }
         if qc.view > self.high_qc.view {
             self.high_qc = qc;
         }
-        let best = &self.vertices[&self.highest_certified].block;
-        if height > best.height {
-            self.highest_certified = self.vertices[&self.high_qc.block].block.id;
-            // `high_qc` may certify a lower block than the freshly certified
-            // one when QCs arrive out of order; prefer greatest height.
-            if self.vertices[&self.highest_certified].block.height < height {
-                if let Some((id, _)) = self
-                    .vertices
-                    .iter()
-                    .filter(|(_, v)| v.qc.is_some())
-                    .max_by_key(|(_, v)| (v.block.height, v.block.view))
-                {
-                    self.highest_certified = *id;
-                }
+        // Incremental max-tracking: a block can only become the highest
+        // certified block the moment its first QC lands, so comparing against
+        // the current best is enough — no vertex scan, O(1) per QC.
+        if newly_certified {
+            let best = &self.vertices[&self.highest_certified].block;
+            if (certified.0, certified.1) > (best.height, best.view) {
+                self.highest_certified = certified.2;
             }
         }
         Ok(())
+    }
+
+    /// Recomputes `highest_certified` by scanning all vertices. Only needed
+    /// after pruning removes the tracked block (a cold path); every hot-path
+    /// update happens incrementally in [`BlockForest::register_qc`].
+    fn rescan_highest_certified(&mut self) {
+        // The id is part of the key so ties on (height, view) resolve
+        // deterministically instead of following HashMap iteration order —
+        // replays of the same seed must reproduce the same tip.
+        if let Some((id, _)) = self
+            .vertices
+            .iter()
+            .filter(|(_, v)| v.qc.is_some())
+            .max_by_key(|(id, v)| (v.block.height, v.block.view, **id))
+        {
+            self.highest_certified = *id;
+        } else {
+            self.highest_certified = BlockId::GENESIS;
+        }
     }
 
     /// Returns true if `ancestor` is an ancestor of (or equal to) `descendant`
@@ -329,6 +362,14 @@ impl BlockForest {
     /// (inclusive), ordered from oldest to newest. Returns `None` if `id` does
     /// not extend `ancestor`.
     pub fn path_from(&self, ancestor: BlockId, id: BlockId) -> Option<Vec<&Block>> {
+        self.shared_path_from(ancestor, id)
+            .map(|path| path.into_iter().map(|b| &**b).collect())
+    }
+
+    /// Like [`BlockForest::path_from`] but yields the shared handles, so
+    /// callers (e.g. [`BlockForest::commit`]) can retain the chain without
+    /// copying payloads.
+    pub fn shared_path_from(&self, ancestor: BlockId, id: BlockId) -> Option<Vec<&SharedBlock>> {
         let mut path = VecDeque::new();
         let mut cursor = id;
         loop {
@@ -392,15 +433,15 @@ impl BlockForest {
         Some(blocks[k - 1])
     }
 
-    /// Commits `id` and its uncommitted ancestors. Returns the newly committed
-    /// blocks ordered oldest-first.
+    /// Commits `id` and its uncommitted ancestors. Returns shared handles to
+    /// the newly committed blocks ordered oldest-first — no payload is copied.
     ///
     /// # Errors
     ///
     /// * [`ForestError::UnknownBlock`] if `id` is not stored,
     /// * [`ForestError::ConflictingCommit`] if `id` does not extend the
     ///   current committed head (a safety violation).
-    pub fn commit(&mut self, id: BlockId) -> Result<Vec<Block>, ForestError> {
+    pub fn commit(&mut self, id: BlockId) -> Result<Vec<SharedBlock>, ForestError> {
         if !self.vertices.contains_key(&id) {
             return Err(ForestError::UnknownBlock(id));
         }
@@ -413,8 +454,8 @@ impl BlockForest {
         if id == self.committed_head {
             return Ok(Vec::new());
         }
-        let newly: Vec<Block> = self
-            .path_from(self.committed_head, id)
+        let newly: Vec<SharedBlock> = self
+            .shared_path_from(self.committed_head, id)
             .expect("extends() checked above")
             .into_iter()
             .cloned()
@@ -430,11 +471,13 @@ impl BlockForest {
     /// *forked* blocks removed — blocks that were overwritten by the committed
     /// chain — so their transactions can be returned to the mempool, matching
     /// Bamboo's behaviour under the forking attack.
-    pub fn prune_to(&mut self, height: Height) -> Vec<Block> {
+    pub fn prune_to(&mut self, height: Height) -> Vec<SharedBlock> {
         if height <= self.prune_horizon {
             return Vec::new();
         }
         let mut forked = Vec::new();
+        // `(removed id, its parent)` pairs for the child-link surgery below.
+        let mut removed: Vec<(BlockId, BlockId)> = Vec::new();
         let cut: Vec<u64> = self
             .by_height
             .range(..height.as_u64())
@@ -449,23 +492,34 @@ impl BlockForest {
                 // height is passed by the committed head, then drop them too;
                 // the ledger owns the committed history.
                 let on_committed_path = self.extends(self.committed_head, id);
-                if let Some(vertex) = self.vertices.get(&id) {
-                    if !on_committed_path && !vertex.block.is_genesis() {
-                        forked.push(vertex.block.clone());
-                    }
-                }
                 if id != self.committed_head && !id.is_genesis() {
-                    self.vertices.remove(&id);
+                    if let Some(vertex) = self.vertices.remove(&id) {
+                        removed.push((id, vertex.block.parent));
+                        if !on_committed_path && !vertex.block.is_genesis() {
+                            forked.push(vertex.block);
+                        }
+                    }
                 } else {
                     // Re-index blocks we keep so later prunes revisit them.
                     self.by_height.entry(h).or_default().push(id);
                 }
             }
         }
-        // Drop dangling child references.
-        let live: std::collections::HashSet<BlockId> = self.vertices.keys().copied().collect();
-        for vertex in self.vertices.values_mut() {
-            vertex.children.retain(|c| live.contains(c));
+        // Child-link surgery: only parents of removed vertices can hold a
+        // dangling reference, so touch exactly those instead of rebuilding a
+        // live-set and filtering every vertex in the forest.
+        for (id, parent) in removed {
+            if let Some(parent_vertex) = self.vertices.get_mut(&parent) {
+                if let Some(pos) = parent_vertex.children.iter().position(|c| *c == id) {
+                    parent_vertex.children.remove(pos);
+                }
+            }
+        }
+        // The highest certified block normally sits at or above the committed
+        // head and survives every prune; if a certified losing fork was the
+        // tracked maximum, fall back to a rescan (cold path).
+        if !self.vertices.contains_key(&self.highest_certified) {
+            self.rescan_highest_certified();
         }
         // Orphans below the horizon can never be attached any more.
         self.orphans.retain(|_, blocks| {
@@ -478,7 +532,7 @@ impl BlockForest {
     }
 
     /// Convenience wrapper: prune everything below the committed head.
-    pub fn prune_to_committed(&mut self) -> Vec<Block> {
+    pub fn prune_to_committed(&mut self) -> Vec<SharedBlock> {
         let height = self.committed_head().height;
         self.prune_to(height)
     }
@@ -488,7 +542,7 @@ impl BlockForest {
     pub fn committed_block_at(&self, height: Height) -> Option<&Block> {
         let ids = self.by_height.get(&height.as_u64())?;
         ids.iter()
-            .map(|id| &self.vertices[id].block)
+            .map(|id| &*self.vertices[id].block)
             .find(|b| self.extends(self.committed_head, b.id))
     }
 
@@ -511,7 +565,7 @@ impl BlockForest {
 
     /// Iterates over all stored blocks (arbitrary order).
     pub fn iter(&self) -> impl Iterator<Item = &Block> {
-        self.vertices.values().map(|v| &v.block)
+        self.vertices.values().map(|v| &*v.block)
     }
 
     /// Number of blocks currently stored.
@@ -693,7 +747,7 @@ mod tests {
             committed.iter().map(|bk| bk.id).collect::<Vec<_>>(),
             vec![c]
         );
-        assert_eq!(forest.commit(c).unwrap(), Vec::<Block>::new());
+        assert_eq!(forest.commit(c).unwrap(), Vec::<SharedBlock>::new());
         assert_eq!(forest.stats().committed_blocks, 3);
     }
 
@@ -768,6 +822,66 @@ mod tests {
             }),
             Err(ForestError::UnknownBlock(ghost))
         );
+    }
+
+    /// Brute-force recomputation of the highest certified block: max over all
+    /// certified vertices by `(height, view)` — the specification the
+    /// incremental tracking in `register_qc` must match.
+    fn brute_force_highest_certified(forest: &BlockForest) -> BlockId {
+        forest
+            .iter()
+            .filter(|b| forest.is_certified(b.id))
+            .max_by_key(|b| (b.height, b.view))
+            .map(|b| b.id)
+            .expect("genesis is always certified")
+    }
+
+    #[test]
+    fn incremental_highest_certified_matches_brute_force_for_any_qc_order() {
+        // A forest with three competing branches off different fork points,
+        // so certification order genuinely matters.
+        let mut forest = BlockForest::new();
+        let mut ids = Vec::new();
+        let a = add_child(&mut forest, BlockId::GENESIS, 1);
+        let b = add_child(&mut forest, a, 2);
+        let c = add_child(&mut forest, b, 3);
+        let d = add_child(&mut forest, c, 4);
+        // Fork at a (medium branch) and at genesis (short branch).
+        let f1 = add_child(&mut forest, a, 5);
+        let f2 = add_child(&mut forest, f1, 6);
+        let g1 = add_child(&mut forest, BlockId::GENESIS, 7);
+        ids.extend([a, b, c, d, f1, f2, g1]);
+
+        // Deterministic Fisher-Yates driven by an splitmix64-style generator
+        // (no external randomness: runs must stay reproducible).
+        let mut rng_state: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut next = move || {
+            rng_state = rng_state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = rng_state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+
+        for _trial in 0..50 {
+            let mut order = ids.clone();
+            for i in (1..order.len()).rev() {
+                let j = (next() % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            // Also vary how many of the blocks get certified at all.
+            let take = 1 + (next() % order.len() as u64) as usize;
+            let mut trial_forest = forest.clone();
+            for id in order.into_iter().take(take) {
+                let view = trial_forest.get(id).unwrap().view;
+                certify(&mut trial_forest, id, view.as_u64());
+                assert_eq!(
+                    trial_forest.highest_certified_block().id,
+                    brute_force_highest_certified(&trial_forest),
+                    "incremental tracking diverged from brute force"
+                );
+            }
+        }
     }
 
     #[test]

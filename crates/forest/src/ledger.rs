@@ -5,13 +5,14 @@
 //! simulation: it records every committed block together with commit-time
 //! metadata needed by the chain-growth-rate and block-interval metrics.
 
-use bamboo_types::{Block, BlockId, SimTime, View};
+use bamboo_types::{BlockId, SharedBlock, SimTime, View};
 
 /// A committed block plus commit metadata.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CommittedBlock {
-    /// The block itself.
-    pub block: Block,
+    /// The block itself (shared with the forest / message path — committing
+    /// never copies the payload).
+    pub block: SharedBlock,
     /// The view in which the block became committed (not the view it was
     /// proposed in) — the difference is the paper's *block interval*.
     pub committed_in_view: View,
@@ -41,9 +42,15 @@ impl Ledger {
         Self::default()
     }
 
-    /// Appends newly committed blocks (oldest first).
-    pub fn append(&mut self, blocks: Vec<Block>, committed_in_view: View, committed_at: SimTime) {
+    /// Appends newly committed blocks (oldest first). Accepts owned blocks or
+    /// [`SharedBlock`] handles; the latter are stored without copying.
+    pub fn append<I>(&mut self, blocks: I, committed_in_view: View, committed_at: SimTime)
+    where
+        I: IntoIterator,
+        I::Item: Into<SharedBlock>,
+    {
         for block in blocks {
+            let block: SharedBlock = block.into();
             self.committed_txs += block.payload.len() as u64;
             self.blocks.push(CommittedBlock {
                 block,
@@ -131,7 +138,7 @@ impl Ledger {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bamboo_types::{Height, NodeId, QuorumCert, Transaction};
+    use bamboo_types::{Block, Height, NodeId, QuorumCert, Transaction};
 
     fn chain(len: u64) -> Vec<Block> {
         let mut blocks = Vec::new();

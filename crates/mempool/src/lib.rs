@@ -59,9 +59,12 @@ pub struct Mempool {
 impl Mempool {
     /// Creates a pool bounded to `capacity` transactions.
     pub fn new(capacity: usize) -> Self {
+        // Pre-size both the queue and the id set: the pool runs at or near
+        // capacity under saturation, and growing a HashSet re-hashes every id.
+        let hint = capacity.min(4096);
         Self {
-            queue: VecDeque::with_capacity(capacity.min(4096)),
-            in_queue: HashSet::new(),
+            queue: VecDeque::with_capacity(hint),
+            in_queue: HashSet::with_capacity(hint),
             capacity,
             stats: MempoolStats::default(),
         }
@@ -122,9 +125,12 @@ impl Mempool {
     /// pool if the amount is less than the target block size").
     pub fn next_batch(&mut self, max: usize) -> Vec<Transaction> {
         let take = max.min(self.queue.len());
-        let batch: Vec<Transaction> = self.queue.drain(..take).collect();
-        for tx in &batch {
+        let mut batch = Vec::with_capacity(take);
+        // Single pass: unregister each id while draining instead of
+        // re-walking the finished batch.
+        for tx in self.queue.drain(..take) {
             self.in_queue.remove(&tx.id);
+            batch.push(tx);
         }
         self.stats.dispatched += batch.len() as u64;
         batch
@@ -134,19 +140,19 @@ impl Mempool {
     /// in a committed block proposed by another replica), preventing
     /// re-proposal. Returns how many were removed.
     pub fn remove_committed<'a>(&mut self, ids: impl IntoIterator<Item = &'a TxId>) -> usize {
-        let to_remove: HashSet<TxId> = ids
-            .into_iter()
-            .filter(|id| self.in_queue.contains(*id))
-            .copied()
-            .collect();
-        if to_remove.is_empty() {
-            return 0;
+        // Single pass over the ids: `in_queue` mirrors queue membership, so
+        // removing from the set both counts the victims and marks them —
+        // the one retain sweep below keeps exactly the ids still in the set.
+        let mut removed = 0usize;
+        for id in ids {
+            if self.in_queue.remove(id) {
+                removed += 1;
+            }
         }
-        self.queue.retain(|tx| !to_remove.contains(&tx.id));
-        for id in &to_remove {
-            self.in_queue.remove(id);
+        if removed > 0 {
+            self.queue.retain(|tx| self.in_queue.contains(&tx.id));
         }
-        to_remove.len()
+        removed
     }
 
     /// Returns a snapshot of activity counters.

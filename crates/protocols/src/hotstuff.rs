@@ -56,11 +56,11 @@ impl HotStuffSafety {
         self.last_voted_view
     }
 
-    fn update_lock(&mut self, candidate: &Block) {
-        if candidate.height > self.locked_height {
-            self.locked = candidate.id;
-            self.locked_height = candidate.height;
-            self.locked_view = candidate.view;
+    fn update_lock(&mut self, id: BlockId, height: Height, view: View) {
+        if height > self.locked_height {
+            self.locked = id;
+            self.locked_height = height;
+            self.locked_view = view;
         }
     }
 }
@@ -109,8 +109,8 @@ impl Safety for HotStuffSafety {
         };
         if let Some(parent) = forest.get(certified.parent) {
             if forest.is_certified(parent.id) {
-                let parent = parent.clone();
-                self.update_lock(&parent);
+                let (id, height, view) = (parent.id, parent.height, parent.view);
+                self.update_lock(id, height, view);
             }
         }
     }

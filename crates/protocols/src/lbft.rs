@@ -53,12 +53,12 @@ impl Safety for LbftSafety {
     }
 
     fn propose(&mut self, input: &ProposalInput, forest: &BlockForest) -> Option<Block> {
-        let tip = forest.highest_certified_block().clone();
+        let tip = forest.highest_certified_block().id;
         let justify = forest
-            .qc_of(tip.id)
+            .qc_of(tip)
             .cloned()
             .unwrap_or_else(QuorumCert::genesis);
-        build_block(input, forest, tip.id, justify)
+        build_block(input, forest, tip, justify)
     }
 
     fn should_vote(&mut self, block: &Block, forest: &BlockForest) -> bool {

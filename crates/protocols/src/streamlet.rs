@@ -66,13 +66,14 @@ impl Safety for StreamletSafety {
     }
 
     fn propose(&mut self, input: &ProposalInput, forest: &BlockForest) -> Option<Block> {
-        // Build on the tip of the longest notarized chain.
-        let tip = forest.highest_certified_block().clone();
+        // Build on the tip of the longest notarized chain. Only the tip's id
+        // is needed — cloning the whole block would copy its payload.
+        let tip = forest.highest_certified_block().id;
         let justify = forest
-            .qc_of(tip.id)
+            .qc_of(tip)
             .cloned()
             .unwrap_or_else(QuorumCert::genesis);
-        build_block(input, forest, tip.id, justify)
+        build_block(input, forest, tip, justify)
     }
 
     fn should_vote(&mut self, block: &Block, forest: &BlockForest) -> bool {

@@ -1,12 +1,23 @@
 //! Blocks and block identifiers.
 
 use std::fmt;
+use std::sync::Arc;
 
 use bamboo_crypto::{Digest, Sha256};
 
 use crate::certificate::QuorumCert;
 use crate::ids::{Height, NodeId, View};
 use crate::transaction::Transaction;
+
+/// A shared, immutable handle to a block.
+///
+/// Proposal payloads dominate message size (a 400-tx block is tens of
+/// kilobytes), so blocks travel and are stored behind an `Arc`: broadcasting a
+/// proposal to `n - 1` peers and inserting it into every replica's block
+/// forest costs `n` pointer bumps instead of `n` payload copies. A block is
+/// hashed at construction and never mutated
+/// afterwards, which is what makes the sharing sound.
+pub type SharedBlock = Arc<Block>;
 
 /// Identifier of a block: the hash of its header.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]

@@ -26,7 +26,7 @@ pub mod message;
 pub mod time;
 pub mod transaction;
 
-pub use block::{Block, BlockId};
+pub use block::{Block, BlockId, SharedBlock};
 pub use bytes::Bytes;
 pub use certificate::{QuorumCert, TimeoutCert, TimeoutVote, Vote};
 pub use config::{ByzantineStrategy, Config, ConfigBuilder, ProtocolKind};

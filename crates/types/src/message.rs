@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::block::Block;
+use crate::block::SharedBlock;
 use crate::certificate::{QuorumCert, TimeoutCert, TimeoutVote, Vote};
 use crate::ids::{NodeId, View};
 use crate::time::SimTime;
@@ -47,17 +47,20 @@ impl ClientResponse {
 /// The enum mirrors Bamboo's message handlers: block proposals, votes, the
 /// pacemaker's timeout votes and timeout certificates, plus the client-facing
 /// request/response pair.
+///
+/// Proposals carry their block as a [`SharedBlock`], so cloning a `Message`
+/// for per-peer fan-out never copies the transaction payload.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Message {
     /// A block proposal broadcast by the view leader.
-    Proposal(Block),
+    Proposal(SharedBlock),
     /// A vote sent to the next leader (HotStuff family) or broadcast
     /// (Streamlet).
     Vote(Vote),
     /// An echoed vote (Streamlet echoes every message it receives).
     VoteEcho(Vote),
     /// An echoed proposal (Streamlet).
-    ProposalEcho(Block),
+    ProposalEcho(SharedBlock),
     /// A pacemaker timeout vote, broadcast when a replica's view timer fires.
     Timeout(TimeoutVote),
     /// A timeout certificate forwarded to the next leader.
@@ -153,7 +156,7 @@ impl fmt::Display for Message {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::block::BlockId;
+    use crate::block::{Block, BlockId};
     use bamboo_crypto::KeyPair;
 
     fn sample_block() -> Block {
@@ -174,6 +177,7 @@ mod tests {
         let vote = Vote::new(block.id, block.view, NodeId(0), &kp);
         let timeout = TimeoutVote::new(View(2), NodeId(0), QuorumCert::genesis(), &kp);
         let tc = TimeoutCert::from_votes(View(2), std::slice::from_ref(&timeout));
+        let block = SharedBlock::new(block);
         let cases = vec![
             (Message::Proposal(block.clone()), MessageKind::Proposal),
             (Message::ProposalEcho(block.clone()), MessageKind::Proposal),
@@ -210,31 +214,37 @@ mod tests {
 
     #[test]
     fn proposal_wire_size_dominated_by_payload() {
-        let small = Message::Proposal(Block::new(
-            View(1),
-            crate::ids::Height(1),
-            BlockId::GENESIS,
-            NodeId(0),
-            QuorumCert::genesis(),
-            vec![],
-        ));
-        let big = Message::Proposal(Block::new(
-            View(1),
-            crate::ids::Height(1),
-            BlockId::GENESIS,
-            NodeId(0),
-            QuorumCert::genesis(),
-            (0..400)
-                .map(|i| Transaction::new(NodeId(1), i, 128, SimTime::ZERO))
-                .collect(),
-        ));
+        let small = Message::Proposal(
+            Block::new(
+                View(1),
+                crate::ids::Height(1),
+                BlockId::GENESIS,
+                NodeId(0),
+                QuorumCert::genesis(),
+                vec![],
+            )
+            .into(),
+        );
+        let big = Message::Proposal(
+            Block::new(
+                View(1),
+                crate::ids::Height(1),
+                BlockId::GENESIS,
+                NodeId(0),
+                QuorumCert::genesis(),
+                (0..400)
+                    .map(|i| Transaction::new(NodeId(1), i, 128, SimTime::ZERO))
+                    .collect(),
+            )
+            .into(),
+        );
         assert!(big.wire_size() > small.wire_size() + 400 * 128);
     }
 
     #[test]
     fn views_are_exposed() {
         let block = sample_block();
-        assert_eq!(Message::Proposal(block).view(), Some(View(2)));
+        assert_eq!(Message::Proposal(block.into()).view(), Some(View(2)));
         let req = Message::Request(ClientRequest {
             transaction: Transaction::new(NodeId(1), 0, 0, SimTime::ZERO),
         });
@@ -244,7 +254,7 @@ mod tests {
     #[test]
     fn display_includes_tag_and_view() {
         let block = sample_block();
-        let msg = Message::Proposal(block);
+        let msg = Message::Proposal(block.into());
         assert_eq!(msg.to_string(), "proposal@v2");
         let req = Message::Request(ClientRequest {
             transaction: Transaction::new(NodeId(1), 0, 0, SimTime::ZERO),

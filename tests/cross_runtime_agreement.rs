@@ -8,8 +8,13 @@
 
 use std::time::Duration;
 
-use bamboo::core::{RunOptions, SimRunner, ThreadedCluster};
-use bamboo::types::{Config, ProtocolKind, SimDuration};
+use bamboo::core::{
+    BufferedTransport, NodeHost, ReplicaEvent, ReplicaOptions, RunOptions, SimRunner,
+    ThreadedCluster,
+};
+use bamboo::types::{
+    Config, Message, NodeId, ProtocolKind, SharedBlock, SimDuration, SimTime, Transaction,
+};
 
 const ALL_PROTOCOLS: [ProtocolKind; 6] = [
     ProtocolKind::HotStuff,
@@ -80,6 +85,109 @@ fn every_protocol_is_safe_on_the_threaded_cluster() {
             report.committed_blocks
         );
     }
+}
+
+/// A configuration with paper-scale proposals (block_size >= 400): every
+/// committed block moves a payload of tens of kilobytes, which is exactly the
+/// regime the zero-copy (Arc-backed) message path exists for. Any payload
+/// truncation or aliasing bug in that path shows up here as a safety
+/// violation, a ledger divergence, or missing transactions.
+fn large_payload_config() -> Config {
+    Config::builder()
+        .nodes(4)
+        .block_size(400)
+        .payload_size(128)
+        .timeout(SimDuration::from_millis(50))
+        .runtime(SimDuration::from_millis(300))
+        .seed(77)
+        .build()
+        .expect("valid config")
+}
+
+#[test]
+fn large_payload_blocks_are_safe_on_the_simulator() {
+    for protocol in ALL_PROTOCOLS {
+        let mut config = large_payload_config();
+        config.arrival_rate = Some(20_000.0);
+        let report = SimRunner::new(config, protocol, RunOptions::default()).run();
+        assert_eq!(
+            report.safety_violations, 0,
+            "{protocol} violated safety with 400-tx blocks on the simulator"
+        );
+        assert!(
+            report.committed_txs > 0,
+            "{protocol} committed nothing with 400-tx blocks on the simulator"
+        );
+    }
+}
+
+#[test]
+fn large_payload_blocks_are_safe_on_the_threaded_cluster() {
+    for protocol in ALL_PROTOCOLS {
+        let cluster = ThreadedCluster::spawn(large_payload_config(), protocol);
+        cluster.submit_round_robin(4_000, 128);
+        assert!(
+            cluster.run_until_committed(400, Duration::from_secs(20)),
+            "{protocol} committed only {} txs before the deadline",
+            cluster.committed_txs()
+        );
+        let report = cluster.shutdown();
+        assert_eq!(
+            report.safety_violations, 0,
+            "{protocol} violated safety with 400-tx blocks on the threaded cluster"
+        );
+        assert!(
+            report.ledgers_consistent,
+            "{protocol} honest ledgers diverged with 400-tx blocks"
+        );
+    }
+}
+
+#[test]
+fn broadcast_proposal_shares_its_allocation_with_the_forest() {
+    // Drive a leader replica directly and check the zero-copy invariant: the
+    // block inside the broadcast `Message::Proposal` and the block stored in
+    // the leader's own forest are the *same allocation*, with the payload
+    // fully intact — not a truncated or re-serialised copy.
+    let config = large_payload_config();
+    let mut host = NodeHost::new(
+        NodeId(1), // node 1 leads view 1
+        ProtocolKind::HotStuff,
+        config,
+        ReplicaOptions::default(),
+    );
+    let txs: Vec<Transaction> = (0..400)
+        .map(|i| Transaction::new(NodeId(9), i, 128, SimTime::ZERO))
+        .collect();
+    let mut transport = BufferedTransport::new();
+    host.handle(
+        ReplicaEvent::ClientRequests(txs.clone()),
+        SimTime::ZERO,
+        &mut transport,
+    );
+    host.start(SimTime::ZERO, &mut transport);
+
+    let proposal: &SharedBlock = transport
+        .sends
+        .iter()
+        .find_map(|(to, message)| match (to, message) {
+            (None, Message::Proposal(block)) => Some(block),
+            _ => None,
+        })
+        .expect("leader broadcast a proposal");
+    assert_eq!(proposal.payload.len(), 400, "payload not truncated");
+    assert!(proposal.verify_id(), "payload binds to the block id");
+    assert_eq!(proposal.payload, txs, "payload survives untouched");
+
+    let stored = host
+        .replica()
+        .forest()
+        .get_shared(proposal.id)
+        .expect("leader stored its own proposal");
+    assert!(
+        SharedBlock::ptr_eq(proposal, stored),
+        "broadcast and forest must share one allocation (zero-copy)"
+    );
 }
 
 #[test]
