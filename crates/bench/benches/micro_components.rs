@@ -8,11 +8,13 @@
 
 use bamboo_bench::harness::{bench, bench_with_setup, MicroResult};
 use bamboo_bench::{banner, save_json};
-use bamboo_crypto::{sha256, KeyPair};
+use bamboo_core::VerifyPool;
+use bamboo_crypto::{sha256, BatchVerifier, KeyPair};
 use bamboo_forest::BlockForest;
 use bamboo_mempool::Mempool;
 use bamboo_types::{
-    Block, BlockId, Message, NodeId, QuorumCert, SharedBlock, SimTime, Transaction, View, Vote,
+    Authenticator, Block, BlockId, Message, NodeId, QuorumCert, SharedBlock, SimTime, Transaction,
+    View, Vote,
 };
 
 fn chain_blocks(len: u64, txs_per_block: u64) -> Vec<Block> {
@@ -46,6 +48,110 @@ fn bench_crypto(results: &mut Vec<MicroResult>) {
     results.push(bench("sign", || kp.sign(&data)));
     let sig = kp.sign(&data);
     results.push(bench("verify", || kp.public_key().verify(&data, &sig)));
+
+    // The consensus hot path signs and verifies 40-byte vote messages, not
+    // kilobyte payloads — these are the numbers the cost model's `t_CPU`
+    // stands in for.
+    let block = BlockId(bamboo_crypto::Digest::of(b"bench-vote"));
+    results.push(bench("sign_vote", || {
+        Vote::new(block, View(7), NodeId(1), &kp)
+    }));
+    let vote = Vote::new(block, View(7), NodeId(1), &kp);
+    let pk = kp.public_key();
+    results.push(bench("verify_vote", || vote.verify(&pk)));
+
+    // Batched verification of 64 votes over one reused arena vs. 64
+    // individual checks (each of which allocates its signing-bytes buffer).
+    let keys: Vec<KeyPair> = (0..64).map(KeyPair::from_seed).collect();
+    let votes: Vec<Vote> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, k)| Vote::new(block, View(7), NodeId(i as u64), k))
+        .collect();
+    let mut batch = BatchVerifier::with_capacity(64);
+    results.push(bench("batch_verify_64", || {
+        for (vote, key) in votes.iter().zip(&keys) {
+            batch.push(
+                key.public_key(),
+                &Vote::signing_bytes(vote.block, vote.view),
+                vote.signature,
+            );
+        }
+        batch.verify_all()
+    }));
+    results.push(bench("verify_64_individual", || {
+        votes
+            .iter()
+            .zip(&keys)
+            .all(|(vote, key)| vote.verify(&key.public_key()))
+    }));
+}
+
+/// The authenticated ingress stage at n = 32: a proposal carrying a
+/// 22-signer justify QC is broadcast to 31 peers.
+///
+/// * `verify_inline_throughput` — what per-replica inline ingress costs: all
+///   31 recipients verify the certificate independently.
+/// * `verify_pool_throughput` — the cluster-level verify pool: each unique
+///   message is verified once by a worker and the proof token is fanned out.
+///
+/// The pool wins on redundancy elimination alone (31x less signature work
+/// per broadcast), before any thread-level parallelism is counted.
+fn bench_verify_stage(results: &mut Vec<MicroResult>) {
+    const NODES: usize = 32;
+    const MSGS_PER_ITER: u64 = 4;
+    let keys: Vec<KeyPair> = (0..NODES as u64).map(KeyPair::from_seed).collect();
+    let parent = BlockId(bamboo_crypto::Digest::of(b"certified-parent"));
+    let quorum_votes: Vec<Vote> = keys
+        .iter()
+        .enumerate()
+        .take(bamboo_types::ids::quorum_threshold(NODES))
+        .map(|(i, k)| Vote::new(parent, View(1), NodeId(i as u64), k))
+        .collect();
+    let justify = QuorumCert::from_votes(parent, View(1), &quorum_votes);
+    let messages: Vec<Message> = (0..MSGS_PER_ITER)
+        .map(|i| {
+            Message::Proposal(SharedBlock::new(Block::new(
+                View(2),
+                bamboo_types::Height(2),
+                parent,
+                NodeId(i % NODES as u64),
+                justify.clone(),
+                Vec::new(),
+            )))
+        })
+        .collect();
+
+    let mut auth = Authenticator::for_nodes(NODES);
+    results.push(bench("verify_inline_throughput", || {
+        let mut accepted = 0u32;
+        for message in &messages {
+            // Every one of the 31 recipients re-verifies the same broadcast.
+            for _ in 1..NODES {
+                if auth.authenticate(NodeId(0), message.clone()).is_ok() {
+                    accepted += 1;
+                }
+            }
+        }
+        accepted
+    }));
+
+    let pool = VerifyPool::new(NODES, 2, |_to, _verified| {});
+    let handle = pool.handle();
+    let mut submitted = 0u64;
+    results.push(bench("verify_pool_throughput", || {
+        for message in &messages {
+            handle.submit_broadcast(NodeId(0), message.clone());
+        }
+        submitted += MSGS_PER_ITER;
+        // Wait until the pool has drained this iteration's submissions;
+        // yield so the workers get the core on small machines.
+        while pool.processed() < submitted {
+            std::thread::yield_now();
+        }
+    }));
+    drop(handle);
+    pool.shutdown();
 }
 
 fn bench_forest(results: &mut Vec<MicroResult>) {
@@ -190,6 +296,7 @@ fn main() {
     banner("Micro-benchmarks: component costs inside a replica");
     let mut results = Vec::new();
     bench_crypto(&mut results);
+    bench_verify_stage(&mut results);
     bench_forest(&mut results);
     bench_broadcast(&mut results);
     bench_quorum(&mut results);

@@ -219,6 +219,7 @@ impl ToJson for RunReport {
             ("bytes_sent", Json::from(self.bytes_sent)),
             ("throughput_series", self.throughput_series.to_json()),
             ("safety_violations", Json::from(self.safety_violations)),
+            ("rejected_messages", Json::from(self.rejected_messages)),
             ("pending_txs", Json::from(self.pending_txs)),
         ])
     }

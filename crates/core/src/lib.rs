@@ -17,7 +17,12 @@
 //! * [`Metrics`] / [`RunReport`] — throughput, latency, chain growth rate and
 //!   block interval (§IV-B).
 //! * [`runtime`] — the shared runtime spine: the [`Transport`] trait and the
-//!   [`NodeHost`] driver both deployment backends are built on.
+//!   [`NodeHost`] driver both deployment backends are built on. The host is
+//!   also the authenticated ingress stage: every inbound message is verified
+//!   against the validator set before the replica sees it.
+//! * [`verify::VerifyPool`] — the threaded runtime's verification worker
+//!   pool: signature checking runs on dedicated threads and pipelines with
+//!   consensus instead of serialising onto it.
 //! * [`threaded::ThreadedCluster`] — a live, multi-threaded in-process cluster
 //!   used by the examples and the cross-runtime agreement tests.
 //!
@@ -49,6 +54,7 @@ pub mod replica;
 pub mod runner;
 pub mod runtime;
 pub mod threaded;
+pub mod verify;
 pub mod workload;
 
 pub use bamboo_sim::{FluctuationWindow, LinkFault};
@@ -58,5 +64,6 @@ pub use quorum::QuorumTracker;
 pub use replica::{Destination, HandleResult, Outbound, Replica, ReplicaEvent, ReplicaOptions};
 pub use runner::{RunOptions, SimRunner};
 pub use runtime::{BufferedTransport, NodeHost, StepReport, Transport};
-pub use threaded::{ClusterReport, ThreadedCluster};
+pub use threaded::{ClusterReport, ThreadedCluster, DEFAULT_VERIFY_WORKERS};
+pub use verify::{VerifyHandle, VerifyPool};
 pub use workload::{ClosedLoopWorkload, OpenLoopWorkload, Workload};

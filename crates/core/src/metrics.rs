@@ -165,6 +165,10 @@ pub struct RunReport {
     pub throughput_series: Vec<ThroughputSample>,
     /// Number of detected safety violations (conflicting commits). Must be 0.
     pub safety_violations: u64,
+    /// Messages rejected at the authenticated ingress stage (forged or
+    /// malformed signatures/certificates), summed over all replicas. Zero in
+    /// a run without signature-forging Byzantine nodes.
+    pub rejected_messages: u64,
     /// Transactions still waiting (not committed) at the end of the run.
     pub pending_txs: u64,
 }
@@ -256,6 +260,7 @@ mod tests {
             bytes_sent: 0,
             throughput_series: vec![],
             safety_violations: 0,
+            rejected_messages: 0,
             pending_txs: 0,
         };
         let s = report.summary();

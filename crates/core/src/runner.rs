@@ -398,6 +398,7 @@ impl SimRunner {
             bytes_sent,
             throughput_series: self.metrics.throughput_series(),
             safety_violations,
+            rejected_messages: self.hosts.iter().map(NodeHost::auth_rejections).sum(),
             pending_txs: self.workload.total_issued().saturating_sub(committed_txs),
         }
     }

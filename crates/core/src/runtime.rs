@@ -19,9 +19,22 @@
 //! backend a [`StepReport`] (CPU time consumed plus newly committed blocks)
 //! for accounting. Future backends — sharded, async, networked — implement
 //! `Transport` and reuse the host unchanged.
+//!
+//! The host is also the **authenticated ingress stage**: every
+//! [`ReplicaEvent::Message`] fed through [`NodeHost::handle`] is
+//! cryptographically verified (signatures, certificate thresholds, block ids)
+//! by an [`Authenticator`] *before* the replica state machine sees it;
+//! forgeries are dropped and counted. Backends that verify elsewhere — the
+//! threaded runtime's [`crate::verify::VerifyPool`] checks messages on worker
+//! threads so crypto pipelines with consensus — hand the resulting
+//! [`VerifiedMessage`] proof token to [`NodeHost::handle_verified`], which
+//! skips the duplicate check. Either way, no unchecked signature can reach
+//! [`Replica::handle`].
 
+use bamboo_sim::CpuModel;
 use bamboo_types::{
-    Config, Message, NodeId, ProtocolKind, SharedBlock, SimDuration, SimTime, View,
+    Authenticator, Config, Message, NodeId, ProtocolKind, SharedBlock, SimDuration, SimTime,
+    VerifiedMessage, View,
 };
 
 use crate::replica::{Destination, HandleResult, Replica, ReplicaEvent, ReplicaOptions};
@@ -68,6 +81,15 @@ pub struct StepReport {
 /// drift apart in how replica output is interpreted.
 pub struct NodeHost {
     replica: Replica,
+    /// The ingress verifier holding the validator set's public keys.
+    authenticator: Authenticator,
+    /// Models the CPU cost of *failed* verifications (accepted messages are
+    /// charged by the replica itself, whose modeled costs mirror the real
+    /// checks performed here).
+    cpu: CpuModel,
+    /// Messages dropped at ingress because a signature, certificate or block
+    /// id failed verification.
+    auth_rejections: u64,
 }
 
 impl NodeHost {
@@ -78,14 +100,20 @@ impl NodeHost {
         config: Config,
         options: ReplicaOptions,
     ) -> Self {
-        Self {
-            replica: Replica::new(id, protocol, config, options),
-        }
+        Self::from_replica(Replica::new(id, protocol, config, options))
     }
 
     /// Wraps an already-constructed replica.
     pub fn from_replica(replica: Replica) -> Self {
-        Self { replica }
+        let config = replica.config();
+        let authenticator = Authenticator::for_nodes(config.nodes);
+        let cpu = CpuModel::new(config.cpu_delay);
+        Self {
+            replica,
+            authenticator,
+            cpu,
+            auth_rejections: 0,
+        }
     }
 
     /// The hosted replica.
@@ -104,6 +132,11 @@ impl NodeHost {
         self.replica
     }
 
+    /// Messages dropped at the ingress stage so far.
+    pub fn auth_rejections(&self) -> u64 {
+        self.auth_rejections
+    }
+
     /// Boots the replica: arms the first view timer and, if it leads the
     /// first view, proposes.
     pub fn start(&mut self, now: SimTime, transport: &mut dyn Transport) -> StepReport {
@@ -112,15 +145,82 @@ impl NodeHost {
     }
 
     /// Feeds one event into the replica and routes the produced effects.
+    ///
+    /// Message events pass through the ingress verifier first: a forged vote,
+    /// QC, timeout or tampered block is dropped here — the replica never sees
+    /// it — and the step reports only the (modeled) CPU cost of discovering
+    /// the forgery. This inline path is what the deterministic simulator
+    /// uses, so verification does not perturb event ordering.
     pub fn handle(
         &mut self,
         event: ReplicaEvent,
         now: SimTime,
         transport: &mut dyn Transport,
     ) -> StepReport {
+        let event = match event {
+            ReplicaEvent::Message { from, message } => {
+                let cost = verification_cost(&self.cpu, &message);
+                match self.authenticator.authenticate(from, message) {
+                    Ok(verified) => {
+                        let (from, message) = verified.into_parts();
+                        ReplicaEvent::Message { from, message }
+                    }
+                    Err(_) => return self.reject(cost),
+                }
+            }
+            other => other,
+        };
         let result = self.replica.handle(event, now);
         route(result, transport)
     }
+
+    /// Feeds an already-verified message into the replica, skipping the
+    /// inline check. Backends that verify off-thread (the threaded runtime's
+    /// verify pool) use this; the [`VerifiedMessage`] token can only be
+    /// minted by an [`Authenticator`], so the no-unchecked-input invariant
+    /// holds by construction.
+    pub fn handle_verified(
+        &mut self,
+        verified: VerifiedMessage,
+        now: SimTime,
+        transport: &mut dyn Transport,
+    ) -> StepReport {
+        let (from, message) = verified.into_parts();
+        let result = self
+            .replica
+            .handle(ReplicaEvent::Message { from, message }, now);
+        route(result, transport)
+    }
+
+    /// Books a rejected message: counts it and charges the modeled cost of
+    /// the verification work that exposed the forgery (a flood of forgeries
+    /// is not free to fend off — it consumes the target's CPU budget, which
+    /// is exactly how the paper's model would account it).
+    fn reject(&mut self, cost: SimDuration) -> StepReport {
+        self.auth_rejections += 1;
+        StepReport {
+            cpu: cost,
+            committed: Vec::new(),
+        }
+    }
+}
+
+/// The modeled `t_CPU` cost of the verification work that exposes a
+/// forgery, mirroring what the replica would have been charged had the
+/// message been accepted: proposals use the paper's flat aggregate-check
+/// charge (Eq. 4, see `CpuModel::process_proposal` for the rationale),
+/// pacemaker certificates are charged per signer. Used for rejected
+/// messages only — the replica's own modeled costs cover accepted ones.
+fn verification_cost(cpu: &CpuModel, message: &Message) -> SimDuration {
+    let signatures = match message {
+        Message::Proposal(_) | Message::ProposalEcho(_) => 2,
+        Message::Vote(_) | Message::VoteEcho(_) => 1,
+        Message::Timeout(tv) => 1 + tv.high_qc.signer_count(),
+        Message::TimeoutCertMsg(tc) => tc.signer_count() + tc.high_qc.signer_count(),
+        Message::NewView(qc) => qc.signer_count().max(1),
+        Message::Request(_) | Message::Response(_) => 0,
+    };
+    cpu.verify(signatures)
 }
 
 /// Routes a raw [`HandleResult`] into a transport and condenses the

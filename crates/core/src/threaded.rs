@@ -9,21 +9,33 @@
 //! The threaded cluster is a thin backend over the shared runtime layer
 //! ([`crate::runtime`]): the same [`NodeHost`] drives the same replica state
 //! machine as the simulator, and all backend-specific behaviour lives in
-//! [`ThreadTransport`] — immediate channel delivery plus a thread-local list
+//! the (private) `ThreadTransport` — immediate channel delivery plus a list
 //! of armed view timers checked against the wall clock. Because the timers
 //! are real, a stalled or silenced leader cannot hang the cluster: every
 //! replica times out, broadcasts its timeout vote, and the view advances
 //! without requiring any message traffic to keep the loop turning.
+//!
+//! Inbound consensus messages are authenticated before they reach a replica.
+//! By default they flow through a cluster-level [`VerifyPool`]: transports
+//! submit raw messages, the pool's workers check every signature off the
+//! consensus threads, and replicas only ever receive
+//! [`bamboo_types::VerifiedMessage`] proof tokens (a broadcast is verified
+//! once, not once per recipient). A cluster spawned with zero verify workers
+//! falls back to inline verification inside [`NodeHost::handle`] on each
+//! replica thread — same guarantee, serialised onto the consensus thread.
 
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use bamboo_types::{Config, Message, NodeId, ProtocolKind, SimTime, Transaction, View};
+use bamboo_types::{
+    Config, Message, NodeId, ProtocolKind, SimTime, Transaction, VerifiedMessage, View,
+};
 
-use crate::replica::{Replica, ReplicaEvent, ReplicaOptions};
+use crate::replica::{ReplicaEvent, ReplicaOptions};
 use crate::runtime::{NodeHost, StepReport, Transport};
+use crate::verify::{VerifyHandle, VerifyPool};
 
 /// Summary of one threaded run.
 #[derive(Clone, Debug)]
@@ -40,10 +52,20 @@ pub struct ClusterReport {
     pub safety_violations: u64,
     /// Timeout-driven view changes summed across replicas.
     pub timeout_view_changes: u64,
+    /// Messages rejected by the authentication stage (verify pool plus
+    /// inline ingress) as forged or malformed.
+    pub auth_rejections: u64,
 }
 
 enum ThreadEvent {
-    Inbound { from: NodeId, message: Message },
+    /// A raw inbound message (inline-verification mode: the receiving
+    /// replica's `NodeHost` authenticates it).
+    Inbound {
+        from: NodeId,
+        message: Message,
+    },
+    /// A message the verify pool already authenticated.
+    Verified(VerifiedMessage),
     Client(Vec<Transaction>),
     Shutdown,
 }
@@ -54,6 +76,9 @@ enum ThreadEvent {
 struct ThreadTransport {
     id: NodeId,
     peers: Vec<Sender<ThreadEvent>>,
+    /// When present, outbound messages are routed through the cluster's
+    /// verification pool instead of straight into the peer channels.
+    verify: Option<VerifyHandle>,
     /// Armed view timers: `(view, absolute deadline)`.
     timers: Vec<(View, SimTime)>,
     /// Scheduled delayed proposals: `(view, absolute time)`.
@@ -61,10 +86,11 @@ struct ThreadTransport {
 }
 
 impl ThreadTransport {
-    fn new(id: NodeId, peers: Vec<Sender<ThreadEvent>>) -> Self {
+    fn new(id: NodeId, peers: Vec<Sender<ThreadEvent>>, verify: Option<VerifyHandle>) -> Self {
         Self {
             id,
             peers,
+            verify,
             timers: Vec::new(),
             proposals: Vec::new(),
         }
@@ -102,7 +128,9 @@ impl ThreadTransport {
 
 impl Transport for ThreadTransport {
     fn unicast(&mut self, to: NodeId, message: Message) {
-        if let Some(sender) = self.peers.get(to.index()) {
+        if let Some(verify) = &self.verify {
+            verify.submit_unicast(self.id, to, message);
+        } else if let Some(sender) = self.peers.get(to.index()) {
             let _ = sender.send(ThreadEvent::Inbound {
                 from: self.id,
                 message,
@@ -111,6 +139,12 @@ impl Transport for ThreadTransport {
     }
 
     fn broadcast(&mut self, message: Message) {
+        if let Some(verify) = &self.verify {
+            // One submission: the pool verifies once and fans the proof token
+            // out to every peer, instead of n - 1 redundant verifications.
+            verify.submit_broadcast(self.id, message);
+            return;
+        }
         for (index, sender) in self.peers.iter().enumerate() {
             if index != self.id.index() {
                 let _ = sender.send(ThreadEvent::Inbound {
@@ -130,18 +164,37 @@ impl Transport for ThreadTransport {
     }
 }
 
+/// Verification workers a cluster spawns unless told otherwise. Two workers
+/// keep signature checking off the consensus threads while staying light
+/// enough for test machines; see `spawn_with_verify_workers` to tune.
+pub const DEFAULT_VERIFY_WORKERS: usize = 2;
+
 /// A running in-process cluster of replica threads.
 pub struct ThreadedCluster {
     config: Config,
     senders: Vec<Sender<ThreadEvent>>,
-    handles: Vec<JoinHandle<Replica>>,
+    handles: Vec<JoinHandle<NodeHost>>,
+    verify_pool: Option<VerifyPool>,
     started_at: Instant,
     committed_txs: Arc<Mutex<u64>>,
 }
 
 impl ThreadedCluster {
-    /// Spawns `config.nodes` replica threads running `protocol`.
+    /// Spawns `config.nodes` replica threads running `protocol`, with the
+    /// default verification pool ([`DEFAULT_VERIFY_WORKERS`] crypto workers).
     pub fn spawn(config: Config, protocol: ProtocolKind) -> Self {
+        Self::spawn_with_verify_workers(config, protocol, DEFAULT_VERIFY_WORKERS)
+    }
+
+    /// Spawns the cluster with an explicit verification-pool size. Zero
+    /// workers selects inline verification: each replica thread authenticates
+    /// its own inbound messages on the consensus thread (the configuration
+    /// the `verify_pool_throughput` micro-bench compares against).
+    pub fn spawn_with_verify_workers(
+        config: Config,
+        protocol: ProtocolKind,
+        verify_workers: usize,
+    ) -> Self {
         let nodes = config.nodes;
         let mut senders: Vec<Sender<ThreadEvent>> = Vec::with_capacity(nodes);
         let mut receivers: Vec<Receiver<ThreadEvent>> = Vec::with_capacity(nodes);
@@ -150,6 +203,14 @@ impl ThreadedCluster {
             senders.push(tx);
             receivers.push(rx);
         }
+        let verify_pool = (verify_workers > 0).then(|| {
+            let peers = senders.clone();
+            VerifyPool::new(nodes, verify_workers, move |to, verified| {
+                if let Some(sender) = peers.get(to.index()) {
+                    let _ = sender.send(ThreadEvent::Verified(verified));
+                }
+            })
+        });
         let started_at = Instant::now();
         let committed_txs = Arc::new(Mutex::new(0u64));
         let mut handles = Vec::with_capacity(nodes);
@@ -158,8 +219,11 @@ impl ThreadedCluster {
             let config = config.clone();
             let peers = senders.clone();
             let committed = Arc::clone(&committed_txs);
+            let verify = verify_pool.as_ref().map(VerifyPool::handle);
             let handle = std::thread::spawn(move || {
-                run_replica_thread(id, protocol, config, receiver, peers, started_at, committed)
+                run_replica_thread(
+                    id, protocol, config, receiver, peers, verify, started_at, committed,
+                )
             });
             handles.push(handle);
         }
@@ -167,6 +231,7 @@ impl ThreadedCluster {
             config,
             senders,
             handles,
+            verify_pool,
             started_at,
             committed_txs,
         }
@@ -218,25 +283,36 @@ impl ThreadedCluster {
         }
     }
 
-    /// Stops every replica thread and returns the final report.
+    /// Stops every replica thread (and the verify pool) and returns the
+    /// final report.
     pub fn shutdown(self) -> ClusterReport {
         for sender in &self.senders {
             let _ = sender.send(ThreadEvent::Shutdown);
         }
-        let replicas: Vec<Replica> = self
+        let hosts: Vec<NodeHost> = self
             .handles
             .into_iter()
             .map(|h| h.join().expect("replica thread panicked"))
             .collect();
+        // Replica threads are gone, so every transport-held pool handle is
+        // dropped and the workers can drain and exit; the rejection total is
+        // sampled by `shutdown` only after the drain, so forgeries still
+        // queued in the pool when the replicas stopped are counted too.
+        let mut auth_rejections: u64 = hosts.iter().map(NodeHost::auth_rejections).sum();
+        if let Some(pool) = self.verify_pool {
+            let (_accepted, rejected) = pool.shutdown();
+            auth_rejections += rejected;
+        }
+        let replicas: Vec<&crate::Replica> = hosts.iter().map(NodeHost::replica).collect();
         let committed_blocks: Vec<usize> = replicas.iter().map(|r| r.ledger().len()).collect();
         let max_view = replicas
             .iter()
             .map(|r| r.current_view().as_u64())
             .max()
             .unwrap_or(0);
-        let mut safety_violations: u64 = replicas.iter().map(Replica::safety_violations).sum();
-        let timeout_view_changes: u64 = replicas.iter().map(Replica::timeout_view_changes).sum();
-        let honest: Vec<&Replica> = replicas
+        let mut safety_violations: u64 = replicas.iter().map(|r| r.safety_violations()).sum();
+        let timeout_view_changes: u64 = replicas.iter().map(|r| r.timeout_view_changes()).sum();
+        let honest: Vec<&&crate::Replica> = replicas
             .iter()
             .filter(|r| !self.config.is_byzantine(r.id()))
             .collect();
@@ -254,6 +330,7 @@ impl ThreadedCluster {
             ledgers_consistent: consistent,
             safety_violations,
             timeout_view_changes,
+            auth_rejections,
         }
     }
 }
@@ -269,11 +346,12 @@ fn run_replica_thread(
     config: Config,
     receiver: Receiver<ThreadEvent>,
     peers: Vec<Sender<ThreadEvent>>,
+    verify: Option<VerifyHandle>,
     started_at: Instant,
     committed_txs: Arc<Mutex<u64>>,
-) -> Replica {
+) -> NodeHost {
     let mut host = NodeHost::new(id, protocol, config, ReplicaOptions::default());
-    let mut transport = ThreadTransport::new(id, peers);
+    let mut transport = ThreadTransport::new(id, peers, verify);
     let now = || SimTime(started_at.elapsed().as_nanos() as u64);
 
     // Replica 0 is the designated observer for the cluster-wide commit
@@ -325,11 +403,20 @@ fn run_replica_thread(
         match receiver.recv_timeout(wait) {
             Ok(ThreadEvent::Shutdown) => break,
             Ok(ThreadEvent::Inbound { from, message }) => {
+                // Inline-verification mode: `handle` authenticates before the
+                // replica sees the message.
                 let report = host.handle(
                     ReplicaEvent::Message { from, message },
                     now(),
                     &mut transport,
                 );
+                account(&report);
+                transport.prune_stale(host.replica().current_view());
+            }
+            Ok(ThreadEvent::Verified(verified)) => {
+                // The verify pool already authenticated this message off the
+                // consensus thread; the proof token skips the inline check.
+                let report = host.handle_verified(verified, now(), &mut transport);
                 account(&report);
                 transport.prune_stale(host.replica().current_view());
             }
@@ -341,7 +428,7 @@ fn run_replica_thread(
             Err(RecvTimeoutError::Disconnected) => break,
         }
     }
-    host.into_replica()
+    host
 }
 
 #[cfg(test)]

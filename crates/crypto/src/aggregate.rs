@@ -69,6 +69,12 @@ impl AggregateSignature {
         self.signatures.keys().copied()
     }
 
+    /// Iterates over `(signer index, signature)` pairs in ascending signer
+    /// order (used to stage certificates into a [`crate::BatchVerifier`]).
+    pub fn entries(&self) -> impl Iterator<Item = (u64, Signature)> + '_ {
+        self.signatures.iter().map(|(index, sig)| (*index, *sig))
+    }
+
     /// Verifies every contained signature over `msg`, looking public keys up
     /// via `key_of`. Returns `false` if any key is unknown or any signature is
     /// invalid.

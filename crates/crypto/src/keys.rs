@@ -69,15 +69,35 @@ impl fmt::Debug for Signature {
 impl Signature {
     fn create(pk: &PublicKey, msg: &[u8]) -> Self {
         let mut prefix = Vec::with_capacity(SIGN_TAG.len() + 32);
-        prefix.extend_from_slice(SIGN_TAG);
-        prefix.extend_from_slice(pk.as_bytes());
-        Signature(hash_two(&prefix, msg))
+        Self::create_with_scratch(&mut prefix, pk, msg)
+    }
+
+    /// Builds the signature using a caller-provided signing-bytes buffer, so a
+    /// batch of checks performs zero allocations after the first.
+    fn create_with_scratch(scratch: &mut Vec<u8>, pk: &PublicKey, msg: &[u8]) -> Self {
+        scratch.clear();
+        scratch.extend_from_slice(SIGN_TAG);
+        scratch.extend_from_slice(pk.as_bytes());
+        Signature(hash_two(scratch, msg))
     }
 
     /// Returns the signature bytes.
     pub fn as_bytes(&self) -> &[u8; 32] {
         self.0.as_bytes()
     }
+}
+
+/// Checks `sig` over `msg` under `pk`, reusing `scratch` for the
+/// signing-bytes construction. This is the allocation-free primitive behind
+/// [`crate::BatchVerifier`]; single ad-hoc checks should keep using
+/// [`PublicKey::verify`].
+pub(crate) fn signature_matches(
+    scratch: &mut Vec<u8>,
+    pk: &PublicKey,
+    msg: &[u8],
+    sig: &Signature,
+) -> bool {
+    Signature::create_with_scratch(scratch, pk, msg) == *sig
 }
 
 /// A signing key pair for one replica.

@@ -5,10 +5,14 @@
 //! what matters to the performance study (it is the `t_CPU` parameter of the
 //! paper's analytical model), not its hardness, so this crate provides:
 //!
-//! * a from-scratch [`sha256`] implementation used for block ids and chaining,
+//! * a from-scratch [`mod@sha256`] implementation used for block ids and
+//!   chaining,
 //! * a deterministic, simulated signature scheme ([`KeyPair`], [`Signature`])
-//!   whose verification is honest-majority sound inside the simulation, and
-//! * quorum aggregation helpers ([`AggregateSignature`]).
+//!   whose verification is honest-majority sound inside the simulation,
+//! * quorum aggregation helpers ([`AggregateSignature`]), and
+//! * batched verification ([`BatchVerifier`]) that checks many
+//!   `(key, message, signature)` tuples in one allocation-free pass — the
+//!   primitive behind the authenticated message path's ingress stage.
 //!
 //! The simulated scheme binds a signature to `(public key, message)` via the
 //! hash function; it is **not** secure against a real adversary and must never
@@ -30,11 +34,13 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod batch;
 pub mod hash;
 pub mod keys;
 pub mod sha256;
 
 pub use aggregate::AggregateSignature;
+pub use batch::BatchVerifier;
 pub use hash::{hash_bytes, hash_two, Digest};
 pub use keys::{KeyPair, PublicKey, SecretKey, Signature};
 pub use sha256::{sha256, Sha256};

@@ -11,7 +11,7 @@
 //!
 //! On top of raw storage the crate provides the chain predicates the safety
 //! rules need: direct-descendant certified chains (one-chain / two-chain /
-//! three-chain in HotStuff's sense, [`BlockForest::chain_length_ending_at`])
+//! three-chain in HotStuff's sense, [`BlockForest::certified_chain_length`])
 //! and consecutive-view chains (Streamlet's commit rule,
 //! [`BlockForest::consecutive_view_chain`]).
 

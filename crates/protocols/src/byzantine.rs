@@ -1,17 +1,31 @@
-//! The two Byzantine strategies of §IV-A.
+//! Byzantine strategies: the two performance attacks of §IV-A plus two
+//! signature-forgery attacks exercising the authenticated message path.
 //!
-//! Both attacks are "challenging to detect as the attackers are not violating
-//! the protocol from an outsider's view, but could damage performance", and
-//! both are implemented — exactly as the paper describes — by modifying only
-//! the Proposing rule of an otherwise honest protocol:
+//! The paper's pair are "challenging to detect as the attackers are not
+//! violating the protocol from an outsider's view, but could damage
+//! performance", and both are implemented — exactly as the paper describes —
+//! by modifying only the Proposing rule of an otherwise honest protocol:
 //!
 //! * [`ForkingSafety`] proposes on an older ancestor so that previously
 //!   proposed (but uncommitted) blocks get overwritten,
 //! * [`SilenceSafety`] withholds the proposal entirely, forcing the other
 //!   replicas to time out and breaking the commit rule for the tail blocks.
+//!
+//! The forgery pair *does* violate the protocol from an outsider's view and
+//! therefore tests a different layer: the cryptographic ingress stage
+//! (`bamboo_types::Authenticator`) rather than the consensus rules:
+//!
+//! * [`ForgedVoteSafety`] replaces each outbound vote with a flood of votes
+//!   carrying invalid signatures, one minted in every replica's name — the
+//!   fake quorum would certify instantly if any replica skipped verification,
+//! * [`ForgedQcSafety`] proposes blocks whose justify QC claims quorum
+//!   certification with fabricated signatures. The block id stays valid (it
+//!   binds the QC's block and view, not its signature bytes), so only
+//!   per-signer verification of the aggregate catches the forgery.
 
+use bamboo_crypto::{AggregateSignature, KeyPair};
 use bamboo_forest::BlockForest;
-use bamboo_types::{Block, BlockId, ProtocolKind, QuorumCert};
+use bamboo_types::{Block, BlockId, NodeId, ProtocolKind, QuorumCert, Vote};
 
 use crate::safety::{build_block, ProposalInput, Safety, VoteDestination};
 
@@ -142,6 +156,168 @@ impl Safety for SilenceSafety {
     }
 }
 
+/// A Byzantine voter that floods forged votes: whenever it would send one
+/// honest vote, it instead sends `n` votes for the same block, one minted in
+/// every replica's name, all carrying signatures produced with a key that
+/// belongs to nobody. If any honest replica accepted unverified votes, the
+/// fake quorum would certify (and commit) the block instantly; with the
+/// authenticated ingress stage every one of them dies at the door and the
+/// attacker has merely withheld its own vote.
+pub struct ForgedVoteSafety {
+    inner: Box<dyn Safety>,
+    nodes: usize,
+    junk: KeyPair,
+    /// Forged votes put on the wire so far (for metrics/tests).
+    forged: u64,
+}
+
+impl ForgedVoteSafety {
+    /// Wraps `inner` with the vote-forging strategy in a system of `nodes`
+    /// replicas.
+    pub fn new(inner: Box<dyn Safety>, nodes: usize) -> Self {
+        Self {
+            inner,
+            nodes,
+            // A key outside the validator set (ids are < nodes), so nothing it
+            // signs can verify under any validator's public key.
+            junk: KeyPair::from_seed(u64::MAX),
+            forged: 0,
+        }
+    }
+
+    /// How many forged votes this attacker has emitted.
+    pub fn forged(&self) -> u64 {
+        self.forged
+    }
+}
+
+impl Safety for ForgedVoteSafety {
+    fn kind(&self) -> ProtocolKind {
+        self.inner.kind()
+    }
+    fn vote_destination(&self) -> VoteDestination {
+        self.inner.vote_destination()
+    }
+    fn echo_messages(&self) -> bool {
+        self.inner.echo_messages()
+    }
+    fn is_responsive(&self) -> bool {
+        self.inner.is_responsive()
+    }
+
+    fn propose(&mut self, input: &ProposalInput, forest: &BlockForest) -> Option<Block> {
+        self.inner.propose(input, forest)
+    }
+    fn should_vote(&mut self, block: &Block, forest: &BlockForest) -> bool {
+        self.inner.should_vote(block, forest)
+    }
+    fn update_state(&mut self, qc: &QuorumCert, forest: &BlockForest) {
+        self.inner.update_state(qc, forest)
+    }
+    fn try_commit(&mut self, qc: &QuorumCert, forest: &BlockForest) -> Option<BlockId> {
+        self.inner.try_commit(qc, forest)
+    }
+
+    fn forged_votes(&mut self, vote: &Vote) -> Option<Vec<Vote>> {
+        let flood: Vec<Vote> = (0..self.nodes as u64)
+            .map(|voter| Vote {
+                block: vote.block,
+                view: vote.view,
+                voter: NodeId(voter),
+                signature: self.junk.sign(&Vote::signing_bytes(vote.block, vote.view)),
+            })
+            .collect();
+        self.forged += flood.len() as u64;
+        Some(flood)
+    }
+}
+
+/// A Byzantine proposer that attaches forged quorum certificates: its blocks
+/// claim quorum certification of their parent via signatures minted with a
+/// key outside the validator set. A replica that only counted signers would
+/// accept and vote; per-signer aggregate verification rejects the proposal at
+/// ingress, so the attacker's leadership views time out like a silent
+/// leader's — but only *because* verification is real.
+pub struct ForgedQcSafety {
+    inner: Box<dyn Safety>,
+    junk: KeyPair,
+    /// Forged-QC proposals produced so far (for metrics/tests).
+    forged: u64,
+}
+
+impl ForgedQcSafety {
+    /// Wraps `inner` with the QC-forging strategy.
+    pub fn new(inner: Box<dyn Safety>) -> Self {
+        Self {
+            inner,
+            junk: KeyPair::from_seed(u64::MAX),
+            forged: 0,
+        }
+    }
+
+    /// How many forged-QC proposals this attacker has made.
+    pub fn forged(&self) -> u64 {
+        self.forged
+    }
+}
+
+impl Safety for ForgedQcSafety {
+    fn kind(&self) -> ProtocolKind {
+        self.inner.kind()
+    }
+    fn vote_destination(&self) -> VoteDestination {
+        self.inner.vote_destination()
+    }
+    fn echo_messages(&self) -> bool {
+        self.inner.echo_messages()
+    }
+    fn is_responsive(&self) -> bool {
+        self.inner.is_responsive()
+    }
+
+    fn propose(&mut self, input: &ProposalInput, forest: &BlockForest) -> Option<Block> {
+        let block = self.inner.propose(input, forest)?;
+        if block.justify.is_genesis() {
+            // Nothing to forge over the trusted genesis certificate; propose
+            // honestly rather than waste the slot.
+            return Some(block);
+        }
+        // Same claim (block, view) as the honest certificate, fabricated
+        // signatures over the matching signing bytes under the real signer
+        // indices. The rebuilt block keeps the honest id because the id binds
+        // the justify's block and view only.
+        let msg = Vote::signing_bytes(block.justify.block, block.justify.view);
+        let mut signatures = AggregateSignature::new();
+        for signer in block.justify.signatures.signers() {
+            signatures.add(signer, self.junk.sign(&msg));
+        }
+        let forged_justify = QuorumCert {
+            block: block.justify.block,
+            view: block.justify.view,
+            signatures,
+        };
+        self.forged += 1;
+        Some(Block::new(
+            block.view,
+            block.height,
+            block.parent,
+            block.proposer,
+            forged_justify,
+            block.payload,
+        ))
+    }
+
+    fn should_vote(&mut self, block: &Block, forest: &BlockForest) -> bool {
+        self.inner.should_vote(block, forest)
+    }
+    fn update_state(&mut self, qc: &QuorumCert, forest: &BlockForest) {
+        self.inner.update_state(qc, forest)
+    }
+    fn try_commit(&mut self, qc: &QuorumCert, forest: &BlockForest) -> Option<BlockId> {
+        self.inner.try_commit(qc, forest)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +388,77 @@ mod tests {
         let honest_block = build_block(&input(6, 1), &forest, ids[2], qc_c).unwrap();
         forest.insert(honest_block.clone()).unwrap();
         assert!(attacker.should_vote(&honest_block, &forest));
+    }
+
+    #[test]
+    fn forged_vote_flood_covers_every_replica_and_never_verifies() {
+        use bamboo_crypto::KeyPair;
+        let (forest, ids) = chain3();
+        let _ = &forest;
+        let mut attacker = ForgedVoteSafety::new(Box::new(HotStuffSafety::new()), 4);
+        let honest = Vote::new(
+            ids[2],
+            bamboo_types::View(3),
+            NodeId(0),
+            &KeyPair::from_seed(0),
+        );
+        let flood = attacker.forged_votes(&honest).expect("attacker forges");
+        assert_eq!(flood.len(), 4, "one forged vote per replica");
+        assert_eq!(attacker.forged(), 4);
+        for vote in &flood {
+            let claimed_key = KeyPair::from_seed(vote.voter.as_u64()).public_key();
+            assert!(
+                !vote.verify(&claimed_key),
+                "forged vote in {}'s name must not verify",
+                vote.voter
+            );
+        }
+    }
+
+    #[test]
+    fn honest_protocols_do_not_forge_votes() {
+        use bamboo_crypto::KeyPair;
+        let mut honest = HotStuffSafety::new();
+        let vote = Vote::new(
+            BlockId::GENESIS,
+            bamboo_types::View(1),
+            NodeId(0),
+            &KeyPair::from_seed(0),
+        );
+        assert!(honest.forged_votes(&vote).is_none());
+    }
+
+    #[test]
+    fn forged_qc_proposal_keeps_valid_id_but_fails_aggregate_verification() {
+        let (forest, _ids) = chain3();
+        let mut attacker = ForgedQcSafety::new(Box::new(HotStuffSafety::new()));
+        let proposal = attacker.propose(&input(4, 0), &forest).expect("proposal");
+        assert_eq!(attacker.forged(), 1);
+        assert!(
+            proposal.verify_id(),
+            "id binds the QC's block/view, not its signatures"
+        );
+        assert!(!proposal.justify.is_genesis());
+        let keys: Vec<bamboo_crypto::KeyPair> =
+            (0..4).map(bamboo_crypto::KeyPair::from_seed).collect();
+        assert!(
+            !proposal
+                .justify
+                .verify(4, |i| keys.get(i as usize).map(|k| k.public_key())),
+            "forged justify must fail per-signer verification"
+        );
+    }
+
+    #[test]
+    fn forged_qc_degenerates_to_honest_over_genesis() {
+        let mut forest = bamboo_forest::BlockForest::new();
+        // Only genesis exists: the inner protocol justifies with the genesis
+        // QC, which cannot be meaningfully forged.
+        let _ = &mut forest;
+        let mut attacker = ForgedQcSafety::new(Box::new(HotStuffSafety::new()));
+        let proposal = attacker.propose(&input(1, 0), &forest).expect("proposal");
+        assert!(proposal.justify.is_genesis());
+        assert_eq!(attacker.forged(), 0);
     }
 
     #[test]

@@ -21,7 +21,11 @@
 //!   "original HotStuff" baseline of Fig. 9,
 //! * [`ForkingSafety`] and [`SilenceSafety`] — the two Byzantine strategies of
 //!   §IV-A, implemented (as in the paper) purely by overriding the Proposing
-//!   rule of any wrapped protocol.
+//!   rule of any wrapped protocol,
+//! * [`ForgedVoteSafety`] and [`ForgedQcSafety`] — signature-forgery attacks
+//!   (framework extension) that flood invalid votes / forged quorum
+//!   certificates, exercising the authenticated ingress stage instead of the
+//!   consensus rules.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,7 +39,7 @@ pub mod safety;
 pub mod streamlet;
 pub mod twochain;
 
-pub use byzantine::{ForkingSafety, SilenceSafety};
+pub use byzantine::{ForgedQcSafety, ForgedVoteSafety, ForkingSafety, SilenceSafety};
 pub use fasthotstuff::FastHotStuffSafety;
 pub use hotstuff::HotStuffSafety;
 pub use lbft::LbftSafety;
@@ -59,13 +63,23 @@ pub fn make_protocol(kind: ProtocolKind) -> Box<dyn Safety> {
 }
 
 /// Instantiates the [`Safety`] implementation for `kind`, wrapped in the given
-/// Byzantine strategy (the strategy only changes the Proposing rule, exactly
-/// as described in §IV-A).
-pub fn make_safety(kind: ProtocolKind, strategy: ByzantineStrategy) -> Box<dyn Safety> {
+/// Byzantine strategy. The paper's pair (forking, silence) only change the
+/// Proposing rule (§IV-A); the forgery pair additionally corrupts outbound
+/// signatures and needs the system size `nodes` to mint votes in every
+/// replica's name.
+pub fn make_safety(
+    kind: ProtocolKind,
+    strategy: ByzantineStrategy,
+    nodes: usize,
+) -> Box<dyn Safety> {
     match strategy {
         ByzantineStrategy::Honest => make_protocol(kind),
         ByzantineStrategy::Forking => Box::new(ForkingSafety::new(make_protocol(kind))),
         ByzantineStrategy::Silence => Box::new(SilenceSafety::new(make_protocol(kind))),
+        ByzantineStrategy::ForgedVote => {
+            Box::new(ForgedVoteSafety::new(make_protocol(kind), nodes))
+        }
+        ByzantineStrategy::ForgedQc => Box::new(ForgedQcSafety::new(make_protocol(kind))),
     }
 }
 
@@ -89,9 +103,17 @@ mod tests {
 
     #[test]
     fn byzantine_wrappers_preserve_kind() {
-        let forking = make_safety(ProtocolKind::HotStuff, ByzantineStrategy::Forking);
+        let forking = make_safety(ProtocolKind::HotStuff, ByzantineStrategy::Forking, 4);
         assert_eq!(forking.kind(), ProtocolKind::HotStuff);
-        let silence = make_safety(ProtocolKind::Streamlet, ByzantineStrategy::Silence);
+        let silence = make_safety(ProtocolKind::Streamlet, ByzantineStrategy::Silence, 4);
         assert_eq!(silence.kind(), ProtocolKind::Streamlet);
+        let forged_vote = make_safety(ProtocolKind::HotStuff, ByzantineStrategy::ForgedVote, 4);
+        assert_eq!(forged_vote.kind(), ProtocolKind::HotStuff);
+        let forged_qc = make_safety(
+            ProtocolKind::TwoChainHotStuff,
+            ByzantineStrategy::ForgedQc,
+            4,
+        );
+        assert_eq!(forged_qc.kind(), ProtocolKind::TwoChainHotStuff);
     }
 }

@@ -2,7 +2,7 @@
 //! Commit rules behind a single interface.
 
 use bamboo_forest::BlockForest;
-use bamboo_types::{Block, BlockId, NodeId, ProtocolKind, QuorumCert, Transaction, View};
+use bamboo_types::{Block, BlockId, NodeId, ProtocolKind, QuorumCert, Transaction, View, Vote};
 
 /// Where a replica sends its vote after accepting a proposal.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -77,6 +77,17 @@ pub trait Safety: Send {
     /// no room to fork (the attacker then behaves like an honest proposer).
     fn fork_parent(&self, forest: &BlockForest) -> Option<BlockId> {
         let _ = forest;
+        None
+    }
+
+    /// Hook used by signature-forging attackers: given the honest vote the
+    /// replica just produced, returns the votes to put on the wire *instead*.
+    /// `None` (the default, and every honest protocol) sends the honest vote
+    /// unchanged. The replica keeps processing its own honest vote locally
+    /// either way, so the hook can only corrupt outbound traffic — which is
+    /// exactly the surface the authenticated ingress stage must cover.
+    fn forged_votes(&mut self, vote: &Vote) -> Option<Vec<Vote>> {
+        let _ = vote;
         None
     }
 }

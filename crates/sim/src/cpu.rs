@@ -50,7 +50,15 @@ impl CpuModel {
 
     /// Cost of processing a proposal carrying `txs` transactions: one
     /// signature verification for the proposer, one for the embedded QC
-    /// (treated as a single aggregate check), plus per-transaction work.
+    /// treated as a single aggregate check, plus per-transaction work.
+    ///
+    /// The flat aggregate charge is deliberate: the paper's block service
+    /// time (Eq. 4, `t_s = 3·t_CPU + …`) models happy-path crypto as a
+    /// constant per block, and the Fig. 8 model-vs-simulation tracking test
+    /// pins the simulator to that equation. The real per-signer cost of the
+    /// ingress check is measured by the `verify_*` micro-benches instead,
+    /// and off-happy-path pacemaker certificates (timeouts, TCs), which
+    /// Eq. 4 does not model, *are* charged per signer in `Replica::handle`.
     pub fn process_proposal(&self, txs: usize) -> SimDuration {
         self.verify(2) + SimDuration::from_nanos(self.per_tx.as_nanos() * txs as u64)
     }

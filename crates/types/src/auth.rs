@@ -1,0 +1,477 @@
+//! The authenticated ingress stage: verify every inbound message before it
+//! reaches the replica state machine.
+//!
+//! The paper's analytical model makes cryptographic cost (`t_CPU`) a
+//! first-class driver of chained-BFT performance, and the attack surface of a
+//! real deployment starts at the wire: a replica must not act on a vote, QC or
+//! timeout certificate whose signatures it has not checked. This module is
+//! the chokepoint that enforces it:
+//!
+//! * [`Authenticator`] holds the validator set's public keys and verifies
+//!   every message variant — proposals (block id + justify QC), votes,
+//!   timeout votes (signature + embedded high-QC), timeout certificates and
+//!   NewView QCs — rejecting forgeries with a typed [`AuthError`].
+//! * [`VerifiedMessage`] is the proof-of-verification token: it can only be
+//!   constructed by [`Authenticator::authenticate`], so any component whose
+//!   input type is `VerifiedMessage` is statically guaranteed to never see an
+//!   unchecked signature.
+//!
+//! Certificate checks are *signer-count aware*: the quorum threshold is
+//! checked before any signature work, so a sub-quorum certificate is rejected
+//! for free, and the per-signer checks go through one reused
+//! [`BatchVerifier`], amortising signing-bytes construction across the whole
+//! aggregate.
+//!
+//! Client traffic ([`crate::Message::Request`] / [`crate::Message::Response`])
+//! passes through unchecked: clients are not part of the validator set and
+//! transaction authentication is out of scope for the performance study.
+
+use std::fmt;
+
+use bamboo_crypto::{BatchVerifier, KeyPair, PublicKey};
+
+use crate::block::Block;
+use crate::certificate::{QuorumCert, TimeoutCert, TimeoutVote, Vote};
+use crate::ids::{quorum_threshold, NodeId, View};
+use crate::message::Message;
+
+/// Why an inbound message was rejected at the ingress stage.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AuthError {
+    /// A signer index does not belong to the validator set.
+    UnknownSigner(NodeId),
+    /// A vote signature does not verify under the voter's public key.
+    BadVoteSignature(NodeId),
+    /// A block's stored id does not match its header and payload.
+    BadBlockId(View),
+    /// A certificate carries fewer signers than the quorum threshold.
+    SubQuorumCert {
+        /// Signers present in the certificate.
+        got: usize,
+        /// Quorum threshold (`2f + 1`).
+        need: usize,
+    },
+    /// At least one signature inside a quorum certificate is invalid.
+    BadQcSignature(View),
+    /// A timeout-vote signature does not verify under the voter's key.
+    BadTimeoutSignature(NodeId),
+    /// At least one signature inside a timeout certificate is invalid.
+    BadTcSignature(View),
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::UnknownSigner(node) => write!(f, "unknown signer {node}"),
+            AuthError::BadVoteSignature(node) => write!(f, "invalid vote signature from {node}"),
+            AuthError::BadBlockId(view) => write!(f, "block id mismatch in proposal @ {view}"),
+            AuthError::SubQuorumCert { got, need } => {
+                write!(f, "sub-quorum certificate: {got} signers, need {need}")
+            }
+            AuthError::BadQcSignature(view) => write!(f, "invalid QC signature @ {view}"),
+            AuthError::BadTimeoutSignature(node) => {
+                write!(f, "invalid timeout signature from {node}")
+            }
+            AuthError::BadTcSignature(view) => write!(f, "invalid TC signature @ {view}"),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+/// A message that has passed cryptographic verification.
+///
+/// The only constructor is [`Authenticator::authenticate`]; holding a
+/// `VerifiedMessage` *is* the proof that every signature the message carries
+/// has been checked against the validator set.
+#[derive(Clone, Debug)]
+pub struct VerifiedMessage {
+    from: NodeId,
+    message: Message,
+}
+
+impl VerifiedMessage {
+    /// The transport-level sender of the message.
+    pub fn sender(&self) -> NodeId {
+        self.from
+    }
+
+    /// The verified message.
+    pub fn message(&self) -> &Message {
+        &self.message
+    }
+
+    /// Consumes the token and returns `(sender, message)`.
+    pub fn into_parts(self) -> (NodeId, Message) {
+        (self.from, self.message)
+    }
+}
+
+/// Verifies inbound messages against the validator set's public keys.
+///
+/// The authenticator owns a reused [`BatchVerifier`], so repeated certificate
+/// checks are allocation-free in steady state; methods therefore take
+/// `&mut self`. Each thread of a deployment owns its own authenticator
+/// (they are cheap: `n` public keys plus buffers).
+///
+/// # Example
+///
+/// ```
+/// use bamboo_types::{Authenticator, BlockId, Message, NodeId, View, Vote};
+/// use bamboo_crypto::KeyPair;
+///
+/// let mut auth = Authenticator::for_nodes(4);
+/// let vote = Vote::new(BlockId::GENESIS, View(1), NodeId(2), &KeyPair::from_seed(2));
+/// let verified = auth
+///     .authenticate(NodeId(2), Message::Vote(vote.clone()))
+///     .expect("honest vote passes");
+/// assert_eq!(verified.sender(), NodeId(2));
+///
+/// // The same vote under the wrong keypair is a forgery and is rejected.
+/// let forged = Vote::new(BlockId::GENESIS, View(1), NodeId(2), &KeyPair::from_seed(3));
+/// assert!(auth.authenticate(NodeId(2), Message::Vote(forged)).is_err());
+/// ```
+#[derive(Debug)]
+pub struct Authenticator {
+    keys: Vec<PublicKey>,
+    batch: BatchVerifier,
+}
+
+impl Authenticator {
+    /// Builds the authenticator for the standard validator set of `nodes`
+    /// replicas, whose key pairs are derived from their node ids (the same
+    /// derivation every replica uses for its own signing key).
+    pub fn for_nodes(nodes: usize) -> Self {
+        Self::from_keys(
+            (0..nodes as u64)
+                .map(|i| KeyPair::from_seed(i).public_key())
+                .collect(),
+        )
+    }
+
+    /// Builds the authenticator from an explicit public-key list; key `i`
+    /// belongs to node id `i`.
+    pub fn from_keys(keys: Vec<PublicKey>) -> Self {
+        Self {
+            keys,
+            batch: BatchVerifier::new(),
+        }
+    }
+
+    /// Size of the validator set.
+    pub fn nodes(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Public key of `node`, if it belongs to the validator set.
+    pub fn key_of(&self, node: NodeId) -> Option<PublicKey> {
+        self.keys.get(node.index()).copied()
+    }
+
+    /// Verifies `message` and wraps it into the [`VerifiedMessage`] proof
+    /// token.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`AuthError`] describing the first forged or
+    /// malformed component found; the message is dropped.
+    pub fn authenticate(
+        &mut self,
+        from: NodeId,
+        message: Message,
+    ) -> Result<VerifiedMessage, AuthError> {
+        match &message {
+            Message::Proposal(block) | Message::ProposalEcho(block) => {
+                self.verify_block(block)?;
+            }
+            Message::Vote(vote) | Message::VoteEcho(vote) => {
+                self.verify_vote(vote)?;
+            }
+            Message::Timeout(tv) => {
+                self.verify_timeout_vote(tv)?;
+            }
+            Message::TimeoutCertMsg(tc) => {
+                self.verify_timeout_cert(tc)?;
+            }
+            Message::NewView(qc) => {
+                self.verify_qc(qc)?;
+            }
+            // Client traffic is not covered by the validator set.
+            Message::Request(_) | Message::Response(_) => {}
+        }
+        Ok(VerifiedMessage { from, message })
+    }
+
+    /// Verifies a proposal: the block id must bind the header and payload,
+    /// and the justify QC must be a valid quorum certificate. The proposer's
+    /// authorship is bound through the id (the header includes the proposer),
+    /// mirroring how the simulated scheme folds identity into the hash.
+    pub fn verify_block(&mut self, block: &Block) -> Result<(), AuthError> {
+        if !block.verify_id() {
+            return Err(AuthError::BadBlockId(block.view));
+        }
+        self.verify_qc(&block.justify)
+    }
+
+    /// Verifies a single vote signature.
+    pub fn verify_vote(&self, vote: &Vote) -> Result<(), AuthError> {
+        let key = self
+            .key_of(vote.voter)
+            .ok_or(AuthError::UnknownSigner(vote.voter))?;
+        if !vote.verify(&key) {
+            return Err(AuthError::BadVoteSignature(vote.voter));
+        }
+        Ok(())
+    }
+
+    /// Verifies a quorum certificate: signer count against the quorum
+    /// threshold first (free), then every signature in one batched pass.
+    pub fn verify_qc(&mut self, qc: &QuorumCert) -> Result<(), AuthError> {
+        if qc.is_genesis() {
+            return Ok(());
+        }
+        self.check_threshold(qc.signer_count())?;
+        let msg = Vote::signing_bytes(qc.block, qc.view);
+        let keys = &self.keys;
+        self.batch
+            .push_aggregate(&msg, &qc.signatures, |i| keys.get(i as usize).copied())
+            .map_err(|signer| AuthError::UnknownSigner(NodeId(signer)))?;
+        if !self.batch.verify_all() {
+            return Err(AuthError::BadQcSignature(qc.view));
+        }
+        Ok(())
+    }
+
+    /// Verifies a timeout vote: the vote signature plus the embedded high-QC
+    /// the next leader would adopt.
+    pub fn verify_timeout_vote(&mut self, tv: &TimeoutVote) -> Result<(), AuthError> {
+        let key = self
+            .key_of(tv.voter)
+            .ok_or(AuthError::UnknownSigner(tv.voter))?;
+        if !tv.verify(&key) {
+            return Err(AuthError::BadTimeoutSignature(tv.voter));
+        }
+        self.verify_qc(&tv.high_qc)
+    }
+
+    /// Verifies a timeout certificate: threshold, every timeout signature
+    /// (batched), and the embedded high-QC.
+    pub fn verify_timeout_cert(&mut self, tc: &TimeoutCert) -> Result<(), AuthError> {
+        self.check_threshold(tc.signer_count())?;
+        let msg = TimeoutVote::signing_bytes(tc.view);
+        let keys = &self.keys;
+        self.batch
+            .push_aggregate(&msg, &tc.signatures, |i| keys.get(i as usize).copied())
+            .map_err(|signer| AuthError::UnknownSigner(NodeId(signer)))?;
+        if !self.batch.verify_all() {
+            return Err(AuthError::BadTcSignature(tc.view));
+        }
+        self.verify_qc(&tc.high_qc)
+    }
+
+    fn check_threshold(&self, got: usize) -> Result<(), AuthError> {
+        let need = quorum_threshold(self.keys.len());
+        if got < need {
+            return Err(AuthError::SubQuorumCert { got, need });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockId;
+    use crate::ids::Height;
+    use crate::transaction::Transaction;
+    use crate::SimTime;
+    use bamboo_crypto::AggregateSignature;
+
+    fn keypairs(n: u64) -> Vec<KeyPair> {
+        (0..n).map(KeyPair::from_seed).collect()
+    }
+
+    fn quorum_qc(block: BlockId, view: View, kps: &[KeyPair]) -> QuorumCert {
+        let votes: Vec<Vote> = kps
+            .iter()
+            .enumerate()
+            .take(3)
+            .map(|(i, kp)| Vote::new(block, view, NodeId(i as u64), kp))
+            .collect();
+        QuorumCert::from_votes(block, view, &votes)
+    }
+
+    fn block_id(tag: u8) -> BlockId {
+        BlockId(bamboo_crypto::Digest::of(&[tag]))
+    }
+
+    #[test]
+    fn honest_vote_and_qc_pass() {
+        let kps = keypairs(4);
+        let mut auth = Authenticator::for_nodes(4);
+        let vote = Vote::new(block_id(1), View(2), NodeId(1), &kps[1]);
+        assert!(auth.verify_vote(&vote).is_ok());
+        let qc = quorum_qc(block_id(1), View(2), &kps);
+        assert!(auth.verify_qc(&qc).is_ok());
+        // Reuse works: the internal batch was cleared.
+        assert!(auth.verify_qc(&qc).is_ok());
+    }
+
+    #[test]
+    fn forged_vote_is_rejected_with_typed_error() {
+        let kps = keypairs(4);
+        let mut auth = Authenticator::for_nodes(4);
+        let forged = Vote::new(block_id(1), View(2), NodeId(1), &kps[2]);
+        assert_eq!(
+            auth.verify_vote(&forged),
+            Err(AuthError::BadVoteSignature(NodeId(1)))
+        );
+        assert!(auth.authenticate(NodeId(1), Message::Vote(forged)).is_err());
+        let unknown = Vote::new(block_id(1), View(2), NodeId(9), &kps[2]);
+        assert_eq!(
+            auth.verify_vote(&unknown),
+            Err(AuthError::UnknownSigner(NodeId(9)))
+        );
+    }
+
+    #[test]
+    fn sub_quorum_qc_is_rejected_before_any_signature_work() {
+        let kps = keypairs(4);
+        let mut auth = Authenticator::for_nodes(4);
+        let votes: Vec<Vote> = kps
+            .iter()
+            .enumerate()
+            .take(2)
+            .map(|(i, kp)| Vote::new(block_id(1), View(2), NodeId(i as u64), kp))
+            .collect();
+        let qc = QuorumCert::from_votes(block_id(1), View(2), &votes);
+        assert_eq!(
+            auth.verify_qc(&qc),
+            Err(AuthError::SubQuorumCert { got: 2, need: 3 })
+        );
+    }
+
+    #[test]
+    fn qc_with_forged_signature_is_rejected() {
+        let kps = keypairs(4);
+        let mut auth = Authenticator::for_nodes(4);
+        let mut sigs = AggregateSignature::new();
+        // All three "signatures" minted by replica 3's key under indices 0..2.
+        let msg = Vote::signing_bytes(block_id(1), View(2));
+        for i in 0..3u64 {
+            sigs.add(i, kps[3].sign(&msg));
+        }
+        let forged = QuorumCert {
+            block: block_id(1),
+            view: View(2),
+            signatures: sigs,
+        };
+        assert_eq!(
+            auth.verify_qc(&forged),
+            Err(AuthError::BadQcSignature(View(2)))
+        );
+    }
+
+    #[test]
+    fn genesis_qc_passes_and_timeout_paths_check_embedded_qc() {
+        let kps = keypairs(4);
+        let mut auth = Authenticator::for_nodes(4);
+        assert!(auth.verify_qc(&QuorumCert::genesis()).is_ok());
+
+        let high_qc = quorum_qc(block_id(2), View(3), &kps);
+        let tv = TimeoutVote::new(View(4), NodeId(0), high_qc.clone(), &kps[0]);
+        assert!(auth.verify_timeout_vote(&tv).is_ok());
+
+        // Same timeout vote, but the embedded QC's signatures are corrupted.
+        let mut bad_qc = high_qc.clone();
+        let msg = Vote::signing_bytes(block_id(9), View(9));
+        let mut sigs = AggregateSignature::new();
+        for i in 0..3u64 {
+            sigs.add(i, kps[i as usize].sign(&msg));
+        }
+        bad_qc.signatures = sigs;
+        let bad_tv = TimeoutVote::new(View(4), NodeId(0), bad_qc, &kps[0]);
+        assert!(auth.verify_timeout_vote(&bad_tv).is_err());
+
+        let tvs: Vec<TimeoutVote> = (0..3)
+            .map(|i| TimeoutVote::new(View(4), NodeId(i), high_qc.clone(), &kps[i as usize]))
+            .collect();
+        let tc = TimeoutCert::from_votes(View(4), &tvs);
+        assert!(auth.verify_timeout_cert(&tc).is_ok());
+        let sub = TimeoutCert::from_votes(View(4), &tvs[..2]);
+        assert!(matches!(
+            auth.verify_timeout_cert(&sub),
+            Err(AuthError::SubQuorumCert { .. })
+        ));
+    }
+
+    #[test]
+    fn proposal_with_tampered_payload_or_forged_justify_is_rejected() {
+        let kps = keypairs(4);
+        let mut auth = Authenticator::for_nodes(4);
+        let justify = quorum_qc(block_id(1), View(1), &kps);
+        let good = Block::new(
+            View(2),
+            Height(2),
+            block_id(1),
+            NodeId(2),
+            justify.clone(),
+            vec![Transaction::new(NodeId(9), 0, 16, SimTime::ZERO)],
+        );
+        assert!(auth.verify_block(&good).is_ok());
+
+        let mut tampered = good.clone();
+        tampered
+            .payload
+            .push(Transaction::new(NodeId(9), 1, 16, SimTime::ZERO));
+        assert_eq!(
+            auth.verify_block(&tampered),
+            Err(AuthError::BadBlockId(View(2)))
+        );
+
+        let mut forged_justify = justify;
+        let msg = Vote::signing_bytes(block_id(1), View(1));
+        let mut sigs = AggregateSignature::new();
+        for i in 0..3u64 {
+            sigs.add(i, kps[3].sign(&msg));
+        }
+        forged_justify.signatures = sigs;
+        // Rebuilding keeps the id valid (the id binds the justify's block and
+        // view, not its signature bytes), so the rejection must come from the
+        // QC check — exactly the forged-QC attack surface.
+        let forged = Block::new(
+            View(2),
+            Height(2),
+            block_id(1),
+            NodeId(2),
+            forged_justify,
+            good.payload.clone(),
+        );
+        assert!(forged.verify_id());
+        assert_eq!(
+            auth.verify_block(&forged),
+            Err(AuthError::BadQcSignature(View(1)))
+        );
+    }
+
+    #[test]
+    fn client_traffic_passes_through() {
+        let mut auth = Authenticator::for_nodes(4);
+        let request = Message::Request(crate::message::ClientRequest {
+            transaction: Transaction::new(NodeId(9), 0, 8, SimTime::ZERO),
+        });
+        let verified = auth.authenticate(NodeId(9), request).expect("clients pass");
+        let (from, message) = verified.into_parts();
+        assert_eq!(from, NodeId(9));
+        assert!(matches!(message, Message::Request(_)));
+    }
+
+    #[test]
+    fn errors_render_human_readable() {
+        let err = AuthError::SubQuorumCert { got: 2, need: 22 };
+        assert!(err.to_string().contains("sub-quorum"));
+        assert!(AuthError::UnknownSigner(NodeId(7))
+            .to_string()
+            .contains("7"));
+    }
+}

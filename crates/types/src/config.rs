@@ -68,6 +68,13 @@ pub enum ByzantineStrategy {
     Forking,
     /// Silence attack: withhold the proposal for the whole view (§IV-A2).
     Silence,
+    /// Signature-forgery flood: replace every outbound vote with a burst of
+    /// votes carrying invalid signatures, one minted in each replica's name
+    /// (framework extension; exercises the authenticated ingress stage).
+    ForgedVote,
+    /// QC forgery: propose blocks whose justify QC claims quorum
+    /// certification with fabricated signatures (framework extension).
+    ForgedQc,
 }
 
 impl std::fmt::Display for ByzantineStrategy {
@@ -76,6 +83,8 @@ impl std::fmt::Display for ByzantineStrategy {
             ByzantineStrategy::Honest => "honest",
             ByzantineStrategy::Forking => "forking",
             ByzantineStrategy::Silence => "silence",
+            ByzantineStrategy::ForgedVote => "forged-vote",
+            ByzantineStrategy::ForgedQc => "forged-qc",
         };
         f.write_str(s)
     }

@@ -7,6 +7,9 @@
 //! * payload — [`Transaction`], [`Block`],
 //! * certificates — [`Vote`], [`QuorumCert`], [`TimeoutVote`], [`TimeoutCert`],
 //! * the wire [`Message`] enum exchanged by replicas and clients,
+//! * the authenticated ingress stage — [`Authenticator`] verifies every
+//!   inbound message against the validator set and mints [`VerifiedMessage`]
+//!   proof tokens; forgeries are rejected with a typed [`AuthError`],
 //! * simulated time — [`SimTime`], [`SimDuration`],
 //! * the Table-I [`Config`] surface.
 //!
@@ -16,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod auth;
 pub mod block;
 pub mod bytes;
 pub mod certificate;
@@ -26,6 +30,7 @@ pub mod message;
 pub mod time;
 pub mod transaction;
 
+pub use auth::{AuthError, Authenticator, VerifiedMessage};
 pub use block::{Block, BlockId, SharedBlock};
 pub use bytes::Bytes;
 pub use certificate::{QuorumCert, TimeoutCert, TimeoutVote, Vote};
