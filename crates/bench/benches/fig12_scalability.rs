@@ -45,7 +45,11 @@ fn main() {
     banner("Figure 12: scalability, 4..64 nodes (block 400, payload 128 B)");
     let sizes = [4usize, 8, 16, 32, 64];
     let seeds = [2021u64, 2022, 2023];
-    let mut points = Vec::new();
+    // Build the whole grid up front and run it as one parallel batch on the
+    // bounded sweep pool; results come back in input order, so the per-point
+    // aggregation below is identical to the old sequential loop.
+    let mut grid: Vec<(ProtocolKind, usize)> = Vec::new();
+    let mut jobs = Vec::new();
     for protocol in evaluated_protocols() {
         for &nodes in &sizes {
             // Streamlet's O(n^3) message complexity makes large-n runs very
@@ -60,35 +64,41 @@ fn main() {
             // Offered load scaled down as n grows (the paper's testbed also
             // saturates at lower rates for larger clusters).
             let rate = 60_000.0 / (nodes as f64 / 4.0).sqrt();
-            let mut throughputs = Vec::new();
-            let mut latencies = Vec::new();
+            grid.push((protocol, nodes));
             for &seed in &seeds {
                 let mut config = eval_config(nodes, 400, 128, runtime_ms);
                 config.seed = seed;
-                let report = Benchmarker::new(config, protocol, RunOptions::default()).run_at(rate);
-                throughputs.push(report.throughput_tx_per_sec);
-                latencies.push(report.latency.mean_ms);
+                config.arrival_rate = Some(rate);
+                jobs.push((config, protocol, RunOptions::default()));
             }
-            let (mean_tput, std_tput) = mean_std(&throughputs);
-            let (mean_lat, std_lat) = mean_std(&latencies);
-            println!(
-                "{:<5} n={:<3} throughput = {:>9.0} ± {:>7.0} tx/s   latency = {:>8.2} ± {:>6.2} ms",
-                protocol.label(),
-                nodes,
-                mean_tput,
-                std_tput,
-                mean_lat,
-                std_lat
-            );
-            points.push(ScalePoint {
-                protocol: protocol.label().to_string(),
-                nodes,
-                mean_throughput_tx_per_sec: mean_tput,
-                std_throughput: std_tput,
-                mean_latency_ms: mean_lat,
-                std_latency_ms: std_lat,
-            });
         }
+    }
+    let reports = Benchmarker::run_all(jobs);
+
+    let mut points = Vec::new();
+    for (index, (protocol, nodes)) in grid.into_iter().enumerate() {
+        let runs = &reports[index * seeds.len()..(index + 1) * seeds.len()];
+        let throughputs: Vec<f64> = runs.iter().map(|r| r.throughput_tx_per_sec).collect();
+        let latencies: Vec<f64> = runs.iter().map(|r| r.latency.mean_ms).collect();
+        let (mean_tput, std_tput) = mean_std(&throughputs);
+        let (mean_lat, std_lat) = mean_std(&latencies);
+        println!(
+            "{:<5} n={:<3} throughput = {:>9.0} ± {:>7.0} tx/s   latency = {:>8.2} ± {:>6.2} ms",
+            protocol.label(),
+            nodes,
+            mean_tput,
+            std_tput,
+            mean_lat,
+            std_lat
+        );
+        points.push(ScalePoint {
+            protocol: protocol.label().to_string(),
+            nodes,
+            mean_throughput_tx_per_sec: mean_tput,
+            std_throughput: std_tput,
+            mean_latency_ms: mean_lat,
+            std_latency_ms: std_lat,
+        });
     }
     save_json("fig12_scalability", &points);
     println!(

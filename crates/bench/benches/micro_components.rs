@@ -8,13 +8,14 @@
 
 use bamboo_bench::harness::{bench, bench_with_setup, MicroResult};
 use bamboo_bench::{banner, save_json};
-use bamboo_core::VerifyPool;
+use bamboo_core::{RunOptions, SimRunner, VerifyPool};
 use bamboo_crypto::{sha256, BatchVerifier, KeyPair};
 use bamboo_forest::BlockForest;
 use bamboo_mempool::Mempool;
+use bamboo_sim::{EventQueue, SimRng};
 use bamboo_types::{
-    Authenticator, Block, BlockId, Message, NodeId, QuorumCert, SharedBlock, SimTime, Transaction,
-    View, Vote,
+    Authenticator, Block, BlockId, Config, Message, NodeId, ProtocolKind, QuorumCert, SharedBlock,
+    SimDuration, SimTime, Transaction, View, Vote,
 };
 
 fn chain_blocks(len: u64, txs_per_block: u64) -> Vec<Block> {
@@ -281,15 +282,106 @@ fn bench_mempool(results: &mut Vec<MicroResult>) {
         "mempool_push_4000_batch_400",
         || Mempool::new(10_000),
         |mut pool| {
-            for tx in &txs {
-                pool.push(tx.clone());
-            }
+            // The client-ingest hot path: workload arrivals land in batches,
+            // so capacity is reserved once and each id is hashed once.
+            pool.push_batch(txs.iter().cloned());
             while !pool.is_empty() {
                 pool.next_batch(400);
             }
             pool
         },
     ));
+}
+
+/// The event queue under a simulator-shaped schedule: 64k events pushed as a
+/// mix of near-future deliveries (µs-scale deltas), same-instant ties and
+/// far-out timers, interleaved with pops — the access pattern of one
+/// `SimRunner` run compressed into a micro.
+fn bench_event_queue(results: &mut Vec<MicroResult>) {
+    const EVENTS: u64 = 65_536;
+    let mut rng = SimRng::new(42);
+    // Pre-generate the schedule so the micro times the queue, not the RNG.
+    let mut deltas: Vec<u64> = Vec::with_capacity(EVENTS as usize);
+    for i in 0..EVENTS {
+        deltas.push(match i % 16 {
+            // Far timer (pacemaker view timeout scale).
+            0 => 100_000_000 + rng.choose_index(1_000_000) as u64,
+            // Same-instant tie with the previous event.
+            1 | 2 => 0,
+            // Near-future delivery: NIC + link latency scale.
+            _ => 50_000 + rng.choose_index(400_000) as u64,
+        });
+    }
+    results.push(bench("event_queue_schedule_pop_64k", || {
+        let mut queue: EventQueue<u64> = EventQueue::new();
+        let mut now = SimTime::ZERO;
+        let mut last = SimTime::ZERO;
+        let mut popped = 0u64;
+        for (i, delta) in deltas.iter().enumerate() {
+            let at = if *delta == 0 {
+                last
+            } else {
+                last = SimTime(now.as_nanos() + delta);
+                last
+            };
+            queue.schedule(at, i as u64);
+            // Keep roughly half the schedule in flight, like a live run.
+            if i % 2 == 1 {
+                let (t, _) = queue.pop().expect("queue is non-empty");
+                now = t;
+                popped += 1;
+            }
+        }
+        while queue.pop().is_some() {
+            popped += 1;
+        }
+        popped
+    }));
+}
+
+/// End-to-end engine throughput: a broadcast-heavy n = 64 HotStuff run,
+/// reported both as wall-clock per run and as simulation events per second
+/// (the engine's headline speed metric; higher is better).
+fn bench_sim_engine(results: &mut Vec<MicroResult>) {
+    let config = Config::builder()
+        .nodes(64)
+        .block_size(400)
+        .payload_size(128)
+        .runtime(SimDuration::from_millis(100))
+        .arrival_rate(30_000.0)
+        .timeout(SimDuration::from_millis(100))
+        .seed(2021)
+        .build()
+        .expect("valid benchmark configuration");
+    // The run is deterministic, so the event count is a constant of the
+    // configuration; take it from one untimed run.
+    let events = SimRunner::new(
+        config.clone(),
+        ProtocolKind::HotStuff,
+        RunOptions::default(),
+    )
+    .run()
+    .events_processed;
+    let run = bench("sim_run_n64_hotstuff", || {
+        SimRunner::new(
+            config.clone(),
+            ProtocolKind::HotStuff,
+            RunOptions::default(),
+        )
+        .run()
+    });
+    let events_per_sec = events as f64 / (run.value / 1e9);
+    println!(
+        "{:<36} {events_per_sec:>14.0} events/s  ({events} events per run)",
+        "sim_events_per_sec_n64"
+    );
+    results.push(MicroResult {
+        name: "sim_events_per_sec_n64".to_string(),
+        value: events_per_sec,
+        iters: run.iters,
+        unit: "events_per_sec",
+    });
+    results.push(run);
 }
 
 fn main() {
@@ -301,5 +393,7 @@ fn main() {
     bench_broadcast(&mut results);
     bench_quorum(&mut results);
     bench_mempool(&mut results);
+    bench_event_queue(&mut results);
+    bench_sim_engine(&mut results);
     save_json("micro_components", &results);
 }

@@ -1,0 +1,130 @@
+//! Large-n scalability sweep: HotStuff, 2CHS and Streamlet at
+//! n ∈ {16, 64, 128, 256} — the figure-class experiment the pre-PR-4 engine
+//! was too slow to run routinely. All points execute as one parallel batch
+//! on the bounded sweep pool (`Benchmarker::run_all`); results come back in
+//! input order, so the JSON artifact is byte-stable across worker counts.
+//!
+//! Beyond throughput/latency, each point records the *engine's* speed
+//! (simulation events per wall-clock second) and the event-queue memory
+//! high-water mark, so the scalability of the simulator itself is tracked
+//! alongside the scalability of the protocols.
+//!
+//! Expected shape (paper, Fig. 12 extended): throughput falls and latency
+//! rises with n for every protocol; HS and 2CHS stay comparable while
+//! Streamlet's cubic message complexity makes its large-n points explode in
+//! cost — its measurement windows are shortened accordingly, and the paper
+//! makes the same caveat for n > 64.
+
+use std::time::Instant;
+
+use bamboo_bench::{banner, eval_config, save_json, Json, ToJson};
+use bamboo_core::{Benchmarker, RunOptions};
+use bamboo_types::{Config, ProtocolKind};
+
+struct ScalePoint {
+    protocol: String,
+    nodes: usize,
+    throughput_tx_per_sec: f64,
+    latency_ms: f64,
+    committed_blocks: u64,
+    events_processed: u64,
+    queue_peak_len: u64,
+    safety_violations: u64,
+}
+
+impl ToJson for ScalePoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("protocol", Json::from(self.protocol.as_str())),
+            ("nodes", Json::from(self.nodes)),
+            (
+                "throughput_tx_per_sec",
+                Json::from(self.throughput_tx_per_sec),
+            ),
+            ("latency_ms", Json::from(self.latency_ms)),
+            ("committed_blocks", Json::from(self.committed_blocks)),
+            ("events_processed", Json::from(self.events_processed)),
+            ("queue_peak_len", Json::from(self.queue_peak_len)),
+            ("safety_violations", Json::from(self.safety_violations)),
+        ])
+    }
+}
+
+/// Measurement window per point. Streamlet's O(n^3) vote echoing means a
+/// *single view* at n = 256 is ~16M message deliveries, so its two largest
+/// windows are deliberately shorter than one commit latency: those points
+/// measure the engine driving the cubic storm deterministically (events and
+/// queue peak in the artifact), not protocol throughput — the paper makes
+/// the same "of limited meaning" caveat for Streamlet beyond n = 64.
+fn runtime_ms(protocol: ProtocolKind, nodes: usize) -> u64 {
+    match (protocol, nodes) {
+        (ProtocolKind::Streamlet, 256) => 6,
+        (ProtocolKind::Streamlet, 128) => 15,
+        (ProtocolKind::Streamlet, 64) => 250,
+        (ProtocolKind::Streamlet, _) => 300,
+        (_, 256) => 60,
+        (_, 128) => 100,
+        _ => 200,
+    }
+}
+
+fn main() {
+    banner("Scalability sweep: HS / 2CHS / SL at n = 16, 64, 128, 256");
+    let sizes = [16usize, 64, 128, 256];
+    let protocols = [
+        ProtocolKind::HotStuff,
+        ProtocolKind::TwoChainHotStuff,
+        ProtocolKind::Streamlet,
+    ];
+    let mut grid: Vec<(ProtocolKind, usize)> = Vec::new();
+    let mut points: Vec<(Config, ProtocolKind, RunOptions)> = Vec::new();
+    for &protocol in &protocols {
+        for &nodes in &sizes {
+            let mut config = eval_config(nodes, 400, 128, runtime_ms(protocol, nodes));
+            // Offered load scaled down as n grows, as in Fig. 12.
+            config.arrival_rate = Some(60_000.0 / (nodes as f64 / 4.0).sqrt());
+            grid.push((protocol, nodes));
+            points.push((config, protocol, RunOptions::default()));
+        }
+    }
+
+    let started = Instant::now();
+    let reports = Benchmarker::run_all(points);
+    let wall = started.elapsed();
+    let total_events: u64 = reports.iter().map(|r| r.events_processed).sum();
+
+    let mut out = Vec::new();
+    for ((protocol, nodes), report) in grid.into_iter().zip(reports) {
+        println!(
+            "{:<5} n={:<4} throughput = {:>9.0} tx/s   latency = {:>8.2} ms   blocks = {:>4}   events = {:>9}   queue peak = {:>7}",
+            protocol.label(),
+            nodes,
+            report.throughput_tx_per_sec,
+            report.latency.mean_ms,
+            report.committed_blocks,
+            report.events_processed,
+            report.queue_peak_len,
+        );
+        assert_eq!(
+            report.safety_violations, 0,
+            "{protocol} n={nodes} violated safety"
+        );
+        out.push(ScalePoint {
+            protocol: protocol.label().to_string(),
+            nodes,
+            throughput_tx_per_sec: report.throughput_tx_per_sec,
+            latency_ms: report.latency.mean_ms,
+            committed_blocks: report.committed_blocks,
+            events_processed: report.events_processed,
+            queue_peak_len: report.queue_peak_len,
+            safety_violations: report.safety_violations,
+        });
+    }
+    save_json("scalability_large_n", &out);
+    println!(
+        "\n{} points, {total_events} simulation events in {:.1} s wall ({:.0} events/s end-to-end)",
+        out.len(),
+        wall.as_secs_f64(),
+        total_events as f64 / wall.as_secs_f64()
+    );
+}

@@ -1,0 +1,185 @@
+//! Compares a fresh `micro_components` bench run against the latest
+//! committed `BENCH_*.json` snapshot and annotates regressions.
+//!
+//! Non-gating by design: shared-runner numbers are noisy, so the tool always
+//! exits 0 — it prints an aligned diff table and emits GitHub `::warning::`
+//! annotations for micros that regressed by more than 20%, making drifts
+//! visible on the PR without blocking it. Rate-style micros (unit ending in
+//! `per_sec`) regress *downwards*; everything else (ns/iter) regresses
+//! upwards.
+//!
+//! Usage: `cargo run --release -p bamboo-bench --bin bench_diff`
+//! (after `cargo bench -p bamboo-bench --bench micro_components`).
+
+use std::path::{Path, PathBuf};
+
+use bamboo_bench::{results_dir, Json};
+
+/// Regression threshold: fraction of the snapshot value.
+const THRESHOLD: f64 = 0.20;
+
+/// `(value, unit)` of one micro entry. The value's JSON key is its unit;
+/// entries without a `unit` field are legacy `ns_per_iter` measurements.
+fn entry_value(entry: &Json) -> Option<(f64, String)> {
+    let unit = entry
+        .get("unit")
+        .and_then(Json::as_str)
+        .unwrap_or("ns_per_iter")
+        .to_string();
+    let value = entry
+        .get(&unit)
+        .or_else(|| entry.get("ns_per_iter"))
+        .and_then(Json::as_f64)?;
+    Some((value, unit))
+}
+
+fn micro_entries(doc: &Json, nested: bool) -> Vec<(String, f64, String)> {
+    let array = if nested {
+        doc.get("benches")
+            .and_then(|b| b.get("micro_components"))
+            .and_then(Json::as_array)
+    } else {
+        doc.as_array()
+    };
+    array
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|entry| {
+            let name = entry.get("name")?.as_str()?.to_string();
+            let (value, unit) = entry_value(entry)?;
+            Some((name, value, unit))
+        })
+        .collect()
+}
+
+/// Orders snapshots oldest-first: `BENCH_baseline` before `BENCH_pr2` before
+/// `BENCH_pr10` (numeric PR order, not lexicographic).
+fn snapshot_rank(path: &Path) -> u64 {
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+    stem.strip_prefix("BENCH_pr")
+        .and_then(|n| n.parse::<u64>().ok())
+        .map(|n| n + 1)
+        .unwrap_or(0)
+}
+
+fn latest_snapshot(root: &Path) -> Option<PathBuf> {
+    let mut snapshots: Vec<PathBuf> = std::fs::read_dir(root)
+        .ok()?
+        .filter_map(|entry| entry.ok())
+        .map(|entry| entry.path())
+        .filter(|path| {
+            path.extension().is_some_and(|e| e == "json")
+                && path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_"))
+        })
+        .collect();
+    snapshots.sort_by_key(|p| snapshot_rank(p));
+    snapshots.pop()
+}
+
+fn main() {
+    let fresh_path = results_dir().join("micro_components.json");
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let Some(snapshot_path) = latest_snapshot(&root) else {
+        println!("bench-diff: no BENCH_*.json snapshot found; nothing to compare");
+        return;
+    };
+    let Ok(fresh_text) = std::fs::read_to_string(&fresh_path) else {
+        println!(
+            "bench-diff: no fresh artifact at {} (run the micro_components bench first)",
+            fresh_path.display()
+        );
+        return;
+    };
+    let snapshot_text = match std::fs::read_to_string(&snapshot_path) {
+        Ok(text) => text,
+        Err(err) => {
+            println!("bench-diff: cannot read {}: {err}", snapshot_path.display());
+            return;
+        }
+    };
+    let (fresh, snapshot) = match (Json::parse(&fresh_text), Json::parse(&snapshot_text)) {
+        (Ok(f), Ok(s)) => (f, s),
+        (f, s) => {
+            println!(
+                "bench-diff: parse failure (fresh: {:?}, snapshot: {:?})",
+                f.err(),
+                s.err()
+            );
+            return;
+        }
+    };
+
+    let baseline = micro_entries(&snapshot, true);
+    println!(
+        "bench-diff: fresh run vs {} ({} baseline micros)",
+        snapshot_path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("?"),
+        baseline.len()
+    );
+    println!(
+        "{:<36} {:>14} {:>14} {:>9}",
+        "name", "baseline", "fresh", "delta"
+    );
+
+    let mut regressions = 0usize;
+    for (name, value, unit) in micro_entries(&fresh, false) {
+        let Some((base, base_unit)) = baseline
+            .iter()
+            .find(|(n, _, _)| *n == name)
+            .map(|(_, v, u)| (*v, u.clone()))
+        else {
+            println!("{name:<36} {:>14} {value:>14.1} {:>9}", "(new)", "-");
+            continue;
+        };
+        if base_unit != unit {
+            // A micro that changed unit between snapshots cannot be compared
+            // numerically; treat it like a new entry rather than computing a
+            // meaningless cross-unit ratio.
+            println!(
+                "{name:<36} {:>14} {value:>14.1} {:>9}  (unit changed: {base_unit} -> {unit})",
+                "(unit)", "-"
+            );
+            continue;
+        }
+        let delta = (value - base) / base;
+        let higher_is_better = unit.ends_with("per_sec");
+        let regressed = if higher_is_better {
+            delta < -THRESHOLD
+        } else {
+            delta > THRESHOLD
+        };
+        let marker = if regressed { "  <-- regression" } else { "" };
+        println!(
+            "{name:<36} {base:>14.1} {value:>14.1} {:>+8.1}%{marker}",
+            delta * 100.0
+        );
+        if regressed {
+            regressions += 1;
+            // GitHub Actions annotation; inert when run locally.
+            println!(
+                "::warning::micro '{name}' regressed {:+.1}% vs {} ({base:.1} -> {value:.1} {unit})",
+                delta * 100.0,
+                snapshot_path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .unwrap_or("?"),
+            );
+        }
+    }
+    if regressions == 0 {
+        println!(
+            "bench-diff: no regressions beyond {:.0}%",
+            THRESHOLD * 100.0
+        );
+    } else {
+        println!(
+            "bench-diff: {regressions} micro(s) regressed beyond {:.0}% (non-gating)",
+            THRESHOLD * 100.0
+        );
+    }
+}

@@ -14,18 +14,33 @@ use crate::json::{Json, ToJson};
 pub struct MicroResult {
     /// Benchmark name.
     pub name: String,
-    /// Mean wall-clock nanoseconds per iteration.
-    pub ns_per_iter: f64,
+    /// The measured value, in `unit`. For the default `"ns_per_iter"` unit
+    /// this is mean wall-clock nanoseconds per iteration (lower is better);
+    /// rate-style units such as `"events_per_sec"` invert the direction
+    /// (higher is better) — the bench-diff tool uses `unit` to orient its
+    /// regression check.
+    pub value: f64,
     /// Number of measured iterations.
     pub iters: u64,
+    /// Unit of `value`; serialised both as the value's JSON key and as a
+    /// `unit` field so older snapshots (implicitly `ns_per_iter`) still diff.
+    pub unit: &'static str,
+}
+
+impl MicroResult {
+    /// Whether a larger `value` means better performance for this unit.
+    pub fn higher_is_better(&self) -> bool {
+        self.unit.ends_with("per_sec")
+    }
 }
 
 impl ToJson for MicroResult {
     fn to_json(&self) -> Json {
         Json::obj([
             ("name", Json::from(self.name.as_str())),
-            ("ns_per_iter", Json::from(self.ns_per_iter)),
+            (self.unit, Json::from(self.value)),
             ("iters", Json::from(self.iters)),
+            ("unit", Json::from(self.unit)),
         ])
     }
 }
@@ -90,8 +105,9 @@ fn finish(name: &str, elapsed: Duration, iters: u64) -> MicroResult {
     println!("{name:<36} {:>14.1} ns/iter   ({iters} iters)", ns_per_iter);
     MicroResult {
         name: name.to_string(),
-        ns_per_iter,
+        value: ns_per_iter,
         iters,
+        unit: "ns_per_iter",
     }
 }
 
@@ -102,16 +118,31 @@ mod tests {
     #[test]
     fn bench_measures_something_positive() {
         let result = bench("noop_add", || std::hint::black_box(1u64) + 1);
-        assert!(result.ns_per_iter > 0.0);
+        assert!(result.value > 0.0);
         assert!(result.iters > 0);
+        assert!(!result.higher_is_better(), "ns_per_iter: lower is better");
     }
 
     #[test]
     fn bench_with_setup_times_only_the_routine() {
         let result = bench_with_setup("sum_vec", || vec![1u64; 64], |v| v.iter().sum::<u64>());
-        assert!(result.ns_per_iter > 0.0);
+        assert!(result.value > 0.0);
         // Summing 64 integers is far below a microsecond; if setup were
         // included the per-iteration cost would be dominated by the allocation.
-        assert!(result.ns_per_iter < 100_000.0);
+        assert!(result.value < 100_000.0);
+    }
+
+    #[test]
+    fn rate_units_flip_the_regression_direction() {
+        let rate = MicroResult {
+            name: "x_per_sec".into(),
+            value: 10.0,
+            iters: 1,
+            unit: "events_per_sec",
+        };
+        assert!(rate.higher_is_better());
+        let json = rate.to_json().render_pretty();
+        assert!(json.contains("\"events_per_sec\": 10"));
+        assert!(json.contains("\"unit\": \"events_per_sec\""));
     }
 }

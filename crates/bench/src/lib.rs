@@ -221,6 +221,13 @@ impl ToJson for RunReport {
             ("safety_violations", Json::from(self.safety_violations)),
             ("rejected_messages", Json::from(self.rejected_messages)),
             ("pending_txs", Json::from(self.pending_txs)),
+            ("events_processed", Json::from(self.events_processed)),
+            ("events_scheduled", Json::from(self.events_scheduled)),
+            ("queue_peak_len", Json::from(self.queue_peak_len)),
+            (
+                "ledger_fingerprint",
+                Json::from(self.ledger_fingerprint.as_str()),
+            ),
         ])
     }
 }

@@ -6,10 +6,17 @@
 //! arrival rates and records one [`CurvePoint`] per rate, stopping when
 //! additional load no longer increases committed throughput (or latency
 //! explodes).
+//!
+//! Sweep points are independent, deterministic simulations, so the batch
+//! entry points ([`Benchmarker::run_at_many`], [`Benchmarker::run_all`])
+//! execute them on a bounded std-thread pool ([`crate::parallel`]) and
+//! collect results in input order — a figure's JSON artifact is byte-stable
+//! regardless of how many workers ran it.
 
 use bamboo_types::{Config, ProtocolKind};
 
 use crate::metrics::RunReport;
+use crate::parallel::{default_workers, run_ordered};
 use crate::runner::{RunOptions, SimRunner};
 
 /// One point of a latency/throughput curve.
@@ -86,6 +93,39 @@ impl Benchmarker {
         let mut config = self.config.clone();
         config.arrival_rate = Some(rate);
         SimRunner::new(config, self.protocol, self.options.clone()).run()
+    }
+
+    /// Runs one independent simulation per offered load on a bounded thread
+    /// pool and returns the reports in `rates` order. Each point is exactly
+    /// the run [`Benchmarker::run_at`] would produce — runners are
+    /// self-contained and deterministic, so parallelism changes nothing but
+    /// wall-clock time.
+    pub fn run_at_many(&self, rates: &[f64]) -> Vec<RunReport> {
+        let jobs: Vec<_> = rates
+            .iter()
+            .map(|&rate| {
+                let mut config = self.config.clone();
+                config.arrival_rate = Some(rate);
+                let protocol = self.protocol;
+                let options = self.options.clone();
+                move || SimRunner::new(config, protocol, options).run()
+            })
+            .collect();
+        run_ordered(jobs, default_workers())
+    }
+
+    /// Runs a heterogeneous batch of sweep points — arbitrary
+    /// `(config, protocol, options)` triples, e.g. a scalability grid of
+    /// protocols × cluster sizes — on a bounded thread pool, returning the
+    /// reports in input order.
+    pub fn run_all(points: Vec<(Config, ProtocolKind, RunOptions)>) -> Vec<RunReport> {
+        let jobs: Vec<_> = points
+            .into_iter()
+            .map(|(config, protocol, options)| {
+                move || SimRunner::new(config, protocol, options).run()
+            })
+            .collect();
+        run_ordered(jobs, default_workers())
     }
 
     /// Runs the full saturation sweep.
@@ -178,5 +218,48 @@ mod tests {
         let report = bench.run_at(1_000.0);
         assert!(report.committed_txs > 0);
         assert_eq!(report.protocol, ProtocolKind::TwoChainHotStuff);
+    }
+
+    #[test]
+    fn parallel_points_match_sequential_runs_in_order() {
+        let bench = Benchmarker::new(
+            quick_config(),
+            ProtocolKind::HotStuff,
+            RunOptions::default(),
+        );
+        let rates = [800.0, 1_600.0, 3_200.0];
+        let parallel = bench.run_at_many(&rates);
+        assert_eq!(parallel.len(), rates.len());
+        for (&rate, report) in rates.iter().zip(&parallel) {
+            let sequential = bench.run_at(rate);
+            assert_eq!(report.committed_txs, sequential.committed_txs, "{rate}");
+            assert_eq!(report.ledger_fingerprint, sequential.ledger_fingerprint);
+            assert_eq!(report.events_processed, sequential.events_processed);
+        }
+    }
+
+    #[test]
+    fn run_all_executes_heterogeneous_points_in_input_order() {
+        let points: Vec<(Config, ProtocolKind, RunOptions)> = [
+            ProtocolKind::HotStuff,
+            ProtocolKind::TwoChainHotStuff,
+            ProtocolKind::Streamlet,
+        ]
+        .into_iter()
+        .map(|protocol| {
+            let mut config = quick_config();
+            config.arrival_rate = Some(1_500.0);
+            (config, protocol, RunOptions::default())
+        })
+        .collect();
+        let reports = Benchmarker::run_all(points);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].protocol, ProtocolKind::HotStuff);
+        assert_eq!(reports[1].protocol, ProtocolKind::TwoChainHotStuff);
+        assert_eq!(reports[2].protocol, ProtocolKind::Streamlet);
+        for report in &reports {
+            assert_eq!(report.safety_violations, 0);
+            assert!(report.committed_blocks > 0);
+        }
     }
 }

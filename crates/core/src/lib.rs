@@ -13,7 +13,8 @@
 //!   NIC and CPU models, workload generation, fault injection, metric
 //!   collection.
 //! * [`Benchmarker`] — saturation sweeps producing the latency/throughput
-//!   curves of the paper's figures.
+//!   curves of the paper's figures; independent sweep points execute on a
+//!   bounded std-thread pool ([`parallel`]) with input-order results.
 //! * [`Metrics`] / [`RunReport`] — throughput, latency, chain growth rate and
 //!   block interval (§IV-B).
 //! * [`runtime`] — the shared runtime spine: the [`Transport`] trait and the
@@ -49,6 +50,7 @@
 
 pub mod benchmark;
 pub mod metrics;
+pub mod parallel;
 pub mod quorum;
 pub mod replica;
 pub mod runner;
@@ -60,6 +62,7 @@ pub mod workload;
 pub use bamboo_sim::{FluctuationWindow, LinkFault};
 pub use benchmark::{Benchmarker, CurvePoint, SweepOptions};
 pub use metrics::{LatencyStats, Metrics, RunReport, ThroughputSample};
+pub use parallel::run_ordered;
 pub use quorum::QuorumTracker;
 pub use replica::{Destination, HandleResult, Outbound, Replica, ReplicaEvent, ReplicaOptions};
 pub use runner::{RunOptions, SimRunner};

@@ -171,6 +171,19 @@ pub struct RunReport {
     pub rejected_messages: u64,
     /// Transactions still waiting (not committed) at the end of the run.
     pub pending_txs: u64,
+    /// Simulation events processed by the engine loop (the denominator of
+    /// the engine's events/sec figure).
+    pub events_processed: u64,
+    /// Total events ever scheduled on the event queue.
+    pub events_scheduled: u64,
+    /// Highest number of simultaneously pending events — the queue's memory
+    /// high-water mark, so sweep memory use is observable per run.
+    pub queue_peak_len: u64,
+    /// Hex fingerprint of the observer replica's committed ledger (every
+    /// block id, view and payload transaction id, in order). Two runs with
+    /// the same configuration must produce identical fingerprints — the
+    /// golden-replay tests pin engine rewrites against recorded values.
+    pub ledger_fingerprint: String,
 }
 
 impl RunReport {
@@ -262,6 +275,10 @@ mod tests {
             safety_violations: 0,
             rejected_messages: 0,
             pending_txs: 0,
+            events_processed: 0,
+            events_scheduled: 0,
+            queue_peak_len: 0,
+            ledger_fingerprint: String::new(),
         };
         let s = report.summary();
         assert!(s.contains("HS"));

@@ -224,9 +224,7 @@ impl Replica {
         let mut out = HandleResult::default();
         match event {
             ReplicaEvent::ClientRequests(txs) => {
-                for tx in txs {
-                    self.mempool.push(tx);
-                }
+                self.mempool.push_batch(txs);
             }
             ReplicaEvent::TimerFired { view } => {
                 let actions =

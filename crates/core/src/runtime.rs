@@ -21,20 +21,23 @@
 //! `Transport` and reuse the host unchanged.
 //!
 //! The host is also the **authenticated ingress stage**: every
-//! [`ReplicaEvent::Message`] fed through [`NodeHost::handle`] is
-//! cryptographically verified (signatures, certificate thresholds, block ids)
-//! by an [`Authenticator`] *before* the replica state machine sees it;
-//! forgeries are dropped and counted. Backends that verify elsewhere — the
-//! threaded runtime's [`crate::verify::VerifyPool`] checks messages on worker
-//! threads so crypto pipelines with consensus — hand the resulting
-//! [`VerifiedMessage`] proof token to [`NodeHost::handle_verified`], which
-//! skips the duplicate check. Either way, no unchecked signature can reach
+//! [`ReplicaEvent::Message`] fed through [`NodeHost::handle`] (or its
+//! shared-envelope sibling [`NodeHost::handle_shared`]) is cryptographically
+//! verified (signatures, certificate thresholds, block ids) by an
+//! [`Authenticator`] *before* the replica state machine sees it; forgeries
+//! are dropped and counted. Backends that verify elsewhere — the threaded
+//! runtime's [`crate::verify::VerifyPool`] checks messages on worker threads
+//! so crypto pipelines with consensus, and the simulator verifies each unique
+//! envelope once when it is absorbed and fans the verdict out — hand the
+//! resulting [`VerifiedMessage`] proof token to [`NodeHost::handle_verified`]
+//! (or book the failure via [`NodeHost::reject_forged`]), which skips the
+//! duplicate check. Either way, no unchecked signature can reach
 //! [`Replica::handle`].
 
 use bamboo_sim::CpuModel;
 use bamboo_types::{
-    Authenticator, Config, Message, NodeId, ProtocolKind, SharedBlock, SimDuration, SimTime,
-    VerifiedMessage, View,
+    Authenticator, Config, Message, NodeId, ProtocolKind, SharedBlock, SharedMessage, SimDuration,
+    SimTime, VerifiedMessage, View,
 };
 
 use crate::replica::{Destination, HandleResult, Replica, ReplicaEvent, ReplicaOptions};
@@ -149,8 +152,7 @@ impl NodeHost {
     /// Message events pass through the ingress verifier first: a forged vote,
     /// QC, timeout or tampered block is dropped here — the replica never sees
     /// it — and the step reports only the (modeled) CPU cost of discovering
-    /// the forgery. This inline path is what the deterministic simulator
-    /// uses, so verification does not perturb event ordering.
+    /// the forgery.
     pub fn handle(
         &mut self,
         event: ReplicaEvent,
@@ -160,13 +162,10 @@ impl NodeHost {
         let event = match event {
             ReplicaEvent::Message { from, message } => {
                 let cost = verification_cost(&self.cpu, &message);
-                match self.authenticator.authenticate(from, message) {
-                    Ok(verified) => {
-                        let (from, message) = verified.into_parts();
-                        ReplicaEvent::Message { from, message }
-                    }
-                    Err(_) => return self.reject(cost),
+                if self.authenticator.verify_message(&message).is_err() {
+                    return self.reject(cost);
                 }
+                ReplicaEvent::Message { from, message }
             }
             other => other,
         };
@@ -174,11 +173,30 @@ impl NodeHost {
         route(result, transport)
     }
 
+    /// Feeds a shared envelope into the replica, verifying it inline first —
+    /// [`NodeHost::handle`] for backends that deliver [`SharedMessage`]
+    /// handles (the threaded runtime's channels). The sole remaining holder
+    /// recovers the owned message without a copy.
+    pub fn handle_shared(
+        &mut self,
+        from: NodeId,
+        message: SharedMessage,
+        now: SimTime,
+        transport: &mut dyn Transport,
+    ) -> StepReport {
+        let cost = verification_cost(&self.cpu, &message);
+        match self.authenticator.authenticate_shared(from, message) {
+            Ok(verified) => self.handle_verified(verified, now, transport),
+            Err(_) => self.reject(cost),
+        }
+    }
+
     /// Feeds an already-verified message into the replica, skipping the
-    /// inline check. Backends that verify off-thread (the threaded runtime's
-    /// verify pool) use this; the [`VerifiedMessage`] token can only be
-    /// minted by an [`Authenticator`], so the no-unchecked-input invariant
-    /// holds by construction.
+    /// inline check. Backends that verify elsewhere — the threaded runtime's
+    /// verify pool, the simulator's verify-once broadcast fan-out — use this;
+    /// the [`VerifiedMessage`] token can only be minted by an
+    /// [`Authenticator`], so the no-unchecked-input invariant holds by
+    /// construction.
     pub fn handle_verified(
         &mut self,
         verified: VerifiedMessage,
@@ -190,6 +208,16 @@ impl NodeHost {
             .replica
             .handle(ReplicaEvent::Message { from, message }, now);
         route(result, transport)
+    }
+
+    /// Books a message that failed verification elsewhere (the simulator
+    /// verifies each unique envelope once and fans the verdict out): counts
+    /// the rejection at this replica and charges the modeled cost of the
+    /// verification work that exposed the forgery, exactly as if the check
+    /// had run inline here.
+    pub fn reject_forged(&mut self, message: &Message) -> StepReport {
+        let cost = verification_cost(&self.cpu, message);
+        self.reject(cost)
     }
 
     /// Books a rejected message: counts it and charges the modeled cost of
@@ -253,11 +281,13 @@ fn route(result: HandleResult, transport: &mut dyn Transport) -> StepReport {
 /// Backends whose delivery timing depends on the *total* CPU cost of the step
 /// (the simulator charges outbound messages only once the sender's CPU is
 /// free) buffer effects here and map them onto their event queue afterwards.
-/// Also convenient in tests.
+/// Each message is wrapped into its [`SharedMessage`] envelope exactly once
+/// here, so a backend fanning a broadcast out to `n − 1` recipients schedules
+/// pointer bumps, not envelope copies. Also convenient in tests.
 #[derive(Debug, Default)]
 pub struct BufferedTransport {
     /// Buffered sends; `None` destination means broadcast.
-    pub sends: Vec<(Option<NodeId>, Message)>,
+    pub sends: Vec<(Option<NodeId>, SharedMessage)>,
     /// Buffered timer arms.
     pub timers: Vec<(View, SimTime)>,
     /// Buffered delayed proposals.
@@ -273,11 +303,11 @@ impl BufferedTransport {
 
 impl Transport for BufferedTransport {
     fn unicast(&mut self, to: NodeId, message: Message) {
-        self.sends.push((Some(to), message));
+        self.sends.push((Some(to), SharedMessage::new(message)));
     }
 
     fn broadcast(&mut self, message: Message) {
-        self.sends.push((None, message));
+        self.sends.push((None, SharedMessage::new(message)));
     }
 
     fn arm_timer(&mut self, view: View, deadline: SimTime) {
@@ -342,7 +372,7 @@ mod tests {
         assert!(transport
             .sends
             .iter()
-            .any(|(to, m)| to.is_none() && matches!(m, Message::Proposal(_))));
+            .any(|(to, m)| to.is_none() && matches!(**m, Message::Proposal(_))));
     }
 
     #[test]
@@ -364,6 +394,6 @@ mod tests {
         assert!(transport
             .sends
             .iter()
-            .any(|(to, m)| to.is_none() && matches!(m, Message::Timeout(_))));
+            .any(|(to, m)| to.is_none() && matches!(**m, Message::Timeout(_))));
     }
 }

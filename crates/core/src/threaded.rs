@@ -30,7 +30,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bamboo_types::{
-    Config, Message, NodeId, ProtocolKind, SimTime, Transaction, VerifiedMessage, View,
+    Config, Message, NodeId, ProtocolKind, SharedMessage, SimTime, Transaction, VerifiedMessage,
+    View,
 };
 
 use crate::replica::{ReplicaEvent, ReplicaOptions};
@@ -59,10 +60,12 @@ pub struct ClusterReport {
 
 enum ThreadEvent {
     /// A raw inbound message (inline-verification mode: the receiving
-    /// replica's `NodeHost` authenticates it).
+    /// replica's `NodeHost` authenticates it). Delivered as the shared
+    /// envelope, so a broadcast pushes n − 1 pointer bumps into the peer
+    /// channels instead of n − 1 envelope copies.
     Inbound {
         from: NodeId,
-        message: Message,
+        message: SharedMessage,
     },
     /// A message the verify pool already authenticated.
     Verified(VerifiedMessage),
@@ -133,7 +136,7 @@ impl Transport for ThreadTransport {
         } else if let Some(sender) = self.peers.get(to.index()) {
             let _ = sender.send(ThreadEvent::Inbound {
                 from: self.id,
-                message,
+                message: SharedMessage::new(message),
             });
         }
     }
@@ -145,6 +148,8 @@ impl Transport for ThreadTransport {
             verify.submit_broadcast(self.id, message);
             return;
         }
+        // Wrap the envelope once; each peer channel gets a pointer bump.
+        let message = SharedMessage::new(message);
         for (index, sender) in self.peers.iter().enumerate() {
             if index != self.id.index() {
                 let _ = sender.send(ThreadEvent::Inbound {
@@ -403,13 +408,10 @@ fn run_replica_thread(
         match receiver.recv_timeout(wait) {
             Ok(ThreadEvent::Shutdown) => break,
             Ok(ThreadEvent::Inbound { from, message }) => {
-                // Inline-verification mode: `handle` authenticates before the
-                // replica sees the message.
-                let report = host.handle(
-                    ReplicaEvent::Message { from, message },
-                    now(),
-                    &mut transport,
-                );
+                // Inline-verification mode: `handle_shared` authenticates
+                // before the replica sees the message; the last recipient of
+                // a broadcast recovers the owned envelope without a copy.
+                let report = host.handle_shared(from, message, now(), &mut transport);
                 account(&report);
                 transport.prune_stale(host.replica().current_view());
             }

@@ -16,9 +16,10 @@
 //! token out (the token is `Clone`; proposals are `Arc`-backed, so the
 //! fan-out is pointer bumps). In-process, all replicas share one trusted
 //! computing base anyway — the transport — so sharing the verifier weakens
-//! nothing. The deterministic simulator keeps verifying inline per replica
-//! ([`crate::NodeHost::handle`]) to preserve its event ordering and its
-//! per-replica cost accounting.
+//! nothing. Since PR 4 the deterministic simulator applies the same
+//! verify-once trick synchronously: each unique envelope is checked when the
+//! runner absorbs it, and recipients receive fanned-out proof tokens, with
+//! modeled per-replica CPU accounting unchanged.
 //!
 //! Jobs are distributed round-robin over per-worker channels (no shared
 //! receiver lock), and a forged message is counted exactly once however many

@@ -5,6 +5,7 @@
 //! simulation: it records every committed block together with commit-time
 //! metadata needed by the chain-growth-rate and block-interval metrics.
 
+use bamboo_crypto::{Digest, Sha256};
 use bamboo_types::{BlockId, SharedBlock, SimTime, View};
 
 /// A committed block plus commit metadata.
@@ -123,6 +124,26 @@ impl Ledger {
             prev_height = committed.block.height.as_u64();
         }
         true
+    }
+
+    /// A digest over the entire committed history: every block id, proposal
+    /// view, commit view, commit time and payload transaction id, in order.
+    /// Two ledgers fingerprint equal iff they committed byte-identical
+    /// histories — the golden-replay determinism tests pin engine rewrites
+    /// against fingerprints recorded from the previous engine.
+    pub fn fingerprint(&self) -> Digest {
+        let mut hasher = Sha256::new();
+        hasher.update(b"bamboo-ledger-v1");
+        for committed in &self.blocks {
+            hasher.update(committed.block.id.0.as_bytes());
+            hasher.update(&committed.block.view.as_u64().to_be_bytes());
+            hasher.update(&committed.committed_in_view.as_u64().to_be_bytes());
+            hasher.update(&committed.committed_at.as_nanos().to_be_bytes());
+            for tx in &committed.block.payload {
+                hasher.update(tx.id.0.as_bytes());
+            }
+        }
+        Digest::from_bytes(hasher.finalize())
     }
 
     /// Returns true if `other` and `self` agree on a common committed prefix

@@ -95,14 +95,35 @@ impl Mempool {
     /// Returns `false` (and drops the transaction) if the pool is full or the
     /// transaction is already queued.
     pub fn push(&mut self, tx: Transaction) -> bool {
-        if self.is_full() || self.in_queue.contains(&tx.id) {
+        // One hash per push: `insert` already reports duplicates, so a
+        // separate `contains` pre-check would just re-hash the id.
+        if self.is_full() || !self.in_queue.insert(tx.id) {
             self.stats.rejected += 1;
             return false;
         }
-        self.in_queue.insert(tx.id);
         self.queue.push_back(tx);
         self.stats.accepted += 1;
         true
+    }
+
+    /// Appends a batch of fresh transactions, reserving queue and id-set
+    /// capacity from the batch size up front — the client-ingest hot path
+    /// (replicas receive workload arrivals in per-tick batches). Returns how
+    /// many were accepted; duplicates and overflow are rejected exactly as
+    /// by [`Mempool::push`].
+    pub fn push_batch(&mut self, txs: impl IntoIterator<Item = Transaction>) -> usize {
+        let txs = txs.into_iter();
+        let (hint, _) = txs.size_hint();
+        let room = hint.min(self.remaining_capacity());
+        self.queue.reserve(room);
+        self.in_queue.reserve(room);
+        let mut accepted = 0usize;
+        for tx in txs {
+            if self.push(tx) {
+                accepted += 1;
+            }
+        }
+        accepted
     }
 
     /// Re-inserts transactions recovered from forked (overwritten) blocks at
@@ -257,6 +278,38 @@ mod tests {
         assert_eq!(removed, 2);
         let seqs: Vec<u64> = pool.next_batch(10).iter().map(|t| t.seq).collect();
         assert_eq!(seqs, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn push_batch_reserves_and_matches_per_tx_semantics() {
+        let mut batched = Mempool::new(10);
+        let accepted = batched.push_batch((0..8).map(tx));
+        assert_eq!(accepted, 8);
+        // Duplicates inside a later batch are rejected, capacity still binds.
+        let accepted = batched.push_batch(vec![tx(7), tx(8), tx(9), tx(10)]);
+        assert_eq!(accepted, 2, "tx 7 duplicate, tx 10 over capacity");
+        assert!(batched.is_full());
+
+        let mut one_by_one = Mempool::new(10);
+        for seq in 0..8 {
+            one_by_one.push(tx(seq));
+        }
+        for t in [tx(7), tx(8), tx(9), tx(10)] {
+            one_by_one.push(t);
+        }
+        assert_eq!(batched.stats(), one_by_one.stats());
+        assert_eq!(
+            batched
+                .next_batch(16)
+                .iter()
+                .map(|t| t.seq)
+                .collect::<Vec<_>>(),
+            one_by_one
+                .next_batch(16)
+                .iter()
+                .map(|t| t.seq)
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Property tests for the slab/bucket-wheel [`EventQueue`]: over randomised
+//! schedules — including same-instant ties, bursts, far timers and
+//! interleaved schedule/pop sequences — the pop order must match a reference
+//! binary-heap implementation exactly. Deterministic seed grid, so every
+//! failure reproduces from the printed seed.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use bamboo_sim::{EventQueue, SimRng};
+use bamboo_types::SimTime;
+
+/// The reference implementation: the `BinaryHeap<Reverse<(time, seq)>>`
+/// design the slab queue replaced, kept here as the ordering oracle.
+#[derive(Default)]
+struct ReferenceHeap {
+    heap: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    seq: u64,
+}
+
+impl ReferenceHeap {
+    fn schedule(&mut self, time: SimTime, event: u64) {
+        self.heap.push(Reverse((time, self.seq, event)));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        self.heap
+            .pop()
+            .map(|Reverse((time, _, event))| (time, event))
+    }
+}
+
+/// Draws the next schedule time: a mix of same-instant ties, microsecond
+/// deliveries, millisecond ticks and far timers, anchored at `now` so the
+/// schedule moves forward like a real simulation.
+fn next_time(rng: &mut SimRng, now: SimTime, last_scheduled: SimTime) -> SimTime {
+    match rng.choose_index(10) {
+        // Exact tie with the most recently scheduled event.
+        0 | 1 => last_scheduled.max(now),
+        // Same-bucket neighbours (sub-microsecond apart).
+        2 | 3 => SimTime(now.as_nanos() + rng.choose_index(2_000) as u64),
+        // Near-future delivery (µs scale).
+        4..=7 => SimTime(now.as_nanos() + 1_000 + rng.choose_index(800_000) as u64),
+        // Workload-tick scale.
+        8 => SimTime(now.as_nanos() + rng.choose_index(2_000_000) as u64),
+        // Far timer, well beyond the wheel horizon.
+        _ => SimTime(now.as_nanos() + 20_000_000 + rng.choose_index(500_000_000) as u64),
+    }
+}
+
+#[test]
+fn pop_order_matches_reference_heap_over_randomised_schedules() {
+    for seed in 0u64..20 {
+        let mut rng = SimRng::new(seed * 7919 + 3);
+        let mut queue: EventQueue<u64> = EventQueue::new();
+        let mut reference = ReferenceHeap::default();
+        let mut now = SimTime::ZERO;
+        let mut last_scheduled = SimTime::ZERO;
+        let mut event_id = 0u64;
+        let mut live = 0i64;
+
+        for _ in 0..5_000 {
+            // Bias towards scheduling while the queue is shallow and towards
+            // popping while it is deep, so both regimes are exercised.
+            let schedule = live < 5 || rng.choose_index(3) > 0;
+            if schedule {
+                let burst = 1 + rng.choose_index(4);
+                for _ in 0..burst {
+                    let time = next_time(&mut rng, now, last_scheduled);
+                    last_scheduled = time;
+                    queue.schedule(time, event_id);
+                    reference.schedule(time, event_id);
+                    event_id += 1;
+                    live += 1;
+                }
+            } else {
+                let got = queue.pop();
+                let want = reference.pop();
+                assert_eq!(got, want, "seed {seed}: mid-run pop diverged");
+                if let Some((time, _)) = got {
+                    assert!(time >= now, "seed {seed}: time went backwards");
+                    now = time;
+                    live -= 1;
+                }
+            }
+        }
+        // Drain both completely; order must stay identical to the end.
+        loop {
+            let got = queue.pop();
+            let want = reference.pop();
+            assert_eq!(got, want, "seed {seed}: drain pop diverged");
+            if got.is_none() {
+                break;
+            }
+        }
+        assert!(queue.is_empty());
+        assert_eq!(queue.total_scheduled(), event_id);
+    }
+}
+
+#[test]
+fn peek_time_always_matches_the_next_pop() {
+    let mut rng = SimRng::new(99);
+    let mut queue: EventQueue<u64> = EventQueue::new();
+    let mut now = SimTime::ZERO;
+    let mut last = SimTime::ZERO;
+    for i in 0..2_000u64 {
+        let time = next_time(&mut rng, now, last);
+        last = time;
+        queue.schedule(time, i);
+        if i % 3 == 0 {
+            let peeked = queue.peek_time().expect("queue is non-empty");
+            let (popped, _) = queue.pop().expect("queue is non-empty");
+            assert_eq!(peeked, popped);
+            now = popped;
+        }
+    }
+    let mut prev = SimTime::ZERO;
+    while let Some(peeked) = queue.peek_time() {
+        let (popped, _) = queue.pop().unwrap();
+        assert_eq!(peeked, popped);
+        assert!(popped >= prev);
+        prev = popped;
+    }
+}
+
+#[test]
+fn high_water_mark_is_exact_under_interleaving() {
+    let mut queue: EventQueue<u64> = EventQueue::new();
+    let mut live = 0usize;
+    let mut peak = 0usize;
+    let mut rng = SimRng::new(5);
+    let mut t = 0u64;
+    for i in 0..1_000u64 {
+        t += rng.choose_index(100_000) as u64;
+        queue.schedule(SimTime(t), i);
+        live += 1;
+        peak = peak.max(live);
+        if rng.choose_index(2) == 0 {
+            queue.pop().unwrap();
+            live -= 1;
+        }
+    }
+    assert_eq!(queue.live_high_water(), peak);
+    assert_eq!(queue.len(), live);
+}

@@ -33,7 +33,7 @@ use bamboo_crypto::{BatchVerifier, KeyPair, PublicKey};
 use crate::block::Block;
 use crate::certificate::{QuorumCert, TimeoutCert, TimeoutVote, Vote};
 use crate::ids::{quorum_threshold, NodeId, View};
-use crate::message::Message;
+use crate::message::{Message, SharedMessage};
 
 /// Why an inbound message was rejected at the ingress stage.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -81,13 +81,20 @@ impl std::error::Error for AuthError {}
 
 /// A message that has passed cryptographic verification.
 ///
-/// The only constructor is [`Authenticator::authenticate`]; holding a
-/// `VerifiedMessage` *is* the proof that every signature the message carries
-/// has been checked against the validator set.
+/// The only constructors are [`Authenticator::authenticate`] and
+/// [`Authenticator::authenticate_shared`]; holding a `VerifiedMessage` *is*
+/// the proof that every signature the message carries has been checked
+/// against the validator set.
+///
+/// The token holds the message behind a [`SharedMessage`] handle, so cloning
+/// it — the verify pool and the simulator both verify a broadcast once and
+/// fan the token out to every recipient — is a pointer bump, never an
+/// envelope copy. The sole remaining holder recovers the owned message for
+/// free via [`VerifiedMessage::into_parts`].
 #[derive(Clone, Debug)]
 pub struct VerifiedMessage {
     from: NodeId,
-    message: Message,
+    message: SharedMessage,
 }
 
 impl VerifiedMessage {
@@ -101,8 +108,18 @@ impl VerifiedMessage {
         &self.message
     }
 
-    /// Consumes the token and returns `(sender, message)`.
+    /// Consumes the token and returns `(sender, message)`. When this token is
+    /// the last holder of the envelope — every unicast, and the final
+    /// recipient of a broadcast fan-out — the message is moved out without a
+    /// copy; otherwise the envelope is cloned.
     pub fn into_parts(self) -> (NodeId, Message) {
+        let message = SharedMessage::try_unwrap(self.message).unwrap_or_else(|arc| (*arc).clone());
+        (self.from, message)
+    }
+
+    /// Consumes the token and returns `(sender, shared message)` without
+    /// touching the envelope.
+    pub fn into_shared_parts(self) -> (NodeId, SharedMessage) {
         (self.from, self.message)
     }
 }
@@ -180,26 +197,42 @@ impl Authenticator {
         from: NodeId,
         message: Message,
     ) -> Result<VerifiedMessage, AuthError> {
-        match &message {
-            Message::Proposal(block) | Message::ProposalEcho(block) => {
-                self.verify_block(block)?;
-            }
-            Message::Vote(vote) | Message::VoteEcho(vote) => {
-                self.verify_vote(vote)?;
-            }
-            Message::Timeout(tv) => {
-                self.verify_timeout_vote(tv)?;
-            }
-            Message::TimeoutCertMsg(tc) => {
-                self.verify_timeout_cert(tc)?;
-            }
-            Message::NewView(qc) => {
-                self.verify_qc(qc)?;
-            }
-            // Client traffic is not covered by the validator set.
-            Message::Request(_) | Message::Response(_) => {}
-        }
+        self.authenticate_shared(from, SharedMessage::new(message))
+    }
+
+    /// Verifies an already-shared envelope and wraps it into the
+    /// [`VerifiedMessage`] proof token without copying it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`AuthError`] describing the first forged or
+    /// malformed component found; the message is dropped.
+    pub fn authenticate_shared(
+        &mut self,
+        from: NodeId,
+        message: SharedMessage,
+    ) -> Result<VerifiedMessage, AuthError> {
+        self.verify_message(&message)?;
         Ok(VerifiedMessage { from, message })
+    }
+
+    /// Runs the per-variant checks of [`Authenticator::authenticate`] without
+    /// constructing the proof token.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`AuthError`] describing the first forged or
+    /// malformed component found.
+    pub fn verify_message(&mut self, message: &Message) -> Result<(), AuthError> {
+        match message {
+            Message::Proposal(block) | Message::ProposalEcho(block) => self.verify_block(block),
+            Message::Vote(vote) | Message::VoteEcho(vote) => self.verify_vote(vote),
+            Message::Timeout(tv) => self.verify_timeout_vote(tv),
+            Message::TimeoutCertMsg(tc) => self.verify_timeout_cert(tc),
+            Message::NewView(qc) => self.verify_qc(qc),
+            // Client traffic is not covered by the validator set.
+            Message::Request(_) | Message::Response(_) => Ok(()),
+        }
     }
 
     /// Verifies a proposal: the block id must bind the header and payload,

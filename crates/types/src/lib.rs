@@ -37,6 +37,6 @@ pub use certificate::{QuorumCert, TimeoutCert, TimeoutVote, Vote};
 pub use config::{ByzantineStrategy, Config, ConfigBuilder, ProtocolKind};
 pub use error::TypeError;
 pub use ids::{Height, NodeId, View};
-pub use message::{ClientRequest, ClientResponse, Message, MessageKind};
+pub use message::{ClientRequest, ClientResponse, Message, MessageKind, SharedMessage};
 pub use time::{SimDuration, SimTime};
 pub use transaction::{Transaction, TxId};

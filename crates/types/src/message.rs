@@ -1,12 +1,28 @@
 //! Wire messages exchanged between replicas and clients.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::block::SharedBlock;
 use crate::certificate::{QuorumCert, TimeoutCert, TimeoutVote, Vote};
 use crate::ids::{NodeId, View};
 use crate::time::SimTime;
 use crate::transaction::{Transaction, TxId};
+
+/// A shared, immutable handle to a whole message envelope.
+///
+/// The counterpart of [`SharedBlock`] one layer up: blocks made *proposal
+/// payloads* zero-copy, but votes, timeout votes and certificates carry
+/// signer vectors and aggregate signatures of their own, so cloning a
+/// `Message` envelope per broadcast recipient still allocates O(n). Backends
+/// that fan one envelope out to many recipients (the simulator's event queue,
+/// the threaded runtime's channels, the verify pool's proof tokens) therefore
+/// deliver `SharedMessage` handles: a broadcast costs n − 1 pointer bumps at
+/// schedule time, the sole-owner receiver (every unicast, the last broadcast
+/// recipient) recovers the owned message for free via [`Arc::try_unwrap`],
+/// and other broadcast recipients copy only what they retain. Messages are
+/// immutable once constructed, which is what makes the sharing sound.
+pub type SharedMessage = Arc<Message>;
 
 /// A client request carrying one transaction.
 #[derive(Clone, PartialEq, Eq, Debug)]

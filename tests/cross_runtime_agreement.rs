@@ -170,7 +170,7 @@ fn broadcast_proposal_shares_its_allocation_with_the_forest() {
     let proposal: &SharedBlock = transport
         .sends
         .iter()
-        .find_map(|(to, message)| match (to, message) {
+        .find_map(|(to, message)| match (to, message.as_ref()) {
             (None, Message::Proposal(block)) => Some(block),
             _ => None,
         })

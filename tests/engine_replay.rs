@@ -1,0 +1,138 @@
+//! Golden-replay determinism tests for the simulation engine.
+//!
+//! The fingerprints below were recorded from the heap-based event queue and
+//! deep-copy delivery path (the engine as of PR 3). The rebuilt engine —
+//! slab/bucket-wheel event queue, `Arc`-backed shared-envelope delivery,
+//! reusable workload buckets — must commit **byte-identical ledgers** for the
+//! same seeds: every block id, proposal view, commit view, commit time and
+//! payload transaction id, across all six protocol kinds. Any divergence in
+//! event ordering, RNG call order or delivery timing changes the fingerprint
+//! and fails the test.
+//!
+//! To re-record after an *intentional* behaviour change, run:
+//! `GOLDEN_DUMP=1 cargo test --test engine_replay -- --nocapture`
+//! and paste the printed table.
+
+use bamboo::core::{RunOptions, RunReport, SimRunner};
+use bamboo::types::{Config, ProtocolKind, SimDuration};
+
+fn run(protocol: ProtocolKind, nodes: usize, runtime_ms: u64, rate: f64, seed: u64) -> RunReport {
+    let config = Config::builder()
+        .nodes(nodes)
+        .block_size(50)
+        .runtime(SimDuration::from_millis(runtime_ms))
+        .arrival_rate(rate)
+        .seed(seed)
+        .build()
+        .expect("valid config");
+    SimRunner::new(config, protocol, RunOptions::default()).run()
+}
+
+/// `(protocol, nodes, runtime_ms, rate, seed, committed_txs, fingerprint)`
+/// recorded from the pre-rewrite (BinaryHeap + deep-copy) engine.
+const GOLDEN: &[(ProtocolKind, usize, u64, f64, u64, u64, &str)] = &[
+    (
+        ProtocolKind::HotStuff,
+        4,
+        300,
+        3_000.0,
+        7,
+        873,
+        "7b252a751dcae6ea82e183a4e661bd8db016c4e68016d2afae7a35f736c0ae6f",
+    ),
+    (
+        ProtocolKind::TwoChainHotStuff,
+        4,
+        300,
+        3_000.0,
+        7,
+        858,
+        "aedfbce51b7b400478bcb8838826efc92f97c2351602ad288fcd5f7f909f04d7",
+    ),
+    (
+        ProtocolKind::Streamlet,
+        4,
+        300,
+        3_000.0,
+        7,
+        908,
+        "9156e9d51a17afd687a997046e9e75377688003987a5d47ff564af964db544dc",
+    ),
+    (
+        ProtocolKind::FastHotStuff,
+        4,
+        300,
+        3_000.0,
+        7,
+        858,
+        "aedfbce51b7b400478bcb8838826efc92f97c2351602ad288fcd5f7f909f04d7",
+    ),
+    (
+        ProtocolKind::Lbft,
+        4,
+        300,
+        3_000.0,
+        7,
+        896,
+        "607684fe40dc641c94622f59dd96429f9182328700f384b9ad0e1ba2c509d972",
+    ),
+    (
+        ProtocolKind::OriginalHotStuff,
+        4,
+        300,
+        3_000.0,
+        7,
+        873,
+        "7b252a751dcae6ea82e183a4e661bd8db016c4e68016d2afae7a35f736c0ae6f",
+    ),
+    // A broadcast-heavy mid-size run: covers the shared-envelope fan-out and
+    // bucket-wheel paths under real event pressure.
+    (
+        ProtocolKind::HotStuff,
+        16,
+        100,
+        8_000.0,
+        2021,
+        770,
+        "780058d47436bebbfede1f7d74210f589d3928dedcbc2acf273b717458cd7f4b",
+    ),
+];
+
+#[test]
+fn new_engine_replays_the_heap_engine_ledgers_byte_for_byte() {
+    let dump = std::env::var_os("GOLDEN_DUMP").is_some();
+    for &(protocol, nodes, runtime_ms, rate, seed, txs, fingerprint) in GOLDEN {
+        let report = run(protocol, nodes, runtime_ms, rate, seed);
+        if dump {
+            println!(
+                "({protocol:?}, {nodes}, {runtime_ms}, {rate:.1}, {seed}, {}, \"{}\"),",
+                report.committed_txs, report.ledger_fingerprint
+            );
+            continue;
+        }
+        assert_eq!(
+            report.ledger_fingerprint, fingerprint,
+            "{protocol} n={nodes}: ledger diverged from the heap-based engine"
+        );
+        assert_eq!(
+            report.committed_txs, txs,
+            "{protocol} n={nodes}: committed work diverged"
+        );
+        assert_eq!(report.safety_violations, 0, "{protocol} n={nodes}");
+    }
+}
+
+/// Two fresh runs of the rebuilt engine at n = 256 must agree exactly — the
+/// scalability sweep's largest point is deterministic, not just the small
+/// golden configurations.
+#[test]
+fn n256_run_is_deterministic() {
+    let a = run(ProtocolKind::HotStuff, 256, 20, 4_000.0, 11);
+    let b = run(ProtocolKind::HotStuff, 256, 20, 4_000.0, 11);
+    assert_eq!(a.ledger_fingerprint, b.ledger_fingerprint);
+    assert_eq!(a.committed_txs, b.committed_txs);
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.messages_sent, b.messages_sent);
+    assert!(a.committed_blocks > 0, "n=256 must make progress");
+    assert_eq!(a.safety_violations, 0);
+}
