@@ -56,7 +56,7 @@ fn main() {
             config.timeout = SimDuration::from_millis(timeout_ms);
             config.arrival_rate = Some(30_000.0);
             let options = RunOptions {
-                fluctuation: Some(fluctuation),
+                fluctuations: vec![fluctuation],
                 silence_node_from: Some((NodeId(0), crash_at)),
                 // In the t100 setting the paper makes every protocol wait for
                 // the timeout after a view change; in the t10 setting all

@@ -92,6 +92,7 @@ fn main() {
     let reports = Benchmarker::run_all(points);
     let wall = started.elapsed();
     let total_events: u64 = reports.iter().map(|r| r.events_processed).sum();
+    let events_per_sec = total_events as f64 / wall.as_secs_f64();
 
     let mut out = Vec::new();
     for ((protocol, nodes), report) in grid.into_iter().zip(reports) {
@@ -120,11 +121,20 @@ fn main() {
             safety_violations: report.safety_violations,
         });
     }
-    save_json("scalability_large_n", &out);
+    // The artifact separates the deterministic sweep points from the
+    // (wall-clock, machine-dependent) engine-rate numbers so `bench_diff`
+    // can compare both: per-point throughput regresses downward, and so
+    // does the aggregate events/s of the engine itself.
+    let artifact = Json::obj([
+        ("points", out.to_json()),
+        ("total_events", Json::from(total_events)),
+        ("wall_secs", Json::from(wall.as_secs_f64())),
+        ("events_per_sec", Json::from(events_per_sec)),
+    ]);
+    save_json("scalability_large_n", &artifact);
     println!(
-        "\n{} points, {total_events} simulation events in {:.1} s wall ({:.0} events/s end-to-end)",
+        "\n{} points, {total_events} simulation events in {:.1} s wall ({events_per_sec:.0} events/s end-to-end)",
         out.len(),
         wall.as_secs_f64(),
-        total_events as f64 / wall.as_secs_f64()
     );
 }

@@ -1,15 +1,23 @@
-//! Compares a fresh `micro_components` bench run against the latest
-//! committed `BENCH_*.json` snapshot and annotates regressions.
+//! Compares fresh bench artifacts against the latest committed
+//! `BENCH_*.json` snapshot and annotates regressions.
+//!
+//! Two artifacts are diffed when present under `target/bamboo-bench/`:
+//!
+//! * `micro_components.json` — per-micro values; rate-style micros (unit
+//!   ending in `per_sec`) regress *downwards*, everything else (ns/iter)
+//!   upwards;
+//! * `scalability_large_n.json` — per-point committed throughput keyed by
+//!   `protocol/nodes`, plus the engine's aggregate events/s; both regress
+//!   downwards.
 //!
 //! Non-gating by design: shared-runner numbers are noisy, so the tool always
-//! exits 0 — it prints an aligned diff table and emits GitHub `::warning::`
-//! annotations for micros that regressed by more than 20%, making drifts
-//! visible on the PR without blocking it. Rate-style micros (unit ending in
-//! `per_sec`) regress *downwards*; everything else (ns/iter) regresses
-//! upwards.
+//! exits 0 — it prints aligned diff tables and emits GitHub `::warning::`
+//! annotations for entries that regressed by more than 20%, making drifts
+//! visible on the PR without blocking it.
 //!
 //! Usage: `cargo run --release -p bamboo-bench --bin bench_diff`
-//! (after `cargo bench -p bamboo-bench --bench micro_components`).
+//! (after `cargo bench -p bamboo-bench --bench micro_components` and/or
+//! `--bench scalability_large_n`).
 
 use std::path::{Path, PathBuf};
 
@@ -79,18 +87,118 @@ fn latest_snapshot(root: &Path) -> Option<PathBuf> {
     snapshots.pop()
 }
 
+/// `(key, throughput, events_per_sec?)` rows of a scalability artifact.
+/// Accepts both the flat-array shape of older snapshots and the
+/// `{points, events_per_sec}` object shape newer artifacts use.
+fn scalability_entries(doc: &Json) -> (Vec<(String, f64)>, Option<f64>) {
+    let (points, rate) = match doc.get("points") {
+        Some(points) => (
+            points.as_array(),
+            doc.get("events_per_sec").and_then(Json::as_f64),
+        ),
+        None => (doc.as_array(), None),
+    };
+    let rows = points
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|point| {
+            let protocol = point.get("protocol")?.as_str()?;
+            let nodes = point.get("nodes")?.as_f64()?;
+            let throughput = point.get("throughput_tx_per_sec")?.as_f64()?;
+            Some((format!("{protocol}/n{nodes:.0}"), throughput))
+        })
+        .collect();
+    (rows, rate)
+}
+
+/// Prints one comparison row and emits the `::warning::` annotation when a
+/// lower `value` than `base` crosses the threshold. Returns 1 on regression.
+fn diff_rate_row(label: &str, base: f64, value: f64, unit: &str, snapshot: &str) -> usize {
+    if base <= 0.0 {
+        // A zero baseline (e.g. the deliberately sub-commit-latency
+        // Streamlet windows) has no meaningful ratio.
+        println!("{label:<36} {base:>14.1} {value:>14.1} {:>9}", "-");
+        return 0;
+    }
+    let delta = (value - base) / base;
+    let regressed = delta < -THRESHOLD;
+    let marker = if regressed { "  <-- regression" } else { "" };
+    println!(
+        "{label:<36} {base:>14.1} {value:>14.1} {:>+8.1}%{marker}",
+        delta * 100.0
+    );
+    if regressed {
+        println!(
+            "::warning::'{label}' regressed {:+.1}% vs {snapshot} ({base:.1} -> {value:.1} {unit})",
+            delta * 100.0
+        );
+        1
+    } else {
+        0
+    }
+}
+
+fn diff_scalability(snapshot: &Json, snapshot_name: &str) -> usize {
+    let fresh_path = results_dir().join("scalability_large_n.json");
+    let Ok(fresh_text) = std::fs::read_to_string(&fresh_path) else {
+        println!("\nbench-diff: no fresh scalability_large_n artifact; skipping that diff");
+        return 0;
+    };
+    let Ok(fresh) = Json::parse(&fresh_text) else {
+        println!("\nbench-diff: unparsable {}", fresh_path.display());
+        return 0;
+    };
+    let Some(snapshot_doc) = snapshot
+        .get("benches")
+        .and_then(|b| b.get("scalability_large_n"))
+    else {
+        println!("\nbench-diff: {snapshot_name} has no scalability_large_n section; skipping");
+        return 0;
+    };
+    let (base_rows, base_rate) = scalability_entries(snapshot_doc);
+    let (fresh_rows, fresh_rate) = scalability_entries(&fresh);
+    println!(
+        "\nbench-diff: scalability_large_n vs {snapshot_name} ({} baseline points)",
+        base_rows.len()
+    );
+    println!(
+        "{:<36} {:>14} {:>14} {:>9}",
+        "point (throughput tx/s)", "baseline", "fresh", "delta"
+    );
+    let mut regressions = 0usize;
+    for (key, value) in &fresh_rows {
+        let Some((_, base)) = base_rows.iter().find(|(k, _)| k == key) else {
+            println!("{key:<36} {:>14} {value:>14.1} {:>9}", "(new)", "-");
+            continue;
+        };
+        regressions += diff_rate_row(key, *base, *value, "tx/s", snapshot_name);
+    }
+    match (base_rate, fresh_rate) {
+        (Some(base), Some(fresh)) => {
+            regressions += diff_rate_row(
+                "engine events_per_sec",
+                base,
+                fresh,
+                "events/s",
+                snapshot_name,
+            );
+        }
+        (None, Some(fresh)) => {
+            println!(
+                "{:<36} {:>14} {fresh:>14.1} {:>9}",
+                "engine events_per_sec", "(new)", "-"
+            );
+        }
+        _ => {}
+    }
+    regressions
+}
+
 fn main() {
     let fresh_path = results_dir().join("micro_components.json");
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
     let Some(snapshot_path) = latest_snapshot(&root) else {
         println!("bench-diff: no BENCH_*.json snapshot found; nothing to compare");
-        return;
-    };
-    let Ok(fresh_text) = std::fs::read_to_string(&fresh_path) else {
-        println!(
-            "bench-diff: no fresh artifact at {} (run the micro_components bench first)",
-            fresh_path.display()
-        );
         return;
     };
     let snapshot_text = match std::fs::read_to_string(&snapshot_path) {
@@ -100,25 +208,36 @@ fn main() {
             return;
         }
     };
-    let (fresh, snapshot) = match (Json::parse(&fresh_text), Json::parse(&snapshot_text)) {
-        (Ok(f), Ok(s)) => (f, s),
-        (f, s) => {
-            println!(
-                "bench-diff: parse failure (fresh: {:?}, snapshot: {:?})",
-                f.err(),
-                s.err()
-            );
-            return;
-        }
+    let Ok(snapshot) = Json::parse(&snapshot_text) else {
+        println!(
+            "bench-diff: unparsable snapshot {}",
+            snapshot_path.display()
+        );
+        return;
+    };
+    let snapshot_name = snapshot_path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("?")
+        .to_string();
+
+    let Ok(fresh_text) = std::fs::read_to_string(&fresh_path) else {
+        println!(
+            "bench-diff: no fresh artifact at {} (run the micro_components bench first)",
+            fresh_path.display()
+        );
+        // The scalability artifact may still exist (nightly sweep).
+        diff_scalability(&snapshot, &snapshot_name);
+        return;
+    };
+    let Ok(fresh) = Json::parse(&fresh_text) else {
+        println!("bench-diff: unparsable fresh artifact");
+        return;
     };
 
     let baseline = micro_entries(&snapshot, true);
     println!(
-        "bench-diff: fresh run vs {} ({} baseline micros)",
-        snapshot_path
-            .file_name()
-            .and_then(|n| n.to_str())
-            .unwrap_or("?"),
+        "bench-diff: fresh run vs {snapshot_name} ({} baseline micros)",
         baseline.len()
     );
     println!(
@@ -162,15 +281,14 @@ fn main() {
             regressions += 1;
             // GitHub Actions annotation; inert when run locally.
             println!(
-                "::warning::micro '{name}' regressed {:+.1}% vs {} ({base:.1} -> {value:.1} {unit})",
+                "::warning::micro '{name}' regressed {:+.1}% vs {snapshot_name} ({base:.1} -> {value:.1} {unit})",
                 delta * 100.0,
-                snapshot_path
-                    .file_name()
-                    .and_then(|n| n.to_str())
-                    .unwrap_or("?"),
             );
         }
     }
+
+    regressions += diff_scalability(&snapshot, &snapshot_name);
+
     if regressions == 0 {
         println!(
             "bench-diff: no regressions beyond {:.0}%",
@@ -178,7 +296,7 @@ fn main() {
         );
     } else {
         println!(
-            "bench-diff: {regressions} micro(s) regressed beyond {:.0}% (non-gating)",
+            "bench-diff: {regressions} entr(y/ies) regressed beyond {:.0}% (non-gating)",
             THRESHOLD * 100.0
         );
     }

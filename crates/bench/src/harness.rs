@@ -7,7 +7,7 @@
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
-use crate::json::{Json, ToJson};
+use bamboo_types::{Json, ToJson};
 
 /// One micro-benchmark measurement.
 #[derive(Clone, Debug)]

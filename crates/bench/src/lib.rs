@@ -6,28 +6,25 @@
 //! artifact under `target/bamboo-bench/` so EXPERIMENTS.md can reference
 //! machine-readable results.
 //!
-//! The crate also provides the two pieces of infrastructure the benches need
-//! and that the workspace deliberately does not pull in as dependencies:
-//!
-//! * [`json`] — a minimal JSON document model + pretty printer,
-//! * [`harness`] — a wall-clock micro-benchmark harness.
+//! The crate also provides the wall-clock micro-benchmark harness
+//! ([`harness`]) the `micro_components` bench is built on. The JSON document
+//! model the artifacts are written with lives in `bamboo_types::json` (it is
+//! shared with the scenario engine) and is re-exported here as [`Json`] /
+//! [`ToJson`] for the bench targets.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;
-pub mod json;
 
 use std::fs;
 use std::path::PathBuf;
 
-use bamboo_core::{
-    Benchmarker, CurvePoint, LatencyStats, RunOptions, RunReport, SweepOptions, ThroughputSample,
-};
+use bamboo_core::{Benchmarker, CurvePoint, RunOptions, SweepOptions};
 use bamboo_model::{ModelParams, PerfModel};
 use bamboo_types::{Block, Config, ProtocolKind, SimDuration, Transaction};
 
-pub use json::{Json, ToJson};
+pub use bamboo_types::{Json, ToJson};
 
 /// Directory where benches drop their JSON artifacts: the workspace
 /// `target/bamboo-bench/`, independent of the working directory cargo runs
@@ -147,87 +144,17 @@ pub fn evaluated_protocols() -> [ProtocolKind; 3] {
     ProtocolKind::evaluated()
 }
 
-// ---- JSON views of the report types --------------------------------------
+// ---- JSON views -----------------------------------------------------------
+//
+// The report types (`RunReport`, `LatencyStats`, `ThroughputSample`,
+// `CurvePoint`, the scenario reports) implement `ToJson` in `bamboo-core`,
+// next to their definitions; only bench-local types are rendered here.
 
 impl ToJson for LabelledCurve {
     fn to_json(&self) -> Json {
         Json::obj([
             ("label", Json::from(self.label.as_str())),
             ("points", self.points.to_json()),
-        ])
-    }
-}
-
-impl ToJson for CurvePoint {
-    fn to_json(&self) -> Json {
-        Json::obj([
-            ("offered_tx_per_sec", Json::from(self.offered_tx_per_sec)),
-            (
-                "throughput_tx_per_sec",
-                Json::from(self.throughput_tx_per_sec),
-            ),
-            ("latency_ms", Json::from(self.latency_ms)),
-            ("p99_latency_ms", Json::from(self.p99_latency_ms)),
-            ("report", self.report.to_json()),
-        ])
-    }
-}
-
-impl ToJson for LatencyStats {
-    fn to_json(&self) -> Json {
-        Json::obj([
-            ("count", Json::from(self.count)),
-            ("mean_ms", Json::from(self.mean_ms)),
-            ("p50_ms", Json::from(self.p50_ms)),
-            ("p99_ms", Json::from(self.p99_ms)),
-            ("max_ms", Json::from(self.max_ms)),
-        ])
-    }
-}
-
-impl ToJson for ThroughputSample {
-    fn to_json(&self) -> Json {
-        Json::obj([
-            ("at_ms", Json::from(self.at.as_millis_f64())),
-            ("tx_per_sec", Json::from(self.tx_per_sec)),
-        ])
-    }
-}
-
-impl ToJson for RunReport {
-    fn to_json(&self) -> Json {
-        Json::obj([
-            ("protocol", Json::from(self.protocol.label())),
-            ("nodes", Json::from(self.nodes)),
-            ("byz_nodes", Json::from(self.byz_nodes)),
-            ("duration_secs", Json::from(self.duration_secs)),
-            (
-                "throughput_tx_per_sec",
-                Json::from(self.throughput_tx_per_sec),
-            ),
-            ("latency", self.latency.to_json()),
-            ("committed_txs", Json::from(self.committed_txs)),
-            ("committed_blocks", Json::from(self.committed_blocks)),
-            ("views_advanced", Json::from(self.views_advanced)),
-            ("chain_growth_rate", Json::from(self.chain_growth_rate)),
-            ("block_interval", Json::from(self.block_interval)),
-            (
-                "timeout_view_changes",
-                Json::from(self.timeout_view_changes),
-            ),
-            ("messages_sent", Json::from(self.messages_sent)),
-            ("bytes_sent", Json::from(self.bytes_sent)),
-            ("throughput_series", self.throughput_series.to_json()),
-            ("safety_violations", Json::from(self.safety_violations)),
-            ("rejected_messages", Json::from(self.rejected_messages)),
-            ("pending_txs", Json::from(self.pending_txs)),
-            ("events_processed", Json::from(self.events_processed)),
-            ("events_scheduled", Json::from(self.events_scheduled)),
-            ("queue_peak_len", Json::from(self.queue_peak_len)),
-            (
-                "ledger_fingerprint",
-                Json::from(self.ledger_fingerprint.as_str()),
-            ),
         ])
     }
 }

@@ -17,6 +17,9 @@
 //!   bounded std-thread pool ([`parallel`]) with input-order results.
 //! * [`Metrics`] / [`RunReport`] — throughput, latency, chain growth rate and
 //!   block interval (§IV-B).
+//! * [`Scenario`] — the scenario engine: declarative experiment specs (JSON)
+//!   describing topology, workload, Byzantine strategy and a fault schedule,
+//!   compiled into simulator runs and audited into [`ScenarioReport`]s.
 //! * [`runtime`] — the shared runtime spine: the [`Transport`] trait and the
 //!   [`NodeHost`] driver both deployment backends are built on. The host is
 //!   also the authenticated ingress stage: every inbound message is verified
@@ -55,18 +58,20 @@ pub mod quorum;
 pub mod replica;
 pub mod runner;
 pub mod runtime;
+pub mod scenario;
 pub mod threaded;
 pub mod verify;
 pub mod workload;
 
-pub use bamboo_sim::{FluctuationWindow, LinkFault};
+pub use bamboo_sim::{DelayDist, FluctuationWindow, LinkFault, Topology};
 pub use benchmark::{Benchmarker, CurvePoint, SweepOptions};
 pub use metrics::{LatencyStats, Metrics, RunReport, ThroughputSample};
 pub use parallel::run_ordered;
 pub use quorum::QuorumTracker;
 pub use replica::{Destination, HandleResult, Outbound, Replica, ReplicaEvent, ReplicaOptions};
-pub use runner::{RunOptions, SimRunner};
+pub use runner::{FaultTrigger, NodeFault, RunOptions, SimRunner};
 pub use runtime::{BufferedTransport, NodeHost, StepReport, Transport};
+pub use scenario::{Expectations, Scenario, ScenarioReport, ScenarioRun};
 pub use threaded::{ClusterReport, ThreadedCluster, DEFAULT_VERIFY_WORKERS};
 pub use verify::{VerifyHandle, VerifyPool};
 pub use workload::{ClosedLoopWorkload, OpenLoopWorkload, Workload};

@@ -6,7 +6,7 @@
 //! `t_L` term). Chain growth rate and block interval are the two micro-metrics
 //! introduced for the Byzantine experiments.
 
-use bamboo_types::{ProtocolKind, SimDuration, SimTime};
+use bamboo_types::{Json, ProtocolKind, SimDuration, SimTime, ToJson};
 
 /// A latency distribution summary in milliseconds.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -200,6 +200,65 @@ impl RunReport {
             self.chain_growth_rate,
             self.block_interval
         )
+    }
+}
+
+impl ToJson for LatencyStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::from(self.count)),
+            ("mean_ms", Json::from(self.mean_ms)),
+            ("p50_ms", Json::from(self.p50_ms)),
+            ("p99_ms", Json::from(self.p99_ms)),
+            ("max_ms", Json::from(self.max_ms)),
+        ])
+    }
+}
+
+impl ToJson for ThroughputSample {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("at_ms", Json::from(self.at.as_millis_f64())),
+            ("tx_per_sec", Json::from(self.tx_per_sec)),
+        ])
+    }
+}
+
+impl ToJson for RunReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("protocol", Json::from(self.protocol.label())),
+            ("nodes", Json::from(self.nodes)),
+            ("byz_nodes", Json::from(self.byz_nodes)),
+            ("duration_secs", Json::from(self.duration_secs)),
+            (
+                "throughput_tx_per_sec",
+                Json::from(self.throughput_tx_per_sec),
+            ),
+            ("latency", self.latency.to_json()),
+            ("committed_txs", Json::from(self.committed_txs)),
+            ("committed_blocks", Json::from(self.committed_blocks)),
+            ("views_advanced", Json::from(self.views_advanced)),
+            ("chain_growth_rate", Json::from(self.chain_growth_rate)),
+            ("block_interval", Json::from(self.block_interval)),
+            (
+                "timeout_view_changes",
+                Json::from(self.timeout_view_changes),
+            ),
+            ("messages_sent", Json::from(self.messages_sent)),
+            ("bytes_sent", Json::from(self.bytes_sent)),
+            ("throughput_series", self.throughput_series.to_json()),
+            ("safety_violations", Json::from(self.safety_violations)),
+            ("rejected_messages", Json::from(self.rejected_messages)),
+            ("pending_txs", Json::from(self.pending_txs)),
+            ("events_processed", Json::from(self.events_processed)),
+            ("events_scheduled", Json::from(self.events_scheduled)),
+            ("queue_peak_len", Json::from(self.queue_peak_len)),
+            (
+                "ledger_fingerprint",
+                Json::from(self.ledger_fingerprint.as_str()),
+            ),
+        ])
     }
 }
 

@@ -98,6 +98,18 @@ pub struct ReplicaOptions {
     /// From this simulated time on, the replica withholds every proposal (used
     /// to crash a node mid-run in the responsiveness experiment).
     pub silence_from: Option<SimTime>,
+    /// Overrides the shared `t_CPU` (`Config::cpu_delay`) for this replica —
+    /// the scenario engine's heterogeneous-CPU knob: a cluster can mix fast
+    /// and slow machines while every node still shares one [`Config`].
+    pub cpu_delay_override: Option<SimDuration>,
+    /// Model synchronous epochs faithfully for epoch-based protocols
+    /// (Streamlet): a leader entering an epoch proposes only half a view
+    /// timeout after entry (the epoch length `2Δ̂`, with the timeout playing
+    /// `4Δ̂`), instead of as soon as the previous epoch certifies. Off by
+    /// default — the responsive approximation the rest of the benchmarks
+    /// use; WAN scenarios switch it on to expose the synchrony cost of
+    /// heterogeneous delays.
+    pub synchronous_epochs: bool,
 }
 
 /// A Bamboo replica.
@@ -118,6 +130,10 @@ pub struct Replica {
     proposed_in_view: View,
     /// QCs whose block has not arrived yet.
     pending_qcs: HashMap<BlockId, QuorumCert>,
+    /// A leader's proposal waiting for the block of a pending QC: entering a
+    /// view off votes alone (they can outrun the proposal broadcast on slow
+    /// or heterogeneous links) must not fork from a stale high-QC.
+    deferred_proposal: Option<View>,
     /// Conflicting-commit events observed (must stay zero in a correct run).
     safety_violations: u64,
 }
@@ -138,7 +154,8 @@ impl Replica {
         };
         let safety = make_safety(protocol, strategy, config.nodes);
         let election = LeaderElection::new(config.nodes, config.leader_policy);
-        let cpu = CpuModel::new(config.cpu_delay).with_per_tx(SimDuration::from_nanos(400));
+        let cpu_delay = options.cpu_delay_override.unwrap_or(config.cpu_delay);
+        let cpu = CpuModel::new(cpu_delay).with_per_tx(SimDuration::from_nanos(400));
         Self {
             id,
             keypair: KeyPair::from_seed(id.as_u64()),
@@ -152,6 +169,7 @@ impl Replica {
             cpu,
             proposed_in_view: View::GENESIS,
             pending_qcs: HashMap::new(),
+            deferred_proposal: None,
             safety_violations: 0,
             config,
             options,
@@ -166,6 +184,12 @@ impl Replica {
     /// The configuration the replica was built with.
     pub fn config(&self) -> &Config {
         &self.config
+    }
+
+    /// The CPU cost model this replica charges its work against (the shared
+    /// `t_CPU` unless [`ReplicaOptions::cpu_delay_override`] replaced it).
+    pub fn cpu_model(&self) -> CpuModel {
+        self.cpu
     }
 
     /// The replica's current view.
@@ -237,7 +261,15 @@ impl Replica {
             }
             ReplicaEvent::ProposeNow { view } => {
                 if view == self.current_view() && self.proposed_in_view < view {
-                    self.do_propose(view, now, &mut out);
+                    if self.high_qc_is_pending() {
+                        // The block behind our newest QC is still in flight —
+                        // the same stale-parent fork the QC-driven path
+                        // defers on can reach a paced (epoch/timeout-waited)
+                        // proposal slot too. Wait for the block instead.
+                        self.deferred_proposal = Some(view);
+                    } else {
+                        self.do_propose(view, now, &mut out);
+                    }
                 }
             }
             ReplicaEvent::Message { from: _, message } => match message {
@@ -373,6 +405,10 @@ impl Replica {
                 }
             }
         }
+
+        // A proposal deferred on a pending QC can go out once the missing
+        // block (usually this very proposal) has been stored.
+        self.maybe_release_deferred(now, out);
     }
 
     /// `already_local` is true when the vote is our own or an echo — those are
@@ -464,6 +500,21 @@ impl Replica {
             if via_timeout && self.options.wait_for_timeout_on_view_change {
                 out.delayed_proposals
                     .push((view, now + self.pacemaker.timeout()));
+            } else if self.options.synchronous_epochs && self.safety.epoch_based() {
+                // Synchronous epochs: the proposal goes out at the epoch
+                // boundary (half the view timeout, so the liveness timer at
+                // the full timeout still backstops a lost proposal), not as
+                // soon as the previous epoch certifies.
+                out.delayed_proposals
+                    .push((view, now + self.pacemaker.timeout() / 2));
+            } else if self.high_qc_is_pending() {
+                // The certification that advanced us refers to a block still
+                // in flight (on slow links, votes can outrun the proposal
+                // broadcast to the next leader). Proposing now would fork
+                // from a stale parent — a wasted view under one-chain locks
+                // like 2CHS, which refuse the fork. Wait for the block; the
+                // view timer still bounds the wait, so liveness is untouched.
+                self.deferred_proposal = Some(view);
             } else {
                 self.do_propose(view, now, out);
             }
@@ -471,6 +522,30 @@ impl Replica {
         // Keep the quorum tracker bounded.
         if view.as_u64() > 64 {
             self.quorum.prune_below(View(view.as_u64() - 64));
+        }
+    }
+
+    /// True when a quorum certificate newer than anything in the forest is
+    /// parked in `pending_qcs` — i.e. we know of a certification whose block
+    /// has not arrived, so our high-QC is stale.
+    fn high_qc_is_pending(&self) -> bool {
+        let registered = self.forest.high_qc().view;
+        self.pending_qcs.values().any(|qc| qc.view > registered)
+    }
+
+    /// Releases a deferred leader proposal once the block behind the pending
+    /// QC has arrived (or drops it if the view has passed).
+    fn maybe_release_deferred(&mut self, now: SimTime, out: &mut HandleResult) {
+        let Some(view) = self.deferred_proposal else {
+            return;
+        };
+        if view < self.current_view() {
+            self.deferred_proposal = None;
+            return;
+        }
+        if self.proposed_in_view < view && !self.high_qc_is_pending() {
+            self.deferred_proposal = None;
+            self.do_propose(view, now, out);
         }
     }
 

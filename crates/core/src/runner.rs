@@ -32,7 +32,9 @@
 //! naive engine — the golden-replay tests pin ledgers byte-for-byte against
 //! the pre-rewrite implementation.
 
-use bamboo_sim::{EventQueue, FluctuationWindow, LatencyModel, LinkFault, NicModel, SimRng};
+use bamboo_sim::{
+    EventQueue, FluctuationWindow, LatencyModel, LinkFault, NicModel, SimRng, Topology,
+};
 use bamboo_types::{
     Authenticator, Config, NodeId, ProtocolKind, SharedMessage, SimDuration, SimTime, Transaction,
     VerifiedMessage, View,
@@ -43,6 +45,33 @@ use crate::replica::{Replica, ReplicaEvent, ReplicaOptions};
 use crate::runtime::{BufferedTransport, NodeHost, StepReport};
 use crate::workload::{ClosedLoopWorkload, OpenLoopWorkload, Workload};
 
+/// When a scheduled node fault begins or ends: at an absolute simulated time,
+/// or when the cluster (any honest replica) first reaches a view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// At this simulated time.
+    At(SimTime),
+    /// When the highest view observed across replicas first reaches `View`.
+    AtView(View),
+}
+
+/// A scheduled crash (with optional recovery) of one replica.
+///
+/// A crashed node is blacked out at the network layer: events addressed to
+/// it are discarded and — since it therefore never handles anything — it
+/// sends nothing. Its internal timers are suspended too; after recovery the
+/// node rejoins passively and catches up through the QCs embedded in the
+/// traffic it starts receiving again, exactly like a rebooted machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeFault {
+    /// The replica to crash.
+    pub node: NodeId,
+    /// When the crash begins.
+    pub crash: FaultTrigger,
+    /// When the node recovers; `None` means it stays down.
+    pub recover: Option<FaultTrigger>,
+}
+
 /// Run-level options that are not part of the shared Table-I [`Config`].
 #[derive(Clone, Debug)]
 pub struct RunOptions {
@@ -51,10 +80,17 @@ pub struct RunOptions {
     /// Crash (silence) one node from a given time onwards — used by the
     /// responsiveness experiment.
     pub silence_node_from: Option<(NodeId, SimTime)>,
-    /// A network-fluctuation window injected into the latency model.
-    pub fluctuation: Option<FluctuationWindow>,
-    /// Additional link faults (partitions, slow nodes).
+    /// Network-fluctuation windows injected into the latency model.
+    pub fluctuations: Vec<FluctuationWindow>,
+    /// Additional link faults (partitions, group partitions, slow nodes).
     pub link_faults: Vec<LinkFault>,
+    /// Scheduled node crashes/recoveries (time- or view-triggered).
+    pub node_faults: Vec<NodeFault>,
+    /// Per-link base-delay topology; `None` uses the homogeneous
+    /// `Config::link_latency_mean/std` network of the paper.
+    pub topology: Option<Topology>,
+    /// Per-replica `t_CPU` overrides (heterogeneous-CPU deployments).
+    pub cpu_overrides: Vec<(NodeId, SimDuration)>,
     /// Width of the workload generation window.
     pub workload_tick: SimDuration,
     /// Bucket width of the committed-throughput time series.
@@ -71,8 +107,11 @@ impl Default for RunOptions {
         Self {
             replica: ReplicaOptions::default(),
             silence_node_from: None,
-            fluctuation: None,
+            fluctuations: Vec::new(),
             link_faults: Vec::new(),
+            node_faults: Vec::new(),
+            topology: None,
+            cpu_overrides: Vec::new(),
             workload_tick: SimDuration::from_millis(1),
             series_bucket: SimDuration::from_millis(500),
             observer: None,
@@ -115,6 +154,13 @@ enum SimEvent {
         txs: Vec<Transaction>,
     },
     WorkloadTick,
+    /// A time-triggered node fault boundary: crash (`true`) or recover
+    /// (`false`) the node. View-triggered boundaries are resolved inline
+    /// when the cluster's highest observed view advances.
+    SetCrashed {
+        node: NodeId,
+        crashed: bool,
+    },
 }
 
 /// The simulated network substrate: event queue plus the delay models and the
@@ -144,6 +190,12 @@ pub struct SimRunner {
     /// of one tick are grouped here without allocating per-tick maps.
     tick_txs: Vec<Vec<Transaction>>,
     tick_latest: Vec<SimTime>,
+    /// Per-replica crash state (node faults); crashed nodes receive nothing.
+    crashed: Vec<bool>,
+    /// Unresolved view-triggered fault boundaries: `(node, view, crash?)`.
+    view_triggers: Vec<(NodeId, View, bool)>,
+    /// Highest view observed across all replicas (drives view triggers).
+    max_view_seen: View,
 }
 
 impl SimRunner {
@@ -155,10 +207,13 @@ impl SimRunner {
     /// the builder to construct valid configurations).
     pub fn new(config: Config, protocol: ProtocolKind, options: RunOptions) -> Self {
         config.validate().expect("invalid configuration");
-        let mut latency = LatencyModel::new(config.link_latency_mean, config.link_latency_std)
+        let topology = options.topology.clone().unwrap_or_else(|| {
+            Topology::uniform(config.link_latency_mean, config.link_latency_std)
+        });
+        let mut latency = LatencyModel::with_topology(topology)
             .with_extra_delay(config.extra_delay, config.extra_delay_jitter);
-        if let Some(window) = options.fluctuation {
-            latency.add_fluctuation(window);
+        for window in &options.fluctuations {
+            latency.add_fluctuation(*window);
         }
         for fault in &options.link_faults {
             latency.add_fault(*fault);
@@ -173,6 +228,13 @@ impl SimRunner {
                     if node == NodeId(i) {
                         replica_options.silence_from = Some(from);
                     }
+                }
+                if let Some(&(_, delay)) = options
+                    .cpu_overrides
+                    .iter()
+                    .find(|(node, _)| *node == NodeId(i))
+                {
+                    replica_options.cpu_delay_override = Some(delay);
                 }
                 NodeHost::new(NodeId(i), protocol, config.clone(), replica_options)
             })
@@ -209,6 +271,9 @@ impl SimRunner {
             busy_until: Vec::new(),
             tick_txs: vec![Vec::new(); nodes],
             tick_latest: vec![SimTime::ZERO; nodes],
+            crashed: vec![false; nodes],
+            view_triggers: Vec::new(),
+            max_view_seen: View::GENESIS,
             config,
         }
     }
@@ -225,6 +290,36 @@ impl SimRunner {
         let runtime = self.config.runtime;
         let end = SimTime::ZERO + runtime;
         self.busy_until = vec![SimTime::ZERO; self.config.nodes];
+
+        // Register the node-fault schedule: time triggers become events,
+        // view triggers are kept aside and resolved as views advance.
+        for fault in self.options.node_faults.clone() {
+            match fault.crash {
+                FaultTrigger::At(at) => self.net.queue.schedule(
+                    at,
+                    SimEvent::SetCrashed {
+                        node: fault.node,
+                        crashed: true,
+                    },
+                ),
+                FaultTrigger::AtView(view) => {
+                    self.view_triggers.push((fault.node, view, true));
+                }
+            }
+            match fault.recover {
+                Some(FaultTrigger::At(at)) => self.net.queue.schedule(
+                    at,
+                    SimEvent::SetCrashed {
+                        node: fault.node,
+                        crashed: false,
+                    },
+                ),
+                Some(FaultTrigger::AtView(view)) => {
+                    self.view_triggers.push((fault.node, view, false));
+                }
+                None => {}
+            }
+        }
 
         // Boot every replica through the shared runtime layer.
         for index in 0..self.hosts.len() {
@@ -248,6 +343,9 @@ impl SimRunner {
             match event {
                 SimEvent::WorkloadTick => self.handle_workload_tick(time, end),
                 SimEvent::Deliver { to, token } => {
+                    if self.crashed[to.index()] {
+                        continue;
+                    }
                     // The envelope was verified once when absorbed; the token
                     // hands it to the replica with no further wall-clock
                     // crypto (modeled costs are charged by the replica).
@@ -257,6 +355,9 @@ impl SimRunner {
                     self.absorb(to, report, effects, start);
                 }
                 SimEvent::DeliverForged { to, message } => {
+                    if self.crashed[to.index()] {
+                        continue;
+                    }
                     // Book the rejection at the recipient's busy server with
                     // the modeled cost of discovering the forgery.
                     let start = time.max(self.busy_until[to.index()]);
@@ -264,13 +365,25 @@ impl SimRunner {
                     self.absorb(to, report, BufferedTransport::new(), start);
                 }
                 SimEvent::Timer { node, view } => {
+                    if self.crashed[node.index()] {
+                        continue;
+                    }
                     self.dispatch(node, ReplicaEvent::TimerFired { view }, time);
                 }
                 SimEvent::ProposeNow { node, view } => {
+                    if self.crashed[node.index()] {
+                        continue;
+                    }
                     self.dispatch(node, ReplicaEvent::ProposeNow { view }, time);
                 }
                 SimEvent::ClientBatch { to, txs } => {
+                    if self.crashed[to.index()] {
+                        continue;
+                    }
                     self.dispatch(to, ReplicaEvent::ClientRequests(txs), time);
+                }
+                SimEvent::SetCrashed { node, crashed } => {
+                    self.crashed[node.index()] = crashed;
                 }
             }
         }
@@ -341,6 +454,24 @@ impl SimRunner {
     ) {
         let finish = start + report.cpu;
         self.busy_until[node.index()] = finish;
+
+        // Resolve view-triggered fault boundaries: a trigger fires when the
+        // highest view observed anywhere in the cluster first reaches it.
+        if !self.view_triggers.is_empty() {
+            let view = self.hosts[node.index()].replica().current_view();
+            if view > self.max_view_seen {
+                self.max_view_seen = view;
+                let crashed = &mut self.crashed;
+                self.view_triggers.retain(|&(target, trigger, crash)| {
+                    if trigger <= view {
+                        crashed[target.index()] = crash;
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+        }
 
         // Commits: record metrics at the observer replica only, so every
         // transaction is counted exactly once, and feed closed-loop clients.
@@ -589,6 +720,69 @@ mod tests {
         assert_eq!(attacked.safety_violations, 0);
         assert!(attacked.chain_growth_rate < honest.chain_growth_rate);
         assert!(attacked.timeout_view_changes > 0);
+    }
+
+    #[test]
+    fn time_triggered_crash_and_recovery_preserve_safety() {
+        let mut cfg = base_config(4, 2_000.0);
+        cfg.timeout = SimDuration::from_millis(20);
+        let healthy =
+            SimRunner::new(cfg.clone(), ProtocolKind::HotStuff, RunOptions::default()).run();
+        let options = RunOptions {
+            node_faults: vec![NodeFault {
+                node: NodeId(0),
+                crash: FaultTrigger::At(SimTime(100_000_000)),
+                recover: Some(FaultTrigger::At(SimTime(250_000_000))),
+            }],
+            ..RunOptions::default()
+        };
+        let crashed = SimRunner::new(cfg, ProtocolKind::HotStuff, options).run();
+        assert_eq!(crashed.safety_violations, 0);
+        assert!(crashed.committed_txs > 0, "cluster survives f = 1 crash");
+        assert!(
+            crashed.timeout_view_changes > 0,
+            "crashed leader views must time out"
+        );
+        assert!(
+            crashed.committed_txs < healthy.committed_txs,
+            "crash window should cost throughput ({} vs {})",
+            crashed.committed_txs,
+            healthy.committed_txs
+        );
+    }
+
+    #[test]
+    fn view_triggered_crash_fires_when_the_cluster_reaches_the_view() {
+        let mut cfg = base_config(4, 2_000.0);
+        cfg.timeout = SimDuration::from_millis(20);
+        let options = RunOptions {
+            node_faults: vec![NodeFault {
+                node: NodeId(1),
+                crash: FaultTrigger::AtView(View(4)),
+                recover: None,
+            }],
+            ..RunOptions::default()
+        };
+        let report = SimRunner::new(cfg, ProtocolKind::HotStuff, options).run();
+        assert_eq!(report.safety_violations, 0);
+        assert!(report.committed_txs > 0);
+        assert!(
+            report.timeout_view_changes > 0,
+            "node 1's unrecovered crash must cost its leader views"
+        );
+        // Determinism with view-triggered faults.
+        let mut cfg2 = base_config(4, 2_000.0);
+        cfg2.timeout = SimDuration::from_millis(20);
+        let options2 = RunOptions {
+            node_faults: vec![NodeFault {
+                node: NodeId(1),
+                crash: FaultTrigger::AtView(View(4)),
+                recover: None,
+            }],
+            ..RunOptions::default()
+        };
+        let again = SimRunner::new(cfg2, ProtocolKind::HotStuff, options2).run();
+        assert_eq!(report.ledger_fingerprint, again.ledger_fingerprint);
     }
 
     #[test]

@@ -110,7 +110,9 @@ impl NodeHost {
     pub fn from_replica(replica: Replica) -> Self {
         let config = replica.config();
         let authenticator = Authenticator::for_nodes(config.nodes);
-        let cpu = CpuModel::new(config.cpu_delay);
+        // Share the replica's model so per-replica CPU overrides (the
+        // heterogeneous-CPU scenario knob) also price rejected messages.
+        let cpu = replica.cpu_model();
         Self {
             replica,
             authenticator,

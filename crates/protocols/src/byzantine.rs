@@ -70,6 +70,10 @@ impl Safety for ForkingSafety {
         self.inner.is_responsive()
     }
 
+    fn epoch_based(&self) -> bool {
+        self.inner.epoch_based()
+    }
+
     fn propose(&mut self, input: &ProposalInput, forest: &BlockForest) -> Option<Block> {
         // Ask the wrapped protocol how deep a fork its own voting rule would
         // still accept; fall back to honest proposing when there is no room
@@ -138,6 +142,10 @@ impl Safety for SilenceSafety {
         self.inner.is_responsive()
     }
 
+    fn epoch_based(&self) -> bool {
+        self.inner.epoch_based()
+    }
+
     fn propose(&mut self, _input: &ProposalInput, _forest: &BlockForest) -> Option<Block> {
         self.withheld += 1;
         None
@@ -203,6 +211,10 @@ impl Safety for ForgedVoteSafety {
     }
     fn is_responsive(&self) -> bool {
         self.inner.is_responsive()
+    }
+
+    fn epoch_based(&self) -> bool {
+        self.inner.epoch_based()
     }
 
     fn propose(&mut self, input: &ProposalInput, forest: &BlockForest) -> Option<Block> {
@@ -273,6 +285,10 @@ impl Safety for ForgedQcSafety {
     }
     fn is_responsive(&self) -> bool {
         self.inner.is_responsive()
+    }
+
+    fn epoch_based(&self) -> bool {
+        self.inner.epoch_based()
     }
 
     fn propose(&mut self, input: &ProposalInput, forest: &BlockForest) -> Option<Block> {

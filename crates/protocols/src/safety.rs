@@ -53,6 +53,16 @@ pub trait Safety: Send {
         false
     }
 
+    /// Whether the protocol's views are *epochs* in the Streamlet sense:
+    /// fixed-duration synchronous rounds that must each cover the maximum
+    /// network delay, rather than view numbers that advance as fast as
+    /// certificates form. The replica's opt-in `synchronous_epochs` mode
+    /// paces the leaders of epoch-based protocols accordingly; the default
+    /// responsive approximation advances epochs on QCs.
+    fn epoch_based(&self) -> bool {
+        false
+    }
+
     /// **Proposing rule** — build the block for `input.view`. Returns `None`
     /// if the proposer declines to propose (the silence attack does this).
     fn propose(&mut self, input: &ProposalInput, forest: &BlockForest) -> Option<Block>;

@@ -65,6 +65,12 @@ impl Safety for StreamletSafety {
         false
     }
 
+    fn epoch_based(&self) -> bool {
+        // Streamlet's rounds are synchronized epochs of fixed duration; a
+        // deployment must provision them for the maximal network delay.
+        true
+    }
+
     fn propose(&mut self, input: &ProposalInput, forest: &BlockForest) -> Option<Block> {
         // Build on the tip of the longest notarized chain. Only the tip's id
         // is needed — cloning the whole block would copy its payload.

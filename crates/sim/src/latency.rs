@@ -1,19 +1,25 @@
 //! Network latency model.
 //!
-//! One-way message delay between two replicas is sampled as
+//! One-way message delay from `from` to `to` is sampled as
 //!
 //! ```text
-//! delay = max(floor, Normal(mean, std)) + extra ± jitter + fluctuation(t) + slow(node)
+//! delay = max(floor, Normal(link.mean, link.std)) + extra ± jitter + fluctuation(t) + slow(node)
 //! ```
 //!
-//! mirroring the paper's assumption that the RTT between any two nodes follows
-//! a normal distribution (§V-A2), plus the Table-I `delay` knob, the run-time
-//! "slow" command, and the 10-second network-fluctuation window used in the
-//! responsiveness experiment (Fig. 15). Partitions drop messages entirely.
+//! where `link` is the per-pair delay distribution resolved by the
+//! [`Topology`] — regions with intra/inter-region distributions and exact
+//! (possibly asymmetric) per-link overrides. A [`Topology::uniform`]
+//! topology reduces to the paper's assumption that the RTT between any two
+//! nodes follows one normal distribution (§V-A2) and consumes the RNG
+//! identically to the pre-topology scalar model. On top of the base draw sit
+//! the Table-I `delay` knob, the run-time "slow" command, and the network
+//! fluctuation window used in the responsiveness experiment (Fig. 15).
+//! Partitions — pairwise or group-based — drop messages entirely.
 
 use bamboo_types::{NodeId, SimDuration, SimTime};
 
 use crate::rng::SimRng;
+use crate::topology::Topology;
 
 /// A time window during which every link experiences additional, uniformly
 /// distributed delay in `[min_extra, max_extra]` — the paper's "network
@@ -64,13 +70,48 @@ pub enum LinkFault {
         /// Window end.
         end: SimTime,
     },
+    /// Sever the cluster into two groups during the window: every message
+    /// whose endpoints fall on opposite sides of `members` is dropped, in
+    /// both directions. One fault models a whole group partition — the
+    /// scenario engine's oscillating-partition schedule compiles into a list
+    /// of these, one per oscillation period.
+    ///
+    /// `members` is a bitmask over node ids; only replicas with id < 64 can
+    /// be partition members (the simulated client, `NodeId(u64::MAX)`, is
+    /// never cut off, and clusters larger than 64 nodes need pairwise
+    /// [`LinkFault::Partition`] entries instead).
+    GroupPartition {
+        /// Bitmask of node ids forming one side of the partition.
+        members: u64,
+        /// Window start.
+        start: SimTime,
+        /// Window end.
+        end: SimTime,
+    },
+}
+
+impl LinkFault {
+    /// Builds the membership bitmask for [`LinkFault::GroupPartition`] from
+    /// a list of node ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node id is 64 or larger — group partitions are
+    /// mask-based and cover the first 64 replicas only.
+    pub fn group_mask(nodes: impl IntoIterator<Item = u64>) -> u64 {
+        let mut mask = 0u64;
+        for node in nodes {
+            assert!(node < 64, "group partitions support node ids < 64");
+            mask |= 1 << node;
+        }
+        mask
+    }
 }
 
 /// Samples one-way network delays and applies injected faults.
 #[derive(Clone, Debug)]
 pub struct LatencyModel {
-    mean: SimDuration,
-    std: SimDuration,
+    topology: Topology,
     extra: SimDuration,
     extra_jitter: SimDuration,
     floor: SimDuration,
@@ -79,11 +120,17 @@ pub struct LatencyModel {
 }
 
 impl LatencyModel {
-    /// Creates a model with the base normal distribution.
+    /// Creates a homogeneous model: every link draws from one normal
+    /// distribution (the paper's §V-A2 network).
     pub fn new(mean: SimDuration, std: SimDuration) -> Self {
+        Self::with_topology(Topology::uniform(mean, std))
+    }
+
+    /// Creates a model whose per-link base distributions come from a
+    /// [`Topology`].
+    pub fn with_topology(topology: Topology) -> Self {
         Self {
-            mean,
-            std,
+            topology,
             extra: SimDuration::ZERO,
             extra_jitter: SimDuration::ZERO,
             floor: SimDuration::from_micros(1),
@@ -115,9 +162,14 @@ impl LatencyModel {
         self.faults.push(fault);
     }
 
-    /// The configured mean one-way delay.
+    /// The mean one-way delay of the topology's default link class.
     pub fn mean(&self) -> SimDuration {
-        self.mean
+        self.topology.default_dist().mean
+    }
+
+    /// The per-link topology the base delays are drawn from.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
     }
 
     /// Returns `None` if the message is dropped (partition), otherwise the
@@ -131,24 +183,43 @@ impl LatencyModel {
     ) -> Option<SimDuration> {
         // Partitions first.
         for fault in &self.faults {
-            if let LinkFault::Partition {
-                from: f,
-                to: t,
-                start,
-                end,
-            } = fault
-            {
-                let from_matches = f.map(|n| n == from).unwrap_or(true);
-                let to_matches = t.map(|n| n == to).unwrap_or(true);
-                if from_matches && to_matches && now >= *start && now < *end {
-                    return None;
+            match fault {
+                LinkFault::Partition {
+                    from: f,
+                    to: t,
+                    start,
+                    end,
+                } => {
+                    let from_matches = f.map(|n| n == from).unwrap_or(true);
+                    let to_matches = t.map(|n| n == to).unwrap_or(true);
+                    if from_matches && to_matches && now >= *start && now < *end {
+                        return None;
+                    }
                 }
+                LinkFault::GroupPartition {
+                    members,
+                    start,
+                    end,
+                } => {
+                    // Only replica-to-replica traffic with representable ids
+                    // can cross the cut; clients (NodeId::MAX) never do.
+                    if from.0 < 64
+                        && to.0 < 64
+                        && ((members >> from.0) & 1) != ((members >> to.0) & 1)
+                        && now >= *start
+                        && now < *end
+                    {
+                        return None;
+                    }
+                }
+                LinkFault::SlowNode { .. } => {}
             }
         }
 
-        // Base normally distributed propagation delay.
+        // Base normally distributed propagation delay of this link class.
+        let dist = self.topology.dist(from, to);
         let base_ns = rng
-            .normal(self.mean.as_nanos() as f64, self.std.as_nanos() as f64)
+            .normal(dist.mean.as_nanos() as f64, dist.std.as_nanos() as f64)
             .max(self.floor.as_nanos() as f64);
         let mut total = SimDuration::from_nanos(base_ns as u64);
 
@@ -315,6 +386,74 @@ mod tests {
             .unwrap();
         assert!(slow >= ms(20));
         assert!(normal < ms(5));
+    }
+
+    #[test]
+    fn group_partition_cuts_cross_group_links_both_ways() {
+        let mut model = LatencyModel::new(ms(1), SimDuration::ZERO);
+        model.add_fault(LinkFault::GroupPartition {
+            members: LinkFault::group_mask([0, 1]),
+            start: SimTime(0),
+            end: SimTime(1_000),
+        });
+        let mut rng = SimRng::new(9);
+        // Cross-group: dropped in both directions.
+        assert!(model
+            .sample(&mut rng, NodeId(0), NodeId(2), SimTime(500))
+            .is_none());
+        assert!(model
+            .sample(&mut rng, NodeId(3), NodeId(1), SimTime(500))
+            .is_none());
+        // Same side: delivered.
+        assert!(model
+            .sample(&mut rng, NodeId(0), NodeId(1), SimTime(500))
+            .is_some());
+        assert!(model
+            .sample(&mut rng, NodeId(2), NodeId(3), SimTime(500))
+            .is_some());
+        // Clients are never cut off.
+        assert!(model
+            .sample(&mut rng, NodeId(u64::MAX), NodeId(0), SimTime(500))
+            .is_some());
+        // Outside the window: delivered.
+        assert!(model
+            .sample(&mut rng, NodeId(0), NodeId(2), SimTime(5_000))
+            .is_some());
+    }
+
+    #[test]
+    fn topology_links_sample_their_own_distribution() {
+        let mut topo = crate::topology::Topology::uniform(ms(1), SimDuration::ZERO);
+        let a = topo.add_region(
+            "a",
+            [0, 1],
+            crate::topology::DelayDist::new(ms(1), SimDuration::ZERO),
+        );
+        let b = topo.add_region(
+            "b",
+            [2, 3],
+            crate::topology::DelayDist::new(ms(2), SimDuration::ZERO),
+        );
+        topo.set_inter(
+            a,
+            b,
+            crate::topology::DelayDist::new(ms(50), SimDuration::ZERO),
+        );
+        topo.symmetrize();
+        let model = LatencyModel::with_topology(topo);
+        let mut rng = SimRng::new(10);
+        let intra = model
+            .sample(&mut rng, NodeId(0), NodeId(1), SimTime::ZERO)
+            .unwrap();
+        let inter = model
+            .sample(&mut rng, NodeId(1), NodeId(3), SimTime::ZERO)
+            .unwrap();
+        let back = model
+            .sample(&mut rng, NodeId(2), NodeId(0), SimTime::ZERO)
+            .unwrap();
+        assert!(intra < ms(2), "intra {intra:?}");
+        assert!(inter >= ms(45), "inter {inter:?}");
+        assert!(back >= ms(45), "mirrored inter {back:?}");
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! performance model (§V):
 //!
 //! * a pending-event queue ordered by simulated time ([`EventQueue`]),
-//! * a network latency model with normally distributed one-way delays,
+//! * a network latency model with normally distributed one-way delays drawn
+//!   per link from a heterogeneous [`Topology`] (regions + per-link
+//!   overrides; a uniform topology reproduces the paper's §V-A2 network),
 //!   configurable added delay (the Table-I `delay` knob), run-time network
 //!   fluctuation windows and partitions ([`LatencyModel`]),
 //! * a NIC/bandwidth model charging `2·m/b` per message ([`NicModel`]),
@@ -25,9 +27,11 @@ pub mod latency;
 pub mod nic;
 pub mod queue;
 pub mod rng;
+pub mod topology;
 
 pub use cpu::CpuModel;
 pub use latency::{FluctuationWindow, LatencyModel, LinkFault};
 pub use nic::NicModel;
 pub use queue::EventQueue;
 pub use rng::SimRng;
+pub use topology::{DelayDist, Topology};

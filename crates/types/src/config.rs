@@ -49,6 +49,20 @@ impl ProtocolKind {
             ProtocolKind::Streamlet,
         ]
     }
+
+    /// Parses a figure-legend label back into a protocol kind — the inverse
+    /// of [`ProtocolKind::label`], used by the scenario-spec parser.
+    pub fn from_label(label: &str) -> Option<ProtocolKind> {
+        match label {
+            "HS" => Some(ProtocolKind::HotStuff),
+            "2CHS" => Some(ProtocolKind::TwoChainHotStuff),
+            "SL" => Some(ProtocolKind::Streamlet),
+            "FHS" => Some(ProtocolKind::FastHotStuff),
+            "LBFT" => Some(ProtocolKind::Lbft),
+            "OHS" => Some(ProtocolKind::OriginalHotStuff),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ProtocolKind {
@@ -75,6 +89,21 @@ pub enum ByzantineStrategy {
     /// QC forgery: propose blocks whose justify QC claims quorum
     /// certification with fabricated signatures (framework extension).
     ForgedQc,
+}
+
+impl ByzantineStrategy {
+    /// Parses the `strategy` label used by Table I and the scenario specs —
+    /// the inverse of the [`std::fmt::Display`] rendering.
+    pub fn from_label(label: &str) -> Option<ByzantineStrategy> {
+        match label {
+            "honest" => Some(ByzantineStrategy::Honest),
+            "forking" => Some(ByzantineStrategy::Forking),
+            "silence" => Some(ByzantineStrategy::Silence),
+            "forged-vote" => Some(ByzantineStrategy::ForgedVote),
+            "forged-qc" => Some(ByzantineStrategy::ForgedQc),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ByzantineStrategy {
@@ -447,6 +476,34 @@ mod tests {
         assert_eq!(ProtocolKind::Streamlet.label(), "SL");
         assert_eq!(ProtocolKind::OriginalHotStuff.label(), "OHS");
         assert_eq!(ProtocolKind::evaluated().len(), 3);
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_label() {
+        for kind in [
+            ProtocolKind::HotStuff,
+            ProtocolKind::TwoChainHotStuff,
+            ProtocolKind::Streamlet,
+            ProtocolKind::FastHotStuff,
+            ProtocolKind::Lbft,
+            ProtocolKind::OriginalHotStuff,
+        ] {
+            assert_eq!(ProtocolKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(ProtocolKind::from_label("nope"), None);
+        for strategy in [
+            ByzantineStrategy::Honest,
+            ByzantineStrategy::Forking,
+            ByzantineStrategy::Silence,
+            ByzantineStrategy::ForgedVote,
+            ByzantineStrategy::ForgedQc,
+        ] {
+            assert_eq!(
+                ByzantineStrategy::from_label(&strategy.to_string()),
+                Some(strategy)
+            );
+        }
+        assert_eq!(ByzantineStrategy::from_label("evil"), None);
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! A minimal JSON document model, pretty-printer and parser.
 //!
-//! Instead of an external serialisation framework the harness builds [`Json`]
-//! values explicitly and renders them; the [`ToJson`] trait is implemented
-//! for the report types the benches serialise. [`Json::parse`] reads the
-//! artifacts back — the bench-diff tool compares a fresh `micro_components`
-//! run against the repo's committed `BENCH_*.json` snapshots.
+//! Instead of an external serialisation framework the workspace builds
+//! [`Json`] values explicitly and renders them; the [`ToJson`] trait is
+//! implemented for the report types the benches serialise and for the
+//! scenario-engine reports. [`Json::parse`] reads documents back — the
+//! bench-diff tool compares a fresh `micro_components` run against the
+//! repo's committed `BENCH_*.json` snapshots, and the scenario engine parses
+//! declarative experiment specs (`scenarios/*.json`) with it.
 
 use std::fmt::Write as _;
 

@@ -11,7 +11,9 @@
 //!   inbound message against the validator set and mints [`VerifiedMessage`]
 //!   proof tokens; forgeries are rejected with a typed [`AuthError`],
 //! * simulated time — [`SimTime`], [`SimDuration`],
-//! * the Table-I [`Config`] surface.
+//! * the Table-I [`Config`] surface,
+//! * a dependency-free JSON document model — [`Json`] / [`ToJson`] — used by
+//!   the bench artifacts and the scenario-spec files.
 //!
 //! Everything here is a plain, serialisable data structure; behaviour lives in
 //! the other crates (`bamboo-forest`, `bamboo-protocols`, `bamboo-core`, ...).
@@ -26,6 +28,7 @@ pub mod certificate;
 pub mod config;
 pub mod error;
 pub mod ids;
+pub mod json;
 pub mod message;
 pub mod time;
 pub mod transaction;
@@ -34,9 +37,10 @@ pub use auth::{AuthError, Authenticator, VerifiedMessage};
 pub use block::{Block, BlockId, SharedBlock};
 pub use bytes::Bytes;
 pub use certificate::{QuorumCert, TimeoutCert, TimeoutVote, Vote};
-pub use config::{ByzantineStrategy, Config, ConfigBuilder, ProtocolKind};
+pub use config::{ByzantineStrategy, Config, ConfigBuilder, LeaderPolicy, ProtocolKind};
 pub use error::TypeError;
 pub use ids::{Height, NodeId, View};
+pub use json::{Json, ToJson};
 pub use message::{ClientRequest, ClientResponse, Message, MessageKind, SharedMessage};
 pub use time::{SimDuration, SimTime};
 pub use transaction::{Transaction, TxId};

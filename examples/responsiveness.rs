@@ -30,7 +30,7 @@ fn main() -> Result<(), TypeError> {
             .seed(9)
             .build()?;
         let options = RunOptions {
-            fluctuation: Some(fluctuation),
+            fluctuations: vec![fluctuation],
             silence_node_from: Some((NodeId(0), crash_at)),
             series_bucket: SimDuration::from_millis(500),
             ..Default::default()
