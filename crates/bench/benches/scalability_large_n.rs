@@ -24,6 +24,7 @@ use bamboo_types::{Config, ProtocolKind};
 struct ScalePoint {
     protocol: String,
     nodes: usize,
+    threads: usize,
     throughput_tx_per_sec: f64,
     latency_ms: f64,
     committed_blocks: u64,
@@ -37,6 +38,7 @@ impl ToJson for ScalePoint {
         Json::obj([
             ("protocol", Json::from(self.protocol.as_str())),
             ("nodes", Json::from(self.nodes)),
+            ("threads", Json::from(self.threads)),
             (
                 "throughput_tx_per_sec",
                 Json::from(self.throughput_tx_per_sec),
@@ -113,6 +115,7 @@ fn main() {
         out.push(ScalePoint {
             protocol: protocol.label().to_string(),
             nodes,
+            threads: report.threads,
             throughput_tx_per_sec: report.throughput_tx_per_sec,
             latency_ms: report.latency.mean_ms,
             committed_blocks: report.committed_blocks,

@@ -7,8 +7,15 @@
 //!   ending in `per_sec`) regress *downwards*, everything else (ns/iter)
 //!   upwards;
 //! * `scalability_large_n.json` — per-point committed throughput keyed by
-//!   `protocol/nodes`, plus the engine's aggregate events/s; both regress
-//!   downwards.
+//!   `protocol/nodes` (with a `/tN` suffix for parallel-engine points, so a
+//!   multi-thread run is only ever compared against a baseline measured at
+//!   the *same* thread count), plus the engine's aggregate events/s; both
+//!   regress downwards;
+//! * `thread_scaling.json` — the parallel engine's events/s per thread
+//!   count, keyed `protocol/nN/tT`. Thread counts are never cross-compared;
+//!   a multi-thread point whose artifact carries no ledger fingerprint is
+//!   flagged, since without one the speedup is unaccompanied by its
+//!   determinism proof.
 //!
 //! Non-gating by design: shared-runner numbers are noisy, so the tool always
 //! exits 0 — it prints aligned diff tables and emits GitHub `::warning::`
@@ -105,10 +112,98 @@ fn scalability_entries(doc: &Json) -> (Vec<(String, f64)>, Option<f64>) {
             let protocol = point.get("protocol")?.as_str()?;
             let nodes = point.get("nodes")?.as_f64()?;
             let throughput = point.get("throughput_tx_per_sec")?.as_f64()?;
-            Some((format!("{protocol}/n{nodes:.0}"), throughput))
+            // Parallel-engine points carry a `/tN` suffix so they only match
+            // a baseline measured at the same thread count; single-thread
+            // points keep the bare key older snapshots recorded.
+            let threads = point.get("threads").and_then(Json::as_f64).unwrap_or(1.0) as u64;
+            let suffix = if threads > 1 {
+                format!("/t{threads}")
+            } else {
+                String::new()
+            };
+            Some((format!("{protocol}/n{nodes:.0}{suffix}"), throughput))
         })
         .collect();
     (rows, rate)
+}
+
+/// `(key, events_per_sec, has_fingerprint, threads)` rows of a
+/// thread-scaling artifact.
+fn thread_scaling_entries(doc: &Json) -> Vec<(String, f64, bool, u64)> {
+    let protocol = doc
+        .get("protocol")
+        .and_then(Json::as_str)
+        .unwrap_or("?")
+        .to_string();
+    let nodes = doc.get("nodes").and_then(Json::as_f64).unwrap_or(0.0);
+    doc.get("points")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|point| {
+            let threads = point.get("threads")?.as_f64()? as u64;
+            let rate = point.get("events_per_sec")?.as_f64()?;
+            let has_fp = point
+                .get("fingerprint")
+                .and_then(Json::as_str)
+                .is_some_and(|fp| !fp.is_empty());
+            Some((
+                format!("{protocol}/n{nodes:.0}/t{threads}"),
+                rate,
+                has_fp,
+                threads,
+            ))
+        })
+        .collect()
+}
+
+fn diff_thread_scaling(snapshot: &Json, snapshot_name: &str) -> usize {
+    let fresh_path = results_dir().join("thread_scaling.json");
+    let Ok(fresh_text) = std::fs::read_to_string(&fresh_path) else {
+        println!("\nbench-diff: no fresh thread_scaling artifact; skipping that diff");
+        return 0;
+    };
+    let Ok(fresh) = Json::parse(&fresh_text) else {
+        println!("\nbench-diff: unparsable {}", fresh_path.display());
+        return 0;
+    };
+    let fresh_rows = thread_scaling_entries(&fresh);
+    // The speedup claim is only as good as its determinism proof: flag any
+    // parallel point shipped without the ledger fingerprint that ties it to
+    // the single-thread run.
+    for (key, _, has_fp, threads) in &fresh_rows {
+        if *threads > 1 && !has_fp {
+            println!(
+                "::warning::thread-scaling point '{key}' has no ledger fingerprint — \
+                 parallel speedup without its determinism proof"
+            );
+        }
+    }
+    let base_rows: Vec<(String, f64, bool, u64)> = snapshot
+        .get("benches")
+        .and_then(|b| b.get("thread_scaling"))
+        .map(thread_scaling_entries)
+        .unwrap_or_default();
+    println!(
+        "\nbench-diff: thread_scaling vs {snapshot_name} ({} baseline points)",
+        base_rows.len()
+    );
+    println!(
+        "{:<36} {:>14} {:>14} {:>9}",
+        "point (engine events/s)", "baseline", "fresh", "delta"
+    );
+    let mut regressions = 0usize;
+    for (key, value, _, _) in &fresh_rows {
+        // Same-key comparison only: a t4 point diffs against the snapshot's
+        // t4 point, never against t1 — thread counts measure different
+        // parallelism, not a regression.
+        let Some((_, base, _, _)) = base_rows.iter().find(|(k, _, _, _)| k == key) else {
+            println!("{key:<36} {:>14} {value:>14.1} {:>9}", "(new)", "-");
+            continue;
+        };
+        regressions += diff_rate_row(key, *base, *value, "events/s", snapshot_name);
+    }
+    regressions
 }
 
 /// Prints one comparison row and emits the `::warning::` annotation when a
@@ -226,8 +321,9 @@ fn main() {
             "bench-diff: no fresh artifact at {} (run the micro_components bench first)",
             fresh_path.display()
         );
-        // The scalability artifact may still exist (nightly sweep).
+        // The sweep artifacts may still exist (nightly runs).
         diff_scalability(&snapshot, &snapshot_name);
+        diff_thread_scaling(&snapshot, &snapshot_name);
         return;
     };
     let Ok(fresh) = Json::parse(&fresh_text) else {
@@ -288,6 +384,7 @@ fn main() {
     }
 
     regressions += diff_scalability(&snapshot, &snapshot_name);
+    regressions += diff_thread_scaling(&snapshot, &snapshot_name);
 
     if regressions == 0 {
         println!(

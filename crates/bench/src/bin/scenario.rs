@@ -3,13 +3,17 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p bamboo-bench --bin scenario -- [--quick] [--dir DIR] [FILE...]
+//! cargo run --release -p bamboo-bench --bin scenario -- [--quick] [--dir DIR] [--threads N] [FILE...]
 //! ```
 //!
 //! * with no arguments, every `*.json` under `scenarios/` (workspace root)
 //!   runs at the full tier;
 //! * `--quick` switches to the shortened gating tier: each scenario's
 //!   `quick_runtime_ms` window with proportionally scaled fault schedules;
+//! * `--threads N` overrides every spec's engine shard count. The audit
+//!   replay still runs single-threaded, so with `N > 1` every pair also
+//!   proves the parallel engine reproduces the sequential fingerprints —
+//!   the CI quick tier runs once with `--threads 2` for exactly that;
 //! * explicit `FILE` arguments replace the directory scan.
 //!
 //! Every `(scenario, protocol)` pair executes twice on the parallel sweep
@@ -57,6 +61,7 @@ fn spec_files(dir: &PathBuf) -> Vec<PathBuf> {
 fn main() -> ExitCode {
     let mut quick = false;
     let mut dir = default_dir();
+    let mut threads: Option<usize> = None;
     let mut explicit: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -69,6 +74,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = Some(n),
+                _ => {
+                    eprintln!("--threads needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => explicit.push(PathBuf::from(other)),
         }
     }
@@ -78,8 +90,11 @@ fn main() -> ExitCode {
         explicit
     };
     banner(&format!(
-        "Scenario suite ({} tier): {} spec(s) from {}",
+        "Scenario suite ({} tier{}): {} spec(s) from {}",
         if quick { "quick" } else { "full" },
+        threads
+            .map(|n| format!(", {n} engine threads"))
+            .unwrap_or_default(),
         files.len(),
         dir.display()
     ));
@@ -121,7 +136,7 @@ fn main() -> ExitCode {
         .iter()
         .map(|&(index, protocol)| {
             let scenario = scenarios[index].clone();
-            move || scenario.run_protocol(protocol, quick)
+            move || scenario.run_protocol_with_threads(protocol, quick, threads)
         })
         .collect();
     let runs = run_ordered(jobs, default_workers());

@@ -128,6 +128,24 @@ impl Metrics {
     pub fn network_counters(&self) -> (u64, u64) {
         (self.messages_sent, self.bytes_sent)
     }
+
+    /// Folds another accumulator into this one — the sharded engine keeps one
+    /// accumulator per shard and merges them at the end of the run. Latency
+    /// samples concatenate (the summary sorts internally, so sample order is
+    /// irrelevant), time-series buckets add elementwise, counters add.
+    pub fn merge(&mut self, other: Metrics) {
+        self.latencies_ms.extend(other.latencies_ms);
+        self.committed_txs += other.committed_txs;
+        self.committed_blocks += other.committed_blocks;
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (bucket, count) in self.buckets.iter_mut().zip(&other.buckets) {
+            *bucket += count;
+        }
+        self.messages_sent += other.messages_sent;
+        self.bytes_sent += other.bytes_sent;
+    }
 }
 
 /// The final report of one simulation run.
@@ -176,9 +194,19 @@ pub struct RunReport {
     pub events_processed: u64,
     /// Total events ever scheduled on the event queue.
     pub events_scheduled: u64,
-    /// Highest number of simultaneously pending events — the queue's memory
-    /// high-water mark, so sweep memory use is observable per run.
+    /// Highest number of simultaneously pending events — the engine's memory
+    /// high-water mark, so sweep memory use is observable per run. Under the
+    /// sharded engine this is the **sum** of the per-shard queue high-water
+    /// marks (at `threads = 1` there is one shard, so the value keeps its
+    /// single-queue meaning; workload ticks are generated at the barrier and
+    /// no longer occupy a queue slot).
     pub queue_peak_len: u64,
+    /// Largest single-shard queue high-water mark. Equal to
+    /// [`RunReport::queue_peak_len`] at `threads = 1`; under sharding it
+    /// exposes the worst per-worker memory footprint.
+    pub max_shard_queue_peak: u64,
+    /// Number of engine shards (worker threads) the run executed on.
+    pub threads: usize,
     /// Hex fingerprint of the observer replica's committed ledger (every
     /// block id, view and payload transaction id, in order). Two runs with
     /// the same configuration must produce identical fingerprints — the
@@ -255,6 +283,11 @@ impl ToJson for RunReport {
             ("events_scheduled", Json::from(self.events_scheduled)),
             ("queue_peak_len", Json::from(self.queue_peak_len)),
             (
+                "max_shard_queue_peak",
+                Json::from(self.max_shard_queue_peak),
+            ),
+            ("threads", Json::from(self.threads)),
+            (
                 "ledger_fingerprint",
                 Json::from(self.ledger_fingerprint.as_str()),
             ),
@@ -306,6 +339,26 @@ mod tests {
     }
 
     #[test]
+    fn merge_folds_samples_buckets_and_counters() {
+        let mut a = Metrics::new(SimDuration::from_secs(1));
+        a.record_commit(SimTime::ZERO, SimTime(500_000_000));
+        a.record_block();
+        a.record_message(100);
+        let mut b = Metrics::new(SimDuration::from_secs(1));
+        b.record_commit(SimTime::ZERO, SimTime(1_500_000_000));
+        b.record_commit(SimTime::ZERO, SimTime(1_600_000_000));
+        b.record_message(50);
+        a.merge(b);
+        assert_eq!(a.committed_txs(), 3);
+        assert_eq!(a.latency().count, 3);
+        assert_eq!(a.network_counters(), (2, 150));
+        let series = a.throughput_series();
+        assert_eq!(series.len(), 2);
+        assert!((series[0].tx_per_sec - 1.0).abs() < 1e-9);
+        assert!((series[1].tx_per_sec - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn network_counters_accumulate() {
         let mut m = Metrics::new(SimDuration::from_secs(1));
         m.record_message(100);
@@ -337,6 +390,8 @@ mod tests {
             events_processed: 0,
             events_scheduled: 0,
             queue_peak_len: 0,
+            max_shard_queue_peak: 0,
+            threads: 1,
             ledger_fingerprint: String::new(),
         };
         let s = report.summary();

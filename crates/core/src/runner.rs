@@ -1,10 +1,48 @@
-//! The discrete-event simulation runner.
+//! The discrete-event simulation runner: a deterministic window-barrier
+//! engine that shards replicas across worker threads.
 //!
 //! [`SimRunner`] wires `N` replicas (each behind a [`NodeHost`]), a workload
 //! generator, and the network / NIC / CPU models of `bamboo-sim` into one
 //! deterministic simulation. One run corresponds to one benchmark
 //! configuration in the paper (one point of a figure); the sweep logic lives
 //! in [`crate::Benchmarker`].
+//!
+//! # Conservative-lookahead sharding
+//!
+//! The engine partitions replicas round-robin across `threads` shards
+//! (`shard = node % threads`) and advances all shards in lock-step time
+//! windows of width `W = LatencyModel::lookahead()` — the minimum possible
+//! replica-to-replica delivery delay over every link class of the topology.
+//! Because a message absorbed at time `t` inside window `k` is delivered no
+//! earlier than `t + W ≥ (k + 1)·W`, **every** replica-to-replica delivery
+//! crosses a window barrier: shards execute a window's events entirely
+//! independently, stage outbound deliveries in an outbox, and the coordinator
+//! exchanges the outboxes at the barrier. Only self-events (view timers,
+//! delayed proposals) are inserted into a shard's own queue mid-window, which
+//! is safe because they never leave the shard.
+//!
+//! Determinism across thread counts falls out of three invariants:
+//!
+//! * **per-replica RNG streams** — replica `r` draws all of its latency
+//!   samples (including the observer's client-response delays) from
+//!   `SimRng::new(seed).derive(r)`, and the workload generator owns its own
+//!   stream, so randomness consumption never depends on which shard a
+//!   replica landed on;
+//! * **canonical barrier order** — the coordinator merges all shard outboxes
+//!   plus freshly generated client batches and sorts them by
+//!   `(deliver_at, origin, per-origin sequence)` before injecting, so every
+//!   shard queue receives its events in a layout-invariant order (same-time
+//!   ties in a queue pop in insertion order);
+//! * **phase-aligned global state** — view-triggered faults resolve at
+//!   barriers from the maximum view across all shards, and workload ticks
+//!   are generated at the barrier that opens their window.
+//!
+//! Events at different replicas within one window carry no cross-replica
+//! data dependency (each touches only its own host, RNG and busy-server
+//! state; outputs are canonicalised as above), so pop-order ties between
+//! replicas sharing a queue are semantically neutral and every thread count
+//! — including the inline `threads = 1` path, which runs the identical
+//! windowed code — produces the same ledgers, event counts and metrics.
 //!
 //! The runner is a *backend* of the shared runtime layer
 //! ([`crate::runtime`]): replica effects are collected through a
@@ -16,34 +54,34 @@
 //!
 //! The engine keeps allocation and crypto off its hot path: outbound
 //! envelopes are `Arc`-backed ([`bamboo_types::SharedMessage`]), so a
-//! broadcast *schedules* n − 1 pointer bumps, and each unique envelope is
+//! broadcast *stages* n − 1 pointer bumps, and each unique envelope is
 //! cryptographically verified **at most once** — lazily, on the first
-//! recipient whose link delivers — with the [`VerifiedMessage`] token fanned
-//! out (forged envelopes are delivered as rejections so every recipient
-//! still books the modeled cost). At delivery, a unicast recipient recovers
-//! the owned message for free (`Arc::try_unwrap`); broadcast recipients
-//! share the envelope, and what they copy is only what they retain (a
-//! proposal's block stays behind its own `Arc`; a timeout vote a pacemaker
-//! stores is copied into that pacemaker). Workload arrivals group into
-//! reusable per-replica buckets, and the event queue is the
-//! slab/bucket-wheel [`EventQueue`]. None of this perturbs the simulation:
-//! verification verdicts are pure functions of immutable message bytes, and
-//! event order, RNG consumption and modeled charges are identical to the
-//! naive engine — the golden-replay tests pin ledgers byte-for-byte against
-//! the pre-rewrite implementation.
+//! recipient whose link delivers, in the sender's shard — with the
+//! [`VerifiedMessage`] token fanned out (forged envelopes are delivered as
+//! rejections so every recipient still books the modeled cost). Each shard
+//! reuses one [`BufferedTransport`], its slab-backed
+//! [`EventQueue`] and its workload buckets across windows, so steady-state
+//! execution is allocation-light.
+
+use std::sync::mpsc;
 
 use bamboo_sim::{
     EventQueue, FluctuationWindow, LatencyModel, LinkFault, NicModel, SimRng, Topology,
 };
 use bamboo_types::{
     Authenticator, Config, NodeId, ProtocolKind, SharedMessage, SimDuration, SimTime, Transaction,
-    VerifiedMessage, View,
+    TxId, VerifiedMessage, View,
 };
 
 use crate::metrics::{Metrics, RunReport};
 use crate::replica::{Replica, ReplicaEvent, ReplicaOptions};
 use crate::runtime::{BufferedTransport, NodeHost, StepReport};
 use crate::workload::{ClosedLoopWorkload, OpenLoopWorkload, Workload};
+
+/// RNG stream label of the coordinator's workload generator. Replica `r`
+/// uses stream `r`; no simulation has 2^64 − 1 replicas, so the label can
+/// never collide with a replica stream.
+const WORKLOAD_STREAM: u64 = u64::MAX;
 
 /// When a scheduled node fault begins or ends: at an absolute simulated time,
 /// or when the cluster (any honest replica) first reaches a view.
@@ -98,8 +136,15 @@ pub struct RunOptions {
     /// The replica whose ledger is used for reporting; defaults to the
     /// highest-id (always honest) replica.
     pub observer: Option<NodeId>,
-    /// Safety cap on the number of simulation events processed.
+    /// Safety cap on the number of simulation events processed. The sharded
+    /// engine checks the cap at window barriers, so a run may overshoot it
+    /// by up to one window's worth of events.
     pub max_events: u64,
+    /// Number of engine shards (worker threads). `1` (the default) runs the
+    /// windowed engine inline on the calling thread; higher values partition
+    /// replicas round-robin across that many OS threads. Clamped to the
+    /// node count. Every thread count produces identical results.
+    pub threads: usize,
 }
 
 impl Default for RunOptions {
@@ -116,19 +161,22 @@ impl Default for RunOptions {
             series_bucket: SimDuration::from_millis(500),
             observer: None,
             max_events: 200_000_000,
+            threads: 1,
         }
     }
 }
 
+/// A shard-local simulation event.
 enum SimEvent {
     /// A message that passed ingress verification, delivered as the shared
-    /// proof token. The runner verifies each unique envelope **once** when it
-    /// is absorbed and fans the `Arc`-backed token out, so a broadcast to
-    /// `n − 1` recipients schedules pointer bumps — the simulator counterpart
-    /// of the verify pool's verify-once-fan-out trick. The verdict is a pure
-    /// function of the (immutable) message bytes, so sharing it across
-    /// recipients changes nothing observable; each recipient is still charged
-    /// its own modeled verification CPU by the replica as before.
+    /// proof token. The sender's shard verifies each unique envelope **once**
+    /// when it is absorbed and fans the `Arc`-backed token out, so a
+    /// broadcast to `n − 1` recipients stages pointer bumps — the simulator
+    /// counterpart of the verify pool's verify-once-fan-out trick. The
+    /// verdict is a pure function of the (immutable) message bytes, so
+    /// sharing it across recipients changes nothing observable; each
+    /// recipient is still charged its own modeled verification CPU by the
+    /// replica as before.
     Deliver {
         to: NodeId,
         token: VerifiedMessage,
@@ -153,27 +201,531 @@ enum SimEvent {
         to: NodeId,
         txs: Vec<Transaction>,
     },
-    WorkloadTick,
     /// A time-triggered node fault boundary: crash (`true`) or recover
-    /// (`false`) the node. View-triggered boundaries are resolved inline
-    /// when the cluster's highest observed view advances.
+    /// (`false`) the node, scheduled into the owning shard's queue.
+    /// View-triggered boundaries are resolved by the coordinator at window
+    /// barriers from the globally highest observed view.
     SetCrashed {
         node: NodeId,
         crashed: bool,
     },
 }
 
-/// The simulated network substrate: event queue plus the delay models and the
-/// randomness they consume. Split out of [`SimRunner`] so the runner can
-/// borrow hosts and network disjointly.
-struct SimNet {
+/// The payload of a cross-shard delivery staged at a window barrier.
+enum InjectionKind {
+    /// A verified replica-to-replica message (the fanned-out proof token).
+    Verified(VerifiedMessage),
+    /// A forged replica-to-replica message, delivered for cost accounting.
+    Forged(SharedMessage),
+    /// A client arrival batch generated by the coordinator's workload tick.
+    ClientBatch(Vec<Transaction>),
+}
+
+/// One event crossing a window barrier, with the canonical ordering key
+/// `(deliver_at, origin, seq)` that makes injection order independent of the
+/// shard layout: `origin` is the sending replica (or [`WORKLOAD_STREAM`] for
+/// client batches) and `seq` its own send counter, both of which depend only
+/// on that origin's execution order.
+struct Injection {
+    deliver_at: SimTime,
+    origin: u64,
+    seq: u64,
+    to: NodeId,
+    kind: InjectionKind,
+}
+
+/// What one shard hands back to the coordinator after executing a window.
+struct WindowResult {
+    shard: usize,
+    /// Deliveries produced during the window, for other (or this) shard's
+    /// next windows.
+    outbox: Vec<Injection>,
+    /// Transactions the observer replica committed, in commit order, so the
+    /// coordinator can feed closed-loop clients.
+    commits: Vec<(TxId, SimTime)>,
+    /// Highest view any replica of this shard has reached.
+    max_view: View,
+    /// Events popped during the window.
+    processed: u64,
+    /// Timestamp of the shard's earliest still-pending event.
+    next_event: Option<SimTime>,
+}
+
+/// A command sent to a shard worker.
+enum ShardCmd {
+    /// Boot every replica of the shard at time zero.
+    Boot,
+    /// Execute one window: apply crash flips, inject barrier deliveries,
+    /// then drain the queue up to `limit` (exclusive).
+    Window {
+        limit: SimTime,
+        window_end: SimTime,
+        injections: Vec<Injection>,
+        flips: Vec<(NodeId, bool)>,
+    },
+    /// Stop and hand the shard state back for reporting.
+    Finish,
+}
+
+/// The per-shard slice of the simulation: the shard's replicas (round-robin
+/// `node % threads`), their RNG streams and busy servers, a private event
+/// queue, clones of the network models, its own ingress verifier and metrics
+/// accumulator. Everything a window needs, with no sharing.
+struct ShardState {
+    shard: usize,
+    shards_total: usize,
+    nodes_total: usize,
+    observer: NodeId,
+    /// Hosts at local index `l` own node `shard + l · shards_total`.
+    hosts: Vec<NodeHost>,
+    /// Per-replica latency RNG streams (`derive(node)` of the run seed).
+    rngs: Vec<SimRng>,
+    busy_until: Vec<SimTime>,
+    /// Per-replica outbox sequence counters (the canonical-order tiebreak).
+    send_seq: Vec<u64>,
+    /// Crash state, global-indexed; only this shard's entries are consulted.
+    crashed: Vec<bool>,
+    queue: EventQueue<SimEvent>,
     latency: LatencyModel,
     nic: NicModel,
-    rng: SimRng,
-    queue: EventQueue<SimEvent>,
-    /// The runner's ingress verifier: every unique outbound envelope is
-    /// checked here exactly once; recipients receive the fanned-out verdict.
     auth: Authenticator,
+    metrics: Metrics,
+    /// Reused across every event of every window (cleared, capacity kept).
+    effects: BufferedTransport,
+    outbox: Vec<Injection>,
+    commits: Vec<(TxId, SimTime)>,
+    max_view: View,
+    /// End of the window currently executing; staged deliveries must land at
+    /// or beyond it (the conservative-lookahead invariant).
+    window_end: SimTime,
+}
+
+/// Resolves the verify-once verdict for an outbound envelope, memoising it in
+/// `verdict` so a broadcast checks the signature once and fans the result
+/// out.
+fn delivery_for(
+    verdict: &mut Option<Result<VerifiedMessage, SharedMessage>>,
+    auth: &mut Authenticator,
+    sender: NodeId,
+    message: &SharedMessage,
+) -> InjectionKind {
+    let verdict = verdict.get_or_insert_with(|| {
+        auth.authenticate_shared(sender, message.clone())
+            .map_err(|_| message.clone())
+    });
+    match verdict {
+        Ok(token) => InjectionKind::Verified(token.clone()),
+        Err(forged) => InjectionKind::Forged(forged.clone()),
+    }
+}
+
+impl ShardState {
+    fn local_index(&self, node: NodeId) -> usize {
+        debug_assert_eq!(node.index() % self.shards_total, self.shard);
+        node.index() / self.shards_total
+    }
+
+    fn node_at(&self, local: usize) -> NodeId {
+        NodeId((self.shard + local * self.shards_total) as u64)
+    }
+
+    /// Boots every replica of this shard at time zero, staging boot-time
+    /// sends (the view-1 leader's proposal) into the outbox.
+    fn boot(&mut self) -> WindowResult {
+        self.window_end = SimTime::ZERO;
+        for local in 0..self.hosts.len() {
+            let node = self.node_at(local);
+            let mut effects = std::mem::take(&mut self.effects);
+            effects.clear();
+            let report = self.hosts[local].start(SimTime::ZERO, &mut effects);
+            self.absorb(node, report, &mut effects, SimTime::ZERO);
+            self.effects = effects;
+        }
+        self.result(0)
+    }
+
+    /// Executes one window: applies view-trigger crash flips, injects the
+    /// barrier's canonical delivery batch, then drains the queue up to
+    /// `limit` (exclusive).
+    fn run_window(
+        &mut self,
+        limit: SimTime,
+        window_end: SimTime,
+        injections: Vec<Injection>,
+        flips: &[(NodeId, bool)],
+    ) -> WindowResult {
+        for &(node, crashed) in flips {
+            self.crashed[node.index()] = crashed;
+        }
+        self.window_end = window_end;
+        for injection in injections {
+            let event = match injection.kind {
+                InjectionKind::Verified(token) => SimEvent::Deliver {
+                    to: injection.to,
+                    token,
+                },
+                InjectionKind::Forged(message) => SimEvent::DeliverForged {
+                    to: injection.to,
+                    message,
+                },
+                InjectionKind::ClientBatch(txs) => SimEvent::ClientBatch {
+                    to: injection.to,
+                    txs,
+                },
+            };
+            self.queue.schedule(injection.deliver_at, event);
+        }
+        let mut processed: u64 = 0;
+        while let Some((time, event)) = self.queue.pop_if_before(limit) {
+            processed += 1;
+            match event {
+                SimEvent::Deliver { to, token } => {
+                    if self.crashed[to.index()] {
+                        continue;
+                    }
+                    // The envelope was verified once in the sender's shard;
+                    // the token hands it to the replica with no further
+                    // wall-clock crypto (modeled costs are charged by the
+                    // replica).
+                    let local = self.local_index(to);
+                    let start = time.max(self.busy_until[local]);
+                    let mut effects = std::mem::take(&mut self.effects);
+                    effects.clear();
+                    let report = self.hosts[local].handle_verified(token, start, &mut effects);
+                    self.absorb(to, report, &mut effects, start);
+                    self.effects = effects;
+                }
+                SimEvent::DeliverForged { to, message } => {
+                    if self.crashed[to.index()] {
+                        continue;
+                    }
+                    // Book the rejection at the recipient's busy server with
+                    // the modeled cost of discovering the forgery.
+                    let local = self.local_index(to);
+                    let start = time.max(self.busy_until[local]);
+                    let report = self.hosts[local].reject_forged(&message);
+                    let mut effects = std::mem::take(&mut self.effects);
+                    effects.clear();
+                    self.absorb(to, report, &mut effects, start);
+                    self.effects = effects;
+                }
+                SimEvent::Timer { node, view } => {
+                    if self.crashed[node.index()] {
+                        continue;
+                    }
+                    self.dispatch(node, ReplicaEvent::TimerFired { view }, time);
+                }
+                SimEvent::ProposeNow { node, view } => {
+                    if self.crashed[node.index()] {
+                        continue;
+                    }
+                    self.dispatch(node, ReplicaEvent::ProposeNow { view }, time);
+                }
+                SimEvent::ClientBatch { to, txs } => {
+                    if self.crashed[to.index()] {
+                        continue;
+                    }
+                    self.dispatch(to, ReplicaEvent::ClientRequests(txs), time);
+                }
+                SimEvent::SetCrashed { node, crashed } => {
+                    self.crashed[node.index()] = crashed;
+                }
+            }
+        }
+        self.result(processed)
+    }
+
+    fn result(&mut self, processed: u64) -> WindowResult {
+        WindowResult {
+            shard: self.shard,
+            outbox: std::mem::take(&mut self.outbox),
+            commits: std::mem::take(&mut self.commits),
+            max_view: self.max_view,
+            processed,
+            next_event: self.queue.peek_time(),
+        }
+    }
+
+    fn dispatch(&mut self, node: NodeId, event: ReplicaEvent, time: SimTime) {
+        // Model the replica as a single busy server: processing starts when
+        // both the event has arrived and the CPU is free.
+        let local = self.local_index(node);
+        let start = time.max(self.busy_until[local]);
+        let mut effects = std::mem::take(&mut self.effects);
+        effects.clear();
+        let report = self.hosts[local].handle(event, start, &mut effects);
+        self.absorb(node, report, &mut effects, start);
+        self.effects = effects;
+    }
+
+    /// Maps one step's effects onto the simulated substrate: commits into
+    /// metrics (and the barrier commit log), timers and proposals onto the
+    /// shard's own queue, outbound messages into the outbox.
+    fn absorb(
+        &mut self,
+        node: NodeId,
+        report: StepReport,
+        effects: &mut BufferedTransport,
+        start: SimTime,
+    ) {
+        let local = self.local_index(node);
+        let finish = start + report.cpu;
+        self.busy_until[local] = finish;
+
+        // Track the shard-local view high-water mark; the coordinator
+        // resolves view-triggered fault boundaries from the global maximum
+        // at the next barrier.
+        let view = self.hosts[local].replica().current_view();
+        if view > self.max_view {
+            self.max_view = view;
+        }
+
+        // Commits: record metrics at the observer replica only, so every
+        // transaction is counted exactly once. The client-response delay is
+        // drawn from the observer's own stream; the coordinator replays the
+        // commit log into the workload at the barrier.
+        if node == self.observer {
+            for block in &report.committed {
+                self.metrics.record_block();
+                for tx in &block.payload {
+                    let response_delay = self
+                        .latency
+                        .sample(&mut self.rngs[local], node, NodeId(u64::MAX), finish)
+                        .unwrap_or(SimDuration::ZERO);
+                    let confirmed = finish + response_delay;
+                    self.metrics.record_commit(tx.issued_at, confirmed);
+                    self.commits.push((tx.id, confirmed));
+                }
+            }
+        }
+
+        // Timers and delayed proposals are self-events: they stay in this
+        // shard's queue and may even fire within the current window.
+        for (view, deadline) in effects.timers.drain(..) {
+            self.queue
+                .schedule(deadline, SimEvent::Timer { node, view });
+        }
+        for (view, at) in effects.proposals.drain(..) {
+            self.queue.schedule(at, SimEvent::ProposeNow { node, view });
+        }
+
+        // Outbound messages leave the sender once its CPU is done. Each
+        // unique envelope is verified at most once — lazily, on the first
+        // recipient whose link actually delivers, so messages dropped by
+        // partitions or dead links cost no wall-clock crypto — and every
+        // further recipient gets an `Arc`-backed clone of the proof token (or
+        // of the forged envelope): a broadcast stages n − 1 pointer bumps
+        // instead of n − 1 envelope deep-copies and n − 1 redundant
+        // signature checks. Deliveries go to the outbox for the barrier
+        // exchange; the conservative lookahead guarantees they land at or
+        // beyond the window end.
+        for (dest, message) in effects.sends.drain(..) {
+            let bytes = message.wire_size();
+            let nic_delay = self.nic.transfer(bytes);
+            let mut verdict: Option<Result<VerifiedMessage, SharedMessage>> = None;
+            match dest {
+                Some(to) => {
+                    self.metrics.record_message(bytes);
+                    if let Some(delay) =
+                        self.latency.sample(&mut self.rngs[local], node, to, finish)
+                    {
+                        let kind = delivery_for(&mut verdict, &mut self.auth, node, &message);
+                        self.stage(node, local, to, finish + nic_delay + delay, kind);
+                    }
+                }
+                None => {
+                    for to in 0..self.nodes_total as u64 {
+                        let to = NodeId(to);
+                        if to == node {
+                            continue;
+                        }
+                        self.metrics.record_message(bytes);
+                        if let Some(delay) =
+                            self.latency.sample(&mut self.rngs[local], node, to, finish)
+                        {
+                            let kind = delivery_for(&mut verdict, &mut self.auth, node, &message);
+                            self.stage(node, local, to, finish + nic_delay + delay, kind);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stages one delivery in the outbox under the sender's canonical
+    /// sequence number.
+    fn stage(
+        &mut self,
+        node: NodeId,
+        local: usize,
+        to: NodeId,
+        deliver_at: SimTime,
+        kind: InjectionKind,
+    ) {
+        debug_assert!(
+            deliver_at >= self.window_end,
+            "delivery at {deliver_at:?} undercuts the window barrier {:?} — lookahead violated",
+            self.window_end
+        );
+        let seq = self.send_seq[local];
+        self.send_seq[local] += 1;
+        self.outbox.push(Injection {
+            deliver_at,
+            origin: node.0,
+            seq,
+            to,
+            kind,
+        });
+    }
+}
+
+/// How the coordinator drives its shards: inline on the calling thread
+/// (`threads = 1`) or over channels to scoped worker threads. Both paths run
+/// the identical [`ShardState`] window code.
+trait ShardDriver {
+    fn boot(&mut self) -> Vec<WindowResult>;
+    fn run_window(
+        &mut self,
+        limit: SimTime,
+        window_end: SimTime,
+        injections: Vec<Vec<Injection>>,
+        flips: &[(NodeId, bool)],
+    ) -> Vec<WindowResult>;
+    fn finish(self) -> Vec<ShardState>;
+}
+
+/// Runs every shard sequentially on the calling thread.
+struct InlineShards {
+    shards: Vec<ShardState>,
+}
+
+impl ShardDriver for InlineShards {
+    fn boot(&mut self) -> Vec<WindowResult> {
+        self.shards.iter_mut().map(ShardState::boot).collect()
+    }
+
+    fn run_window(
+        &mut self,
+        limit: SimTime,
+        window_end: SimTime,
+        injections: Vec<Vec<Injection>>,
+        flips: &[(NodeId, bool)],
+    ) -> Vec<WindowResult> {
+        self.shards
+            .iter_mut()
+            .zip(injections)
+            .map(|(shard, batch)| shard.run_window(limit, window_end, batch, flips))
+            .collect()
+    }
+
+    fn finish(self) -> Vec<ShardState> {
+        self.shards
+    }
+}
+
+/// Runs each shard on its own scoped worker thread, exchanging commands and
+/// window results over channels. The scope (held by the caller) joins the
+/// workers after [`ShardDriver::finish`] collects their states.
+struct ThreadShards {
+    commands: Vec<mpsc::Sender<ShardCmd>>,
+    results: mpsc::Receiver<WindowResult>,
+    states: mpsc::Receiver<ShardState>,
+}
+
+impl ThreadShards {
+    fn spawn<'scope>(
+        scope: &'scope std::thread::Scope<'scope, '_>,
+        shards: Vec<ShardState>,
+    ) -> Self {
+        let (result_tx, results) = mpsc::channel();
+        let (state_tx, states) = mpsc::channel();
+        let mut commands = Vec::with_capacity(shards.len());
+        for mut shard in shards {
+            let (command_tx, command_rx) = mpsc::channel::<ShardCmd>();
+            let result_tx = result_tx.clone();
+            let state_tx = state_tx.clone();
+            scope.spawn(move || {
+                while let Ok(command) = command_rx.recv() {
+                    match command {
+                        ShardCmd::Boot => {
+                            if result_tx.send(shard.boot()).is_err() {
+                                return;
+                            }
+                        }
+                        ShardCmd::Window {
+                            limit,
+                            window_end,
+                            injections,
+                            flips,
+                        } => {
+                            let result = shard.run_window(limit, window_end, injections, &flips);
+                            if result_tx.send(result).is_err() {
+                                return;
+                            }
+                        }
+                        ShardCmd::Finish => {
+                            let _ = state_tx.send(shard);
+                            return;
+                        }
+                    }
+                }
+            });
+            commands.push(command_tx);
+        }
+        Self {
+            commands,
+            results,
+            states,
+        }
+    }
+
+    fn collect_results(&self) -> Vec<WindowResult> {
+        let mut results: Vec<WindowResult> = (0..self.commands.len())
+            .map(|_| self.results.recv().expect("shard worker alive"))
+            .collect();
+        results.sort_by_key(|result| result.shard);
+        results
+    }
+}
+
+impl ShardDriver for ThreadShards {
+    fn boot(&mut self) -> Vec<WindowResult> {
+        for command in &self.commands {
+            command.send(ShardCmd::Boot).expect("shard worker alive");
+        }
+        self.collect_results()
+    }
+
+    fn run_window(
+        &mut self,
+        limit: SimTime,
+        window_end: SimTime,
+        injections: Vec<Vec<Injection>>,
+        flips: &[(NodeId, bool)],
+    ) -> Vec<WindowResult> {
+        for (command, batch) in self.commands.iter().zip(injections) {
+            command
+                .send(ShardCmd::Window {
+                    limit,
+                    window_end,
+                    injections: batch,
+                    flips: flips.to_vec(),
+                })
+                .expect("shard worker alive");
+        }
+        self.collect_results()
+    }
+
+    fn finish(self) -> Vec<ShardState> {
+        for command in &self.commands {
+            command.send(ShardCmd::Finish).expect("shard worker alive");
+        }
+        let mut states: Vec<ShardState> = (0..self.commands.len())
+            .map(|_| self.states.recv().expect("shard worker alive"))
+            .collect();
+        states.sort_by_key(|state| state.shard);
+        states
+    }
 }
 
 /// A deterministic discrete-event simulation of one Bamboo deployment.
@@ -182,19 +734,21 @@ pub struct SimRunner {
     protocol: ProtocolKind,
     options: RunOptions,
     hosts: Vec<NodeHost>,
-    net: SimNet,
+    /// Template latency model; cloned per shard, and used directly by the
+    /// coordinator for client-link delays.
+    latency: LatencyModel,
+    nic: NicModel,
     workload: Box<dyn Workload>,
-    metrics: Metrics,
-    busy_until: Vec<SimTime>,
+    /// The workload generator's own RNG stream, independent of every
+    /// replica's.
+    workload_rng: SimRng,
     /// Reusable per-replica workload buckets (indexed by node id): arrivals
     /// of one tick are grouped here without allocating per-tick maps.
     tick_txs: Vec<Vec<Transaction>>,
     tick_latest: Vec<SimTime>,
-    /// Per-replica crash state (node faults); crashed nodes receive nothing.
-    crashed: Vec<bool>,
     /// Unresolved view-triggered fault boundaries: `(node, view, crash?)`.
     view_triggers: Vec<(NodeId, View, bool)>,
-    /// Highest view observed across all replicas (drives view triggers).
+    /// Highest view observed across all shards (drives view triggers).
     max_view_seen: View,
 }
 
@@ -219,7 +773,6 @@ impl SimRunner {
             latency.add_fault(*fault);
         }
         let nic = NicModel::new(config.bandwidth_bytes_per_sec);
-        let rng = SimRng::new(config.seed);
 
         let hosts: Vec<NodeHost> = (0..config.nodes as u64)
             .map(|i| {
@@ -253,25 +806,18 @@ impl SimRunner {
             )),
         };
 
-        let metrics = Metrics::new(options.series_bucket);
         let nodes = config.nodes;
+        let workload_rng = SimRng::new(config.seed).derive(WORKLOAD_STREAM);
         Self {
             protocol,
             options,
             hosts,
-            net: SimNet {
-                latency,
-                nic,
-                rng,
-                queue: EventQueue::new(),
-                auth: Authenticator::for_nodes(nodes),
-            },
+            latency,
+            nic,
             workload,
-            metrics,
-            busy_until: Vec::new(),
+            workload_rng,
             tick_txs: vec![Vec::new(); nodes],
             tick_latest: vec![SimTime::ZERO; nodes],
-            crashed: vec![false; nodes],
             view_triggers: Vec::new(),
             max_view_seen: View::GENESIS,
             config,
@@ -289,13 +835,61 @@ impl SimRunner {
     pub fn run(mut self) -> RunReport {
         let runtime = self.config.runtime;
         let end = SimTime::ZERO + runtime;
-        self.busy_until = vec![SimTime::ZERO; self.config.nodes];
+        let window_nanos = self.latency.lookahead().as_nanos().max(1);
+        let shard_count = self.options.threads.max(1).min(self.config.nodes);
+        let shards = self.build_shards(shard_count);
+        let (processed, ticks, states) = if shard_count == 1 {
+            self.coordinate(InlineShards { shards }, end, window_nanos)
+        } else {
+            std::thread::scope(|scope| {
+                let driver = ThreadShards::spawn(scope, shards);
+                self.coordinate(driver, end, window_nanos)
+            })
+        };
+        self.report(runtime, processed, ticks, states, shard_count)
+    }
 
-        // Register the node-fault schedule: time triggers become events,
-        // view triggers are kept aside and resolved as views advance.
+    /// Partitions the replicas round-robin into `shard_count` shard states
+    /// and registers the node-fault schedule: time triggers become queue
+    /// events in the owning shard, view triggers stay with the coordinator.
+    fn build_shards(&mut self, shard_count: usize) -> Vec<ShardState> {
+        let nodes = self.config.nodes;
+        let observer = self.observer();
+        let seed_rng = SimRng::new(self.config.seed);
+        let mut shards: Vec<ShardState> = (0..shard_count)
+            .map(|shard| ShardState {
+                shard,
+                shards_total: shard_count,
+                nodes_total: nodes,
+                observer,
+                hosts: Vec::new(),
+                rngs: Vec::new(),
+                busy_until: Vec::new(),
+                send_seq: Vec::new(),
+                crashed: vec![false; nodes],
+                queue: EventQueue::new(),
+                latency: self.latency.clone(),
+                nic: self.nic,
+                auth: Authenticator::for_nodes(nodes),
+                metrics: Metrics::new(self.options.series_bucket),
+                effects: BufferedTransport::new(),
+                outbox: Vec::new(),
+                commits: Vec::new(),
+                max_view: View::GENESIS,
+                window_end: SimTime::ZERO,
+            })
+            .collect();
+        for (index, host) in std::mem::take(&mut self.hosts).into_iter().enumerate() {
+            let shard = &mut shards[index % shard_count];
+            shard.hosts.push(host);
+            shard.rngs.push(seed_rng.derive(index as u64));
+            shard.busy_until.push(SimTime::ZERO);
+            shard.send_seq.push(0);
+        }
         for fault in self.options.node_faults.clone() {
+            let owner = fault.node.index() % shard_count;
             match fault.crash {
-                FaultTrigger::At(at) => self.net.queue.schedule(
+                FaultTrigger::At(at) => shards[owner].queue.schedule(
                     at,
                     SimEvent::SetCrashed {
                         node: fault.node,
@@ -307,7 +901,7 @@ impl SimRunner {
                 }
             }
             match fault.recover {
-                Some(FaultTrigger::At(at)) => self.net.queue.schedule(
+                Some(FaultTrigger::At(at)) => shards[owner].queue.schedule(
                     at,
                     SimEvent::SetCrashed {
                         node: fault.node,
@@ -320,266 +914,218 @@ impl SimRunner {
                 None => {}
             }
         }
-
-        // Boot every replica through the shared runtime layer.
-        for index in 0..self.hosts.len() {
-            let mut effects = BufferedTransport::new();
-            let report = self.hosts[index].start(SimTime::ZERO, &mut effects);
-            self.absorb(NodeId(index as u64), report, effects, SimTime::ZERO);
-        }
-        self.net
-            .queue
-            .schedule(SimTime::ZERO, SimEvent::WorkloadTick);
-
-        let mut processed: u64 = 0;
-        while let Some((time, event)) = self.net.queue.pop() {
-            if time > end {
-                break;
-            }
-            processed += 1;
-            if processed > self.options.max_events {
-                break;
-            }
-            match event {
-                SimEvent::WorkloadTick => self.handle_workload_tick(time, end),
-                SimEvent::Deliver { to, token } => {
-                    if self.crashed[to.index()] {
-                        continue;
-                    }
-                    // The envelope was verified once when absorbed; the token
-                    // hands it to the replica with no further wall-clock
-                    // crypto (modeled costs are charged by the replica).
-                    let start = time.max(self.busy_until[to.index()]);
-                    let mut effects = BufferedTransport::new();
-                    let report = self.hosts[to.index()].handle_verified(token, start, &mut effects);
-                    self.absorb(to, report, effects, start);
-                }
-                SimEvent::DeliverForged { to, message } => {
-                    if self.crashed[to.index()] {
-                        continue;
-                    }
-                    // Book the rejection at the recipient's busy server with
-                    // the modeled cost of discovering the forgery.
-                    let start = time.max(self.busy_until[to.index()]);
-                    let report = self.hosts[to.index()].reject_forged(&message);
-                    self.absorb(to, report, BufferedTransport::new(), start);
-                }
-                SimEvent::Timer { node, view } => {
-                    if self.crashed[node.index()] {
-                        continue;
-                    }
-                    self.dispatch(node, ReplicaEvent::TimerFired { view }, time);
-                }
-                SimEvent::ProposeNow { node, view } => {
-                    if self.crashed[node.index()] {
-                        continue;
-                    }
-                    self.dispatch(node, ReplicaEvent::ProposeNow { view }, time);
-                }
-                SimEvent::ClientBatch { to, txs } => {
-                    if self.crashed[to.index()] {
-                        continue;
-                    }
-                    self.dispatch(to, ReplicaEvent::ClientRequests(txs), time);
-                }
-                SimEvent::SetCrashed { node, crashed } => {
-                    self.crashed[node.index()] = crashed;
-                }
-            }
-        }
-        self.report(runtime, processed)
+        shards
     }
 
-    fn handle_workload_tick(&mut self, now: SimTime, end: SimTime) {
-        let window_end = now + self.options.workload_tick;
-        let arrivals = self.workload.arrivals(now, window_end, &mut self.net.rng);
-        if !arrivals.is_empty() {
-            // Group arrivals per replica to keep the event count manageable.
-            // The buckets are reusable `Vec`s indexed by node id — no per-tick
-            // map allocations — and are visited in ascending node order, the
-            // same order the previous BTreeMap grouping produced, so the RNG
-            // stream (one latency sample per non-empty bucket) is unchanged.
-            for arrival in arrivals {
-                let index = arrival.replica.index();
-                let latest = &mut self.tick_latest[index];
-                let bucket = &mut self.tick_txs[index];
-                if bucket.is_empty() {
-                    *latest = arrival.issued_at;
-                } else {
-                    *latest = (*latest).max(arrival.issued_at);
-                }
-                bucket.push(arrival.transaction);
-            }
-            for index in 0..self.tick_txs.len() {
-                if self.tick_txs[index].is_empty() {
-                    continue;
-                }
-                let replica = NodeId(index as u64);
-                // Client -> replica one-way delay.
-                let delay = self
-                    .net
-                    .latency
-                    .sample(&mut self.net.rng, NodeId(u64::MAX), replica, now)
-                    .unwrap_or(SimDuration::ZERO);
-                let deliver_at = self.tick_latest[index] + delay;
-                let txs = std::mem::take(&mut self.tick_txs[index]);
-                self.net
-                    .queue
-                    .schedule(deliver_at, SimEvent::ClientBatch { to: replica, txs });
-            }
-        }
-        if window_end <= end {
-            self.net.queue.schedule(window_end, SimEvent::WorkloadTick);
-        }
-    }
-
-    fn dispatch(&mut self, node: NodeId, event: ReplicaEvent, time: SimTime) {
-        // Model the replica as a single busy server: processing starts when
-        // both the event has arrived and the CPU is free.
-        let start = time.max(self.busy_until[node.index()]);
-        let mut effects = BufferedTransport::new();
-        let report = self.hosts[node.index()].handle(event, start, &mut effects);
-        self.absorb(node, report, effects, start);
-    }
-
-    /// Maps one step's effects onto the simulated substrate: commits into
-    /// metrics, timers and proposals onto the queue, outbound messages onto
-    /// the network models.
-    fn absorb(
+    /// The barrier loop: boots the shards, then repeatedly picks the next
+    /// non-empty window (skipping empty ones), generates the workload ticks
+    /// that fall inside it, exchanges the canonical delivery batch, and runs
+    /// every shard through the window. Returns the total events processed by
+    /// shards, the ticks generated, and the final shard states.
+    fn coordinate<D: ShardDriver>(
         &mut self,
-        node: NodeId,
-        report: StepReport,
-        effects: BufferedTransport,
-        start: SimTime,
-    ) {
-        let finish = start + report.cpu;
-        self.busy_until[node.index()] = finish;
-
-        // Resolve view-triggered fault boundaries: a trigger fires when the
-        // highest view observed anywhere in the cluster first reaches it.
-        if !self.view_triggers.is_empty() {
-            let view = self.hosts[node.index()].replica().current_view();
-            if view > self.max_view_seen {
-                self.max_view_seen = view;
-                let crashed = &mut self.crashed;
-                self.view_triggers.retain(|&(target, trigger, crash)| {
-                    if trigger <= view {
-                        crashed[target.index()] = crash;
+        mut driver: D,
+        end: SimTime,
+        window_nanos: u64,
+    ) -> (u64, u64, Vec<ShardState>) {
+        let mut results = driver.boot();
+        let shard_count = results.len();
+        let mut processed: u64 = 0;
+        let mut ticks: u64 = 0;
+        let mut next_tick = SimTime::ZERO;
+        let mut client_seq: u64 = 0;
+        loop {
+            // Replay the observer's commit log (in commit order; only its
+            // shard produces entries) so closed-loop clients can reissue.
+            for result in &mut results {
+                for (tx, at) in result.commits.drain(..) {
+                    self.workload.on_commit(tx, at);
+                }
+            }
+            // Resolve view-triggered fault boundaries from the globally
+            // highest view; the flips take effect at the window about to run.
+            let mut flips: Vec<(NodeId, bool)> = Vec::new();
+            let global_view = results
+                .iter()
+                .map(|result| result.max_view)
+                .max()
+                .unwrap_or(View::GENESIS);
+            if global_view > self.max_view_seen {
+                self.max_view_seen = global_view;
+                let triggers = &mut self.view_triggers;
+                triggers.retain(|&(node, view, crash)| {
+                    if view <= global_view {
+                        flips.push((node, crash));
                         false
                     } else {
                         true
                     }
                 });
             }
-        }
-
-        // Commits: record metrics at the observer replica only, so every
-        // transaction is counted exactly once, and feed closed-loop clients.
-        if node == self.observer() {
-            for block in &report.committed {
-                self.metrics.record_block();
-                for tx in &block.payload {
-                    let response_delay = self
-                        .net
-                        .latency
-                        .sample(&mut self.net.rng, node, NodeId(u64::MAX), finish)
-                        .unwrap_or(SimDuration::ZERO);
-                    let confirmed = finish + response_delay;
-                    self.metrics.record_commit(tx.issued_at, confirmed);
-                    self.workload.on_commit(tx.id, confirmed);
-                }
+            let mut injections: Vec<Injection> = Vec::new();
+            for result in &mut results {
+                injections.append(&mut result.outbox);
             }
-        }
-
-        // Timers and delayed proposals.
-        for (view, deadline) in effects.timers {
-            self.net
-                .queue
-                .schedule(deadline, SimEvent::Timer { node, view });
-        }
-        for (view, at) in effects.proposals {
-            self.net
-                .queue
-                .schedule(at, SimEvent::ProposeNow { node, view });
-        }
-
-        // Outbound messages leave the sender once its CPU is done. Each
-        // unique envelope is verified at most once — lazily, on the first
-        // recipient whose link actually delivers, so messages dropped by
-        // partitions or dead links cost no wall-clock crypto — and every
-        // further recipient gets an `Arc`-backed clone of the proof token (or
-        // of the forged envelope): a broadcast schedules n − 1 pointer bumps
-        // instead of n − 1 envelope deep-copies and n − 1 redundant
-        // signature checks. Verdicts are pure functions of the immutable
-        // message bytes, so the sharing is unobservable to the simulation.
-        for (dest, message) in effects.sends {
-            let bytes = message.wire_size();
-            let nic_delay = self.net.nic.transfer(bytes);
-            let mut verdict: Option<Result<VerifiedMessage, SharedMessage>> = None;
-            let mut event_for = |net: &mut SimNet, to: NodeId| {
-                let verdict = verdict.get_or_insert_with(|| {
-                    net.auth
-                        .authenticate_shared(node, message.clone())
-                        .map_err(|_| message.clone())
-                });
-                match verdict {
-                    Ok(token) => SimEvent::Deliver {
-                        to,
-                        token: token.clone(),
-                    },
-                    Err(message) => SimEvent::DeliverForged {
-                        to,
-                        message: message.clone(),
-                    },
-                }
+            if processed + ticks > self.options.max_events {
+                break;
+            }
+            // Skip straight to the window holding the earliest pending work.
+            let mut earliest: Option<SimTime> = None;
+            let mut fold = |t: SimTime| {
+                earliest = Some(earliest.map_or(t, |e| e.min(t)));
             };
-            match dest {
-                Some(to) => {
-                    self.metrics.record_message(bytes);
-                    if let Some(delay) =
-                        self.net.latency.sample(&mut self.net.rng, node, to, finish)
-                    {
-                        let event = event_for(&mut self.net, to);
-                        self.net.queue.schedule(finish + nic_delay + delay, event);
-                    }
-                }
-                None => {
-                    for to in 0..self.config.nodes as u64 {
-                        let to = NodeId(to);
-                        if to == node {
-                            continue;
-                        }
-                        self.metrics.record_message(bytes);
-                        if let Some(delay) =
-                            self.net.latency.sample(&mut self.net.rng, node, to, finish)
-                        {
-                            let event = event_for(&mut self.net, to);
-                            self.net.queue.schedule(finish + nic_delay + delay, event);
-                        }
-                    }
+            for result in &results {
+                if let Some(t) = result.next_event {
+                    fold(t);
                 }
             }
+            for injection in &injections {
+                fold(injection.deliver_at);
+            }
+            if next_tick <= end {
+                fold(next_tick);
+            }
+            let Some(earliest) = earliest else {
+                break;
+            };
+            if earliest > end {
+                break;
+            }
+            let window_index = earliest.0 / window_nanos;
+            let window_end = SimTime((window_index + 1).saturating_mul(window_nanos));
+            let limit = SimTime(window_end.0.min(end.0.saturating_add(1)));
+            // Workload ticks falling inside this window generate their
+            // client batches now; their deliveries land at or beyond the
+            // barrier (client links obey the same lookahead floor).
+            while next_tick <= end && next_tick < window_end {
+                self.generate_tick(next_tick, &mut injections, &mut client_seq);
+                ticks += 1;
+                next_tick += self.options.workload_tick;
+            }
+            // Canonical barrier order: layout-invariant regardless of which
+            // shard produced which entry.
+            injections.sort_unstable_by(|a, b| {
+                (a.deliver_at, a.origin, a.seq).cmp(&(b.deliver_at, b.origin, b.seq))
+            });
+            let mut per_shard: Vec<Vec<Injection>> = (0..shard_count).map(|_| Vec::new()).collect();
+            for injection in injections {
+                let owner = injection.to.index() % shard_count;
+                per_shard[owner].push(injection);
+            }
+            results = driver.run_window(limit, window_end, per_shard, &flips);
+            processed += results.iter().map(|result| result.processed).sum::<u64>();
+        }
+        (processed, ticks, driver.finish())
+    }
+
+    /// Generates the client arrivals of one workload tick, grouping them into
+    /// per-replica batches exactly like the event-queued tick of the
+    /// single-queue engine did.
+    fn generate_tick(
+        &mut self,
+        now: SimTime,
+        injections: &mut Vec<Injection>,
+        client_seq: &mut u64,
+    ) {
+        let window_end = now + self.options.workload_tick;
+        let arrivals = self
+            .workload
+            .arrivals(now, window_end, &mut self.workload_rng);
+        if arrivals.is_empty() {
+            return;
+        }
+        // Group arrivals per replica to keep the event count manageable.
+        // The buckets are reusable `Vec`s indexed by node id and visited in
+        // ascending node order, so the workload stream is consumed in a
+        // deterministic order.
+        for arrival in arrivals {
+            let index = arrival.replica.index();
+            let latest = &mut self.tick_latest[index];
+            let bucket = &mut self.tick_txs[index];
+            if bucket.is_empty() {
+                *latest = arrival.issued_at;
+            } else {
+                *latest = (*latest).max(arrival.issued_at);
+            }
+            bucket.push(arrival.transaction);
+        }
+        for index in 0..self.tick_txs.len() {
+            if self.tick_txs[index].is_empty() {
+                continue;
+            }
+            let replica = NodeId(index as u64);
+            // Client -> replica one-way delay, from the workload's stream.
+            let delay = self
+                .latency
+                .sample(&mut self.workload_rng, NodeId(u64::MAX), replica, now)
+                .unwrap_or(SimDuration::ZERO);
+            let deliver_at = self.tick_latest[index] + delay;
+            let txs = std::mem::take(&mut self.tick_txs[index]);
+            injections.push(Injection {
+                deliver_at,
+                origin: WORKLOAD_STREAM,
+                seq: *client_seq,
+                to: replica,
+                kind: InjectionKind::ClientBatch(txs),
+            });
+            *client_seq += 1;
         }
     }
 
-    fn report(self, runtime: SimDuration, events_processed: u64) -> RunReport {
-        let observer = self.hosts[self.observer().index()].replica();
+    fn report(
+        self,
+        runtime: SimDuration,
+        processed: u64,
+        ticks: u64,
+        states: Vec<ShardState>,
+        threads: usize,
+    ) -> RunReport {
+        let nodes = self.config.nodes;
+        // Reassemble hosts in node order and fold the per-shard metrics and
+        // queue statistics. Ticks are generated at the coordinator and never
+        // occupy a queue slot, but they count as engine events for continuity
+        // with the event-queued tick of earlier engines.
+        let mut metrics = Metrics::new(self.options.series_bucket);
+        let mut events_scheduled: u64 = ticks;
+        let mut queue_peak: u64 = 0;
+        let mut max_shard_peak: u64 = 0;
+        let mut slots: Vec<Option<NodeHost>> = (0..nodes).map(|_| None).collect();
+        for state in states {
+            let ShardState {
+                shard,
+                shards_total,
+                hosts,
+                queue,
+                metrics: shard_metrics,
+                ..
+            } = state;
+            events_scheduled += queue.total_scheduled();
+            let peak = queue.live_high_water() as u64;
+            queue_peak += peak;
+            max_shard_peak = max_shard_peak.max(peak);
+            metrics.merge(shard_metrics);
+            for (local, host) in hosts.into_iter().enumerate() {
+                slots[shard + local * shards_total] = Some(host);
+            }
+        }
+        let hosts: Vec<NodeHost> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every node is owned by exactly one shard"))
+            .collect();
+
+        let observer = hosts[self.observer().index()].replica();
         let duration_secs = runtime.as_secs_f64();
-        let committed_txs = self.metrics.committed_txs();
+        let committed_txs = metrics.committed_txs();
         let committed_blocks = observer.ledger().len() as u64;
         let views_advanced = observer.current_view().as_u64().saturating_sub(1).max(1);
-        let latency = self.metrics.latency();
-        let (messages_sent, bytes_sent) = self.metrics.network_counters();
+        let latency = metrics.latency();
+        let (messages_sent, bytes_sent) = metrics.network_counters();
 
         // Safety audit: per-replica conflicting commits plus pairwise ledger
         // prefix consistency across honest replicas.
-        let mut safety_violations: u64 = self
-            .hosts
-            .iter()
-            .map(|h| h.replica().safety_violations())
-            .sum();
-        let honest: Vec<&Replica> = self
-            .hosts
+        let mut safety_violations: u64 =
+            hosts.iter().map(|h| h.replica().safety_violations()).sum();
+        let honest: Vec<&Replica> = hosts
             .iter()
             .map(NodeHost::replica)
             .filter(|r| !self.config.is_byzantine(r.id()))
@@ -605,13 +1151,15 @@ impl SimRunner {
             timeout_view_changes: observer.timeout_view_changes(),
             messages_sent,
             bytes_sent,
-            throughput_series: self.metrics.throughput_series(),
+            throughput_series: metrics.throughput_series(),
             safety_violations,
-            rejected_messages: self.hosts.iter().map(NodeHost::auth_rejections).sum(),
+            rejected_messages: hosts.iter().map(NodeHost::auth_rejections).sum(),
             pending_txs: self.workload.total_issued().saturating_sub(committed_txs),
-            events_processed,
-            events_scheduled: self.net.queue.total_scheduled(),
-            queue_peak_len: self.net.queue.live_high_water() as u64,
+            events_processed: processed + ticks,
+            events_scheduled,
+            queue_peak_len: queue_peak,
+            max_shard_queue_peak: max_shard_peak,
+            threads,
             ledger_fingerprint: observer.ledger().fingerprint().to_hex(),
         }
     }
@@ -679,6 +1227,38 @@ mod tests {
         assert_eq!(a.committed_blocks, b.committed_blocks);
         assert_eq!(a.views_advanced, b.views_advanced);
         assert!((a.latency.mean_ms - b.latency.mean_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharded_runs_match_the_single_thread_engine() {
+        let single = SimRunner::new(
+            base_config(4, 3_000.0),
+            ProtocolKind::HotStuff,
+            RunOptions::default(),
+        )
+        .run();
+        // 3 shards gives uneven shard sizes (2/1/1); 4 puts every replica on
+        // its own thread; 8 exercises the clamp to the node count.
+        for threads in [2usize, 3, 4, 8] {
+            let sharded = SimRunner::new(
+                base_config(4, 3_000.0),
+                ProtocolKind::HotStuff,
+                RunOptions {
+                    threads,
+                    ..RunOptions::default()
+                },
+            )
+            .run();
+            assert_eq!(
+                single.ledger_fingerprint, sharded.ledger_fingerprint,
+                "threads={threads} diverged"
+            );
+            assert_eq!(single.committed_txs, sharded.committed_txs);
+            assert_eq!(single.events_processed, sharded.events_processed);
+            assert_eq!(single.events_scheduled, sharded.events_scheduled);
+            assert_eq!(single.messages_sent, sharded.messages_sent);
+            assert!((single.latency.mean_ms - sharded.latency.mean_ms).abs() < 1e-12);
+        }
     }
 
     #[test]
@@ -770,19 +1350,27 @@ mod tests {
             report.timeout_view_changes > 0,
             "node 1's unrecovered crash must cost its leader views"
         );
-        // Determinism with view-triggered faults.
-        let mut cfg2 = base_config(4, 2_000.0);
-        cfg2.timeout = SimDuration::from_millis(20);
-        let options2 = RunOptions {
-            node_faults: vec![NodeFault {
-                node: NodeId(1),
-                crash: FaultTrigger::AtView(View(4)),
-                recover: None,
-            }],
-            ..RunOptions::default()
-        };
-        let again = SimRunner::new(cfg2, ProtocolKind::HotStuff, options2).run();
-        assert_eq!(report.ledger_fingerprint, again.ledger_fingerprint);
+        // Determinism with view-triggered faults, across thread counts: the
+        // trigger resolves at a window barrier from the global maximum view,
+        // which is layout-invariant.
+        for threads in [1usize, 2, 4] {
+            let mut cfg2 = base_config(4, 2_000.0);
+            cfg2.timeout = SimDuration::from_millis(20);
+            let options2 = RunOptions {
+                node_faults: vec![NodeFault {
+                    node: NodeId(1),
+                    crash: FaultTrigger::AtView(View(4)),
+                    recover: None,
+                }],
+                threads,
+                ..RunOptions::default()
+            };
+            let again = SimRunner::new(cfg2, ProtocolKind::HotStuff, options2).run();
+            assert_eq!(
+                report.ledger_fingerprint, again.ledger_fingerprint,
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -301,6 +301,15 @@ impl BufferedTransport {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Empties the buffer, keeping its allocations. Backends that absorb one
+    /// event at a time (the sharded simulator) keep a single transport per
+    /// shard and clear it between events instead of reallocating.
+    pub fn clear(&mut self) {
+        self.sends.clear();
+        self.timers.clear();
+        self.proposals.clear();
+    }
 }
 
 impl Transport for BufferedTransport {

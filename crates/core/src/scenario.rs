@@ -13,7 +13,8 @@
 //! * the **Byzantine strategy** and a **fault schedule** — crash/recover at
 //!   a time or view, rolling leader failure, (oscillating) partitions,
 //!   fluctuation windows, slow nodes, heterogeneous per-node CPU,
-//! * the run length, seed and a set of declarative **expectations**.
+//! * the run length, seed, engine `threads` (simulation shards) and a set
+//!   of declarative **expectations**.
 //!
 //! Executing a scenario compiles the spec into `(Config, RunOptions)` pairs
 //! — one per protocol — runs them through [`SimRunner`] (twice, to prove the
@@ -127,6 +128,8 @@ pub struct Scenario {
     pub expect: Expectations,
     base: Config,
     quick_runtime: SimDuration,
+    /// Engine shards per run (the spec's `"threads"`; defaults to 1).
+    threads: usize,
     topology: Option<Topology>,
     faults: Vec<FaultSpec>,
     cpu_overrides: Vec<(NodeId, SimDuration)>,
@@ -249,19 +252,43 @@ fn parse_topology(spec: &Json, name: &str, cluster: u64) -> Result<Topology, Str
     if let Some(regions) = spec.get("regions").and_then(Json::as_array) {
         for region in regions {
             let region_name = field_str(region, "name", &context)?;
+            // Members come as an explicit id array or, for large clusters,
+            // a half-open `{"range": [start, end]}` — n = 1000 specs list
+            // four ranges instead of a thousand ids.
             let nodes = region
                 .get("nodes")
-                .and_then(Json::as_array)
                 .ok_or_else(|| format!("{context}: region {region_name:?} missing nodes"))?;
-            let ids: Vec<u64> = nodes
-                .iter()
-                .map(|n| {
-                    n.as_f64()
+            let ids: Vec<u64> = if let Some(entries) = nodes.as_array() {
+                entries
+                    .iter()
+                    .map(|n| {
+                        n.as_f64()
+                            .map(|v| v as u64)
+                            .ok_or_else(|| format!("{context}: non-numeric node id"))
+                            .and_then(&check)
+                    })
+                    .collect::<Result<_, _>>()?
+            } else if let Some(range) = nodes.get("range").and_then(Json::as_array) {
+                let bound = |i: usize| {
+                    range
+                        .get(i)
+                        .and_then(Json::as_f64)
                         .map(|v| v as u64)
-                        .ok_or_else(|| format!("{context}: non-numeric node id"))
-                        .and_then(&check)
-                })
-                .collect::<Result<_, _>>()?;
+                        .ok_or_else(|| format!("{context}: range needs [start, end]"))
+                };
+                let (start, end) = (bound(0)?, bound(1)?);
+                if start >= end {
+                    return Err(format!(
+                        "{context}: empty node range [{start}, {end}) in region {region_name:?}"
+                    ));
+                }
+                (start..end).map(&check).collect::<Result<_, _>>()?
+            } else {
+                return Err(format!(
+                    "{context}: region {region_name:?} nodes must be an id array or \
+                     {{\"range\": [start, end]}}"
+                ));
+            };
             let intra = parse_dist(region, &context)?;
             topology.add_region(region_name, ids, intra);
         }
@@ -596,6 +623,12 @@ impl Scenario {
             .map(duration_ms)
             .unwrap_or_else(|| base.runtime.min(SimDuration::from_millis(500)));
 
+        let threads = match opt_f64(doc, "threads") {
+            None => 1,
+            Some(v) if v >= 1.0 => v as usize,
+            Some(v) => return Err(format!("{name}: threads must be >= 1, got {v}")),
+        };
+
         base.validate().map_err(|e| format!("{name}: {e}"))?;
 
         Ok(Scenario {
@@ -605,6 +638,7 @@ impl Scenario {
             protocols,
             base,
             quick_runtime,
+            threads,
             topology,
             faults,
             cpu_overrides,
@@ -652,6 +686,7 @@ impl Scenario {
         let mut options = RunOptions {
             topology: self.topology.clone(),
             cpu_overrides: self.cpu_overrides.clone(),
+            threads: self.threads,
             ..RunOptions::default()
         };
         options.replica.wait_for_timeout_on_view_change = self.wait_for_timeout_on_view_change;
@@ -766,9 +801,31 @@ impl Scenario {
 
     /// Runs one protocol of the scenario twice (to prove determinism) and
     /// returns the run.
+    ///
+    /// When the spec asks for more than one engine thread, the audit replay
+    /// runs at `threads = 1`: the determinism check then proves the parallel
+    /// run is bit-identical to the sequential engine, not merely repeatable.
     pub fn run_protocol(&self, protocol: ProtocolKind, quick: bool) -> ScenarioRun {
-        let (config, options) = self.build(quick);
+        self.run_protocol_with_threads(protocol, quick, None)
+    }
+
+    /// [`Scenario::run_protocol`] with the spec's `threads` overridden
+    /// (`None` keeps the spec value). The CI quick tier uses this to force a
+    /// 2-shard run of a 1-thread spec and assert fingerprint equality.
+    pub fn run_protocol_with_threads(
+        &self,
+        protocol: ProtocolKind,
+        quick: bool,
+        threads: Option<usize>,
+    ) -> ScenarioRun {
+        let (config, mut options) = self.build(quick);
+        if let Some(threads) = threads {
+            options.threads = threads.max(1);
+        }
         let report = SimRunner::new(config.clone(), protocol, options.clone()).run();
+        if options.threads > 1 {
+            options.threads = 1;
+        }
         let replay = SimRunner::new(config, protocol, options).run();
         let deterministic = replay.ledger_fingerprint == report.ledger_fingerprint;
         ScenarioRun {
@@ -806,7 +863,8 @@ impl Scenario {
             }
             if !run.deterministic {
                 failures.push(format!(
-                    "{}/{label}: fingerprint mismatch — identical replay diverged",
+                    "{}/{label}: fingerprint mismatch — the audit replay (single-thread \
+                     reference engine) diverged",
                     self.name
                 ));
             }

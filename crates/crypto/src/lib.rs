@@ -43,4 +43,4 @@ pub use aggregate::AggregateSignature;
 pub use batch::BatchVerifier;
 pub use hash::{hash_bytes, hash_two, Digest};
 pub use keys::{KeyPair, PublicKey, SecretKey, Signature};
-pub use sha256::{sha256, Sha256};
+pub use sha256::{sha256, sha256_quad, Sha256};

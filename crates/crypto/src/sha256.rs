@@ -201,6 +201,166 @@ impl Sha256 {
     }
 }
 
+/// Computes four SHA-256 digests of **equal-length** inputs in one
+/// interleaved pass.
+///
+/// Equal lengths mean the four messages share an identical block count and
+/// padding layout, so all four hash states advance in perfect lockstep
+/// through the interleaved compression loop — including the final padded block(s). The
+/// lane-major inner loops are written so LLVM can auto-vectorise the four
+/// independent word streams (the crate is `forbid(unsafe_code)`, so no
+/// explicit SIMD intrinsics are used).
+///
+/// This is the batched-verification primitive: a quorum certificate checks
+/// `2f + 1` signatures over the *same* message, so its signing buffers all
+/// have the same length and verify four at a time.
+///
+/// # Panics
+///
+/// Panics if the four messages do not all have the same length.
+///
+/// # Example
+///
+/// ```
+/// use bamboo_crypto::{sha256, sha256_quad};
+///
+/// let digests = sha256_quad([b"aaaa", b"bbbb", b"cccc", b"dddd"]);
+/// assert_eq!(digests[2], sha256(b"cccc"));
+/// ```
+pub fn sha256_quad(msgs: [&[u8]; 4]) -> [[u8; 32]; 4] {
+    let len = msgs[0].len();
+    assert!(
+        msgs.iter().all(|m| m.len() == len),
+        "sha256_quad requires four equal-length messages"
+    );
+    let mut states = [H0; 4];
+
+    // Full 64-byte blocks, straight from the input slices.
+    let full = len / 64;
+    for block in 0..full {
+        let offset = block * 64;
+        let blocks: [&[u8; 64]; 4] = std::array::from_fn(|lane| {
+            msgs[lane][offset..offset + 64]
+                .try_into()
+                .expect("64-byte chunk")
+        });
+        compress4(&mut states, blocks);
+    }
+
+    // The padded tail: identical shape in every lane (equal lengths), one or
+    // two blocks depending on whether terminator + length marker fit.
+    let rem = len % 64;
+    let tail_blocks = if rem < 56 { 1 } else { 2 };
+    let bit_len = (len as u64).wrapping_mul(8);
+    let mut tails = [[0u8; 128]; 4];
+    for (lane, tail) in tails.iter_mut().enumerate() {
+        tail[..rem].copy_from_slice(&msgs[lane][len - rem..]);
+        tail[rem] = 0x80;
+        tail[tail_blocks * 64 - 8..tail_blocks * 64].copy_from_slice(&bit_len.to_be_bytes());
+    }
+    for block in 0..tail_blocks {
+        let offset = block * 64;
+        let blocks: [&[u8; 64]; 4] = std::array::from_fn(|lane| {
+            tails[lane][offset..offset + 64]
+                .try_into()
+                .expect("64-byte chunk")
+        });
+        compress4(&mut states, blocks);
+    }
+
+    let mut out = [[0u8; 32]; 4];
+    for (lane, state) in states.iter().enumerate() {
+        for (i, word) in state.iter().enumerate() {
+            out[lane][i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+    }
+    out
+}
+
+/// Four independent SHA-256 compressions advanced in lockstep: the message
+/// schedule and working variables are `[u32; 4]` lane arrays so every round
+/// performs the same operation on four independent words — the shape LLVM's
+/// auto-vectoriser turns into 128-bit SIMD.
+fn compress4(states: &mut [[u32; 8]; 4], blocks: [&[u8; 64]; 4]) {
+    let mut w = [[0u32; 4]; 64];
+    for (i, word) in w.iter_mut().take(16).enumerate() {
+        for lane in 0..4 {
+            let offset = i * 4;
+            word[lane] = u32::from_be_bytes(
+                blocks[lane][offset..offset + 4]
+                    .try_into()
+                    .expect("4-byte word"),
+            );
+        }
+    }
+    for i in 16..64 {
+        let mut word = [0u32; 4];
+        for (lane, out) in word.iter_mut().enumerate() {
+            let x = w[i - 15][lane];
+            let y = w[i - 2][lane];
+            let s0 = x.rotate_right(7) ^ x.rotate_right(18) ^ (x >> 3);
+            let s1 = y.rotate_right(17) ^ y.rotate_right(19) ^ (y >> 10);
+            *out = w[i - 16][lane]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7][lane])
+                .wrapping_add(s1);
+        }
+        w[i] = word;
+    }
+
+    let lane_of = |states: &[[u32; 8]; 4], j: usize| -> [u32; 4] {
+        [states[0][j], states[1][j], states[2][j], states[3][j]]
+    };
+    let mut a = lane_of(states, 0);
+    let mut b = lane_of(states, 1);
+    let mut c = lane_of(states, 2);
+    let mut d = lane_of(states, 3);
+    let mut e = lane_of(states, 4);
+    let mut f = lane_of(states, 5);
+    let mut g = lane_of(states, 6);
+    let mut h = lane_of(states, 7);
+
+    for i in 0..64 {
+        let mut temp1 = [0u32; 4];
+        let mut temp2 = [0u32; 4];
+        for lane in 0..4 {
+            let s1 = e[lane].rotate_right(6) ^ e[lane].rotate_right(11) ^ e[lane].rotate_right(25);
+            let ch = (e[lane] & f[lane]) ^ ((!e[lane]) & g[lane]);
+            temp1[lane] = h[lane]
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i][lane]);
+            let s0 = a[lane].rotate_right(2) ^ a[lane].rotate_right(13) ^ a[lane].rotate_right(22);
+            let maj = (a[lane] & b[lane]) ^ (a[lane] & c[lane]) ^ (b[lane] & c[lane]);
+            temp2[lane] = s0.wrapping_add(maj);
+        }
+        h = g;
+        g = f;
+        f = e;
+        for lane in 0..4 {
+            e[lane] = d[lane].wrapping_add(temp1[lane]);
+        }
+        d = c;
+        c = b;
+        b = a;
+        for lane in 0..4 {
+            a[lane] = temp1[lane].wrapping_add(temp2[lane]);
+        }
+    }
+
+    for lane in 0..4 {
+        states[lane][0] = states[lane][0].wrapping_add(a[lane]);
+        states[lane][1] = states[lane][1].wrapping_add(b[lane]);
+        states[lane][2] = states[lane][2].wrapping_add(c[lane]);
+        states[lane][3] = states[lane][3].wrapping_add(d[lane]);
+        states[lane][4] = states[lane][4].wrapping_add(e[lane]);
+        states[lane][5] = states[lane][5].wrapping_add(f[lane]);
+        states[lane][6] = states[lane][6].wrapping_add(g[lane]);
+        states[lane][7] = states[lane][7].wrapping_add(h[lane]);
+    }
+}
+
 /// One SHA-256 compression round over a single 64-byte block. A free function
 /// (rather than a method) so callers can borrow the hasher's buffer and state
 /// disjointly and compress without staging the block in a temporary copy.
@@ -311,6 +471,33 @@ mod tests {
             chunk = (chunk * 3 + 1) % 97 + 1;
         }
         assert_eq!(hasher.finalize(), expected);
+    }
+
+    #[test]
+    fn quad_matches_scalar_across_padding_boundaries() {
+        // Cover both tail shapes (rem < 56 → one padded block, rem >= 56 →
+        // two) and multi-block bodies.
+        for len in [
+            0usize, 1, 31, 55, 56, 57, 63, 64, 65, 119, 120, 127, 128, 129, 1_000,
+        ] {
+            let lanes: Vec<Vec<u8>> = (0..4u8)
+                .map(|lane| {
+                    (0..len)
+                        .map(|i| lane ^ (i as u8).wrapping_mul(37))
+                        .collect()
+                })
+                .collect();
+            let digests = sha256_quad([&lanes[0], &lanes[1], &lanes[2], &lanes[3]]);
+            for (lane, digest) in digests.iter().enumerate() {
+                assert_eq!(*digest, sha256(&lanes[lane]), "len {len} lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn quad_rejects_mixed_lengths() {
+        sha256_quad([b"aa", b"aa", b"aa", b"a"]);
     }
 
     #[test]

@@ -3,8 +3,13 @@
 //! One-way message delay from `from` to `to` is sampled as
 //!
 //! ```text
-//! delay = max(floor, Normal(link.mean, link.std)) + extra ± jitter + fluctuation(t) + slow(node)
+//! delay = max(link_floor, Normal(link.mean, link.std)) + extra ± jitter + fluctuation(t) + slow(node)
 //! ```
+//!
+//! with `link_floor = max(floor, mean/4, mean − 3σ)` per link class — a
+//! statistically invisible clamp (≤0.13% of draws) that gives every class a
+//! positive minimum delay, from which [`LatencyModel::lookahead`] derives the
+//! parallel engine's conservative synchronization window.
 //!
 //! where `link` is the per-pair delay distribution resolved by the
 //! [`Topology`] — regions with intra/inter-region distributions and exact
@@ -19,7 +24,7 @@
 use bamboo_types::{NodeId, SimDuration, SimTime};
 
 use crate::rng::SimRng;
-use crate::topology::Topology;
+use crate::topology::{DelayDist, Topology};
 
 /// A time window during which every link experiences additional, uniformly
 /// distributed delay in `[min_extra, max_extra]` — the paper's "network
@@ -172,6 +177,43 @@ impl LatencyModel {
         &self.topology
     }
 
+    /// The hard minimum of one link class's base propagation delay: the
+    /// model floor, a quarter of the class mean, or `mean − 3σ`, whichever
+    /// is largest. The 3σ clamp trims ~0.13% of normal draws — statistically
+    /// invisible — while giving the parallel engine a per-class lower bound
+    /// that scales with the link instead of the global 1 µs floor.
+    fn link_floor(&self, dist: DelayDist) -> SimDuration {
+        let mean = dist.mean.as_nanos();
+        let three_sigma = mean.saturating_sub(3 * dist.std.as_nanos());
+        SimDuration::from_nanos(self.floor.as_nanos().max(mean / 4).max(three_sigma))
+    }
+
+    /// A conservative lower bound on the one-way delay of **every**
+    /// replica-to-replica message the model can produce: the minimum over
+    /// all link classes of that class's floor (`max(model floor, mean/4,
+    /// mean − 3σ)` — see `link_floor`), plus the
+    /// smallest possible contribution of the constant extra delay
+    /// (`max(0, extra − jitter)`). Fluctuation windows and slow-node faults
+    /// only ever *add* delay, so they never shrink the bound.
+    ///
+    /// This is the parallel engine's lookahead: a message sent at time `t`
+    /// cannot be delivered to another replica before `t + lookahead()`, so
+    /// shards advancing in lock-step windows of this width never miss a
+    /// cross-shard delivery.
+    pub fn lookahead(&self) -> SimDuration {
+        let extra_min = SimDuration::from_nanos(
+            self.extra
+                .as_nanos()
+                .saturating_sub(self.extra_jitter.as_nanos()),
+        );
+        self.topology
+            .link_classes()
+            .map(|class| self.link_floor(class))
+            .min()
+            .unwrap_or(self.floor)
+            + extra_min
+    }
+
     /// Returns `None` if the message is dropped (partition), otherwise the
     /// sampled one-way delay from `from` to `to` at send time `now`.
     pub fn sample(
@@ -216,11 +258,12 @@ impl LatencyModel {
             }
         }
 
-        // Base normally distributed propagation delay of this link class.
+        // Base normally distributed propagation delay of this link class,
+        // clamped at the per-class floor so the lookahead bound holds.
         let dist = self.topology.dist(from, to);
         let base_ns = rng
             .normal(dist.mean.as_nanos() as f64, dist.std.as_nanos() as f64)
-            .max(self.floor.as_nanos() as f64);
+            .max(self.link_floor(dist).as_nanos() as f64);
         let mut total = SimDuration::from_nanos(base_ns as u64);
 
         // Constant extra delay with uniform jitter in [-jitter, +jitter].
@@ -454,6 +497,46 @@ mod tests {
         assert!(intra < ms(2), "intra {intra:?}");
         assert!(inter >= ms(45), "inter {inter:?}");
         assert!(back >= ms(45), "mirrored inter {back:?}");
+    }
+
+    #[test]
+    fn lookahead_is_the_min_link_floor_plus_min_extra() {
+        // Default-config class: mean 250 µs, σ 50 µs. link_floor =
+        // max(1 µs, 62.5 µs, 250 − 150 µs) = 100 µs.
+        let us = SimDuration::from_micros;
+        let model = LatencyModel::new(us(250), us(50));
+        assert_eq!(model.lookahead(), us(100));
+        // The constant extra delay raises the bound by max(0, extra−jitter).
+        let with_extra = LatencyModel::new(us(250), us(50)).with_extra_delay(us(30), us(10));
+        assert_eq!(with_extra.lookahead(), us(120));
+        let jitter_swallows = LatencyModel::new(us(250), us(50)).with_extra_delay(us(5), us(10));
+        assert_eq!(jitter_swallows.lookahead(), us(100));
+        // Heterogeneous topology: the fastest class bounds the window.
+        let mut topo = crate::topology::Topology::uniform(ms(40), ms(4));
+        topo.add_region(
+            "lan",
+            [0, 1],
+            crate::topology::DelayDist::new(us(200), us(20)),
+        );
+        let hetero = LatencyModel::with_topology(topo);
+        // lan intra class: max(1 µs, 50 µs, 200 − 60 µs) = 140 µs.
+        assert_eq!(hetero.lookahead(), us(140));
+    }
+
+    #[test]
+    fn sampled_delays_never_undercut_the_lookahead() {
+        let us = SimDuration::from_micros;
+        // A noisy class (σ close to mean) exercises the 3σ/quarter-mean
+        // clamp: even deep-left-tail draws respect the published bound.
+        let model = LatencyModel::new(us(100), us(80)).with_extra_delay(us(20), us(50));
+        let bound = model.lookahead();
+        let mut rng = SimRng::new(11);
+        for i in 0..20_000u64 {
+            let d = model
+                .sample(&mut rng, NodeId(i % 4), NodeId((i + 1) % 4), SimTime::ZERO)
+                .unwrap();
+            assert!(d >= bound, "draw {d:?} below lookahead {bound:?}");
+        }
     }
 
     #[test]

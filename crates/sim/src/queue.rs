@@ -154,17 +154,41 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_bounded(None)
+    }
+
+    /// Removes and returns the earliest event if it fires strictly before
+    /// `limit`; otherwise leaves the queue untouched and returns `None`.
+    ///
+    /// This is the windowed-execution primitive: a shard drains its queue up
+    /// to a barrier without paying the O(bucket scan) of a separate
+    /// [`EventQueue::peek_time`] before every pop.
+    pub fn pop_if_before(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        self.pop_bounded(Some(limit))
+    }
+
+    fn pop_bounded(&mut self, limit: Option<SimTime>) -> Option<(SimTime, E)> {
         if self.len == 0 {
             return None;
         }
         let wheel_key = self.advance_to_wheel_min();
         let overflow_key = self.overflow.peek().map(|Reverse((t, s, _))| (*t, *s));
 
-        let from_wheel = match (wheel_key, overflow_key) {
-            (Some(w), Some(o)) => w < o,
-            (Some(_), None) => true,
-            (None, _) => false,
+        let (best, from_wheel) = match (wheel_key, overflow_key) {
+            (Some(w), Some(o)) => {
+                if w < o {
+                    (w, true)
+                } else {
+                    (o, false)
+                }
+            }
+            (Some(w), None) => (w, true),
+            (None, Some(o)) => (o, false),
+            (None, None) => return None,
         };
+        if limit.is_some_and(|l| best.0 >= l) {
+            return None;
+        }
         let slot = if from_wheel {
             let index = (self.cursor % NUM_BUCKETS) as usize;
             self.wheel_live -= 1;
@@ -393,6 +417,32 @@ mod tests {
         }
         assert_eq!(q.live_high_water(), 10);
         assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn pop_if_before_respects_the_window_boundary() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), "a");
+        q.schedule(SimTime(20), "b");
+        q.schedule(SimTime(100_000_000), "far"); // overflow-heap entry
+        assert_eq!(q.pop_if_before(SimTime(20)), Some((SimTime(10), "a")));
+        // The boundary is exclusive: an event at exactly `limit` stays.
+        assert_eq!(q.pop_if_before(SimTime(20)), None);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_if_before(SimTime(21)), Some((SimTime(20), "b")));
+        // Far events stay put until a window reaches them, then drain.
+        assert_eq!(q.pop_if_before(SimTime(50_000_000)), None);
+        assert_eq!(
+            q.pop_if_before(SimTime(200_000_000)),
+            Some((SimTime(100_000_000), "far"))
+        );
+        assert!(q.pop_if_before(SimTime(u64::MAX)).is_none());
+        // A bounded refusal must not disturb later ties or ordering.
+        q.schedule(SimTime(30), "1");
+        q.schedule(SimTime(30), "2");
+        assert_eq!(q.pop_if_before(SimTime(30)), None);
+        assert_eq!(q.pop(), Some((SimTime(30), "1")));
+        assert_eq!(q.pop(), Some((SimTime(30), "2")));
     }
 
     #[test]

@@ -1,13 +1,18 @@
 //! Golden-replay determinism tests for the simulation engine.
 //!
-//! The fingerprints below were recorded from the heap-based event queue and
-//! deep-copy delivery path (the engine as of PR 3). The rebuilt engine —
-//! slab/bucket-wheel event queue, `Arc`-backed shared-envelope delivery,
-//! reusable workload buckets — must commit **byte-identical ledgers** for the
-//! same seeds: every block id, proposal view, commit view, commit time and
-//! payload transaction id, across all six protocol kinds. Any divergence in
-//! event ordering, RNG call order or delivery timing changes the fingerprint
-//! and fails the test.
+//! The fingerprints below were recorded from the window-barrier sharded
+//! engine (PR 6), which replaced the single-queue global-RNG engine: latency
+//! draws moved to **per-replica RNG streams** (`derive(node)` of the run
+//! seed) so randomness consumption is independent of shard layout, and all
+//! replica-to-replica deliveries are exchanged at conservative-lookahead
+//! window barriers in a canonical `(deliver_at, origin, seq)` order. That
+//! re-pin was a one-time, deliberate break from the PR 3 fingerprints —
+//! byte-reproducing a global RNG stream across thread counts is impossible.
+//! From here on every engine change must again commit **byte-identical
+//! ledgers** for the same seeds at *every* thread count: every block id,
+//! proposal view, commit view, commit time and payload transaction id,
+//! across all six protocol kinds. Any divergence in event ordering, RNG call
+//! order or delivery timing changes the fingerprint and fails the test.
 //!
 //! To re-record after an *intentional* behaviour change, run:
 //! `GOLDEN_DUMP=1 cargo test --test engine_replay -- --nocapture`
@@ -29,7 +34,9 @@ fn run(protocol: ProtocolKind, nodes: usize, runtime_ms: u64, rate: f64, seed: u
 }
 
 /// `(protocol, nodes, runtime_ms, rate, seed, committed_txs, fingerprint)`
-/// recorded from the pre-rewrite (BinaryHeap + deep-copy) engine.
+/// recorded from the window-barrier sharded engine at `threads = 1`.
+/// Higher thread counts must reproduce the same values (see
+/// `tests/parallel_engine.rs`).
 const GOLDEN: &[(ProtocolKind, usize, u64, f64, u64, u64, &str)] = &[
     (
         ProtocolKind::HotStuff,
@@ -37,8 +44,8 @@ const GOLDEN: &[(ProtocolKind, usize, u64, f64, u64, u64, &str)] = &[
         300,
         3_000.0,
         7,
-        873,
-        "7b252a751dcae6ea82e183a4e661bd8db016c4e68016d2afae7a35f736c0ae6f",
+        917,
+        "11874219f970ca87dba47d9aaf29b373cb71cb351eab7a751ac4d798d95301db",
     ),
     (
         ProtocolKind::TwoChainHotStuff,
@@ -46,8 +53,8 @@ const GOLDEN: &[(ProtocolKind, usize, u64, f64, u64, u64, &str)] = &[
         300,
         3_000.0,
         7,
-        858,
-        "aedfbce51b7b400478bcb8838826efc92f97c2351602ad288fcd5f7f909f04d7",
+        919,
+        "ec80c17c8b665c42b25379b006eb390f45c193f9876c9fd2c1ae06ead6906765",
     ),
     (
         ProtocolKind::Streamlet,
@@ -55,8 +62,8 @@ const GOLDEN: &[(ProtocolKind, usize, u64, f64, u64, u64, &str)] = &[
         300,
         3_000.0,
         7,
-        908,
-        "9156e9d51a17afd687a997046e9e75377688003987a5d47ff564af964db544dc",
+        918,
+        "777544340b112d8d822a23ebad4353cfec959d4870ed5e20e22e6a546d0e15de",
     ),
     (
         ProtocolKind::FastHotStuff,
@@ -64,8 +71,8 @@ const GOLDEN: &[(ProtocolKind, usize, u64, f64, u64, u64, &str)] = &[
         300,
         3_000.0,
         7,
-        858,
-        "aedfbce51b7b400478bcb8838826efc92f97c2351602ad288fcd5f7f909f04d7",
+        919,
+        "ec80c17c8b665c42b25379b006eb390f45c193f9876c9fd2c1ae06ead6906765",
     ),
     (
         ProtocolKind::Lbft,
@@ -73,8 +80,8 @@ const GOLDEN: &[(ProtocolKind, usize, u64, f64, u64, u64, &str)] = &[
         300,
         3_000.0,
         7,
-        896,
-        "607684fe40dc641c94622f59dd96429f9182328700f384b9ad0e1ba2c509d972",
+        920,
+        "339645a97413adc287a66d1db6f1f028d741f22682ed8450ec885dc803c88879",
     ),
     (
         ProtocolKind::OriginalHotStuff,
@@ -82,24 +89,24 @@ const GOLDEN: &[(ProtocolKind, usize, u64, f64, u64, u64, &str)] = &[
         300,
         3_000.0,
         7,
-        873,
-        "7b252a751dcae6ea82e183a4e661bd8db016c4e68016d2afae7a35f736c0ae6f",
+        917,
+        "11874219f970ca87dba47d9aaf29b373cb71cb351eab7a751ac4d798d95301db",
     ),
-    // A broadcast-heavy mid-size run: covers the shared-envelope fan-out and
-    // bucket-wheel paths under real event pressure.
+    // A broadcast-heavy mid-size run: covers the shared-envelope fan-out,
+    // bucket-wheel and barrier-exchange paths under real event pressure.
     (
         ProtocolKind::HotStuff,
         16,
         100,
         8_000.0,
         2021,
-        770,
-        "780058d47436bebbfede1f7d74210f589d3928dedcbc2acf273b717458cd7f4b",
+        726,
+        "7a02f354eb7313c7f36881e5d40826244bf7c6e06c01b89ea87dc37192629287",
     ),
 ];
 
 #[test]
-fn new_engine_replays_the_heap_engine_ledgers_byte_for_byte() {
+fn engine_replays_the_pinned_golden_ledgers_byte_for_byte() {
     let dump = std::env::var_os("GOLDEN_DUMP").is_some();
     for &(protocol, nodes, runtime_ms, rate, seed, txs, fingerprint) in GOLDEN {
         let report = run(protocol, nodes, runtime_ms, rate, seed);
@@ -112,7 +119,7 @@ fn new_engine_replays_the_heap_engine_ledgers_byte_for_byte() {
         }
         assert_eq!(
             report.ledger_fingerprint, fingerprint,
-            "{protocol} n={nodes}: ledger diverged from the heap-based engine"
+            "{protocol} n={nodes}: ledger diverged from the pinned golden run"
         );
         assert_eq!(
             report.committed_txs, txs,

@@ -5,7 +5,10 @@
 //! actual `scenarios/*.json` files, executed at the quick tier, and their
 //! ledger fingerprints compared byte-for-byte against recorded values — any
 //! engine, protocol or spec change that shifts scheduling shows up here
-//! first (update the constants deliberately when the change is intended).
+//! first (update the constants deliberately when the change is intended; to
+//! re-record run `GOLDEN_DUMP=1 cargo test --test scenario_replay -- --nocapture`).
+//! The pins were recorded from the window-barrier sharded engine (PR 6) at
+//! `threads = 1`; every other thread count reproduces them bit-for-bit.
 //! The same configurations are also driven through the live threaded
 //! cluster, which must stay safe on the heterogeneous-WAN workload too.
 //!
@@ -56,66 +59,75 @@ fn fingerprint(report: &ScenarioReport, protocol: ProtocolKind) -> &str {
 const LAN_PINS: [(ProtocolKind, &str); 3] = [
     (
         ProtocolKind::HotStuff,
-        "364a0f71d97cf7027c686d93afc8d22e949d9ac56b038571231a484c6448a61a",
+        "d6a4b6ef7a3c116e8fac05a92f9ba583e823ef2b9ad1c87a4805df0e1338e827",
     ),
     (
         ProtocolKind::TwoChainHotStuff,
-        "5f90b7ea07b14ede8988cc06dd9ac4f564fbed5baac705c0ed502bd3aa1c1ec5",
+        "59ffe0747ba792210fb18e5dbd4f70ad263ada255ad306037f7e5ce0c6ed9509",
     ),
     (
         ProtocolKind::Streamlet,
-        "b5cbaa04195298a99e6c461ab8b6273907fe1c2b59f38ac069f889ab8c3a77c2",
+        "69daf8059379ee2ff9adf92f244c2ca6619a82b725465c7e5918a73025630dd3",
     ),
 ];
 
 const GEO_WAN_PINS: [(ProtocolKind, &str); 3] = [
     (
         ProtocolKind::HotStuff,
-        "0671d1dae1edf79601b9691daf2eb29286aca49b74d9674e5c289e4ce0587caa",
+        "5eb5d268b3f63ed1b374447b648ef5cc5bc11f88f513345d9c59960b58f0c6bb",
     ),
     (
         ProtocolKind::TwoChainHotStuff,
-        "7622095f4b4fb82f24e44e242b8ab76ee6e2cee3160f6c9d3aae7b8cc032137a",
+        "c08fb616963154294a949018631932f71f28985de841a658e2e5661096fac52e",
     ),
     (
         ProtocolKind::Streamlet,
-        "e84bbf18d29e4fd76e4984ef3a83ce15257983c6c1cc6a2277d6b8df8a1701eb",
+        "408c7f4ecc506a02c0c7c5897badd8ccbb129bb56e99b547b21285aace3d9494",
     ),
 ];
 
 const CRASH_F_PINS: [(ProtocolKind, &str); 2] = [
     (
         ProtocolKind::HotStuff,
-        "e869765a036d73f88bf3f0f41d28279219fad12e7a8a6ee4e442c33ab439eab3",
+        "19a55de9e0fa05cdf81c62b6eb505b56a4ea0bc48219dde8542bc8c001ca7cf2",
     ),
     (
         ProtocolKind::TwoChainHotStuff,
-        "59a68713b5e8bd1b23b612da8138857c23902fc9175c9c917efca3b89a4656e1",
+        "661b7738e6b1795eb33c9cd6195e547b1bf73fb4505473a7eb094ea4edf91d5f",
     ),
 ];
 
+/// Checks (or, under `GOLDEN_DUMP=1`, prints paste-ready rows for) one
+/// scenario's pins.
+fn check_pins(name: &str, pins: &[(ProtocolKind, &str)]) {
+    let report = run_quick(name);
+    if std::env::var_os("GOLDEN_DUMP").is_some() {
+        for (protocol, _) in pins {
+            println!(
+                "({name}) (ProtocolKind::{protocol:?}, \"{}\"),",
+                fingerprint(&report, *protocol)
+            );
+        }
+        return;
+    }
+    for (protocol, pin) in pins {
+        assert_eq!(fingerprint(&report, *protocol), *pin, "{name}/{protocol}");
+    }
+}
+
 #[test]
 fn lan_scenario_fingerprints_are_pinned() {
-    let report = run_quick("lan");
-    for (protocol, pin) in LAN_PINS {
-        assert_eq!(fingerprint(&report, protocol), pin, "lan/{protocol}");
-    }
+    check_pins("lan", &LAN_PINS);
 }
 
 #[test]
 fn geo_wan_scenario_fingerprints_are_pinned() {
-    let report = run_quick("geo_wan");
-    for (protocol, pin) in GEO_WAN_PINS {
-        assert_eq!(fingerprint(&report, protocol), pin, "geo_wan/{protocol}");
-    }
+    check_pins("geo_wan", &GEO_WAN_PINS);
 }
 
 #[test]
 fn crash_f_scenario_fingerprints_are_pinned() {
-    let report = run_quick("crash_f");
-    for (protocol, pin) in CRASH_F_PINS {
-        assert_eq!(fingerprint(&report, protocol), pin, "crash_f/{protocol}");
-    }
+    check_pins("crash_f", &CRASH_F_PINS);
 }
 
 #[test]
