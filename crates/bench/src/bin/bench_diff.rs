@@ -15,7 +15,11 @@
 //!   count, keyed `protocol/nN/tT`. Thread counts are never cross-compared;
 //!   a multi-thread point whose artifact carries no ledger fingerprint is
 //!   flagged, since without one the speedup is unaccompanied by its
-//!   determinism proof.
+//!   determinism proof;
+//! * `scenario_reports.json` — the recovery series: per-run
+//!   `recovery_time_ms` (worst-case amnesia catch-up) keyed by
+//!   `scenario/protocol`, for runs that actually scheduled amnesia
+//!   recoveries. Recovery time is a latency, so it regresses *upwards*.
 //!
 //! Non-gating by design: shared-runner numbers are noisy, so the tool always
 //! exits 0 — it prints aligned diff tables and emits GitHub `::warning::`
@@ -233,6 +237,93 @@ fn diff_rate_row(label: &str, base: f64, value: f64, unit: &str, snapshot: &str)
     }
 }
 
+/// `(key, recovery_time_ms)` rows of a scenario-reports artifact: one row
+/// per run that scheduled at least one amnesia recovery (runs without any
+/// have a vacuous zero that would only add noise).
+fn recovery_entries(doc: &Json) -> Vec<(String, f64)> {
+    doc.as_array()
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|scenario| {
+            let name = scenario.get("name")?.as_str()?;
+            let runs = scenario.get("runs")?.as_array()?;
+            Some((name.to_string(), runs))
+        })
+        .flat_map(|(name, runs)| {
+            runs.iter()
+                .filter_map(move |run| {
+                    let protocol = run.get("protocol")?.as_str()?;
+                    let recovery = run.get("report")?.get("recovery")?;
+                    let recoveries = recovery.get("amnesia_recoveries")?.as_f64()?;
+                    if recoveries <= 0.0 {
+                        return None;
+                    }
+                    let time = recovery.get("recovery_time_ms")?.as_f64()?;
+                    Some((format!("{name}/{protocol}"), time))
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+fn diff_recovery(snapshot: &Json, snapshot_name: &str) -> usize {
+    let fresh_path = results_dir().join("scenario_reports.json");
+    let Ok(fresh_text) = std::fs::read_to_string(&fresh_path) else {
+        println!("\nbench-diff: no fresh scenario_reports artifact; skipping the recovery diff");
+        return 0;
+    };
+    let Ok(fresh) = Json::parse(&fresh_text) else {
+        println!("\nbench-diff: unparsable {}", fresh_path.display());
+        return 0;
+    };
+    let fresh_rows = recovery_entries(&fresh);
+    if fresh_rows.is_empty() {
+        println!("\nbench-diff: no amnesia recoveries in the fresh scenario reports; skipping");
+        return 0;
+    }
+    let base_rows: Vec<(String, f64)> = snapshot
+        .get("benches")
+        .and_then(|b| b.get("scenario_reports"))
+        .map(recovery_entries)
+        .unwrap_or_default();
+    println!(
+        "\nbench-diff: recovery_time_ms vs {snapshot_name} ({} baseline points)",
+        base_rows.len()
+    );
+    println!(
+        "{:<36} {:>14} {:>14} {:>9}",
+        "run (recovery_time_ms)", "baseline", "fresh", "delta"
+    );
+    let mut regressions = 0usize;
+    for (key, value) in &fresh_rows {
+        let Some((_, base)) = base_rows.iter().find(|(k, _)| k == key) else {
+            println!("{key:<36} {:>14} {value:>14.1} {:>9}", "(new)", "-");
+            continue;
+        };
+        if *base <= 0.0 {
+            println!("{key:<36} {base:>14.1} {value:>14.1} {:>9}", "-");
+            continue;
+        }
+        // Catch-up time is a latency: slower recovery is the regression.
+        let delta = (value - base) / base;
+        let regressed = delta > THRESHOLD;
+        let marker = if regressed { "  <-- regression" } else { "" };
+        println!(
+            "{key:<36} {base:>14.1} {value:>14.1} {:>+8.1}%{marker}",
+            delta * 100.0
+        );
+        if regressed {
+            println!(
+                "::warning::recovery '{key}' regressed {:+.1}% vs {snapshot_name} \
+                 ({base:.1} -> {value:.1} ms)",
+                delta * 100.0
+            );
+            regressions += 1;
+        }
+    }
+    regressions
+}
+
 fn diff_scalability(snapshot: &Json, snapshot_name: &str) -> usize {
     let fresh_path = results_dir().join("scalability_large_n.json");
     let Ok(fresh_text) = std::fs::read_to_string(&fresh_path) else {
@@ -324,6 +415,7 @@ fn main() {
         // The sweep artifacts may still exist (nightly runs).
         diff_scalability(&snapshot, &snapshot_name);
         diff_thread_scaling(&snapshot, &snapshot_name);
+        diff_recovery(&snapshot, &snapshot_name);
         return;
     };
     let Ok(fresh) = Json::parse(&fresh_text) else {
@@ -385,6 +477,7 @@ fn main() {
 
     regressions += diff_scalability(&snapshot, &snapshot_name);
     regressions += diff_thread_scaling(&snapshot, &snapshot_name);
+    regressions += diff_recovery(&snapshot, &snapshot_name);
 
     if regressions == 0 {
         println!(

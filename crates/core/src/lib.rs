@@ -65,10 +65,12 @@ pub mod workload;
 
 pub use bamboo_sim::{DelayDist, FluctuationWindow, LinkFault, Topology};
 pub use benchmark::{Benchmarker, CurvePoint, SweepOptions};
-pub use metrics::{LatencyStats, Metrics, RunReport, ThroughputSample};
+pub use metrics::{LatencyStats, Metrics, RecoveryReport, RunReport, ThroughputSample};
 pub use parallel::run_ordered;
 pub use quorum::QuorumTracker;
-pub use replica::{Destination, HandleResult, Outbound, Replica, ReplicaEvent, ReplicaOptions};
+pub use replica::{
+    Destination, HandleResult, Outbound, RecoveryStats, Replica, ReplicaEvent, ReplicaOptions,
+};
 pub use runner::{FaultTrigger, NodeFault, RunOptions, SimRunner};
 pub use runtime::{BufferedTransport, NodeHost, StepReport, Transport};
 pub use scenario::{Expectations, Scenario, ScenarioReport, ScenarioRun};

@@ -148,6 +148,70 @@ impl Metrics {
     }
 }
 
+/// Checkpoint, state-transfer and crash-recovery metrics of one run, summed
+/// across all replicas (durations are worst-case over the recovered ones).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecoveryReport {
+    /// Checkpoints taken across all replicas.
+    pub checkpoints_taken: u64,
+    /// State-transfer requests sent.
+    pub sync_requests: u64,
+    /// State-transfer responses served.
+    pub sync_responses: u64,
+    /// Wire bytes received in state-transfer responses.
+    pub sync_bytes: u64,
+    /// Snapshots installed wholesale by catching-up replicas.
+    pub snapshots_installed: u64,
+    /// Blocks received through state transfer.
+    pub blocks_synced: u64,
+    /// Orphans evicted from bounded forest buffers.
+    pub orphans_evicted: u64,
+    /// Replicas that restarted with amnesia during the run.
+    pub amnesia_recoveries: u64,
+    /// Whether every amnesia-recovered replica caught back up: its committed
+    /// chain reached the length of the never-crashed honest minimum with an
+    /// identical chain fingerprint over that prefix. Vacuously `true` when no
+    /// amnesia recovery happened.
+    pub recovered_caught_up: bool,
+    /// Worst-case catch-up duration (restart to orphan-free) over the
+    /// amnesia-recovered replicas, in milliseconds; `0` when none recovered.
+    pub recovery_time_ms: f64,
+}
+
+impl Default for RecoveryReport {
+    fn default() -> Self {
+        Self {
+            checkpoints_taken: 0,
+            sync_requests: 0,
+            sync_responses: 0,
+            sync_bytes: 0,
+            snapshots_installed: 0,
+            blocks_synced: 0,
+            orphans_evicted: 0,
+            amnesia_recoveries: 0,
+            recovered_caught_up: true,
+            recovery_time_ms: 0.0,
+        }
+    }
+}
+
+impl ToJson for RecoveryReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("checkpoints_taken", Json::from(self.checkpoints_taken)),
+            ("sync_requests", Json::from(self.sync_requests)),
+            ("sync_responses", Json::from(self.sync_responses)),
+            ("sync_bytes", Json::from(self.sync_bytes)),
+            ("snapshots_installed", Json::from(self.snapshots_installed)),
+            ("blocks_synced", Json::from(self.blocks_synced)),
+            ("orphans_evicted", Json::from(self.orphans_evicted)),
+            ("amnesia_recoveries", Json::from(self.amnesia_recoveries)),
+            ("recovered_caught_up", Json::from(self.recovered_caught_up)),
+            ("recovery_time_ms", Json::from(self.recovery_time_ms)),
+        ])
+    }
+}
+
 /// The final report of one simulation run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -212,6 +276,9 @@ pub struct RunReport {
     /// the same configuration must produce identical fingerprints — the
     /// golden-replay tests pin engine rewrites against recorded values.
     pub ledger_fingerprint: String,
+    /// Checkpointing and crash-recovery metrics (all zero/vacuous in runs
+    /// without checkpoints or amnesia faults).
+    pub recovery: RecoveryReport,
 }
 
 impl RunReport {
@@ -291,6 +358,7 @@ impl ToJson for RunReport {
                 "ledger_fingerprint",
                 Json::from(self.ledger_fingerprint.as_str()),
             ),
+            ("recovery", self.recovery.to_json()),
         ])
     }
 }
@@ -393,6 +461,7 @@ mod tests {
             max_shard_queue_peak: 0,
             threads: 1,
             ledger_fingerprint: String::new(),
+            recovery: RecoveryReport::default(),
         };
         let s = report.summary();
         assert!(s.contains("HS"));

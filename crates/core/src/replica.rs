@@ -11,14 +11,14 @@
 use std::collections::HashMap;
 
 use bamboo_crypto::KeyPair;
-use bamboo_forest::{BlockForest, ForestError, Ledger};
+use bamboo_forest::{BlockForest, ForestError, Ledger, Snapshot};
 use bamboo_mempool::Mempool;
 use bamboo_pacemaker::{LeaderElection, Pacemaker, PacemakerAction};
 use bamboo_protocols::{make_safety, ProposalInput, Safety, VoteDestination};
 use bamboo_sim::CpuModel;
 use bamboo_types::{
-    BlockId, Config, Message, NodeId, ProtocolKind, QuorumCert, SharedBlock, SimDuration, SimTime,
-    TimeoutCert, Transaction, View, Vote,
+    BlockId, Bytes, Config, Height, Message, NodeId, ProtocolKind, QuorumCert, SharedBlock,
+    SimDuration, SimTime, SyncRequest, SyncResponse, TimeoutCert, Transaction, View, Vote,
 };
 
 use crate::quorum::QuorumTracker;
@@ -64,6 +64,9 @@ pub enum ReplicaEvent {
     },
     /// A batch of client transactions arrived at this replica.
     ClientRequests(Vec<Transaction>),
+    /// A previously armed sync timer fired (gap-detection debounce or a
+    /// retry deadline for an outstanding state-transfer request).
+    SyncTimer,
 }
 
 /// Everything a replica wants done after handling one event.
@@ -75,6 +78,9 @@ pub struct HandleResult {
     pub timers: Vec<(View, SimTime)>,
     /// Delayed proposals to schedule: `(view, absolute time)`.
     pub delayed_proposals: Vec<(View, SimTime)>,
+    /// Sync timers to arm (absolute deadlines). Distinct from view timers:
+    /// firing one must never trigger view-change logic.
+    pub sync_timers: Vec<SimTime>,
     /// CPU time consumed handling the event.
     pub cpu: SimDuration,
     /// Blocks that became committed while handling the event (oldest first).
@@ -112,9 +118,40 @@ pub struct ReplicaOptions {
     pub synchronous_epochs: bool,
 }
 
+/// Maximum number of ledger blocks shipped in one [`SyncResponse`]. A lagging
+/// replica that is further behind than this converges over several
+/// request/response rounds rather than in one unboundedly large message.
+const SYNC_BATCH: usize = 256;
+
+/// Counters and timestamps describing checkpointing and state transfer on one
+/// replica. Exposed to the runners so crash-recovery experiments can report
+/// how long catch-up took and what it cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Checkpoints taken by this replica.
+    pub checkpoints_taken: u64,
+    /// Sync requests this replica sent while catching up.
+    pub sync_requests_sent: u64,
+    /// Sync responses this replica served to lagging peers.
+    pub sync_responses_served: u64,
+    /// Total wire bytes of sync responses this replica received.
+    pub sync_bytes_received: u64,
+    /// Snapshots installed wholesale (replacing local forest + ledger).
+    pub snapshots_installed: u64,
+    /// Blocks received through state transfer (excludes snapshot contents).
+    pub blocks_synced: u64,
+    /// When this replica last restarted with amnesia, if ever.
+    pub restarted_at: Option<SimTime>,
+    /// When the last catch-up episode finished (orphan-free after a sync
+    /// install). Cleared whenever a new episode begins, so after the run it
+    /// marks the end of the final episode.
+    pub caught_up_at: Option<SimTime>,
+}
+
 /// A Bamboo replica.
 pub struct Replica {
     id: NodeId,
+    protocol: ProtocolKind,
     config: Config,
     options: ReplicaOptions,
     keypair: KeyPair,
@@ -136,6 +173,23 @@ pub struct Replica {
     deferred_proposal: Option<View>,
     /// Conflicting-commit events observed (must stay zero in a correct run).
     safety_violations: u64,
+    /// Serialized snapshot from the last checkpoint — the only state that
+    /// survives an amnesia restart (it models the durable disk image).
+    latest_checkpoint: Option<Bytes>,
+    /// Committed ledger length at the time of the last checkpoint.
+    checkpoint_height: u64,
+    /// True while this replica is actively state-transferring. A syncing
+    /// replica neither votes nor proposes: it cannot evaluate the safety
+    /// rules against a chain it does not yet have.
+    syncing: bool,
+    /// Whether a sync timer (debounce or retry) is currently armed; keeps the
+    /// timer traffic to at most one outstanding deadline.
+    sync_timer_armed: bool,
+    /// Consecutive sync attempts in the current episode (drives backoff and
+    /// deterministic peer rotation).
+    sync_attempts: u64,
+    /// Recovery bookkeeping for the metrics layer.
+    recovery: RecoveryStats,
 }
 
 impl Replica {
@@ -158,6 +212,7 @@ impl Replica {
         let cpu = CpuModel::new(cpu_delay).with_per_tx(SimDuration::from_nanos(400));
         Self {
             id,
+            protocol,
             keypair: KeyPair::from_seed(id.as_u64()),
             election,
             forest: BlockForest::new(),
@@ -171,6 +226,12 @@ impl Replica {
             pending_qcs: HashMap::new(),
             deferred_proposal: None,
             safety_violations: 0,
+            latest_checkpoint: None,
+            checkpoint_height: 0,
+            syncing: false,
+            sync_timer_armed: false,
+            sync_attempts: 0,
+            recovery: RecoveryStats::default(),
             config,
             options,
         }
@@ -230,6 +291,22 @@ impl Replica {
     /// Whether the protocol run by this replica is optimistically responsive.
     pub fn is_responsive(&self) -> bool {
         self.safety.is_responsive()
+    }
+
+    /// Checkpoint and state-transfer counters for the metrics layer.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// True while the replica is catching up via state transfer (voting and
+    /// proposing are suspended).
+    pub fn is_syncing(&self) -> bool {
+        self.syncing
+    }
+
+    /// The serialized snapshot from the most recent checkpoint, if any.
+    pub fn latest_checkpoint(&self) -> Option<&Bytes> {
+        self.latest_checkpoint.as_ref()
     }
 
     /// Starts the replica: arms the first view timer and, if it leads view 1,
@@ -309,7 +386,10 @@ impl Replica {
                     self.mempool.push(req.transaction);
                 }
                 Message::Response(_) => {}
+                Message::SyncRequest(req) => self.on_sync_request(req, &mut out),
+                Message::SyncResponse(resp) => self.on_sync_response(resp, now, &mut out),
             },
+            ReplicaEvent::SyncTimer => self.on_sync_timer(now, &mut out),
         }
         out
     }
@@ -364,8 +444,22 @@ impl Replica {
         // The QC carried by the proposal is new information.
         self.register_qc(justify, now, out);
 
-        // Voting rule.
-        if self.forest.contains(block_id) && self.safety.should_vote(&block, &self.forest) {
+        // Gap detection: a proposal whose ancestry we cannot resolve sits in
+        // the orphan buffer. Arm a debounced sync timer rather than firing a
+        // request immediately — on a healthy network the missing parent is
+        // usually just reordered and arrives before the debounce expires, in
+        // which case the timer fires as a strict no-op (no CPU, no sends).
+        if self.forest.orphan_count() > 0 && !self.sync_timer_armed {
+            self.sync_timer_armed = true;
+            out.sync_timers.push(now + self.pacemaker.timeout() / 4);
+        }
+
+        // Voting rule. A syncing replica never votes: it cannot evaluate the
+        // safety rules against ancestry it does not have yet.
+        if !self.syncing
+            && self.forest.contains(block_id)
+            && self.safety.should_vote(&block, &self.forest)
+        {
             out.cpu += self.cpu.sign();
             let vote = Vote::new(block_id, block_view, self.id, &self.keypair);
             // A signature-forging attacker replaces its outbound votes; the
@@ -550,6 +644,11 @@ impl Replica {
     }
 
     fn do_propose(&mut self, view: View, now: SimTime, out: &mut HandleResult) {
+        if self.syncing {
+            // A catching-up leader proposing would fork from stale state; the
+            // view timer moves leadership on without it.
+            return;
+        }
         if let Some(from) = self.options.silence_from {
             if now >= from {
                 return;
@@ -617,12 +716,240 @@ impl Replica {
                     self.mempool.requeue_front(recovered);
                 }
                 out.committed.extend(newly);
+                self.maybe_checkpoint(out);
             }
             Err(ForestError::ConflictingCommit { .. }) => {
                 self.safety_violations += 1;
             }
             Err(_) => {}
         }
+    }
+
+    // ---- checkpointing and state transfer ------------------------------
+
+    /// Takes a checkpoint when the committed ledger has grown by at least
+    /// `checkpoint_interval` blocks since the last one. Off (`None`) by
+    /// default, so runs without the knob are byte-identical to before.
+    fn maybe_checkpoint(&mut self, out: &mut HandleResult) {
+        let Some(interval) = self.config.checkpoint_interval else {
+            return;
+        };
+        let len = self.ledger.len() as u64;
+        if len < self.checkpoint_height + interval {
+            return;
+        }
+        let bytes = Snapshot::encode(&self.forest, &self.ledger);
+        out.cpu += self.cpu.snapshot(bytes.len());
+        self.checkpoint_height = len;
+        self.recovery.checkpoints_taken += 1;
+        self.latest_checkpoint = Some(Bytes::from(bytes));
+    }
+
+    /// Debounce/retry timer. If the gap healed through live traffic before
+    /// the deadline this is a strict no-op (zero CPU, zero sends), so healthy
+    /// runs are unperturbed by the detection machinery.
+    fn on_sync_timer(&mut self, now: SimTime, out: &mut HandleResult) {
+        self.sync_timer_armed = false;
+        if !self.syncing && self.forest.orphan_count() == 0 {
+            return;
+        }
+        self.send_sync_request(now, out);
+    }
+
+    /// Starts (or retries) a catch-up episode: sends a signed request for our
+    /// missing suffix to a deterministically chosen peer and arms a retry
+    /// timer with linear backoff.
+    fn send_sync_request(&mut self, now: SimTime, out: &mut HandleResult) {
+        if self.config.nodes <= 1 {
+            // No peers to sync from.
+            self.syncing = false;
+            return;
+        }
+        if !self.syncing {
+            // A new episode begins: the previous caught-up mark no longer
+            // describes the final state.
+            self.recovery.caught_up_at = None;
+        }
+        self.syncing = true;
+        let target = self.sync_target();
+        self.sync_attempts += 1;
+        self.recovery.sync_requests_sent += 1;
+        out.cpu += self.cpu.sign();
+        let request = SyncRequest::new(
+            self.id,
+            self.ledger.head(),
+            Height(self.ledger.len() as u64),
+            &self.keypair,
+        );
+        out.send(Destination::Node(target), Message::SyncRequest(request));
+        // Linear backoff, capped: a lost response costs one more round trip.
+        let backoff = SimDuration::from_nanos(
+            self.pacemaker.timeout().as_nanos() * self.sync_attempts.min(8),
+        );
+        self.sync_timer_armed = true;
+        out.sync_timers.push(now + backoff);
+    }
+
+    /// Deterministic peer choice: the first attempt asks the proposer of the
+    /// oldest buffered orphan (it certainly holds the missing ancestry);
+    /// retries rotate through the validator set, skipping ourselves.
+    fn sync_target(&self) -> NodeId {
+        if self.sync_attempts == 0 {
+            if let Some(orphan) = self.forest.oldest_orphan() {
+                if orphan.proposer != self.id {
+                    return orphan.proposer;
+                }
+            }
+        }
+        let n = self.config.nodes as u64;
+        let mut candidate = (self.id.as_u64() + 1 + self.sync_attempts) % n;
+        if candidate == self.id.as_u64() {
+            candidate = (candidate + 1) % n;
+        }
+        NodeId(candidate)
+    }
+
+    /// Serves a state-transfer request from local state. If the requester is
+    /// behind our latest checkpoint (or on a chain we do not recognise), the
+    /// response leads with the snapshot; the committed suffix above it and the
+    /// uncommitted main path follow, capped at [`SYNC_BATCH`] blocks.
+    fn on_sync_request(&mut self, req: SyncRequest, out: &mut HandleResult) {
+        out.cpu += self.cpu.verify(1);
+        if req.requester == self.id {
+            return;
+        }
+        self.recovery.sync_responses_served += 1;
+        // Where in our ledger does the requester's claimed head sit?
+        let claimed = req.height.as_u64() as usize;
+        let on_our_chain = claimed == 0
+            || (claimed <= self.ledger.len()
+                && self.ledger.get(claimed - 1).map(|c| c.block.id) == Some(req.head));
+        let mut start = if on_our_chain { claimed } else { 0 };
+        let mut snapshot = None;
+        if let Some(bytes) = &self.latest_checkpoint {
+            if (start as u64) < self.checkpoint_height {
+                out.cpu += self.cpu.snapshot(bytes.len());
+                snapshot = Some(bytes.clone());
+                start = self.checkpoint_height as usize;
+            }
+        }
+        let mut blocks: Vec<SharedBlock> = self
+            .ledger
+            .iter()
+            .skip(start)
+            .take(SYNC_BATCH)
+            .map(|c| c.block.clone())
+            .collect();
+        if blocks.len() < SYNC_BATCH {
+            // Room left in the batch: append the uncommitted main path so the
+            // requester can rejoin live consensus immediately.
+            let head = self.forest.committed_head().id;
+            let tip = self.forest.highest_certified_block().id;
+            if let Some(path) = self.forest.shared_path_from(head, tip) {
+                blocks.extend(path.into_iter().take(SYNC_BATCH - blocks.len()).cloned());
+            }
+        }
+        let response = SyncResponse {
+            responder: self.id,
+            snapshot,
+            blocks,
+            high_qc: self.forest.high_qc().clone(),
+        };
+        out.send(
+            Destination::Node(req.requester),
+            Message::SyncResponse(response),
+        );
+    }
+
+    /// Installs a state-transfer response: adopt the snapshot if it is ahead
+    /// of everything we have, then replay the block suffix through the normal
+    /// insert/QC path so commits fire through the protocol's own commit rule.
+    fn on_sync_response(&mut self, resp: SyncResponse, now: SimTime, out: &mut HandleResult) {
+        if !self.syncing {
+            // Unsolicited or duplicate response after we already caught up.
+            return;
+        }
+        self.recovery.sync_bytes_received += resp.wire_size() as u64;
+        if let Some(bytes) = &resp.snapshot {
+            out.cpu += self.cpu.snapshot(bytes.len());
+            if let Ok(snap) = Snapshot::decode(bytes) {
+                if snap.ledger.len() > self.ledger.len() {
+                    self.forest = snap.forest;
+                    self.ledger = snap.ledger;
+                    self.pending_qcs.clear();
+                    self.deferred_proposal = None;
+                    self.recovery.snapshots_installed += 1;
+                }
+            }
+        }
+        self.recovery.blocks_synced += resp.blocks.len() as u64;
+        for block in resp.blocks {
+            out.cpu += self.cpu.process_proposal(block.len());
+            let justify = block.justify.clone();
+            // Duplicates and orphans are handled inside the forest; either
+            // way the carried QC is registered below.
+            let _ = self.forest.insert(block);
+            self.register_qc(justify, now, out);
+        }
+        self.register_qc(resp.high_qc, now, out);
+        if self.forest.orphan_count() == 0 {
+            // Nothing unresolvable remains: the episode is over. If we are
+            // still behind the live tip, the next proposal will orphan and
+            // re-arm the machinery with a fresher head.
+            self.syncing = false;
+            self.sync_attempts = 0;
+            self.recovery.caught_up_at = Some(now);
+        }
+    }
+
+    /// Restarts this replica with amnesia: every in-memory structure is
+    /// discarded and rebuilt from the latest checkpoint (or from genesis when
+    /// none was taken) — modelling a crashed process that comes back with
+    /// only its durable disk image. Returns the combined effects of the
+    /// restart: the fresh view timer, and an immediate state-transfer request
+    /// for the history lost since the checkpoint.
+    pub fn amnesia_restart(&mut self, now: SimTime) -> HandleResult {
+        let mut out = HandleResult::default();
+        let restored = self
+            .latest_checkpoint
+            .as_ref()
+            .and_then(|bytes| {
+                out.cpu += self.cpu.snapshot(bytes.len());
+                Snapshot::decode(bytes).ok()
+            })
+            .map(|snap| (snap.forest, snap.ledger));
+        let (forest, ledger) = restored.unwrap_or_else(|| (BlockForest::new(), Ledger::new()));
+        self.forest = forest;
+        self.ledger = ledger;
+        self.checkpoint_height = self.ledger.len() as u64;
+        let strategy = if self.config.is_byzantine(self.id) {
+            self.config.byzantine_strategy
+        } else {
+            bamboo_types::ByzantineStrategy::Honest
+        };
+        self.safety = make_safety(self.protocol, strategy, self.config.nodes);
+        self.mempool = Mempool::new(self.config.mempool_size);
+        self.pacemaker = Pacemaker::new(self.id, self.config.nodes, self.config.timeout);
+        self.quorum = QuorumTracker::new(self.config.nodes);
+        self.proposed_in_view = View::GENESIS;
+        self.pending_qcs.clear();
+        self.deferred_proposal = None;
+        self.syncing = false;
+        self.sync_timer_armed = false;
+        self.sync_attempts = 0;
+        self.recovery.restarted_at = Some(now);
+        self.recovery.caught_up_at = None;
+        // Ask for the missing history first (this marks us as syncing, which
+        // suppresses proposing from stale state), then arm the view timer.
+        self.send_sync_request(now, &mut out);
+        let startup = self.start(now);
+        out.cpu += startup.cpu;
+        out.outbound.extend(startup.outbound);
+        out.timers.extend(startup.timers);
+        out.delayed_proposals.extend(startup.delayed_proposals);
+        out.sync_timers.extend(startup.sync_timers);
+        out.committed.extend(startup.committed);
+        out
     }
 }
 

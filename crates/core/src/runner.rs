@@ -73,7 +73,7 @@ use bamboo_types::{
     TxId, VerifiedMessage, View,
 };
 
-use crate::metrics::{Metrics, RunReport};
+use crate::metrics::{Metrics, RecoveryReport, RunReport};
 use crate::replica::{Replica, ReplicaEvent, ReplicaOptions};
 use crate::runtime::{BufferedTransport, NodeHost, StepReport};
 use crate::workload::{ClosedLoopWorkload, OpenLoopWorkload, Workload};
@@ -97,9 +97,15 @@ pub enum FaultTrigger {
 ///
 /// A crashed node is blacked out at the network layer: events addressed to
 /// it are discarded and — since it therefore never handles anything — it
-/// sends nothing. Its internal timers are suspended too; after recovery the
-/// node rejoins passively and catches up through the QCs embedded in the
-/// traffic it starts receiving again, exactly like a rebooted machine.
+/// sends nothing. Its internal timers are suspended too.
+///
+/// Recovery comes in two flavours. Without `amnesia` the node rejoins
+/// passively with its pre-crash heap intact and catches up through the QCs
+/// embedded in the traffic it starts receiving again — a network blip, not a
+/// process death. With `amnesia` the node restarts from its latest checkpoint
+/// (whatever [`bamboo_types::Config::checkpoint_interval`] last persisted, or
+/// genesis), discards everything else it knew, and state-transfers the lost
+/// history back from its peers — a machine that actually rebooted.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NodeFault {
     /// The replica to crash.
@@ -108,6 +114,9 @@ pub struct NodeFault {
     pub crash: FaultTrigger,
     /// When the node recovers; `None` means it stays down.
     pub recover: Option<FaultTrigger>,
+    /// Whether recovery loses all in-memory state (restart from checkpoint
+    /// plus state transfer) instead of resuming the pre-crash heap.
+    pub amnesia: bool,
 }
 
 /// Run-level options that are not part of the shared Table-I [`Config`].
@@ -201,13 +210,21 @@ enum SimEvent {
         to: NodeId,
         txs: Vec<Transaction>,
     },
+    /// A state-transfer debounce/retry deadline armed by the replica.
+    SyncTimer {
+        node: NodeId,
+    },
     /// A time-triggered node fault boundary: crash (`true`) or recover
     /// (`false`) the node, scheduled into the owning shard's queue.
     /// View-triggered boundaries are resolved by the coordinator at window
-    /// barriers from the globally highest observed view.
+    /// barriers from the globally highest observed view. `amnesia` applies
+    /// to recoveries only: the node restarts from its latest checkpoint and
+    /// state-transfers the missing history instead of resuming its pre-crash
+    /// heap.
     SetCrashed {
         node: NodeId,
         crashed: bool,
+        amnesia: bool,
     },
 }
 
@@ -259,9 +276,12 @@ enum ShardCmd {
     /// then drain the queue up to `limit` (exclusive).
     Window {
         limit: SimTime,
+        window_start: SimTime,
         window_end: SimTime,
         injections: Vec<Injection>,
-        flips: Vec<(NodeId, bool)>,
+        /// `(node, crashed, amnesia)` — view-triggered fault boundaries
+        /// resolved by the coordinator, applied at the window's opening edge.
+        flips: Vec<(NodeId, bool, bool)>,
     },
     /// Stop and hand the shard state back for reporting.
     Finish,
@@ -350,14 +370,23 @@ impl ShardState {
     fn run_window(
         &mut self,
         limit: SimTime,
+        window_start: SimTime,
         window_end: SimTime,
         injections: Vec<Injection>,
-        flips: &[(NodeId, bool)],
+        flips: &[(NodeId, bool, bool)],
     ) -> WindowResult {
-        for &(node, crashed) in flips {
-            self.crashed[node.index()] = crashed;
-        }
         self.window_end = window_end;
+        for &(node, crashed, amnesia) in flips {
+            let was = self.crashed[node.index()];
+            self.crashed[node.index()] = crashed;
+            // View-triggered amnesia recovery: the owning shard restarts the
+            // replica at the window's opening edge — a barrier-aligned,
+            // layout-invariant instant, so every thread count restarts it at
+            // the same simulated time.
+            if was && !crashed && amnesia && node.index() % self.shards_total == self.shard {
+                self.amnesia_restart(node, window_start);
+            }
+        }
         for injection in injections {
             let event = match injection.kind {
                 InjectionKind::Verified(token) => SimEvent::Deliver {
@@ -427,8 +456,25 @@ impl ShardState {
                     }
                     self.dispatch(to, ReplicaEvent::ClientRequests(txs), time);
                 }
-                SimEvent::SetCrashed { node, crashed } => {
+                SimEvent::SyncTimer { node } => {
+                    if self.crashed[node.index()] {
+                        continue;
+                    }
+                    self.dispatch(node, ReplicaEvent::SyncTimer, time);
+                }
+                SimEvent::SetCrashed {
+                    node,
+                    crashed,
+                    amnesia,
+                } => {
+                    let was = self.crashed[node.index()];
                     self.crashed[node.index()] = crashed;
+                    if was && !crashed && amnesia {
+                        // Time-triggered amnesia recovery (always fires in the
+                        // owning shard's queue): restart from the checkpoint
+                        // and state-transfer the rest back.
+                        self.amnesia_restart(node, time);
+                    }
                 }
             }
         }
@@ -455,6 +501,22 @@ impl ShardState {
         effects.clear();
         let report = self.hosts[local].handle(event, start, &mut effects);
         self.absorb(node, report, &mut effects, start);
+        self.effects = effects;
+    }
+
+    /// Restarts `node` with amnesia at `time`: the replica rebuilds itself
+    /// from its latest checkpoint and its restart effects (view timer, the
+    /// immediate state-transfer request) flow through the same absorb path —
+    /// and thus the same canonical barrier ordering — as any other step.
+    fn amnesia_restart(&mut self, node: NodeId, time: SimTime) {
+        let local = self.local_index(node);
+        // A rebooted process starts with an idle CPU; whatever the busy
+        // server was doing pre-crash died with it.
+        self.busy_until[local] = time;
+        let mut effects = std::mem::take(&mut self.effects);
+        effects.clear();
+        let report = self.hosts[local].restart_with_amnesia(time, &mut effects);
+        self.absorb(node, report, &mut effects, time);
         self.effects = effects;
     }
 
@@ -499,14 +561,18 @@ impl ShardState {
             }
         }
 
-        // Timers and delayed proposals are self-events: they stay in this
-        // shard's queue and may even fire within the current window.
+        // Timers, delayed proposals and sync timers are self-events: they
+        // stay in this shard's queue and may even fire within the current
+        // window.
         for (view, deadline) in effects.timers.drain(..) {
             self.queue
                 .schedule(deadline, SimEvent::Timer { node, view });
         }
         for (view, at) in effects.proposals.drain(..) {
             self.queue.schedule(at, SimEvent::ProposeNow { node, view });
+        }
+        for deadline in effects.sync_timers.drain(..) {
+            self.queue.schedule(deadline, SimEvent::SyncTimer { node });
         }
 
         // Outbound messages leave the sender once its CPU is done. Each
@@ -587,9 +653,10 @@ trait ShardDriver {
     fn run_window(
         &mut self,
         limit: SimTime,
+        window_start: SimTime,
         window_end: SimTime,
         injections: Vec<Vec<Injection>>,
-        flips: &[(NodeId, bool)],
+        flips: &[(NodeId, bool, bool)],
     ) -> Vec<WindowResult>;
     fn finish(self) -> Vec<ShardState>;
 }
@@ -607,14 +674,15 @@ impl ShardDriver for InlineShards {
     fn run_window(
         &mut self,
         limit: SimTime,
+        window_start: SimTime,
         window_end: SimTime,
         injections: Vec<Vec<Injection>>,
-        flips: &[(NodeId, bool)],
+        flips: &[(NodeId, bool, bool)],
     ) -> Vec<WindowResult> {
         self.shards
             .iter_mut()
             .zip(injections)
-            .map(|(shard, batch)| shard.run_window(limit, window_end, batch, flips))
+            .map(|(shard, batch)| shard.run_window(limit, window_start, window_end, batch, flips))
             .collect()
     }
 
@@ -654,11 +722,18 @@ impl ThreadShards {
                         }
                         ShardCmd::Window {
                             limit,
+                            window_start,
                             window_end,
                             injections,
                             flips,
                         } => {
-                            let result = shard.run_window(limit, window_end, injections, &flips);
+                            let result = shard.run_window(
+                                limit,
+                                window_start,
+                                window_end,
+                                injections,
+                                &flips,
+                            );
                             if result_tx.send(result).is_err() {
                                 return;
                             }
@@ -699,14 +774,16 @@ impl ShardDriver for ThreadShards {
     fn run_window(
         &mut self,
         limit: SimTime,
+        window_start: SimTime,
         window_end: SimTime,
         injections: Vec<Vec<Injection>>,
-        flips: &[(NodeId, bool)],
+        flips: &[(NodeId, bool, bool)],
     ) -> Vec<WindowResult> {
         for (command, batch) in self.commands.iter().zip(injections) {
             command
                 .send(ShardCmd::Window {
                     limit,
+                    window_start,
                     window_end,
                     injections: batch,
                     flips: flips.to_vec(),
@@ -746,8 +823,9 @@ pub struct SimRunner {
     /// of one tick are grouped here without allocating per-tick maps.
     tick_txs: Vec<Vec<Transaction>>,
     tick_latest: Vec<SimTime>,
-    /// Unresolved view-triggered fault boundaries: `(node, view, crash?)`.
-    view_triggers: Vec<(NodeId, View, bool)>,
+    /// Unresolved view-triggered fault boundaries:
+    /// `(node, view, crash?, amnesia?)`.
+    view_triggers: Vec<(NodeId, View, bool, bool)>,
     /// Highest view observed across all shards (drives view triggers).
     max_view_seen: View,
 }
@@ -894,10 +972,11 @@ impl SimRunner {
                     SimEvent::SetCrashed {
                         node: fault.node,
                         crashed: true,
+                        amnesia: false,
                     },
                 ),
                 FaultTrigger::AtView(view) => {
-                    self.view_triggers.push((fault.node, view, true));
+                    self.view_triggers.push((fault.node, view, true, false));
                 }
             }
             match fault.recover {
@@ -906,10 +985,12 @@ impl SimRunner {
                     SimEvent::SetCrashed {
                         node: fault.node,
                         crashed: false,
+                        amnesia: fault.amnesia,
                     },
                 ),
                 Some(FaultTrigger::AtView(view)) => {
-                    self.view_triggers.push((fault.node, view, false));
+                    self.view_triggers
+                        .push((fault.node, view, false, fault.amnesia));
                 }
                 None => {}
             }
@@ -944,7 +1025,7 @@ impl SimRunner {
             }
             // Resolve view-triggered fault boundaries from the globally
             // highest view; the flips take effect at the window about to run.
-            let mut flips: Vec<(NodeId, bool)> = Vec::new();
+            let mut flips: Vec<(NodeId, bool, bool)> = Vec::new();
             let global_view = results
                 .iter()
                 .map(|result| result.max_view)
@@ -953,9 +1034,9 @@ impl SimRunner {
             if global_view > self.max_view_seen {
                 self.max_view_seen = global_view;
                 let triggers = &mut self.view_triggers;
-                triggers.retain(|&(node, view, crash)| {
+                triggers.retain(|&(node, view, crash, amnesia)| {
                     if view <= global_view {
-                        flips.push((node, crash));
+                        flips.push((node, crash, amnesia));
                         false
                     } else {
                         true
@@ -992,6 +1073,7 @@ impl SimRunner {
                 break;
             }
             let window_index = earliest.0 / window_nanos;
+            let window_start = SimTime(window_index.saturating_mul(window_nanos));
             let window_end = SimTime((window_index + 1).saturating_mul(window_nanos));
             let limit = SimTime(window_end.0.min(end.0.saturating_add(1)));
             // Workload ticks falling inside this window generate their
@@ -1012,7 +1094,7 @@ impl SimRunner {
                 let owner = injection.to.index() % shard_count;
                 per_shard[owner].push(injection);
             }
-            results = driver.run_window(limit, window_end, per_shard, &flips);
+            results = driver.run_window(limit, window_start, window_end, per_shard, &flips);
             processed += results.iter().map(|result| result.processed).sum::<u64>();
         }
         (processed, ticks, driver.finish())
@@ -1136,6 +1218,8 @@ impl SimRunner {
             }
         }
 
+        let recovery = self.recovery_report(&hosts);
+
         RunReport {
             protocol: self.protocol,
             nodes: self.config.nodes,
@@ -1161,7 +1245,66 @@ impl SimRunner {
             max_shard_queue_peak: max_shard_peak,
             threads,
             ledger_fingerprint: observer.ledger().fingerprint().to_hex(),
+            recovery,
         }
+    }
+
+    /// Fold the per-replica recovery counters and audit catch-up: every
+    /// amnesia-recovered replica must end the run with a committed prefix
+    /// matching the chain the never-crashed honest majority agrees on.
+    fn recovery_report(&self, hosts: &[NodeHost]) -> RecoveryReport {
+        let mut recovery = RecoveryReport::default();
+        let crashed: Vec<NodeId> = self.options.node_faults.iter().map(|f| f.node).collect();
+        // The reference chain is the shortest committed ledger among honest
+        // replicas that never crashed — everything an amnesia-recovered node
+        // must have re-learned through checkpoints and state transfer.
+        let mut reference: Option<&Replica> = None;
+        for host in hosts {
+            let replica = host.replica();
+            let stats = replica.recovery_stats();
+            recovery.checkpoints_taken += stats.checkpoints_taken;
+            recovery.sync_requests += stats.sync_requests_sent;
+            recovery.sync_responses += stats.sync_responses_served;
+            recovery.sync_bytes += stats.sync_bytes_received;
+            recovery.snapshots_installed += stats.snapshots_installed;
+            recovery.blocks_synced += stats.blocks_synced;
+            recovery.orphans_evicted += replica.forest().stats().orphans_evicted;
+            if stats.restarted_at.is_some() {
+                recovery.amnesia_recoveries += 1;
+            }
+            if !self.config.is_byzantine(replica.id()) && !crashed.contains(&replica.id()) {
+                let shorter = reference
+                    .map(|r| replica.ledger().len() < r.ledger().len())
+                    .unwrap_or(true);
+                if shorter {
+                    reference = Some(replica);
+                }
+            }
+        }
+        let Some(reference) = reference else {
+            // Every honest node crashed at some point; there is no
+            // uninterrupted chain to audit against.
+            return recovery;
+        };
+        let target_len = reference.ledger().len();
+        let target = reference.ledger().chain_fingerprint_prefix(target_len);
+        for host in hosts {
+            let replica = host.replica();
+            let stats = replica.recovery_stats();
+            if stats.restarted_at.is_none() {
+                continue;
+            }
+            let caught_up = replica.ledger().len() >= target_len
+                && replica.ledger().chain_fingerprint_prefix(target_len) == target;
+            if !caught_up {
+                recovery.recovered_caught_up = false;
+            }
+            if let (Some(restarted), Some(done)) = (stats.restarted_at, stats.caught_up_at) {
+                let millis = done.since(restarted).as_nanos() as f64 / 1_000_000.0;
+                recovery.recovery_time_ms = recovery.recovery_time_ms.max(millis);
+            }
+        }
+        recovery
     }
 }
 
@@ -1313,6 +1456,7 @@ mod tests {
                 node: NodeId(0),
                 crash: FaultTrigger::At(SimTime(100_000_000)),
                 recover: Some(FaultTrigger::At(SimTime(250_000_000))),
+                amnesia: false,
             }],
             ..RunOptions::default()
         };
@@ -1340,6 +1484,7 @@ mod tests {
                 node: NodeId(1),
                 crash: FaultTrigger::AtView(View(4)),
                 recover: None,
+                amnesia: false,
             }],
             ..RunOptions::default()
         };
@@ -1361,6 +1506,7 @@ mod tests {
                     node: NodeId(1),
                     crash: FaultTrigger::AtView(View(4)),
                     recover: None,
+                    amnesia: false,
                 }],
                 threads,
                 ..RunOptions::default()

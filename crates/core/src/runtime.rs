@@ -63,6 +63,11 @@ pub trait Transport {
     /// Schedule a delayed proposal slot for `view` at time `at` (used by the
     /// non-responsive wait-for-timeout deployment of Fig. 15).
     fn schedule_proposal(&mut self, view: View, at: SimTime);
+
+    /// Arm a sync timer (state-transfer debounce/retry) for `deadline`.
+    /// Unlike view timers these carry no view: the replica decides on firing
+    /// whether anything is still missing.
+    fn arm_sync_timer(&mut self, deadline: SimTime);
 }
 
 /// What one event step produced, after all effects were routed into the
@@ -212,6 +217,19 @@ impl NodeHost {
         route(result, transport)
     }
 
+    /// Restarts the hosted replica with amnesia (see
+    /// [`Replica::amnesia_restart`]) and routes the restart effects — the
+    /// fresh view timer and the immediate state-transfer request — into the
+    /// backend's transport like any other step.
+    pub fn restart_with_amnesia(
+        &mut self,
+        now: SimTime,
+        transport: &mut dyn Transport,
+    ) -> StepReport {
+        let result = self.replica.amnesia_restart(now);
+        route(result, transport)
+    }
+
     /// Books a message that failed verification elsewhere (the simulator
     /// verifies each unique envelope once and fans the verdict out): counts
     /// the rejection at this replica and charges the modeled cost of the
@@ -249,6 +267,10 @@ fn verification_cost(cpu: &CpuModel, message: &Message) -> SimDuration {
         Message::TimeoutCertMsg(tc) => tc.signer_count() + tc.high_qc.signer_count(),
         Message::NewView(qc) => qc.signer_count().max(1),
         Message::Request(_) | Message::Response(_) => 0,
+        Message::SyncRequest(_) => 1,
+        // Per-block id/justify checks plus the aggregate high-QC check — the
+        // same work the replica is charged for an accepted response.
+        Message::SyncResponse(resp) => 2 * resp.blocks.len() + resp.high_qc.signer_count().max(1),
     };
     cpu.verify(signatures)
 }
@@ -260,6 +282,7 @@ fn route(result: HandleResult, transport: &mut dyn Transport) -> StepReport {
         outbound,
         timers,
         delayed_proposals,
+        sync_timers,
         cpu,
         committed,
     } = result;
@@ -268,6 +291,9 @@ fn route(result: HandleResult, transport: &mut dyn Transport) -> StepReport {
     }
     for (view, at) in delayed_proposals {
         transport.schedule_proposal(view, at);
+    }
+    for deadline in sync_timers {
+        transport.arm_sync_timer(deadline);
     }
     for out in outbound {
         match out.to {
@@ -294,6 +320,8 @@ pub struct BufferedTransport {
     pub timers: Vec<(View, SimTime)>,
     /// Buffered delayed proposals.
     pub proposals: Vec<(View, SimTime)>,
+    /// Buffered sync-timer arms.
+    pub sync_timers: Vec<SimTime>,
 }
 
 impl BufferedTransport {
@@ -309,6 +337,7 @@ impl BufferedTransport {
         self.sends.clear();
         self.timers.clear();
         self.proposals.clear();
+        self.sync_timers.clear();
     }
 }
 
@@ -327,6 +356,10 @@ impl Transport for BufferedTransport {
 
     fn schedule_proposal(&mut self, view: View, at: SimTime) {
         self.proposals.push((view, at));
+    }
+
+    fn arm_sync_timer(&mut self, deadline: SimTime) {
+        self.sync_timers.push(deadline);
     }
 }
 

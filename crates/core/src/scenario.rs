@@ -52,11 +52,14 @@ enum TriggerSpec {
 /// One entry of the spec's fault schedule, before tier-specific compilation.
 #[derive(Clone, Debug)]
 enum FaultSpec {
-    /// Crash `node` (optionally recovering later).
+    /// Crash `node` (optionally recovering later). With `amnesia` the node
+    /// loses all volatile state at recovery and must restart from its latest
+    /// checkpoint plus state transfer.
     Crash {
         node: NodeId,
         at: TriggerSpec,
         recover: Option<TriggerSpec>,
+        amnesia: bool,
     },
     /// Rolling leader failure: starting at `from`, crash replica
     /// `i mod nodes` during the `i`-th window of `period`, until `until` —
@@ -353,7 +356,10 @@ fn parse_fault(obj: &Json, name: &str) -> Result<FaultSpec, String> {
             let recover = parse_trigger(obj, "recover_at_ms", "recover_at_view", &context)?;
             // A recovery scheduled on the same axis must come after the
             // crash — the reversed pair would fire the (no-op) recovery
-            // first and leave the node down forever, silently.
+            // first and leave the node down forever, silently. Mixing axes
+            // is rejected outright: wall-clock time and view numbers advance
+            // at unrelated rates, so "crash at view V, recover at T ms" has
+            // no well-defined ordering and has historically meant a typo.
             match (at, recover) {
                 (TriggerSpec::At(crash), Some(TriggerSpec::At(rec))) if rec <= crash => {
                     return Err(format!("{context}: recover_at_ms must exceed at_ms"));
@@ -361,9 +367,32 @@ fn parse_fault(obj: &Json, name: &str) -> Result<FaultSpec, String> {
                 (TriggerSpec::AtView(crash), Some(TriggerSpec::AtView(rec))) if rec <= crash => {
                     return Err(format!("{context}: recover_at_view must exceed at_view"));
                 }
+                (TriggerSpec::At(_), Some(TriggerSpec::AtView(_))) => {
+                    return Err(format!(
+                        "{context}: crash at_ms cannot pair with recover_at_view; \
+                         use one trigger axis for both"
+                    ));
+                }
+                (TriggerSpec::AtView(_), Some(TriggerSpec::At(_))) => {
+                    return Err(format!(
+                        "{context}: crash at_view cannot pair with recover_at_ms; \
+                         use one trigger axis for both"
+                    ));
+                }
                 _ => {}
             }
-            Ok(FaultSpec::Crash { node, at, recover })
+            let amnesia = matches!(obj.get("amnesia"), Some(Json::Bool(true)));
+            if amnesia && recover.is_none() {
+                return Err(format!(
+                    "{context}: amnesia without a recovery trigger never restarts the node"
+                ));
+            }
+            Ok(FaultSpec::Crash {
+                node,
+                at,
+                recover,
+                amnesia,
+            })
         }
         "rolling_leader" => {
             let (from, until) = window(obj, &context)?;
@@ -521,6 +550,9 @@ impl Scenario {
         }
         if let Some(v) = opt_f64(doc, "bandwidth_bytes_per_sec") {
             base.bandwidth_bytes_per_sec = v as u64;
+        }
+        if let Some(v) = opt_f64(doc, "checkpoint_interval_blocks") {
+            base.checkpoint_interval = Some(v as u64);
         }
         match doc.get("leader") {
             None => {}
@@ -698,11 +730,13 @@ impl Scenario {
                     node,
                     at: start,
                     recover,
+                    amnesia,
                 } => {
                     options.node_faults.push(NodeFault {
                         node: *node,
                         crash: trigger(*start),
                         recover: recover.map(trigger),
+                        amnesia: *amnesia,
                     });
                 }
                 FaultSpec::RollingLeader {
@@ -721,6 +755,7 @@ impl Scenario {
                             node: NodeId(index % config.nodes as u64),
                             crash: FaultTrigger::At(at(start)),
                             recover: Some(FaultTrigger::At(at(end))),
+                            amnesia: false,
                         });
                         index += 1;
                     }
@@ -900,6 +935,16 @@ impl Scenario {
                     ));
                 }
             }
+            // Recovery audit: every amnesia-recovered replica must end the
+            // run back on the honest chain (vacuously true when the scenario
+            // schedules no amnesia recoveries).
+            if !report.recovery.recovered_caught_up {
+                failures.push(format!(
+                    "{}/{label}: {} amnesia recovery(ies) but a recovered replica never \
+                     caught up to the honest chain",
+                    self.name, report.recovery.amnesia_recoveries
+                ));
+            }
         }
         for &(faster, slower) in &self.expect.commit_latency_ordering {
             let find = |kind: ProtocolKind| runs.iter().find(|r| r.protocol == kind);
@@ -1048,6 +1093,44 @@ mod tests {
                         "workload":{"open_loop_tx_per_sec":1},
                         "faults":[{"kind":"crash","node":0,"at_view":10,"recover_at_view":5}]}"#;
         assert!(Scenario::parse(views).is_err());
+    }
+
+    #[test]
+    fn rejects_crash_and_recovery_triggers_on_different_axes() {
+        // Wall-clock and view triggers advance at unrelated rates, so a
+        // mixed pair has no defined ordering — both directions must fail.
+        let time_then_view = r#"{"name":"x","protocols":["HS"],"nodes":4,"runtime_ms":100,
+                                 "workload":{"open_loop_tx_per_sec":1},
+                                 "faults":[{"kind":"crash","node":0,"at_ms":50,
+                                            "recover_at_view":20}]}"#;
+        assert!(Scenario::parse(time_then_view).is_err());
+        let view_then_time = r#"{"name":"x","protocols":["HS"],"nodes":4,"runtime_ms":100,
+                                 "workload":{"open_loop_tx_per_sec":1},
+                                 "faults":[{"kind":"crash","node":0,"at_view":10,
+                                            "recover_at_ms":80}]}"#;
+        assert!(Scenario::parse(view_then_time).is_err());
+    }
+
+    #[test]
+    fn parses_amnesia_crashes_and_the_checkpoint_knob() {
+        let spec = r#"{"name":"x","protocols":["HS"],"nodes":4,"runtime_ms":100,
+                       "checkpoint_interval_blocks": 16,
+                       "workload":{"open_loop_tx_per_sec":1},
+                       "faults":[{"kind":"crash","node":0,"at_ms":20,
+                                  "recover_at_ms":60,"amnesia":true}]}"#;
+        let scenario = Scenario::parse(spec).unwrap();
+        let (config, options) = scenario.build(false);
+        assert_eq!(config.checkpoint_interval, Some(16));
+        assert_eq!(options.node_faults.len(), 1);
+        assert!(options.node_faults[0].amnesia);
+
+        // Amnesia without a recovery trigger can never restart the node —
+        // the spec is a contradiction and must not parse.
+        let never_back = r#"{"name":"x","protocols":["HS"],"nodes":4,"runtime_ms":100,
+                             "workload":{"open_loop_tx_per_sec":1},
+                             "faults":[{"kind":"crash","node":0,"at_ms":20,
+                                        "amnesia":true}]}"#;
+        assert!(Scenario::parse(never_back).is_err());
     }
 
     #[test]

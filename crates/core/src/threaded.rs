@@ -70,6 +70,15 @@ enum ThreadEvent {
     /// A message the verify pool already authenticated.
     Verified(VerifiedMessage),
     Client(Vec<Transaction>),
+    /// Fault injection: the replica stops processing everything (messages,
+    /// timers, client traffic) until a `Recover` arrives.
+    Crash,
+    /// Fault injection: the replica resumes. With `amnesia` it restarts from
+    /// its latest checkpoint and state-transfers the lost history back;
+    /// without, it simply resumes from its pre-crash in-memory state.
+    Recover {
+        amnesia: bool,
+    },
     Shutdown,
 }
 
@@ -86,6 +95,8 @@ struct ThreadTransport {
     timers: Vec<(View, SimTime)>,
     /// Scheduled delayed proposals: `(view, absolute time)`.
     proposals: Vec<(View, SimTime)>,
+    /// Armed sync timers (state-transfer debounce/retry deadlines).
+    sync_timers: Vec<SimTime>,
 }
 
 impl ThreadTransport {
@@ -96,17 +107,17 @@ impl ThreadTransport {
             verify,
             timers: Vec::new(),
             proposals: Vec::new(),
+            sync_timers: Vec::new(),
         }
     }
 
-    /// Earliest pending deadline among timers and delayed proposals.
+    /// Earliest pending deadline among timers, delayed proposals and sync
+    /// timers.
     fn next_deadline(&self) -> Option<SimTime> {
         let timer = self.timers.iter().map(|&(_, d)| d).min();
         let proposal = self.proposals.iter().map(|&(_, d)| d).min();
-        match (timer, proposal) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        let sync = self.sync_timers.iter().copied().min();
+        [timer, proposal, sync].into_iter().flatten().min()
     }
 
     /// Removes and returns one timer whose deadline has passed.
@@ -121,11 +132,31 @@ impl ThreadTransport {
         Some(self.proposals.swap_remove(index).0)
     }
 
+    /// Removes one sync timer whose deadline has passed, if any.
+    fn due_sync_timer(&mut self, now: SimTime) -> bool {
+        match self.sync_timers.iter().position(|&d| d <= now) {
+            Some(index) => {
+                self.sync_timers.swap_remove(index);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Drops timers and proposals for views the replica has already left, so
-    /// the pending lists stay bounded over long runs.
+    /// the pending lists stay bounded over long runs. Sync timers are
+    /// view-less and self-consume on firing, so they are left alone.
     fn prune_stale(&mut self, current_view: View) {
         self.timers.retain(|&(view, _)| view >= current_view);
         self.proposals.retain(|&(view, _)| view >= current_view);
+    }
+
+    /// Drops every armed deadline — an amnesia restart invalidates timers
+    /// armed for pre-crash views.
+    fn clear_deadlines(&mut self) {
+        self.timers.clear();
+        self.proposals.clear();
+        self.sync_timers.clear();
     }
 }
 
@@ -166,6 +197,10 @@ impl Transport for ThreadTransport {
 
     fn schedule_proposal(&mut self, view: View, at: SimTime) {
         self.proposals.push((view, at));
+    }
+
+    fn arm_sync_timer(&mut self, deadline: SimTime) {
+        self.sync_timers.push(deadline);
     }
 }
 
@@ -249,6 +284,24 @@ impl ThreadedCluster {
         }
     }
 
+    /// Crashes a replica: it stops processing messages, timers and client
+    /// traffic until [`ThreadedCluster::recover`] is called for it.
+    pub fn crash(&self, replica: NodeId) {
+        if let Some(sender) = self.senders.get(replica.index()) {
+            let _ = sender.send(ThreadEvent::Crash);
+        }
+    }
+
+    /// Recovers a crashed replica. With `amnesia` the replica discards its
+    /// in-memory state, restarts from its latest checkpoint and
+    /// state-transfers the missing history from its peers; without, it
+    /// resumes from the state it crashed with.
+    pub fn recover(&self, replica: NodeId, amnesia: bool) {
+        if let Some(sender) = self.senders.get(replica.index()) {
+            let _ = sender.send(ThreadEvent::Recover { amnesia });
+        }
+    }
+
     /// Convenience: submits `count` transactions of `payload` bytes
     /// round-robin across all replicas.
     pub fn submit_round_robin(&self, count: u64, payload: usize) {
@@ -291,6 +344,14 @@ impl ThreadedCluster {
     /// Stops every replica thread (and the verify pool) and returns the
     /// final report.
     pub fn shutdown(self) -> ClusterReport {
+        self.shutdown_with_hosts().0
+    }
+
+    /// Like [`ThreadedCluster::shutdown`], but also hands back the final
+    /// [`NodeHost`]s so tests and experiments can inspect per-replica state —
+    /// ledgers, chain fingerprints, recovery statistics — beyond what the
+    /// summary report carries.
+    pub fn shutdown_with_hosts(self) -> (ClusterReport, Vec<NodeHost>) {
         for sender in &self.senders {
             let _ = sender.send(ThreadEvent::Shutdown);
         }
@@ -328,7 +389,7 @@ impl ThreadedCluster {
                 safety_violations += 1;
             }
         }
-        ClusterReport {
+        let report = ClusterReport {
             committed_blocks,
             committed_txs: *self.committed_txs.lock().expect("counter lock poisoned"),
             max_view,
@@ -336,7 +397,8 @@ impl ThreadedCluster {
             safety_violations,
             timeout_view_changes,
             auth_rejections,
-        }
+        };
+        (report, hosts)
     }
 }
 
@@ -376,37 +438,71 @@ fn run_replica_thread(
 
     let report = host.start(now(), &mut transport);
     account(&report);
+    // While crashed, the replica processes nothing: inbound traffic is
+    // dropped on the floor and armed deadlines do not fire. Only `Recover`
+    // and `Shutdown` are honoured.
+    let mut crashed = false;
 
     loop {
         let current = now();
 
-        // Fire one expired view timer: this is what keeps a live cluster
-        // moving when a leader is silent — no message traffic is needed for
-        // the view change to happen.
-        if let Some(view) = transport.due_timer(current) {
-            let report = host.handle(ReplicaEvent::TimerFired { view }, current, &mut transport);
-            account(&report);
-            transport.prune_stale(host.replica().current_view());
-            continue;
-        }
+        if !crashed {
+            // Fire one expired view timer: this is what keeps a live cluster
+            // moving when a leader is silent — no message traffic is needed
+            // for the view change to happen.
+            if let Some(view) = transport.due_timer(current) {
+                let report =
+                    host.handle(ReplicaEvent::TimerFired { view }, current, &mut transport);
+                account(&report);
+                transport.prune_stale(host.replica().current_view());
+                continue;
+            }
 
-        // Fire one due delayed proposal (the non-responsive Fig. 15 mode).
-        if let Some(view) = transport.due_proposal(current) {
-            let report = host.handle(ReplicaEvent::ProposeNow { view }, current, &mut transport);
-            account(&report);
-            continue;
+            // Fire one due delayed proposal (the non-responsive Fig. 15 mode).
+            if let Some(view) = transport.due_proposal(current) {
+                let report =
+                    host.handle(ReplicaEvent::ProposeNow { view }, current, &mut transport);
+                account(&report);
+                continue;
+            }
+
+            // Fire one due sync timer (state-transfer debounce/retry).
+            if transport.due_sync_timer(current) {
+                let report = host.handle(ReplicaEvent::SyncTimer, current, &mut transport);
+                account(&report);
+                continue;
+            }
         }
 
         // Block on the channel, but never sleep past the next armed deadline.
         let wait = match transport.next_deadline() {
-            Some(deadline) => {
+            Some(deadline) if !crashed => {
                 Duration::from_nanos(deadline.as_nanos().saturating_sub(current.as_nanos()))
                     .min(IDLE_WAIT)
             }
-            None => IDLE_WAIT,
+            _ => IDLE_WAIT,
         };
         match receiver.recv_timeout(wait) {
             Ok(ThreadEvent::Shutdown) => break,
+            Ok(ThreadEvent::Crash) => {
+                crashed = true;
+            }
+            Ok(ThreadEvent::Recover { amnesia }) => {
+                if crashed {
+                    crashed = false;
+                    if amnesia {
+                        // The process comes back with nothing but its durable
+                        // checkpoint; pre-crash deadlines refer to views that
+                        // no longer exist for it.
+                        transport.clear_deadlines();
+                        let report = host.restart_with_amnesia(now(), &mut transport);
+                        account(&report);
+                    }
+                }
+            }
+            Ok(_) if crashed => {
+                // A crashed replica hears nothing.
+            }
             Ok(ThreadEvent::Inbound { from, message }) => {
                 // Inline-verification mode: `handle_shared` authenticates
                 // before the replica sees the message; the last recipient of

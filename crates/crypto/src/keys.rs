@@ -67,6 +67,13 @@ impl fmt::Debug for Signature {
 }
 
 impl Signature {
+    /// Reconstructs a signature from its raw bytes (checkpoint / state
+    /// transfer decoding). The bytes are not validated here; a forged value
+    /// simply fails verification downstream.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        Signature(Digest::from_bytes(bytes))
+    }
+
     fn create(pk: &PublicKey, msg: &[u8]) -> Self {
         let mut prefix = Vec::with_capacity(SIGN_TAG.len() + 32);
         Self::create_with_scratch(&mut prefix, pk, msg)

@@ -82,6 +82,8 @@ pub struct ForestStats {
     pub committed_blocks: u64,
     /// Number of blocks that were pruned away as members of losing forks.
     pub forked_blocks: u64,
+    /// Number of orphans evicted because the orphan buffer hit its cap.
+    pub orphans_evicted: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -102,7 +104,11 @@ pub struct BlockForest {
     vertices: HashMap<BlockId, Vertex>,
     by_height: BTreeMap<u64, Vec<BlockId>>,
     /// Blocks whose parent has not arrived yet, keyed by the missing parent.
+    /// Bounded by `orphan_cap`: a Byzantine peer flooding unresolvable
+    /// orphans evicts its own flood, not the replica's memory.
     orphans: HashMap<BlockId, Vec<SharedBlock>>,
+    orphan_cap: usize,
+    orphans_evicted: u64,
     /// Highest QC observed so far (`hQC` in the paper's state variables).
     high_qc: QuorumCert,
     /// Block certified by `high_qc`'s view with the greatest height.
@@ -118,6 +124,11 @@ impl Default for BlockForest {
         Self::new()
     }
 }
+
+/// Default bound on buffered orphan blocks. Generous for any honest
+/// reordering window (a few in-flight proposals) while capping what a
+/// Byzantine orphan flood can pin in memory.
+pub const DEFAULT_ORPHAN_CAP: usize = 1024;
 
 impl BlockForest {
     /// Creates a forest containing only the genesis block (which is committed
@@ -140,12 +151,109 @@ impl BlockForest {
             vertices,
             by_height,
             orphans: HashMap::new(),
+            orphan_cap: DEFAULT_ORPHAN_CAP,
+            orphans_evicted: 0,
             high_qc: QuorumCert::genesis(),
             highest_certified: genesis_id,
             committed_head: genesis_id,
             committed_count: 0,
             forked_count: 0,
             prune_horizon: Height::GENESIS,
+        }
+    }
+
+    /// Rebuilds a forest from a snapshot: `root` becomes the committed head
+    /// (and the pruning horizon), with the given commit/fork counters carried
+    /// over. Uncommitted descendants are re-inserted through
+    /// [`BlockForest::insert`] / [`BlockForest::register_qc`] afterwards, so
+    /// every structural invariant is re-established by the normal paths.
+    pub fn restore(root: SharedBlock, committed_count: u64, forked_count: u64) -> Self {
+        if root.is_genesis() {
+            let mut forest = Self::new();
+            forest.committed_count = committed_count;
+            forest.forked_count = forked_count;
+            return forest;
+        }
+        let root_id = root.id;
+        let root_height = root.height;
+        let mut vertices = HashMap::new();
+        // Pruning always spares the genesis vertex (it anchors genesis-view
+        // QCs), so a restored forest carries it too — disconnected from the
+        // root, exactly like a long-running forest after deep pruning.
+        vertices.insert(
+            BlockId::GENESIS,
+            Vertex {
+                block: SharedBlock::new(Block::genesis()),
+                qc: Some(QuorumCert::genesis()),
+                children: Vec::new(),
+            },
+        );
+        vertices.insert(
+            root_id,
+            Vertex {
+                block: root,
+                qc: None,
+                children: Vec::new(),
+            },
+        );
+        let mut by_height = BTreeMap::new();
+        by_height.insert(0, vec![BlockId::GENESIS]);
+        by_height.insert(root_height.as_u64(), vec![root_id]);
+        Self {
+            vertices,
+            by_height,
+            orphans: HashMap::new(),
+            orphan_cap: DEFAULT_ORPHAN_CAP,
+            orphans_evicted: 0,
+            high_qc: QuorumCert::genesis(),
+            highest_certified: root_id,
+            committed_head: root_id,
+            committed_count,
+            forked_count,
+            prune_horizon: root_height,
+        }
+    }
+
+    /// Overrides the orphan-buffer capacity (tests and tuning).
+    pub fn set_orphan_cap(&mut self, cap: usize) {
+        self.orphan_cap = cap.max(1);
+    }
+
+    /// Number of orphan blocks currently buffered.
+    pub fn orphan_count(&self) -> usize {
+        self.orphans.values().map(Vec::len).sum()
+    }
+
+    /// The buffered orphan closest to the committed chain (minimum height,
+    /// ties broken by block id) — the best candidate to anchor a state-sync
+    /// request, since its missing ancestry is the longest gap.
+    pub fn oldest_orphan(&self) -> Option<&SharedBlock> {
+        self.orphans
+            .values()
+            .flatten()
+            .min_by_key(|b| (b.height, b.id))
+    }
+
+    /// Evicts orphans while the buffer exceeds its cap. The victim is the
+    /// orphan *furthest* above the committed head (maximum height, ties by
+    /// id): the most speculative block, and the deterministic choice every
+    /// replay reproduces.
+    fn enforce_orphan_cap(&mut self) {
+        while self.orphan_count() > self.orphan_cap {
+            let Some(victim) = self
+                .orphans
+                .values()
+                .flatten()
+                .max_by_key(|b| (b.height, b.id))
+                .map(|b| b.id)
+            else {
+                return;
+            };
+            self.orphans.retain(|_, blocks| {
+                blocks.retain(|b| b.id != victim);
+                !blocks.is_empty()
+            });
+            self.orphans_evicted += 1;
         }
     }
 
@@ -242,6 +350,7 @@ impl BlockForest {
             Some(parent) => parent.block.height,
             None => {
                 self.orphans.entry(parent_id).or_default().push(block);
+                self.enforce_orphan_cap();
                 return Err(ForestError::UnknownParent(parent_id));
             }
         };
@@ -309,6 +418,16 @@ impl BlockForest {
             }
         }
         Ok(())
+    }
+
+    /// Adopts `qc` as the high-QC if it is newer, without requiring the
+    /// certified block to be stored. State-transfer responses may carry a tip
+    /// QC whose block arrives only with the next live proposal; the replica
+    /// still must not propose or timeout with an older high-QC.
+    pub fn observe_qc(&mut self, qc: QuorumCert) {
+        if qc.view > self.high_qc.view {
+            self.high_qc = qc;
+        }
     }
 
     /// Recomputes `highest_certified` by scanning all vertices. Only needed
@@ -560,6 +679,7 @@ impl BlockForest {
             committed_height: self.committed_head().height.as_u64(),
             committed_blocks: self.committed_count,
             forked_blocks: self.forked_count,
+            orphans_evicted: self.orphans_evicted,
         }
     }
 

@@ -146,6 +146,44 @@ impl Ledger {
         Digest::from_bytes(hasher.finalize())
     }
 
+    /// A digest over the chain-intrinsic part of the first `len` committed
+    /// blocks: block id, proposal view and payload transaction ids — but
+    /// *not* the commit-time metadata [`Ledger::fingerprint`] also hashes.
+    ///
+    /// Commit view and commit time are observer-local (a replica that caught
+    /// up through state transfer commits the same blocks at later simulated
+    /// times), so [`Ledger::fingerprint`] can never match across replicas.
+    /// The chain fingerprint is the cross-replica agreement oracle: two
+    /// replicas whose prefixes chain-fingerprint equal committed the same
+    /// blocks carrying the same transactions in the same order.
+    pub fn chain_fingerprint_prefix(&self, len: usize) -> Digest {
+        let mut hasher = Sha256::new();
+        hasher.update(b"bamboo-ledger-chain-v1");
+        for committed in self.blocks.iter().take(len) {
+            hasher.update(committed.block.id.0.as_bytes());
+            hasher.update(&committed.block.view.as_u64().to_be_bytes());
+            for tx in &committed.block.payload {
+                hasher.update(tx.id.0.as_bytes());
+            }
+        }
+        Digest::from_bytes(hasher.finalize())
+    }
+
+    /// [`Ledger::chain_fingerprint_prefix`] over the whole ledger.
+    pub fn chain_fingerprint(&self) -> Digest {
+        self.chain_fingerprint_prefix(self.blocks.len())
+    }
+
+    /// Rebuilds a ledger from decoded committed blocks (snapshot restore).
+    /// The committed-transaction counter is recomputed from the payloads.
+    pub fn restore(blocks: Vec<CommittedBlock>) -> Self {
+        let committed_txs = blocks.iter().map(|c| c.block.payload.len() as u64).sum();
+        Self {
+            blocks,
+            committed_txs,
+        }
+    }
+
     /// Returns true if `other` and `self` agree on a common committed prefix
     /// (one may simply be ahead of the other).
     pub fn consistent_with(&self, other: &Ledger) -> bool {

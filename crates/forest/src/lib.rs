@@ -20,6 +20,8 @@
 
 pub mod forest;
 pub mod ledger;
+pub mod snapshot;
 
 pub use forest::{BlockForest, ForestError, ForestStats};
 pub use ledger::{CommittedBlock, Ledger};
+pub use snapshot::{Snapshot, SnapshotError};

@@ -68,6 +68,15 @@ impl CpuModel {
     pub fn assemble_block(&self, txs: usize) -> SimDuration {
         self.sign() + SimDuration::from_nanos(self.per_tx.as_nanos() * txs as u64)
     }
+
+    /// Cost of encoding, decoding or integrity-checking `bytes` of checkpoint
+    /// snapshot: one crypto-op-equivalent per 4 KiB (hashing dominates both
+    /// directions), minimum one. Charged when a replica takes a checkpoint,
+    /// serves its snapshot to a syncing peer, or installs a received one.
+    pub fn snapshot(&self, bytes: usize) -> SimDuration {
+        let chunks = (bytes as u64).div_ceil(4096).max(1);
+        SimDuration::from_nanos(self.crypto_op.as_nanos() * chunks)
+    }
 }
 
 #[cfg(test)]

@@ -33,7 +33,7 @@ use bamboo_crypto::{BatchVerifier, KeyPair, PublicKey};
 use crate::block::Block;
 use crate::certificate::{QuorumCert, TimeoutCert, TimeoutVote, Vote};
 use crate::ids::{quorum_threshold, NodeId, View};
-use crate::message::{Message, SharedMessage};
+use crate::message::{Message, SharedMessage, SyncRequest, SyncResponse};
 
 /// Why an inbound message was rejected at the ingress stage.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -57,6 +57,8 @@ pub enum AuthError {
     BadTimeoutSignature(NodeId),
     /// At least one signature inside a timeout certificate is invalid.
     BadTcSignature(View),
+    /// A sync request's signature does not verify under the requester's key.
+    BadSyncSignature(NodeId),
 }
 
 impl fmt::Display for AuthError {
@@ -73,6 +75,9 @@ impl fmt::Display for AuthError {
                 write!(f, "invalid timeout signature from {node}")
             }
             AuthError::BadTcSignature(view) => write!(f, "invalid TC signature @ {view}"),
+            AuthError::BadSyncSignature(node) => {
+                write!(f, "invalid sync-request signature from {node}")
+            }
         }
     }
 }
@@ -230,6 +235,8 @@ impl Authenticator {
             Message::Timeout(tv) => self.verify_timeout_vote(tv),
             Message::TimeoutCertMsg(tc) => self.verify_timeout_cert(tc),
             Message::NewView(qc) => self.verify_qc(qc),
+            Message::SyncRequest(req) => self.verify_sync_request(req),
+            Message::SyncResponse(resp) => self.verify_sync_response(resp),
             // Client traffic is not covered by the validator set.
             Message::Request(_) | Message::Response(_) => Ok(()),
         }
@@ -300,6 +307,28 @@ impl Authenticator {
             return Err(AuthError::BadTcSignature(tc.view));
         }
         self.verify_qc(&tc.high_qc)
+    }
+
+    /// Verifies a sync request's signature over `(head, height)`.
+    pub fn verify_sync_request(&self, req: &SyncRequest) -> Result<(), AuthError> {
+        let key = self
+            .key_of(req.requester)
+            .ok_or(AuthError::UnknownSigner(req.requester))?;
+        if !req.verify(&key) {
+            return Err(AuthError::BadSyncSignature(req.requester));
+        }
+        Ok(())
+    }
+
+    /// Verifies a sync response: every carried block (id binding + justify
+    /// QC) and the responder's high-QC. Snapshot bytes are *not* checked here
+    /// — their integrity checks are structural and happen when the requester
+    /// decodes and installs the snapshot.
+    pub fn verify_sync_response(&mut self, resp: &SyncResponse) -> Result<(), AuthError> {
+        for block in &resp.blocks {
+            self.verify_block(block)?;
+        }
+        self.verify_qc(&resp.high_qc)
     }
 
     fn check_threshold(&self, got: usize) -> Result<(), AuthError> {
@@ -483,6 +512,67 @@ mod tests {
         assert!(forged.verify_id());
         assert_eq!(
             auth.verify_block(&forged),
+            Err(AuthError::BadQcSignature(View(1)))
+        );
+    }
+
+    #[test]
+    fn sync_messages_are_verified() {
+        let kps = keypairs(4);
+        let mut auth = Authenticator::for_nodes(4);
+
+        let req = SyncRequest::new(NodeId(2), block_id(1), Height(5), &kps[2]);
+        assert!(auth.verify_sync_request(&req).is_ok());
+
+        // Same request signed with the wrong key is a forgery.
+        let forged = SyncRequest::new(NodeId(2), block_id(1), Height(5), &kps[3]);
+        assert_eq!(
+            auth.verify_sync_request(&forged),
+            Err(AuthError::BadSyncSignature(NodeId(2)))
+        );
+        let unknown = SyncRequest::new(NodeId(9), block_id(1), Height(5), &kps[3]);
+        assert_eq!(
+            auth.verify_sync_request(&unknown),
+            Err(AuthError::UnknownSigner(NodeId(9)))
+        );
+
+        // A response is checked block-by-block plus the carried high-QC.
+        let justify = quorum_qc(block_id(1), View(1), &kps);
+        let good_block = Block::new(
+            View(2),
+            Height(2),
+            block_id(1),
+            NodeId(2),
+            justify.clone(),
+            vec![Transaction::new(NodeId(9), 0, 16, SimTime::ZERO)],
+        );
+        let resp = SyncResponse {
+            responder: NodeId(1),
+            snapshot: None,
+            blocks: vec![good_block.clone().into()],
+            high_qc: justify.clone(),
+        };
+        assert!(auth.verify_sync_response(&resp).is_ok());
+        assert!(auth
+            .authenticate(NodeId(1), Message::SyncResponse(resp))
+            .is_ok());
+
+        // Corrupting the high-QC fails the response.
+        let msg = Vote::signing_bytes(block_id(1), View(1));
+        let mut sigs = AggregateSignature::new();
+        for i in 0..3u64 {
+            sigs.add(i, kps[3].sign(&msg));
+        }
+        let mut bad_qc = justify;
+        bad_qc.signatures = sigs;
+        let bad = SyncResponse {
+            responder: NodeId(1),
+            snapshot: None,
+            blocks: vec![good_block.into()],
+            high_qc: bad_qc,
+        };
+        assert_eq!(
+            auth.verify_sync_response(&bad),
             Err(AuthError::BadQcSignature(View(1)))
         );
     }

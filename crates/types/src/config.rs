@@ -184,6 +184,10 @@ pub struct Config {
     pub arrival_rate: Option<f64>,
     /// RNG seed: the whole run is a deterministic function of the config.
     pub seed: u64,
+    /// Checkpoint cadence: take a snapshot every `n` committed blocks.
+    /// `None` disables checkpointing (the default), which also disables
+    /// amnesia recovery — a replica with no checkpoint restarts from genesis.
+    pub checkpoint_interval: Option<u64>,
 }
 
 impl Default for Config {
@@ -207,6 +211,7 @@ impl Default for Config {
             cpu_delay: SimDuration::from_micros(20),
             arrival_rate: None,
             seed: 42,
+            checkpoint_interval: None,
         }
     }
 }
@@ -261,6 +266,11 @@ impl Config {
         if self.runtime.is_zero() {
             return Err(crate::TypeError::InvalidConfig(
                 "runtime must be positive".into(),
+            ));
+        }
+        if self.checkpoint_interval == Some(0) {
+            return Err(crate::TypeError::InvalidConfig(
+                "checkpoint interval must be positive when set".into(),
             ));
         }
         Ok(())
@@ -380,6 +390,12 @@ impl ConfigBuilder {
     /// Sets the deterministic RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
+        self
+    }
+
+    /// Enables checkpointing: a snapshot every `blocks` committed blocks.
+    pub fn checkpoint_interval(mut self, blocks: u64) -> Self {
+        self.config.checkpoint_interval = Some(blocks);
         self
     }
 

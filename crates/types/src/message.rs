@@ -3,9 +3,12 @@
 use std::fmt;
 use std::sync::Arc;
 
-use crate::block::SharedBlock;
+use bamboo_crypto::{KeyPair, PublicKey, Signature};
+
+use crate::block::{BlockId, SharedBlock};
+use crate::bytes::Bytes;
 use crate::certificate::{QuorumCert, TimeoutCert, TimeoutVote, Vote};
-use crate::ids::{NodeId, View};
+use crate::ids::{Height, NodeId, View};
 use crate::time::SimTime;
 use crate::transaction::{Transaction, TxId};
 
@@ -58,6 +61,90 @@ impl ClientResponse {
     }
 }
 
+/// A state-transfer request: "my committed head is `head` at `height`; send
+/// me what I am missing". Signed by the requester so a Byzantine peer cannot
+/// trigger sync floods in someone else's name.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SyncRequest {
+    /// The replica asking to be caught up.
+    pub requester: NodeId,
+    /// The requester's committed head block.
+    pub head: BlockId,
+    /// Height of that head (genesis = 0 for a fresh / amnesiac replica).
+    pub height: Height,
+    /// Signature over `(head, height)`.
+    pub signature: Signature,
+}
+
+impl SyncRequest {
+    /// Creates and signs a sync request.
+    pub fn new(requester: NodeId, head: BlockId, height: Height, keypair: &KeyPair) -> Self {
+        let signature = keypair.sign(&Self::signing_bytes(head, height));
+        Self {
+            requester,
+            head,
+            height,
+            signature,
+        }
+    }
+
+    /// The canonical byte string a sync request signs.
+    pub fn signing_bytes(head: BlockId, height: Height) -> [u8; 40] {
+        let mut buf = [0u8; 40];
+        buf[..32].copy_from_slice(head.0.as_bytes());
+        buf[32..].copy_from_slice(&height.as_u64().to_be_bytes());
+        buf
+    }
+
+    /// Verifies the request's signature against the requester's public key.
+    pub fn verify(&self, public_key: &PublicKey) -> bool {
+        public_key.verify(
+            &Self::signing_bytes(self.head, self.height),
+            &self.signature,
+        )
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        8 + 32 + 8 + 32
+    }
+}
+
+/// A state-transfer response: an optional checkpoint snapshot (when the
+/// requester is so far behind that the responder no longer stores the blocks
+/// between the two heads) plus a batch of blocks extending it, oldest first,
+/// and the responder's high-QC.
+///
+/// The response carries no signature of its own: every block is
+/// self-authenticating (id binds header + payload, justify QC is quorum
+/// signed), the high-QC is quorum signed, and snapshot bytes are integrity
+/// checked structurally during decode — a forged response either fails the
+/// [`crate::Authenticator`] or fails to install.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SyncResponse {
+    /// The replica serving the response.
+    pub responder: NodeId,
+    /// Encoded checkpoint snapshot (`bamboo_forest::Snapshot` bytes), present
+    /// only when the requester must restart from a checkpoint.
+    pub snapshot: Option<Bytes>,
+    /// Blocks above the snapshot (or above the requester's claimed head),
+    /// oldest first; capped per response, the requester re-requests while
+    /// still behind.
+    pub blocks: Vec<SharedBlock>,
+    /// The responder's high-QC, so the requester can catch up its pacemaker
+    /// state as well as its chain.
+    pub high_qc: QuorumCert,
+}
+
+impl SyncResponse {
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        8 + self.snapshot.as_ref().map(|s| s.len()).unwrap_or(0)
+            + self.blocks.iter().map(|b| b.wire_size()).sum::<usize>()
+            + self.high_qc.wire_size()
+    }
+}
+
 /// Every message type exchanged in the system.
 ///
 /// The enum mirrors Bamboo's message handlers: block proposals, votes, the
@@ -88,6 +175,10 @@ pub enum Message {
     Request(ClientRequest),
     /// A client response.
     Response(ClientResponse),
+    /// A state-transfer request from a replica that detected it is behind.
+    SyncRequest(SyncRequest),
+    /// A state-transfer response: snapshot and/or block suffix.
+    SyncResponse(SyncResponse),
 }
 
 /// Coarse classification of a message, used by metrics and the network model.
@@ -101,6 +192,8 @@ pub enum MessageKind {
     Pacemaker,
     /// Client traffic.
     Client,
+    /// State-transfer traffic (sync requests and responses).
+    Sync,
 }
 
 impl Message {
@@ -113,6 +206,7 @@ impl Message {
                 MessageKind::Pacemaker
             }
             Message::Request(_) | Message::Response(_) => MessageKind::Client,
+            Message::SyncRequest(_) | Message::SyncResponse(_) => MessageKind::Sync,
         }
     }
 
@@ -129,6 +223,8 @@ impl Message {
                 Message::NewView(qc) => qc.wire_size(),
                 Message::Request(r) => r.wire_size(),
                 Message::Response(r) => r.wire_size(),
+                Message::SyncRequest(r) => r.wire_size(),
+                Message::SyncResponse(r) => r.wire_size(),
             }
     }
 
@@ -141,6 +237,7 @@ impl Message {
             Message::TimeoutCertMsg(tc) => Some(tc.view),
             Message::NewView(qc) => Some(qc.view),
             Message::Request(_) | Message::Response(_) => None,
+            Message::SyncRequest(_) | Message::SyncResponse(_) => None,
         }
     }
 
@@ -156,6 +253,8 @@ impl Message {
             Message::NewView(_) => "new-view",
             Message::Request(_) => "request",
             Message::Response(_) => "response",
+            Message::SyncRequest(_) => "sync-request",
+            Message::SyncResponse(_) => "sync-response",
         }
     }
 }
@@ -219,6 +318,24 @@ mod tests {
                     committed_at: SimTime(10),
                 }),
                 MessageKind::Client,
+            ),
+            (
+                Message::SyncRequest(SyncRequest::new(
+                    NodeId(0),
+                    BlockId::GENESIS,
+                    crate::ids::Height::GENESIS,
+                    &kp,
+                )),
+                MessageKind::Sync,
+            ),
+            (
+                Message::SyncResponse(SyncResponse {
+                    responder: NodeId(1),
+                    snapshot: Some(Bytes::from(vec![1u8; 64])),
+                    blocks: vec![block],
+                    high_qc: QuorumCert::genesis(),
+                }),
+                MessageKind::Sync,
             ),
         ];
         for (msg, kind) in cases {

@@ -86,14 +86,18 @@ const GEO_WAN_PINS: [(ProtocolKind, &str); 3] = [
     ),
 ];
 
+// Re-pinned when crash recovery gained active catch-up (checkpoints + state
+// transfer): recovering replicas now fetch the blocks they missed instead of
+// waiting for the chain to reach them, which shifts scheduling in crash runs.
+// The healthy-run pins above were unaffected.
 const CRASH_F_PINS: [(ProtocolKind, &str); 2] = [
     (
         ProtocolKind::HotStuff,
-        "19a55de9e0fa05cdf81c62b6eb505b56a4ea0bc48219dde8542bc8c001ca7cf2",
+        "ac212354d26b7509a4063b11754b33666033ec2a6486a396f162cb731d218cfe",
     ),
     (
         ProtocolKind::TwoChainHotStuff,
-        "661b7738e6b1795eb33c9cd6195e547b1bf73fb4505473a7eb094ea4edf91d5f",
+        "50423c007af9324572236f3093e29702eaf8cbba1f1c40e8263c6c1bcdd695a8",
     ),
 ];
 
