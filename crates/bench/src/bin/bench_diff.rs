@@ -16,6 +16,10 @@
 //!   a multi-thread point whose artifact carries no ledger fingerprint is
 //!   flagged, since without one the speedup is unaccompanied by its
 //!   determinism proof;
+//! * `saturation.json` — the open-loop client-pipeline sweep: per load
+//!   point (keyed `protocol/nN/oRATE`, never cross-compared) committed
+//!   goodput regresses *downwards* and client-observed p99 latency
+//!   *upwards*;
 //! * `scenario_reports.json` — the recovery series: per-run
 //!   `recovery_time_ms` (worst-case amnesia catch-up) keyed by
 //!   `scenario/protocol`, for runs that actually scheduled amnesia
@@ -237,6 +241,93 @@ fn diff_rate_row(label: &str, base: f64, value: f64, unit: &str, snapshot: &str)
     }
 }
 
+/// `(key, goodput, client_p99_ms)` rows of a saturation artifact, keyed
+/// `protocol/nN/oRATE` so a load point only ever diffs against the same
+/// offered load of the same cluster size.
+fn saturation_entries(doc: &Json) -> Vec<(String, f64, f64)> {
+    let nodes = doc.get("nodes").and_then(Json::as_f64).unwrap_or(0.0);
+    doc.get("sweeps")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|sweep| {
+            let protocol = sweep.get("protocol")?.as_str()?.to_string();
+            let points = sweep.get("points")?.as_array()?;
+            Some((protocol, points))
+        })
+        .flat_map(|(protocol, points)| {
+            points
+                .iter()
+                .filter_map(move |point| {
+                    let offered = point.get("offered_tx_per_sec")?.as_f64()?;
+                    let goodput = point.get("goodput_tx_per_sec")?.as_f64()?;
+                    let p99 = point.get("client_p99_ms")?.as_f64()?;
+                    Some((
+                        format!("{protocol}/n{nodes:.0}/o{offered:.0}"),
+                        goodput,
+                        p99,
+                    ))
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+fn diff_saturation(snapshot: &Json, snapshot_name: &str) -> usize {
+    let fresh_path = results_dir().join("saturation.json");
+    let Ok(fresh_text) = std::fs::read_to_string(&fresh_path) else {
+        println!("\nbench-diff: no fresh saturation artifact; skipping that diff");
+        return 0;
+    };
+    let Ok(fresh) = Json::parse(&fresh_text) else {
+        println!("\nbench-diff: unparsable {}", fresh_path.display());
+        return 0;
+    };
+    let fresh_rows = saturation_entries(&fresh);
+    let base_rows: Vec<(String, f64, f64)> = snapshot
+        .get("benches")
+        .and_then(|b| b.get("saturation"))
+        .map(saturation_entries)
+        .unwrap_or_default();
+    println!(
+        "\nbench-diff: saturation vs {snapshot_name} ({} baseline points)",
+        base_rows.len()
+    );
+    println!(
+        "{:<36} {:>14} {:>14} {:>9}",
+        "point (goodput tx/s | p99 ms)", "baseline", "fresh", "delta"
+    );
+    let mut regressions = 0usize;
+    for (key, goodput, p99) in &fresh_rows {
+        let Some((_, base_goodput, base_p99)) = base_rows.iter().find(|(k, _, _)| k == key) else {
+            println!("{key:<36} {:>14} {goodput:>14.1} {:>9}", "(new)", "-");
+            continue;
+        };
+        // Goodput is a rate: losing it is the regression.
+        regressions += diff_rate_row(key, *base_goodput, *goodput, "tx/s", snapshot_name);
+        // Client p99 is a latency: growing it is the regression.
+        if *base_p99 > 0.0 {
+            let delta = (p99 - base_p99) / base_p99;
+            let regressed = delta > THRESHOLD;
+            let label = format!("{key} p99");
+            let marker = if regressed { "  <-- regression" } else { "" };
+            println!(
+                "{label:<36} {base_p99:>14.1} {p99:>14.1} {:>+8.1}%{marker}",
+                delta * 100.0
+            );
+            if regressed {
+                println!(
+                    "::warning::saturation '{label}' regressed {:+.1}% vs {snapshot_name} \
+                     ({base_p99:.1} -> {p99:.1} ms)",
+                    delta * 100.0
+                );
+                regressions += 1;
+            }
+        }
+    }
+    regressions
+}
+
 /// `(key, recovery_time_ms)` rows of a scenario-reports artifact: one row
 /// per run that scheduled at least one amnesia recovery (runs without any
 /// have a vacuous zero that would only add noise).
@@ -415,6 +506,7 @@ fn main() {
         // The sweep artifacts may still exist (nightly runs).
         diff_scalability(&snapshot, &snapshot_name);
         diff_thread_scaling(&snapshot, &snapshot_name);
+        diff_saturation(&snapshot, &snapshot_name);
         diff_recovery(&snapshot, &snapshot_name);
         return;
     };
@@ -477,6 +569,7 @@ fn main() {
 
     regressions += diff_scalability(&snapshot, &snapshot_name);
     regressions += diff_thread_scaling(&snapshot, &snapshot_name);
+    regressions += diff_saturation(&snapshot, &snapshot_name);
     regressions += diff_recovery(&snapshot, &snapshot_name);
 
     if regressions == 0 {

@@ -65,7 +65,9 @@ pub mod workload;
 
 pub use bamboo_sim::{DelayDist, FluctuationWindow, LinkFault, Topology};
 pub use benchmark::{Benchmarker, CurvePoint, SweepOptions};
-pub use metrics::{LatencyStats, Metrics, RecoveryReport, RunReport, ThroughputSample};
+pub use metrics::{
+    LatencyStats, MempoolTotals, Metrics, RecoveryReport, RunReport, ThroughputSample,
+};
 pub use parallel::run_ordered;
 pub use quorum::QuorumTracker;
 pub use replica::{
@@ -76,4 +78,4 @@ pub use runtime::{BufferedTransport, NodeHost, StepReport, Transport};
 pub use scenario::{Expectations, Scenario, ScenarioReport, ScenarioRun};
 pub use threaded::{ClusterReport, ThreadedCluster, DEFAULT_VERIFY_WORKERS};
 pub use verify::{VerifyHandle, VerifyPool};
-pub use workload::{ClosedLoopWorkload, OpenLoopWorkload, Workload};
+pub use workload::{Arrival, ClosedLoopWorkload, OpenLoopWorkload, Workload, CLIENT_ID_BASE};

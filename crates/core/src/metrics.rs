@@ -6,6 +6,7 @@
 //! `t_L` term). Chain growth rate and block interval are the two micro-metrics
 //! introduced for the Byzantine experiments.
 
+use bamboo_mempool::MempoolStats;
 use bamboo_types::{Json, ProtocolKind, SimDuration, SimTime, ToJson};
 
 /// A latency distribution summary in milliseconds.
@@ -33,10 +34,42 @@ pub struct ThroughputSample {
     pub tx_per_sec: f64,
 }
 
+/// Mempool admission/flow counters of one run, summed across all replicas.
+///
+/// `rejected` is the admission-control backpressure signal of the client
+/// pipeline (DESIGN.md §7): transactions turned away because the owning
+/// mempool shard was full (or the id was a duplicate). Every offered
+/// transaction is either accepted or rejected — nothing is dropped silently.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MempoolTotals {
+    /// Transactions admitted into a mempool.
+    pub accepted: u64,
+    /// Transactions rejected at admission (shard full or duplicate).
+    pub rejected: u64,
+    /// Transactions re-queued from forked blocks.
+    pub requeued: u64,
+    /// Transactions handed out in proposal batches.
+    pub dispatched: u64,
+}
+
+impl ToJson for MempoolTotals {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("accepted", Json::from(self.accepted)),
+            ("rejected", Json::from(self.rejected)),
+            ("requeued", Json::from(self.requeued)),
+            ("dispatched", Json::from(self.dispatched)),
+        ])
+    }
+}
+
 /// Running metric accumulator owned by the runner.
 #[derive(Clone, Debug)]
 pub struct Metrics {
     latencies_ms: Vec<f64>,
+    /// Client-observed submit→commit latencies (no response leg; see
+    /// [`Metrics::record_commit`]).
+    client_latencies_ms: Vec<f64>,
     committed_txs: u64,
     committed_blocks: u64,
     bucket: SimDuration,
@@ -45,6 +78,8 @@ pub struct Metrics {
     messages_sent: u64,
     /// Total bytes sent over the network.
     bytes_sent: u64,
+    /// Mempool admission counters folded in at the end of a run.
+    mempool: MempoolTotals,
 }
 
 impl Metrics {
@@ -52,26 +87,56 @@ impl Metrics {
     pub fn new(bucket: SimDuration) -> Self {
         Self {
             latencies_ms: Vec::new(),
+            client_latencies_ms: Vec::new(),
             committed_txs: 0,
             committed_blocks: 0,
             bucket,
             buckets: Vec::new(),
             messages_sent: 0,
             bytes_sent: 0,
+            mempool: MempoolTotals::default(),
         }
     }
 
-    /// Records the commit of a transaction issued at `issued_at` and confirmed
-    /// (at the client) at `confirmed_at`.
-    pub fn record_commit(&mut self, issued_at: SimTime, confirmed_at: SimTime) {
+    /// Records the commit of a transaction issued at `issued_at`, committed by
+    /// the observer replica at `committed_at`, and confirmed (at the client,
+    /// after the response leg) at `confirmed_at`.
+    ///
+    /// Two distributions are kept: the paper's end-to-end latency
+    /// (issue → confirmation, including the client response delay, the `t_L`
+    /// term) and the client-observed submit→commit latency
+    /// (issue → commit instant), which is what a saturation sweep watches
+    /// collapse as offered load passes capacity.
+    pub fn record_commit(
+        &mut self,
+        issued_at: SimTime,
+        committed_at: SimTime,
+        confirmed_at: SimTime,
+    ) {
         self.committed_txs += 1;
         let latency = confirmed_at.since(issued_at).as_millis_f64();
         self.latencies_ms.push(latency);
+        self.client_latencies_ms
+            .push(committed_at.since(issued_at).as_millis_f64());
         let idx = (confirmed_at.as_nanos() / self.bucket.as_nanos().max(1)) as usize;
         if idx >= self.buckets.len() {
             self.buckets.resize(idx + 1, 0);
         }
         self.buckets[idx] += 1;
+    }
+
+    /// Folds one replica's mempool admission counters into the run totals
+    /// (called once per replica when the report is assembled).
+    pub fn record_mempool(&mut self, stats: &MempoolStats) {
+        self.mempool.accepted += stats.accepted;
+        self.mempool.rejected += stats.rejected;
+        self.mempool.requeued += stats.requeued;
+        self.mempool.dispatched += stats.dispatched;
+    }
+
+    /// The accumulated mempool admission counters.
+    pub fn mempool_totals(&self) -> MempoolTotals {
+        self.mempool
     }
 
     /// Records a committed block (counted once, at a designated observer
@@ -91,24 +156,14 @@ impl Metrics {
         self.committed_txs
     }
 
-    /// Summarises the latency distribution.
+    /// Summarises the end-to-end latency distribution (issue → confirmation).
     pub fn latency(&self) -> LatencyStats {
-        if self.latencies_ms.is_empty() {
-            return LatencyStats::default();
-        }
-        let mut sorted = self.latencies_ms.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let pct = |q: f64| -> f64 {
-            let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-            sorted[idx]
-        };
-        LatencyStats {
-            count: sorted.len() as u64,
-            mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
-            p50_ms: pct(0.50),
-            p99_ms: pct(0.99),
-            max_ms: *sorted.last().expect("non-empty"),
-        }
+        summarise(&self.latencies_ms)
+    }
+
+    /// Summarises the client-observed submit→commit latency distribution.
+    pub fn client_latency(&self) -> LatencyStats {
+        summarise(&self.client_latencies_ms)
     }
 
     /// Produces the committed-throughput time series.
@@ -135,6 +190,7 @@ impl Metrics {
     /// irrelevant), time-series buckets add elementwise, counters add.
     pub fn merge(&mut self, other: Metrics) {
         self.latencies_ms.extend(other.latencies_ms);
+        self.client_latencies_ms.extend(other.client_latencies_ms);
         self.committed_txs += other.committed_txs;
         self.committed_blocks += other.committed_blocks;
         if self.buckets.len() < other.buckets.len() {
@@ -145,6 +201,30 @@ impl Metrics {
         }
         self.messages_sent += other.messages_sent;
         self.bytes_sent += other.bytes_sent;
+        self.mempool.accepted += other.mempool.accepted;
+        self.mempool.rejected += other.mempool.rejected;
+        self.mempool.requeued += other.mempool.requeued;
+        self.mempool.dispatched += other.mempool.dispatched;
+    }
+}
+
+/// Sorts a copy of the samples and summarises count/mean/p50/p99/max.
+fn summarise(samples: &[f64]) -> LatencyStats {
+    if samples.is_empty() {
+        return LatencyStats::default();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let pct = |q: f64| -> f64 {
+        let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        sorted[idx]
+    };
+    LatencyStats {
+        count: sorted.len() as u64,
+        mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        max_ms: *sorted.last().expect("non-empty"),
     }
 }
 
@@ -227,6 +307,9 @@ pub struct RunReport {
     pub throughput_tx_per_sec: f64,
     /// End-to-end latency statistics.
     pub latency: LatencyStats,
+    /// Client-observed submit→commit latency statistics (no response leg) —
+    /// the distribution a saturation sweep watches collapse.
+    pub client_latency: LatencyStats,
     /// Total committed transactions.
     pub committed_txs: u64,
     /// Total committed blocks.
@@ -251,6 +334,13 @@ pub struct RunReport {
     /// malformed signatures/certificates), summed over all replicas. Zero in
     /// a run without signature-forging Byzantine nodes.
     pub rejected_messages: u64,
+    /// Client requests rejected at the replica edge because their signature
+    /// failed to verify (signed-client mode only; zero otherwise).
+    pub client_auth_rejections: u64,
+    /// Mempool admission counters summed across all replicas. The `rejected`
+    /// field is the admission-control backpressure counter: transactions
+    /// turned away because the owning mempool shard was full.
+    pub mempool: MempoolTotals,
     /// Transactions still waiting (not committed) at the end of the run.
     pub pending_txs: u64,
     /// Simulation events processed by the engine loop (the denominator of
@@ -331,6 +421,7 @@ impl ToJson for RunReport {
                 Json::from(self.throughput_tx_per_sec),
             ),
             ("latency", self.latency.to_json()),
+            ("client_latency", self.client_latency.to_json()),
             ("committed_txs", Json::from(self.committed_txs)),
             ("committed_blocks", Json::from(self.committed_blocks)),
             ("views_advanced", Json::from(self.views_advanced)),
@@ -345,6 +436,11 @@ impl ToJson for RunReport {
             ("throughput_series", self.throughput_series.to_json()),
             ("safety_violations", Json::from(self.safety_violations)),
             ("rejected_messages", Json::from(self.rejected_messages)),
+            (
+                "client_auth_rejections",
+                Json::from(self.client_auth_rejections),
+            ),
+            ("mempool", self.mempool.to_json()),
             ("pending_txs", Json::from(self.pending_txs)),
             ("events_processed", Json::from(self.events_processed)),
             ("events_scheduled", Json::from(self.events_scheduled)),
@@ -371,7 +467,9 @@ mod tests {
     fn latency_percentiles_are_ordered() {
         let mut m = Metrics::new(SimDuration::from_secs(1));
         for i in 1..=100u64 {
-            m.record_commit(SimTime::ZERO, SimTime(i * 1_000_000));
+            // Committed at half the confirmation delay: the client-observed
+            // distribution excludes the response leg.
+            m.record_commit(SimTime::ZERO, SimTime(i * 500_000), SimTime(i * 1_000_000));
         }
         let stats = m.latency();
         assert_eq!(stats.count, 100);
@@ -379,6 +477,10 @@ mod tests {
         assert!(stats.p99_ms <= stats.max_ms);
         assert!((stats.mean_ms - 50.5).abs() < 1.0);
         assert!((stats.max_ms - 100.0).abs() < 1e-9);
+        let client = m.client_latency();
+        assert_eq!(client.count, 100);
+        assert!((client.mean_ms * 2.0 - stats.mean_ms).abs() < 1e-9);
+        assert!((client.max_ms - 50.0).abs() < 1e-9);
     }
 
     #[test]
@@ -394,10 +496,14 @@ mod tests {
         let mut m = Metrics::new(SimDuration::from_secs(1));
         // 10 commits in second 0, 20 commits in second 2.
         for _ in 0..10 {
-            m.record_commit(SimTime::ZERO, SimTime(500_000_000));
+            m.record_commit(SimTime::ZERO, SimTime(400_000_000), SimTime(500_000_000));
         }
         for _ in 0..20 {
-            m.record_commit(SimTime::ZERO, SimTime(2_500_000_000));
+            m.record_commit(
+                SimTime::ZERO,
+                SimTime(2_400_000_000),
+                SimTime(2_500_000_000),
+            );
         }
         let series = m.throughput_series();
         assert_eq!(series.len(), 3);
@@ -409,17 +515,49 @@ mod tests {
     #[test]
     fn merge_folds_samples_buckets_and_counters() {
         let mut a = Metrics::new(SimDuration::from_secs(1));
-        a.record_commit(SimTime::ZERO, SimTime(500_000_000));
+        a.record_commit(SimTime::ZERO, SimTime(450_000_000), SimTime(500_000_000));
         a.record_block();
         a.record_message(100);
+        a.record_mempool(&MempoolStats {
+            pending: 3,
+            accepted: 10,
+            rejected: 2,
+            requeued: 1,
+            dispatched: 7,
+        });
         let mut b = Metrics::new(SimDuration::from_secs(1));
-        b.record_commit(SimTime::ZERO, SimTime(1_500_000_000));
-        b.record_commit(SimTime::ZERO, SimTime(1_600_000_000));
+        b.record_commit(
+            SimTime::ZERO,
+            SimTime(1_400_000_000),
+            SimTime(1_500_000_000),
+        );
+        b.record_commit(
+            SimTime::ZERO,
+            SimTime(1_500_000_000),
+            SimTime(1_600_000_000),
+        );
         b.record_message(50);
+        b.record_mempool(&MempoolStats {
+            pending: 0,
+            accepted: 5,
+            rejected: 1,
+            requeued: 0,
+            dispatched: 5,
+        });
         a.merge(b);
         assert_eq!(a.committed_txs(), 3);
         assert_eq!(a.latency().count, 3);
+        assert_eq!(a.client_latency().count, 3);
         assert_eq!(a.network_counters(), (2, 150));
+        assert_eq!(
+            a.mempool_totals(),
+            MempoolTotals {
+                accepted: 15,
+                rejected: 3,
+                requeued: 1,
+                dispatched: 12,
+            }
+        );
         let series = a.throughput_series();
         assert_eq!(series.len(), 2);
         assert!((series[0].tx_per_sec - 1.0).abs() < 1e-9);
@@ -443,6 +581,7 @@ mod tests {
             duration_secs: 10.0,
             throughput_tx_per_sec: 1234.0,
             latency: LatencyStats::default(),
+            client_latency: LatencyStats::default(),
             committed_txs: 12340,
             committed_blocks: 100,
             views_advanced: 120,
@@ -454,6 +593,8 @@ mod tests {
             throughput_series: vec![],
             safety_violations: 0,
             rejected_messages: 0,
+            client_auth_rejections: 0,
+            mempool: MempoolTotals::default(),
             pending_txs: 0,
             events_processed: 0,
             events_scheduled: 0,

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use bamboo_crypto::KeyPair;
 use bamboo_forest::{BlockForest, ForestError, Ledger, Snapshot};
-use bamboo_mempool::Mempool;
+use bamboo_mempool::{Mempool, MempoolStats};
 use bamboo_pacemaker::{LeaderElection, Pacemaker, PacemakerAction};
 use bamboo_protocols::{make_safety, ProposalInput, Safety, VoteDestination};
 use bamboo_sim::CpuModel;
@@ -216,7 +216,7 @@ impl Replica {
             keypair: KeyPair::from_seed(id.as_u64()),
             election,
             forest: BlockForest::new(),
-            mempool: Mempool::new(config.mempool_size),
+            mempool: Mempool::with_shards(config.mempool_size, config.mempool_shards),
             pacemaker: Pacemaker::new(id, config.nodes, config.timeout),
             safety,
             quorum: QuorumTracker::new(config.nodes),
@@ -271,6 +271,13 @@ impl Replica {
     /// Number of transactions waiting in the mempool.
     pub fn mempool_len(&self) -> usize {
         self.mempool.len()
+    }
+
+    /// Mempool admission/flow counters (accepted, rejected, requeued,
+    /// dispatched, pending) — the run report folds these across replicas so
+    /// admission-control backpressure is never silent.
+    pub fn mempool_stats(&self) -> MempoolStats {
+        self.mempool.stats()
     }
 
     /// Number of timeout-driven view changes so far.
@@ -928,7 +935,7 @@ impl Replica {
             bamboo_types::ByzantineStrategy::Honest
         };
         self.safety = make_safety(self.protocol, strategy, self.config.nodes);
-        self.mempool = Mempool::new(self.config.mempool_size);
+        self.mempool = Mempool::with_shards(self.config.mempool_size, self.config.mempool_shards);
         self.pacemaker = Pacemaker::new(self.id, self.config.nodes, self.config.timeout);
         self.quorum = QuorumTracker::new(self.config.nodes);
         self.proposed_in_view = View::GENESIS;

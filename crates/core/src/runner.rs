@@ -69,14 +69,14 @@ use bamboo_sim::{
     EventQueue, FluctuationWindow, LatencyModel, LinkFault, NicModel, SimRng, Topology,
 };
 use bamboo_types::{
-    Authenticator, Config, NodeId, ProtocolKind, SharedMessage, SimDuration, SimTime, Transaction,
-    TxId, VerifiedMessage, View,
+    Authenticator, ClientRequest, Config, NodeId, ProtocolKind, SharedMessage, SimDuration,
+    SimTime, TxId, VerifiedMessage, View,
 };
 
 use crate::metrics::{Metrics, RecoveryReport, RunReport};
 use crate::replica::{Replica, ReplicaEvent, ReplicaOptions};
 use crate::runtime::{BufferedTransport, NodeHost, StepReport};
-use crate::workload::{ClosedLoopWorkload, OpenLoopWorkload, Workload};
+use crate::workload::{Arrival, ClosedLoopWorkload, OpenLoopWorkload, Workload};
 
 /// RNG stream label of the coordinator's workload generator. Replica `r`
 /// uses stream `r`; no simulation has 2^64 − 1 replicas, so the label can
@@ -206,9 +206,12 @@ enum SimEvent {
         node: NodeId,
         view: View,
     },
+    /// A batch of client requests arriving at a replica's edge. The host
+    /// verifies the batch (4-wide, in signed-client mode), strips the
+    /// signatures, and admits the transactions into the mempool.
     ClientBatch {
         to: NodeId,
-        txs: Vec<Transaction>,
+        requests: Vec<ClientRequest>,
     },
     /// A state-transfer debounce/retry deadline armed by the replica.
     SyncTimer {
@@ -235,7 +238,7 @@ enum InjectionKind {
     /// A forged replica-to-replica message, delivered for cost accounting.
     Forged(SharedMessage),
     /// A client arrival batch generated by the coordinator's workload tick.
-    ClientBatch(Vec<Transaction>),
+    ClientBatch(Vec<ClientRequest>),
 }
 
 /// One event crossing a window barrier, with the canonical ordering key
@@ -352,6 +355,13 @@ impl ShardState {
     /// Boots every replica of this shard at time zero, staging boot-time
     /// sends (the view-1 leader's proposal) into the outbox.
     fn boot(&mut self) -> WindowResult {
+        self.boot_in_place();
+        self.result(0)
+    }
+
+    /// [`ShardState::boot`] without packaging a [`WindowResult`]: the
+    /// sequential coordinator reads the outbox and commit log in place.
+    fn boot_in_place(&mut self) {
         self.window_end = SimTime::ZERO;
         for local in 0..self.hosts.len() {
             let node = self.node_at(local);
@@ -361,7 +371,6 @@ impl ShardState {
             self.absorb(node, report, &mut effects, SimTime::ZERO);
             self.effects = effects;
         }
-        self.result(0)
     }
 
     /// Executes one window: applies view-trigger crash flips, injects the
@@ -372,9 +381,28 @@ impl ShardState {
         limit: SimTime,
         window_start: SimTime,
         window_end: SimTime,
-        injections: Vec<Injection>,
+        mut injections: Vec<Injection>,
         flips: &[(NodeId, bool, bool)],
     ) -> WindowResult {
+        let processed =
+            self.run_window_in_place(limit, window_start, window_end, &mut injections, flips);
+        self.result(processed)
+    }
+
+    /// [`ShardState::run_window`] draining a caller-owned injection buffer
+    /// and leaving the outbox/commit log in place. The sequential
+    /// (`threads = 1`) coordinator calls this directly so its steady state
+    /// moves no buffers and allocates nothing; the sharded drivers wrap it in
+    /// [`ShardState::run_window`]. Both paths execute the identical window
+    /// code, which is what keeps every thread count bit-identical.
+    fn run_window_in_place(
+        &mut self,
+        limit: SimTime,
+        window_start: SimTime,
+        window_end: SimTime,
+        injections: &mut Vec<Injection>,
+        flips: &[(NodeId, bool, bool)],
+    ) -> u64 {
         self.window_end = window_end;
         for &(node, crashed, amnesia) in flips {
             let was = self.crashed[node.index()];
@@ -387,7 +415,7 @@ impl ShardState {
                 self.amnesia_restart(node, window_start);
             }
         }
-        for injection in injections {
+        for injection in injections.drain(..) {
             let event = match injection.kind {
                 InjectionKind::Verified(token) => SimEvent::Deliver {
                     to: injection.to,
@@ -397,9 +425,9 @@ impl ShardState {
                     to: injection.to,
                     message,
                 },
-                InjectionKind::ClientBatch(txs) => SimEvent::ClientBatch {
+                InjectionKind::ClientBatch(requests) => SimEvent::ClientBatch {
                     to: injection.to,
-                    txs,
+                    requests,
                 },
             };
             self.queue.schedule(injection.deliver_at, event);
@@ -450,11 +478,22 @@ impl ShardState {
                     }
                     self.dispatch(node, ReplicaEvent::ProposeNow { view }, time);
                 }
-                SimEvent::ClientBatch { to, txs } => {
+                SimEvent::ClientBatch { to, requests } => {
                     if self.crashed[to.index()] {
                         continue;
                     }
-                    self.dispatch(to, ReplicaEvent::ClientRequests(txs), time);
+                    // The edge verification stage lives in the host: in
+                    // signed-client mode the batch is checked 4-wide (and
+                    // charged as such) before the stripped transactions are
+                    // admitted to the mempool.
+                    let local = self.local_index(to);
+                    let start = time.max(self.busy_until[local]);
+                    let mut effects = std::mem::take(&mut self.effects);
+                    effects.clear();
+                    let report =
+                        self.hosts[local].handle_client_batch(requests, start, &mut effects);
+                    self.absorb(to, report, &mut effects, start);
+                    self.effects = effects;
                 }
                 SimEvent::SyncTimer { node } => {
                     if self.crashed[node.index()] {
@@ -478,7 +517,7 @@ impl ShardState {
                 }
             }
         }
-        self.result(processed)
+        processed
     }
 
     fn result(&mut self, processed: u64) -> WindowResult {
@@ -555,7 +594,10 @@ impl ShardState {
                         .sample(&mut self.rngs[local], node, NodeId(u64::MAX), finish)
                         .unwrap_or(SimDuration::ZERO);
                     let confirmed = finish + response_delay;
-                    self.metrics.record_commit(tx.issued_at, confirmed);
+                    // `finish` is the commit instant the client's
+                    // submit→commit latency is measured against; `confirmed`
+                    // adds the response leg (the paper's `t_L` term).
+                    self.metrics.record_commit(tx.issued_at, finish, confirmed);
                     self.commits.push((tx.id, confirmed));
                 }
             }
@@ -645,9 +687,10 @@ impl ShardState {
     }
 }
 
-/// How the coordinator drives its shards: inline on the calling thread
-/// (`threads = 1`) or over channels to scoped worker threads. Both paths run
-/// the identical [`ShardState`] window code.
+/// How the coordinator drives its shards over channels to scoped worker
+/// threads. Single-shard (`threads = 1`) runs bypass the driver machinery:
+/// [`SimRunner::coordinate_single`] drives one [`ShardState`] in place,
+/// through the same window code.
 trait ShardDriver {
     fn boot(&mut self) -> Vec<WindowResult>;
     fn run_window(
@@ -659,36 +702,6 @@ trait ShardDriver {
         flips: &[(NodeId, bool, bool)],
     ) -> Vec<WindowResult>;
     fn finish(self) -> Vec<ShardState>;
-}
-
-/// Runs every shard sequentially on the calling thread.
-struct InlineShards {
-    shards: Vec<ShardState>,
-}
-
-impl ShardDriver for InlineShards {
-    fn boot(&mut self) -> Vec<WindowResult> {
-        self.shards.iter_mut().map(ShardState::boot).collect()
-    }
-
-    fn run_window(
-        &mut self,
-        limit: SimTime,
-        window_start: SimTime,
-        window_end: SimTime,
-        injections: Vec<Vec<Injection>>,
-        flips: &[(NodeId, bool, bool)],
-    ) -> Vec<WindowResult> {
-        self.shards
-            .iter_mut()
-            .zip(injections)
-            .map(|(shard, batch)| shard.run_window(limit, window_start, window_end, batch, flips))
-            .collect()
-    }
-
-    fn finish(self) -> Vec<ShardState> {
-        self.shards
-    }
 }
 
 /// Runs each shard on its own scoped worker thread, exchanging commands and
@@ -819,9 +832,12 @@ pub struct SimRunner {
     /// The workload generator's own RNG stream, independent of every
     /// replica's.
     workload_rng: SimRng,
+    /// Reusable arrival buffer handed to the workload each tick (cleared,
+    /// capacity kept — arrival generation allocates nothing in steady state).
+    tick_arrivals: Vec<Arrival>,
     /// Reusable per-replica workload buckets (indexed by node id): arrivals
     /// of one tick are grouped here without allocating per-tick maps.
-    tick_txs: Vec<Vec<Transaction>>,
+    tick_txs: Vec<Vec<ClientRequest>>,
     tick_latest: Vec<SimTime>,
     /// Unresolved view-triggered fault boundaries:
     /// `(node, view, crash?, amnesia?)`.
@@ -872,11 +888,13 @@ impl SimRunner {
             .collect();
 
         let workload: Box<dyn Workload> = match config.arrival_rate {
-            Some(rate) => Box::new(OpenLoopWorkload::new(
-                rate,
-                config.payload_size,
-                config.nodes,
-            )),
+            Some(rate) => {
+                let mut open = OpenLoopWorkload::new(rate, config.payload_size, config.nodes);
+                if let Some(clients) = config.client_population {
+                    open = open.with_population(clients);
+                }
+                Box::new(open.with_signing(config.signed_requests))
+            }
             None => Box::new(ClosedLoopWorkload::new(
                 config.concurrency,
                 config.payload_size,
@@ -894,6 +912,7 @@ impl SimRunner {
             nic,
             workload,
             workload_rng,
+            tick_arrivals: Vec::new(),
             tick_txs: vec![Vec::new(); nodes],
             tick_latest: vec![SimTime::ZERO; nodes],
             view_triggers: Vec::new(),
@@ -915,9 +934,14 @@ impl SimRunner {
         let end = SimTime::ZERO + runtime;
         let window_nanos = self.latency.lookahead().as_nanos().max(1);
         let shard_count = self.options.threads.max(1).min(self.config.nodes);
-        let shards = self.build_shards(shard_count);
+        let mut shards = self.build_shards(shard_count);
         let (processed, ticks, states) = if shard_count == 1 {
-            self.coordinate(InlineShards { shards }, end, window_nanos)
+            // Single-shard runs skip the barrier-exchange machinery entirely:
+            // the sequential coordinator drives the one shard in place, with
+            // no window-result packaging and no buffer shuffling.
+            let mut shard = shards.pop().expect("one shard");
+            let (processed, ticks) = self.coordinate_single(&mut shard, end, window_nanos);
+            (processed, ticks, vec![shard])
         } else {
             std::thread::scope(|scope| {
                 let driver = ThreadShards::spawn(scope, shards);
@@ -934,6 +958,7 @@ impl SimRunner {
         let nodes = self.config.nodes;
         let observer = self.observer();
         let seed_rng = SimRng::new(self.config.seed);
+        let signed_clients = self.config.signed_requests;
         let mut shards: Vec<ShardState> = (0..shard_count)
             .map(|shard| ShardState {
                 shard,
@@ -948,7 +973,11 @@ impl SimRunner {
                 queue: EventQueue::new(),
                 latency: self.latency.clone(),
                 nic: self.nic,
-                auth: Authenticator::for_nodes(nodes),
+                auth: {
+                    let mut auth = Authenticator::for_nodes(nodes);
+                    auth.set_signed_clients(signed_clients);
+                    auth
+                },
                 metrics: Metrics::new(self.options.series_bucket),
                 effects: BufferedTransport::new(),
                 outbox: Vec::new(),
@@ -1100,6 +1129,88 @@ impl SimRunner {
         (processed, ticks, driver.finish())
     }
 
+    /// The sequential (`threads = 1`) twin of [`SimRunner::coordinate`]: one
+    /// shard, driven in place on the calling thread. Windows still exist —
+    /// they are the ordering epochs that make same-nanosecond ties resolve
+    /// identically across every thread count — but all of the barrier
+    /// machinery falls away: no window-result packaging, no per-shard
+    /// partitioning, no flip cloning, and the injection buffer swaps with the
+    /// shard's outbox, so the steady state allocates nothing.
+    fn coordinate_single(
+        &mut self,
+        shard: &mut ShardState,
+        end: SimTime,
+        window_nanos: u64,
+    ) -> (u64, u64) {
+        shard.boot_in_place();
+        let mut processed: u64 = 0;
+        let mut ticks: u64 = 0;
+        let mut next_tick = SimTime::ZERO;
+        let mut client_seq: u64 = 0;
+        let mut injections: Vec<Injection> = Vec::new();
+        let mut flips: Vec<(NodeId, bool, bool)> = Vec::new();
+        loop {
+            for (tx, at) in shard.commits.drain(..) {
+                self.workload.on_commit(tx, at);
+            }
+            flips.clear();
+            let global_view = shard.max_view;
+            if global_view > self.max_view_seen {
+                self.max_view_seen = global_view;
+                let pending = &mut flips;
+                self.view_triggers.retain(|&(node, view, crash, amnesia)| {
+                    if view <= global_view {
+                        pending.push((node, crash, amnesia));
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            // The previous window drained `injections`; reuse its capacity
+            // for the outbox and vice versa.
+            debug_assert!(injections.is_empty());
+            std::mem::swap(&mut injections, &mut shard.outbox);
+            if processed + ticks > self.options.max_events {
+                break;
+            }
+            let mut earliest: Option<SimTime> = None;
+            let mut fold = |t: SimTime| {
+                earliest = Some(earliest.map_or(t, |e| e.min(t)));
+            };
+            if let Some(t) = shard.queue.peek_time() {
+                fold(t);
+            }
+            for injection in &injections {
+                fold(injection.deliver_at);
+            }
+            if next_tick <= end {
+                fold(next_tick);
+            }
+            let Some(earliest) = earliest else {
+                break;
+            };
+            if earliest > end {
+                break;
+            }
+            let window_index = earliest.0 / window_nanos;
+            let window_start = SimTime(window_index.saturating_mul(window_nanos));
+            let window_end = SimTime((window_index + 1).saturating_mul(window_nanos));
+            let limit = SimTime(window_end.0.min(end.0.saturating_add(1)));
+            while next_tick <= end && next_tick < window_end {
+                self.generate_tick(next_tick, &mut injections, &mut client_seq);
+                ticks += 1;
+                next_tick += self.options.workload_tick;
+            }
+            injections.sort_unstable_by(|a, b| {
+                (a.deliver_at, a.origin, a.seq).cmp(&(b.deliver_at, b.origin, b.seq))
+            });
+            processed +=
+                shard.run_window_in_place(limit, window_start, window_end, &mut injections, &flips);
+        }
+        (processed, ticks)
+    }
+
     /// Generates the client arrivals of one workload tick, grouping them into
     /// per-replica batches exactly like the event-queued tick of the
     /// single-queue engine did.
@@ -1110,27 +1221,31 @@ impl SimRunner {
         client_seq: &mut u64,
     ) {
         let window_end = now + self.options.workload_tick;
-        let arrivals = self
-            .workload
-            .arrivals(now, window_end, &mut self.workload_rng);
+        let mut arrivals = std::mem::take(&mut self.tick_arrivals);
+        arrivals.clear();
+        self.workload
+            .arrivals(now, window_end, &mut self.workload_rng, &mut arrivals);
         if arrivals.is_empty() {
+            self.tick_arrivals = arrivals;
             return;
         }
         // Group arrivals per replica to keep the event count manageable.
         // The buckets are reusable `Vec`s indexed by node id and visited in
         // ascending node order, so the workload stream is consumed in a
         // deterministic order.
-        for arrival in arrivals {
+        for arrival in arrivals.drain(..) {
             let index = arrival.replica.index();
+            let issued_at = arrival.issued_at;
             let latest = &mut self.tick_latest[index];
             let bucket = &mut self.tick_txs[index];
             if bucket.is_empty() {
-                *latest = arrival.issued_at;
+                *latest = issued_at;
             } else {
-                *latest = (*latest).max(arrival.issued_at);
+                *latest = (*latest).max(issued_at);
             }
-            bucket.push(arrival.transaction);
+            bucket.push(arrival.into_request());
         }
+        self.tick_arrivals = arrivals;
         for index in 0..self.tick_txs.len() {
             if self.tick_txs[index].is_empty() {
                 continue;
@@ -1142,13 +1257,13 @@ impl SimRunner {
                 .sample(&mut self.workload_rng, NodeId(u64::MAX), replica, now)
                 .unwrap_or(SimDuration::ZERO);
             let deliver_at = self.tick_latest[index] + delay;
-            let txs = std::mem::take(&mut self.tick_txs[index]);
+            let requests = std::mem::take(&mut self.tick_txs[index]);
             injections.push(Injection {
                 deliver_at,
                 origin: WORKLOAD_STREAM,
                 seq: *client_seq,
                 to: replica,
-                kind: InjectionKind::ClientBatch(txs),
+                kind: InjectionKind::ClientBatch(requests),
             });
             *client_seq += 1;
         }
@@ -1194,6 +1309,11 @@ impl SimRunner {
             .into_iter()
             .map(|slot| slot.expect("every node is owned by exactly one shard"))
             .collect();
+        // Fold the per-replica mempool admission counters into the run
+        // metrics so backpressure (shard-full rejections) is never silent.
+        for host in &hosts {
+            metrics.record_mempool(&host.replica().mempool_stats());
+        }
 
         let observer = hosts[self.observer().index()].replica();
         let duration_secs = runtime.as_secs_f64();
@@ -1227,6 +1347,7 @@ impl SimRunner {
             duration_secs,
             throughput_tx_per_sec: committed_txs as f64 / duration_secs,
             latency,
+            client_latency: metrics.client_latency(),
             committed_txs,
             committed_blocks,
             views_advanced,
@@ -1238,6 +1359,8 @@ impl SimRunner {
             throughput_series: metrics.throughput_series(),
             safety_violations,
             rejected_messages: hosts.iter().map(NodeHost::auth_rejections).sum(),
+            client_auth_rejections: hosts.iter().map(NodeHost::client_auth_rejections).sum(),
+            mempool: metrics.mempool_totals(),
             pending_txs: self.workload.total_issued().saturating_sub(committed_txs),
             events_processed: processed + ticks,
             events_scheduled,

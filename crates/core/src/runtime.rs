@@ -36,8 +36,8 @@
 
 use bamboo_sim::CpuModel;
 use bamboo_types::{
-    Authenticator, Config, Message, NodeId, ProtocolKind, SharedBlock, SharedMessage, SimDuration,
-    SimTime, VerifiedMessage, View,
+    Authenticator, ClientRequest, Config, Message, NodeId, ProtocolKind, SharedBlock,
+    SharedMessage, SimDuration, SimTime, Transaction, VerifiedMessage, View,
 };
 
 use crate::replica::{Destination, HandleResult, Replica, ReplicaEvent, ReplicaOptions};
@@ -98,6 +98,9 @@ pub struct NodeHost {
     /// Messages dropped at ingress because a signature, certificate or block
     /// id failed verification.
     auth_rejections: u64,
+    /// Client requests dropped at ingress because their client signature
+    /// failed verification (signed-client mode only).
+    client_auth_rejections: u64,
 }
 
 impl NodeHost {
@@ -114,7 +117,8 @@ impl NodeHost {
     /// Wraps an already-constructed replica.
     pub fn from_replica(replica: Replica) -> Self {
         let config = replica.config();
-        let authenticator = Authenticator::for_nodes(config.nodes);
+        let mut authenticator = Authenticator::for_nodes(config.nodes);
+        authenticator.set_signed_clients(config.signed_requests);
         // Share the replica's model so per-replica CPU overrides (the
         // heterogeneous-CPU scenario knob) also price rejected messages.
         let cpu = replica.cpu_model();
@@ -123,6 +127,7 @@ impl NodeHost {
             authenticator,
             cpu,
             auth_rejections: 0,
+            client_auth_rejections: 0,
         }
     }
 
@@ -147,6 +152,11 @@ impl NodeHost {
         self.auth_rejections
     }
 
+    /// Client requests dropped at the edge for a bad signature so far.
+    pub fn client_auth_rejections(&self) -> u64 {
+        self.client_auth_rejections
+    }
+
     /// Boots the replica: arms the first view timer and, if it leads the
     /// first view, proposes.
     pub fn start(&mut self, now: SimTime, transport: &mut dyn Transport) -> StepReport {
@@ -168,7 +178,8 @@ impl NodeHost {
     ) -> StepReport {
         let event = match event {
             ReplicaEvent::Message { from, message } => {
-                let cost = verification_cost(&self.cpu, &message);
+                let cost =
+                    verification_cost(&self.cpu, self.authenticator.signed_clients(), &message);
                 if self.authenticator.verify_message(&message).is_err() {
                     return self.reject(cost);
                 }
@@ -178,6 +189,49 @@ impl NodeHost {
         };
         let result = self.replica.handle(event, now);
         route(result, transport)
+    }
+
+    /// Feeds a batch of client requests through the edge verification stage
+    /// and into the replica's mempool.
+    ///
+    /// In unsigned mode the requests are stripped and forwarded as-is. In
+    /// signed-client mode the whole batch is first verified through the
+    /// 4-wide interleaved path (all client requests sign the same
+    /// fixed-length tuple, so the batch runs in `⌈n/4⌉` quad-hash passes,
+    /// charged as [`CpuModel::verify_batch`]); if the all-or-nothing batch
+    /// check fails, the requests are re-verified one by one — charged as a
+    /// second, sequential pass — so forgeries are isolated, dropped and
+    /// counted while the honest remainder is still admitted.
+    pub fn handle_client_batch(
+        &mut self,
+        requests: Vec<ClientRequest>,
+        now: SimTime,
+        transport: &mut dyn Transport,
+    ) -> StepReport {
+        let offered = requests.len();
+        let mut txs: Vec<Transaction> = Vec::with_capacity(offered);
+        let mut edge_cpu = SimDuration::ZERO;
+        if self.authenticator.signed_clients() {
+            edge_cpu = self.cpu.verify_batch(offered);
+            if self.authenticator.verify_client_batch(&requests) {
+                txs.extend(requests.into_iter().map(|r| r.transaction));
+            } else {
+                edge_cpu += self.cpu.verify(offered);
+                for request in requests {
+                    if self.authenticator.verify_client_request(&request).is_ok() {
+                        txs.push(request.transaction);
+                    } else {
+                        self.client_auth_rejections += 1;
+                    }
+                }
+            }
+        } else {
+            txs.extend(requests.into_iter().map(|r| r.transaction));
+        }
+        let result = self.replica.handle(ReplicaEvent::ClientRequests(txs), now);
+        let mut report = route(result, transport);
+        report.cpu += edge_cpu;
+        report
     }
 
     /// Feeds a shared envelope into the replica, verifying it inline first —
@@ -191,7 +245,7 @@ impl NodeHost {
         now: SimTime,
         transport: &mut dyn Transport,
     ) -> StepReport {
-        let cost = verification_cost(&self.cpu, &message);
+        let cost = verification_cost(&self.cpu, self.authenticator.signed_clients(), &message);
         match self.authenticator.authenticate_shared(from, message) {
             Ok(verified) => self.handle_verified(verified, now, transport),
             Err(_) => self.reject(cost),
@@ -236,7 +290,7 @@ impl NodeHost {
     /// verification work that exposed the forgery, exactly as if the check
     /// had run inline here.
     pub fn reject_forged(&mut self, message: &Message) -> StepReport {
-        let cost = verification_cost(&self.cpu, message);
+        let cost = verification_cost(&self.cpu, self.authenticator.signed_clients(), message);
         self.reject(cost)
     }
 
@@ -259,14 +313,18 @@ impl NodeHost {
 /// charge (Eq. 4, see `CpuModel::process_proposal` for the rationale),
 /// pacemaker certificates are charged per signer. Used for rejected
 /// messages only — the replica's own modeled costs cover accepted ones.
-fn verification_cost(cpu: &CpuModel, message: &Message) -> SimDuration {
+fn verification_cost(cpu: &CpuModel, signed_clients: bool, message: &Message) -> SimDuration {
     let signatures = match message {
         Message::Proposal(_) | Message::ProposalEcho(_) => 2,
         Message::Vote(_) | Message::VoteEcho(_) => 1,
         Message::Timeout(tv) => 1 + tv.high_qc.signer_count(),
         Message::TimeoutCertMsg(tc) => tc.signer_count() + tc.high_qc.signer_count(),
         Message::NewView(qc) => qc.signer_count().max(1),
-        Message::Request(_) | Message::Response(_) => 0,
+        // A lone network-path client request is checked individually when
+        // clients sign (batched arrivals go through the cheaper
+        // `CpuModel::verify_batch` path in `handle_client_batch`).
+        Message::Request(_) => usize::from(signed_clients),
+        Message::Response(_) => 0,
         Message::SyncRequest(_) => 1,
         // Per-block id/justify checks plus the aggregate high-QC check — the
         // same work the replica is charged for an accepted response.

@@ -113,6 +113,9 @@ pub struct Expectations {
     /// Minimum messages rejected at the authenticated ingress (attack
     /// scenarios assert the flood was actually fended off).
     pub min_auth_rejections: Option<u64>,
+    /// Minimum transactions rejected by mempool admission control (overload
+    /// scenarios assert the backpressure actually engaged).
+    pub min_admission_rejections: Option<u64>,
     /// Ordered pairs `(faster, slower)`: the first protocol's mean commit
     /// latency must be strictly below the second's in this scenario.
     pub commit_latency_ordering: Vec<(ProtocolKind, ProtocolKind)>,
@@ -459,6 +462,7 @@ fn parse_expectations(spec: &Json, name: &str) -> Result<Expectations, String> {
         max_p99_latency_ms: opt_f64(obj, "max_p99_latency_ms"),
         min_chain_growth_rate: opt_f64(obj, "min_chain_growth_rate"),
         min_auth_rejections: opt_f64(obj, "min_auth_rejections").map(|v| v as u64),
+        min_admission_rejections: opt_f64(obj, "min_admission_rejections").map(|v| v as u64),
         commit_latency_ordering: Vec::new(),
     };
     if let Some(pairs) = obj.get("commit_latency_ordering").and_then(Json::as_array) {
@@ -538,6 +542,15 @@ impl Scenario {
         }
         if let Some(v) = opt_f64(doc, "mempool_size") {
             base.mempool_size = v as usize;
+        }
+        if let Some(v) = opt_f64(doc, "mempool_shards") {
+            base.mempool_shards = v as usize;
+        }
+        if let Some(v) = opt_f64(doc, "client_population") {
+            base.client_population = Some(v as u64);
+        }
+        if matches!(doc.get("signed_requests"), Some(Json::Bool(true))) {
+            base.signed_requests = true;
         }
         if let Some(v) = opt_f64(doc, "timeout_ms") {
             base.timeout = duration_ms(v);
@@ -935,6 +948,14 @@ impl Scenario {
                     ));
                 }
             }
+            if let Some(min) = self.expect.min_admission_rejections {
+                if report.mempool.rejected < min {
+                    failures.push(format!(
+                        "{}/{label}: {} admission rejections, expected at least {min}",
+                        self.name, report.mempool.rejected
+                    ));
+                }
+            }
             // Recovery audit: every amnesia-recovered replica must end the
             // run back on the honest chain (vacuously true when the scenario
             // schedules no amnesia recoveries).
@@ -1131,6 +1152,31 @@ mod tests {
                              "faults":[{"kind":"crash","node":0,"at_ms":20,
                                         "amnesia":true}]}"#;
         assert!(Scenario::parse(never_back).is_err());
+    }
+
+    #[test]
+    fn parses_the_client_pipeline_knobs() {
+        let spec = r#"{"name":"x","protocols":["HS"],"nodes":4,"runtime_ms":100,
+                       "mempool_shards": 8,
+                       "client_population": 1000000,
+                       "signed_requests": true,
+                       "workload":{"open_loop_tx_per_sec":1}}"#;
+        let scenario = Scenario::parse(spec).unwrap();
+        assert_eq!(scenario.base.mempool_shards, 8);
+        assert_eq!(scenario.base.client_population, Some(1_000_000));
+        assert!(scenario.base.signed_requests);
+
+        // Defaults stay on the legacy path so existing specs keep their
+        // recorded fingerprints.
+        let plain = Scenario::parse(&minimal_spec()).unwrap();
+        assert_eq!(plain.base.mempool_shards, 1);
+        assert_eq!(plain.base.client_population, None);
+        assert!(!plain.base.signed_requests);
+
+        let zero_shards = r#"{"name":"x","protocols":["HS"],"nodes":4,"runtime_ms":100,
+                              "mempool_shards": 0,
+                              "workload":{"open_loop_tx_per_sec":1}}"#;
+        assert!(Scenario::parse(zero_shards).is_err(), "validate() gates");
     }
 
     #[test]

@@ -29,9 +29,10 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use bamboo_crypto::KeyPair;
 use bamboo_types::{
-    Config, Message, NodeId, ProtocolKind, SharedMessage, SimTime, Transaction, VerifiedMessage,
-    View,
+    ClientRequest, Config, Message, NodeId, ProtocolKind, SharedMessage, SimTime, Transaction,
+    VerifiedMessage, View,
 };
 
 use crate::replica::{ReplicaEvent, ReplicaOptions};
@@ -56,6 +57,9 @@ pub struct ClusterReport {
     /// Messages rejected by the authentication stage (verify pool plus
     /// inline ingress) as forged or malformed.
     pub auth_rejections: u64,
+    /// Signed client requests rejected at the replica edge as forged
+    /// (signed-client mode only; always 0 otherwise).
+    pub client_auth_rejections: u64,
 }
 
 enum ThreadEvent {
@@ -69,7 +73,10 @@ enum ThreadEvent {
     },
     /// A message the verify pool already authenticated.
     Verified(VerifiedMessage),
-    Client(Vec<Transaction>),
+    /// A batch of client requests; the receiving host runs the edge
+    /// verification stage (signature check and strip, in signed-client mode)
+    /// before the transactions reach the replica's mempool.
+    Client(Vec<ClientRequest>),
     /// Fault injection: the replica stops processing everything (messages,
     /// timers, client traffic) until a `Recover` arrives.
     Crash,
@@ -277,10 +284,21 @@ impl ThreadedCluster {
         }
     }
 
-    /// Submits a batch of client transactions to a replica.
+    /// Submits a batch of unsigned client transactions to a replica. In
+    /// signed-client mode ([`Config::signed_requests`]) these are rejected at
+    /// the replica edge — use [`ThreadedCluster::submit_requests`] with
+    /// properly signed requests instead.
     pub fn submit(&self, replica: NodeId, txs: Vec<Transaction>) {
+        self.submit_requests(
+            replica,
+            txs.into_iter().map(ClientRequest::unsigned).collect(),
+        );
+    }
+
+    /// Submits a batch of client requests (signed or not) to a replica.
+    pub fn submit_requests(&self, replica: NodeId, requests: Vec<ClientRequest>) {
         if let Some(sender) = self.senders.get(replica.index()) {
-            let _ = sender.send(ThreadEvent::Client(txs));
+            let _ = sender.send(ThreadEvent::Client(requests));
         }
     }
 
@@ -303,13 +321,24 @@ impl ThreadedCluster {
     }
 
     /// Convenience: submits `count` transactions of `payload` bytes
-    /// round-robin across all replicas.
+    /// round-robin across all replicas. In signed-client mode each request is
+    /// signed with the issuing client's derived key, so the batches pass the
+    /// edge check.
     pub fn submit_round_robin(&self, count: u64, payload: usize) {
         let now = SimTime(self.started_at.elapsed().as_nanos() as u64);
+        let client = NodeId(999);
+        let keypair = self
+            .config
+            .signed_requests
+            .then(|| KeyPair::client_from_seed(client.as_u64()));
         for seq in 0..count {
             let replica = NodeId(seq % self.config.nodes as u64);
-            let tx = Transaction::new(NodeId(999), seq, payload, now);
-            self.submit(replica, vec![tx]);
+            let tx = Transaction::new(client, seq, payload, now);
+            let request = match &keypair {
+                Some(keypair) => ClientRequest::signed(tx, keypair),
+                None => ClientRequest::unsigned(tx),
+            };
+            self.submit_requests(replica, vec![request]);
         }
     }
 
@@ -365,6 +394,7 @@ impl ThreadedCluster {
         // sampled by `shutdown` only after the drain, so forgeries still
         // queued in the pool when the replicas stopped are counted too.
         let mut auth_rejections: u64 = hosts.iter().map(NodeHost::auth_rejections).sum();
+        let client_auth_rejections: u64 = hosts.iter().map(NodeHost::client_auth_rejections).sum();
         if let Some(pool) = self.verify_pool {
             let (_accepted, rejected) = pool.shutdown();
             auth_rejections += rejected;
@@ -397,6 +427,7 @@ impl ThreadedCluster {
             safety_violations,
             timeout_view_changes,
             auth_rejections,
+            client_auth_rejections,
         };
         (report, hosts)
     }
@@ -518,8 +549,10 @@ fn run_replica_thread(
                 account(&report);
                 transport.prune_stale(host.replica().current_view());
             }
-            Ok(ThreadEvent::Client(txs)) => {
-                let report = host.handle(ReplicaEvent::ClientRequests(txs), now(), &mut transport);
+            Ok(ThreadEvent::Client(requests)) => {
+                // Same edge-verification stage as the simulator: forged
+                // requests are dropped and counted, honest ones admitted.
+                let report = host.handle_client_batch(requests, now(), &mut transport);
                 account(&report);
             }
             Err(RecvTimeoutError::Timeout) => continue,

@@ -158,6 +158,22 @@ impl KeyPair {
         Self { secret, public }
     }
 
+    /// Derives the key pair of simulated client `seed`.
+    ///
+    /// Clients live in a domain-separated keyspace (a distinct secret tag), so
+    /// no client key can ever collide with a validator key derived by
+    /// [`KeyPair::from_seed`]. Derivation is two streaming hashes and performs
+    /// no allocation, which lets replicas re-derive a client's key lazily per
+    /// request instead of holding O(clients) key material.
+    pub fn client_from_seed(seed: u64) -> Self {
+        let secret = SecretKey(hash_two(
+            b"bamboo-sim-client-secret-key-v1",
+            &seed.to_be_bytes(),
+        ));
+        let public = PublicKey(hash_two(PK_TAG, secret.0.as_bytes()));
+        Self { secret, public }
+    }
+
     /// Returns the public half of the key pair.
     pub fn public_key(&self) -> PublicKey {
         self.public
@@ -166,6 +182,13 @@ impl KeyPair {
     /// Signs `msg`.
     pub fn sign(&self, msg: &[u8]) -> Signature {
         Signature::create(&self.public, msg)
+    }
+
+    /// Signs `msg` reusing a caller-owned signing-bytes buffer, so a stream of
+    /// signatures (e.g. open-loop client arrival generation) allocates nothing
+    /// after the first call.
+    pub fn sign_with_scratch(&self, scratch: &mut Vec<u8>, msg: &[u8]) -> Signature {
+        Signature::create_with_scratch(scratch, &self.public, msg)
     }
 }
 
@@ -202,6 +225,31 @@ mod tests {
             KeyPair::from_seed(9).public_key(),
             KeyPair::from_seed(10).public_key()
         );
+    }
+
+    #[test]
+    fn client_keys_are_domain_separated_from_validator_keys() {
+        for seed in 0..64u64 {
+            assert_ne!(
+                KeyPair::client_from_seed(seed).public_key(),
+                KeyPair::from_seed(seed).public_key(),
+                "client {seed} collides with validator {seed}"
+            );
+        }
+        assert_eq!(KeyPair::client_from_seed(3), KeyPair::client_from_seed(3));
+        assert_ne!(
+            KeyPair::client_from_seed(3).public_key(),
+            KeyPair::client_from_seed(4).public_key()
+        );
+    }
+
+    #[test]
+    fn scratch_signing_matches_allocating_signing() {
+        let kp = KeyPair::client_from_seed(7);
+        let mut scratch = Vec::new();
+        let a = kp.sign_with_scratch(&mut scratch, b"request");
+        assert_eq!(a, kp.sign(b"request"));
+        assert!(kp.public_key().verify(b"request", &a));
     }
 
     #[test]

@@ -6,8 +6,24 @@
 //! local pool, so no cross-replica duplication check is needed.
 //!
 //! The pool enforces a capacity bound (`memsize` from Table I); when full it
-//! rejects new arrivals (back-pressure), which is how the closed-loop workload
-//! generator saturates the system.
+//! rejects new arrivals (back-pressure), which is how the open-loop saturation
+//! sweep drives the system past collapse — every rejection is counted and
+//! surfaced as an admission-control statistic, never a silent drop.
+//!
+//! # Sharding
+//!
+//! The pool is internally split into `K` independent shards keyed by the
+//! leading bits of the transaction id ([`Mempool::with_shards`]). Because a
+//! transaction id is a digest, the key is uniform; because the same id always
+//! maps to the same shard, per-shard duplicate detection is globally exact.
+//! Each shard owns its queue, id set and a capacity slice of `memsize / K`,
+//! so shards never contend by construction — the single-threaded analogue of
+//! a lock-free sharded pool — and admission control degrades gracefully: one
+//! hot shard rejecting does not stall the other `K − 1`. Draining is a
+//! deterministic round-robin over the shards with a persistent cursor, so a
+//! proposer's batch composition is a pure function of the push history.
+//! `K = 1` (the default) is byte-identical to the historical single
+//! bidirectional queue.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,7 +39,8 @@ pub struct MempoolStats {
     pub pending: usize,
     /// Total accepted since creation.
     pub accepted: u64,
-    /// Total rejected because the pool was full.
+    /// Total rejected because the pool (shard) was full or the transaction
+    /// was a duplicate — the admission-control backpressure counter.
     pub rejected: u64,
     /// Total re-queued from forked blocks.
     pub requeued: u64,
@@ -31,7 +48,30 @@ pub struct MempoolStats {
     pub dispatched: u64,
 }
 
-/// A bounded, bidirectional transaction queue.
+/// One independent slice of the pool: its own queue, id set and capacity.
+#[derive(Clone, Debug)]
+struct Shard {
+    queue: VecDeque<Transaction>,
+    /// Ids currently in this shard's queue, to drop duplicate re-submissions.
+    in_queue: HashSet<TxId>,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        // Pre-size both the queue and the id set: the pool runs at or near
+        // capacity under saturation, and growing a HashSet re-hashes every id.
+        let hint = capacity.min(4096);
+        Self {
+            queue: VecDeque::with_capacity(hint),
+            in_queue: HashSet::with_capacity(hint),
+            capacity,
+        }
+    }
+}
+
+/// A bounded, bidirectional transaction queue, internally sharded by
+/// transaction-id bits.
 ///
 /// # Example
 ///
@@ -49,59 +89,99 @@ pub struct MempoolStats {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Mempool {
-    queue: VecDeque<Transaction>,
-    /// Ids currently in the queue, to drop duplicate re-submissions.
-    in_queue: HashSet<TxId>,
-    capacity: usize,
+    shards: Vec<Shard>,
+    /// Round-robin drain cursor: the shard the next [`Mempool::next_batch`]
+    /// pop starts at. Persistent across calls so consecutive small batches
+    /// drain the shards evenly.
+    cursor: usize,
+    /// Total buffered transactions across all shards (kept incrementally so
+    /// `len` is O(1) regardless of the shard count).
+    len: usize,
     stats: MempoolStats,
 }
 
 impl Mempool {
-    /// Creates a pool bounded to `capacity` transactions.
+    /// Creates an unsharded pool bounded to `capacity` transactions —
+    /// equivalent to [`Mempool::with_shards`] with one shard.
     pub fn new(capacity: usize) -> Self {
-        // Pre-size both the queue and the id set: the pool runs at or near
-        // capacity under saturation, and growing a HashSet re-hashes every id.
-        let hint = capacity.min(4096);
+        Self::with_shards(capacity, 1)
+    }
+
+    /// Creates a pool of `shards` independent slices with a total bound of
+    /// `capacity` transactions; each shard holds at most
+    /// `max(1, capacity / shards)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        assert!(shards > 0, "mempool needs at least one shard");
+        let per_shard = (capacity / shards).max(1);
         Self {
-            queue: VecDeque::with_capacity(hint),
-            in_queue: HashSet::with_capacity(hint),
-            capacity,
+            shards: (0..shards).map(|_| Shard::new(per_shard)).collect(),
+            cursor: 0,
+            len: 0,
             stats: MempoolStats::default(),
         }
     }
 
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a transaction id belongs to: the leading 64 bits of the
+    /// digest modulo the shard count. Uniform (the id is a hash) and stable
+    /// (same id, same shard — which makes per-shard dedup globally exact).
+    fn shard_of(&self, id: &TxId) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
+        let lead: [u8; 8] = id.0.as_bytes()[..8].try_into().expect("digest is 32 bytes");
+        (u64::from_be_bytes(lead) % self.shards.len() as u64) as usize
+    }
+
     /// Number of buffered transactions.
     pub fn len(&self) -> usize {
-        self.queue.len()
+        self.len
     }
 
     /// Returns true if the pool is empty.
     pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+        self.len == 0
     }
 
-    /// Returns true if the pool is at capacity.
+    /// Returns true if every shard is at capacity.
     pub fn is_full(&self) -> bool {
-        self.queue.len() >= self.capacity
+        self.shards
+            .iter()
+            .all(|shard| shard.queue.len() >= shard.capacity)
     }
 
-    /// Remaining capacity.
+    /// Remaining capacity summed over all shards. A push can still be
+    /// rejected with remaining capacity left when its *own* shard is full.
     pub fn remaining_capacity(&self) -> usize {
-        self.capacity.saturating_sub(self.queue.len())
+        self.shards
+            .iter()
+            .map(|shard| shard.capacity.saturating_sub(shard.queue.len()))
+            .sum()
     }
 
-    /// Appends a fresh transaction at the back of the queue.
+    /// Appends a fresh transaction at the back of its shard's queue.
     ///
-    /// Returns `false` (and drops the transaction) if the pool is full or the
-    /// transaction is already queued.
+    /// Returns `false` (and drops the transaction, counting the rejection) if
+    /// the shard is full or the transaction is already queued.
     pub fn push(&mut self, tx: Transaction) -> bool {
+        let shard_index = self.shard_of(&tx.id);
+        let shard = &mut self.shards[shard_index];
         // One hash per push: `insert` already reports duplicates, so a
         // separate `contains` pre-check would just re-hash the id.
-        if self.is_full() || !self.in_queue.insert(tx.id) {
+        if shard.queue.len() >= shard.capacity || !shard.in_queue.insert(tx.id) {
             self.stats.rejected += 1;
             return false;
         }
-        self.queue.push_back(tx);
+        shard.queue.push_back(tx);
+        self.len += 1;
         self.stats.accepted += 1;
         true
     }
@@ -114,9 +194,13 @@ impl Mempool {
     pub fn push_batch(&mut self, txs: impl IntoIterator<Item = Transaction>) -> usize {
         let txs = txs.into_iter();
         let (hint, _) = txs.size_hint();
-        let room = hint.min(self.remaining_capacity());
-        self.queue.reserve(room);
-        self.in_queue.reserve(room);
+        let room = hint
+            .min(self.remaining_capacity())
+            .div_ceil(self.shards.len());
+        for shard in &mut self.shards {
+            shard.queue.reserve(room);
+            shard.in_queue.reserve(room);
+        }
         let mut accepted = 0usize;
         for tx in txs {
             if self.push(tx) {
@@ -127,32 +211,46 @@ impl Mempool {
     }
 
     /// Re-inserts transactions recovered from forked (overwritten) blocks at
-    /// the *front* of the queue so they are re-proposed first, exactly as the
-    /// paper describes. Re-queued transactions bypass the capacity bound: they
-    /// were already accepted once.
+    /// the *front* of their shard's queue so they are re-proposed first,
+    /// exactly as the paper describes. Re-queued transactions bypass the
+    /// capacity bound: they were already accepted once.
     pub fn requeue_front(&mut self, txs: Vec<Transaction>) {
         // Preserve original ordering: push in reverse so the first element of
-        // `txs` ends up at the very front.
+        // `txs` ends up at the very front of its shard.
         for tx in txs.into_iter().rev() {
-            if self.in_queue.insert(tx.id) {
-                self.queue.push_front(tx);
+            let shard_index = self.shard_of(&tx.id);
+            let shard = &mut self.shards[shard_index];
+            if shard.in_queue.insert(tx.id) {
+                shard.queue.push_front(tx);
+                self.len += 1;
                 self.stats.requeued += 1;
             }
         }
     }
 
-    /// Pops up to `max` transactions from the front of the queue — the
-    /// proposer's batching strategy ("batch all the transactions in the memory
-    /// pool if the amount is less than the target block size").
+    /// Pops up to `max` transactions, round-robin across the shards from the
+    /// persistent cursor — the proposer's batching strategy ("batch all the
+    /// transactions in the memory pool if the amount is less than the target
+    /// block size"), generalised to shards deterministically: the batch
+    /// composition is a pure function of the push history, independent of
+    /// when the shards were drained.
     pub fn next_batch(&mut self, max: usize) -> Vec<Transaction> {
-        let take = max.min(self.queue.len());
+        let take = max.min(self.len);
         let mut batch = Vec::with_capacity(take);
-        // Single pass: unregister each id while draining instead of
-        // re-walking the finished batch.
-        for tx in self.queue.drain(..take) {
-            self.in_queue.remove(&tx.id);
+        let shards = self.shards.len();
+        while batch.len() < take {
+            // Find the next non-empty shard from the cursor. `take ≤ len`
+            // guarantees one exists.
+            while self.shards[self.cursor].queue.is_empty() {
+                self.cursor = (self.cursor + 1) % shards;
+            }
+            let shard = &mut self.shards[self.cursor];
+            let tx = shard.queue.pop_front().expect("shard is non-empty");
+            shard.in_queue.remove(&tx.id);
             batch.push(tx);
+            self.cursor = (self.cursor + 1) % shards;
         }
+        self.len -= batch.len();
         self.stats.dispatched += batch.len() as u64;
         batch
     }
@@ -161,17 +259,26 @@ impl Mempool {
     /// in a committed block proposed by another replica), preventing
     /// re-proposal. Returns how many were removed.
     pub fn remove_committed<'a>(&mut self, ids: impl IntoIterator<Item = &'a TxId>) -> usize {
-        // Single pass over the ids: `in_queue` mirrors queue membership, so
-        // removing from the set both counts the victims and marks them —
-        // the one retain sweep below keeps exactly the ids still in the set.
+        // Single pass over the ids: each shard's `in_queue` mirrors its queue
+        // membership, so removing from the set both counts the victims and
+        // marks them — one retain sweep per *touched* shard then keeps
+        // exactly the ids still in its set.
+        let mut removed_in: Vec<usize> = vec![0; self.shards.len()];
         let mut removed = 0usize;
         for id in ids {
-            if self.in_queue.remove(id) {
+            let shard_index = self.shard_of(id);
+            if self.shards[shard_index].in_queue.remove(id) {
+                removed_in[shard_index] += 1;
                 removed += 1;
             }
         }
         if removed > 0 {
-            self.queue.retain(|tx| self.in_queue.contains(&tx.id));
+            for (shard, &hits) in self.shards.iter_mut().zip(&removed_in) {
+                if hits > 0 {
+                    shard.queue.retain(|tx| shard.in_queue.contains(&tx.id));
+                }
+            }
+            self.len -= removed;
         }
         removed
     }
@@ -179,14 +286,18 @@ impl Mempool {
     /// Returns a snapshot of activity counters.
     pub fn stats(&self) -> MempoolStats {
         MempoolStats {
-            pending: self.queue.len(),
+            pending: self.len,
             ..self.stats
         }
     }
 
-    /// Peeks at the first `max` transactions without removing them.
+    /// Peeks at the first `max` transactions in shard order (shard 0 front to
+    /// back, then shard 1, …) without removing them.
     pub fn peek(&self, max: usize) -> impl Iterator<Item = &Transaction> {
-        self.queue.iter().take(max)
+        self.shards
+            .iter()
+            .flat_map(|shard| shard.queue.iter())
+            .take(max)
     }
 }
 
@@ -324,5 +435,83 @@ mod tests {
         assert_eq!(stats.rejected, 1);
         assert_eq!(stats.dispatched, 1);
         assert_eq!(stats.pending, 1);
+    }
+
+    #[test]
+    fn sharded_pool_preserves_every_transaction_exactly_once() {
+        for shards in [1usize, 2, 4, 7] {
+            let mut pool = Mempool::with_shards(1000, shards);
+            assert_eq!(pool.shard_count(), shards);
+            for seq in 0..200 {
+                assert!(pool.push(tx(seq)), "shards={shards} seq={seq}");
+            }
+            assert_eq!(pool.len(), 200);
+            let mut seen: Vec<u64> = Vec::new();
+            while !pool.is_empty() {
+                seen.extend(pool.next_batch(17).iter().map(|t| t.seq));
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, (0..200).collect::<Vec<u64>>(), "shards={shards}");
+            assert_eq!(pool.stats().dispatched, 200);
+        }
+    }
+
+    #[test]
+    fn sharded_drain_is_deterministic() {
+        let drain = |shards: usize| -> Vec<u64> {
+            let mut pool = Mempool::with_shards(1000, shards);
+            for seq in 0..100 {
+                pool.push(tx(seq));
+            }
+            let mut order = Vec::new();
+            while !pool.is_empty() {
+                order.extend(pool.next_batch(13).iter().map(|t| t.seq));
+            }
+            order
+        };
+        assert_eq!(drain(4), drain(4));
+        // One shard is the historical FIFO.
+        assert_eq!(drain(1), (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn sharded_admission_control_counts_every_rejection() {
+        // Per-shard capacity is total / shards; overflow in one shard is
+        // rejected (and counted) even while other shards have room.
+        for shards in [2usize, 4] {
+            let total = 40usize;
+            let mut pool = Mempool::with_shards(total, shards);
+            let offered = 4 * total as u64;
+            for seq in 0..offered {
+                pool.push(tx(seq));
+            }
+            let stats = pool.stats();
+            assert_eq!(
+                stats.accepted + stats.rejected,
+                offered,
+                "shards={shards}: every offered tx is accounted"
+            );
+            assert!(stats.rejected > 0, "shards={shards}: overload must reject");
+            assert_eq!(stats.pending as u64, stats.accepted);
+            assert!(pool.len() <= total);
+        }
+    }
+
+    #[test]
+    fn sharded_dedup_and_removal_stay_exact() {
+        let mut pool = Mempool::with_shards(100, 4);
+        for seq in 0..20 {
+            pool.push(tx(seq));
+        }
+        // Same ids land in the same shards, so duplicates are caught.
+        for seq in 0..20 {
+            assert!(!pool.push(tx(seq)));
+        }
+        let victims: Vec<TxId> = (0..10).map(|seq| tx(seq).id).collect();
+        assert_eq!(pool.remove_committed(victims.iter()), 10);
+        assert_eq!(pool.len(), 10);
+        let mut left: Vec<u64> = pool.next_batch(20).iter().map(|t| t.seq).collect();
+        left.sort_unstable();
+        assert_eq!(left, (10..20).collect::<Vec<u64>>());
     }
 }

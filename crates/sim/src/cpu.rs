@@ -63,6 +63,17 @@ impl CpuModel {
         self.verify(2) + SimDuration::from_nanos(self.per_tx.as_nanos() * txs as u64)
     }
 
+    /// Cost of verifying a batch of `signatures` client-request signatures at
+    /// the replica edge: one crypto op per 4-wide interleaved pass
+    /// (`⌈n/4⌉ · t_CPU`). Client requests all sign the same fixed-length
+    /// tuple, so the whole batch runs through the quad hasher — this is the
+    /// amortisation the charge models, and what makes authenticated ingress
+    /// affordable at millions of arrivals.
+    pub fn verify_batch(&self, signatures: usize) -> SimDuration {
+        let passes = (signatures as u64).div_ceil(4);
+        SimDuration::from_nanos(self.crypto_op.as_nanos() * passes)
+    }
+
     /// Cost of assembling a block of `txs` transactions (batching + hashing +
     /// signing the proposal).
     pub fn assemble_block(&self, txs: usize) -> SimDuration {
@@ -104,6 +115,16 @@ mod tests {
             "difference is purely per-tx work"
         );
         assert!(cpu.assemble_block(400) > cpu.sign());
+    }
+
+    #[test]
+    fn batch_verification_amortises_four_wide() {
+        let cpu = CpuModel::new(SimDuration::from_micros(20));
+        assert_eq!(cpu.verify_batch(0), SimDuration::ZERO);
+        assert_eq!(cpu.verify_batch(1), SimDuration::from_micros(20));
+        assert_eq!(cpu.verify_batch(4), SimDuration::from_micros(20));
+        assert_eq!(cpu.verify_batch(5), SimDuration::from_micros(40));
+        assert_eq!(cpu.verify_batch(64), cpu.verify(16));
     }
 
     #[test]

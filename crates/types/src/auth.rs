@@ -23,8 +23,16 @@
 //! aggregate.
 //!
 //! Client traffic ([`crate::Message::Request`] / [`crate::Message::Response`])
-//! passes through unchecked: clients are not part of the validator set and
-//! transaction authentication is out of scope for the performance study.
+//! passes through unchecked by default: clients are not part of the validator
+//! set and transaction authentication is out of scope for the paper's
+//! performance study. The opt-in signed-client mode
+//! ([`Authenticator::set_signed_clients`], driven by
+//! [`crate::Config::signed_requests`]) changes that for requests: each one
+//! must carry the issuing client's signature over a fixed 40-byte tuple, the
+//! client's public key is re-derived lazily from its id (no O(clients) key
+//! table), and whole arrival batches are checked through the same 4-wide
+//! batched pass as quorum certificates
+//! ([`Authenticator::verify_client_batch`]).
 
 use std::fmt;
 
@@ -33,7 +41,7 @@ use bamboo_crypto::{BatchVerifier, KeyPair, PublicKey};
 use crate::block::Block;
 use crate::certificate::{QuorumCert, TimeoutCert, TimeoutVote, Vote};
 use crate::ids::{quorum_threshold, NodeId, View};
-use crate::message::{Message, SharedMessage, SyncRequest, SyncResponse};
+use crate::message::{ClientRequest, Message, SharedMessage, SyncRequest, SyncResponse};
 
 /// Why an inbound message was rejected at the ingress stage.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -59,6 +67,10 @@ pub enum AuthError {
     BadTcSignature(View),
     /// A sync request's signature does not verify under the requester's key.
     BadSyncSignature(NodeId),
+    /// Signed-client mode is on but the request carries no signature.
+    UnsignedClientRequest(NodeId),
+    /// A client-request signature does not verify under the client's key.
+    BadClientSignature(NodeId),
 }
 
 impl fmt::Display for AuthError {
@@ -77,6 +89,12 @@ impl fmt::Display for AuthError {
             AuthError::BadTcSignature(view) => write!(f, "invalid TC signature @ {view}"),
             AuthError::BadSyncSignature(node) => {
                 write!(f, "invalid sync-request signature from {node}")
+            }
+            AuthError::UnsignedClientRequest(client) => {
+                write!(f, "unsigned client request from {client}")
+            }
+            AuthError::BadClientSignature(client) => {
+                write!(f, "invalid client-request signature from {client}")
             }
         }
     }
@@ -157,6 +175,9 @@ impl VerifiedMessage {
 pub struct Authenticator {
     keys: Vec<PublicKey>,
     batch: BatchVerifier,
+    /// When true, client requests must carry a valid signature by the issuing
+    /// client's (lazily derived) key; when false they pass unchecked.
+    signed_clients: bool,
 }
 
 impl Authenticator {
@@ -177,7 +198,28 @@ impl Authenticator {
         Self {
             keys,
             batch: BatchVerifier::new(),
+            signed_clients: false,
         }
+    }
+
+    /// Switches the signed-client mode on or off. Off (the default) keeps the
+    /// paper's unauthenticated-client setting; on, every client request must
+    /// verify under the issuing client's key.
+    pub fn set_signed_clients(&mut self, signed: bool) {
+        self.signed_clients = signed;
+    }
+
+    /// Whether client requests are required to carry valid signatures.
+    pub fn signed_clients(&self) -> bool {
+        self.signed_clients
+    }
+
+    /// The issuing client's public key, derived lazily from the client id (the
+    /// client keyspace is domain-separated from the validator keyspace, see
+    /// [`KeyPair::client_from_seed`]). Two streaming hashes, no allocation, no
+    /// per-client state.
+    pub fn client_key(client: NodeId) -> PublicKey {
+        KeyPair::client_from_seed(client.as_u64()).public_key()
     }
 
     /// Size of the validator set.
@@ -237,9 +279,65 @@ impl Authenticator {
             Message::NewView(qc) => self.verify_qc(qc),
             Message::SyncRequest(req) => self.verify_sync_request(req),
             Message::SyncResponse(resp) => self.verify_sync_response(resp),
-            // Client traffic is not covered by the validator set.
-            Message::Request(_) | Message::Response(_) => Ok(()),
+            // Requests are checked only in signed-client mode; responses (sent
+            // by replicas to clients) are never verified here.
+            Message::Request(req) => {
+                if self.signed_clients {
+                    self.verify_client_request(req)
+                } else {
+                    Ok(())
+                }
+            }
+            Message::Response(_) => Ok(()),
         }
+    }
+
+    /// Verifies one client request's signature under the issuing client's
+    /// lazily derived key.
+    ///
+    /// # Errors
+    ///
+    /// [`AuthError::UnsignedClientRequest`] when the request carries no
+    /// signature, [`AuthError::BadClientSignature`] when it does not verify.
+    pub fn verify_client_request(&self, req: &ClientRequest) -> Result<(), AuthError> {
+        let client = req.transaction.client;
+        if req.signature.is_none() {
+            return Err(AuthError::UnsignedClientRequest(client));
+        }
+        if !req.verify(&Self::client_key(client)) {
+            return Err(AuthError::BadClientSignature(client));
+        }
+        Ok(())
+    }
+
+    /// Verifies a whole client arrival batch in one batched pass.
+    ///
+    /// Every request signs the same fixed-length 40-byte tuple, so the staged
+    /// checks run 4-wide through the interleaved SHA-256 path — the amortised
+    /// edge-ingress cost the modeled CPU charge
+    /// (`CpuModel::verify_batch`) accounts for. All-or-nothing: `true` iff
+    /// every request is signed and verifies. Callers that need to salvage the
+    /// honest majority of a failing batch fall back to
+    /// [`Authenticator::verify_client_request`] per item.
+    pub fn verify_client_batch(&mut self, requests: &[ClientRequest]) -> bool {
+        let mut all_signed = true;
+        for req in requests {
+            let Some(signature) = req.signature else {
+                all_signed = false;
+                break;
+            };
+            let key = Self::client_key(req.transaction.client);
+            self.batch.push(
+                key,
+                &ClientRequest::signing_bytes(&req.transaction),
+                signature,
+            );
+        }
+        if !all_signed {
+            self.batch.clear();
+            return false;
+        }
+        self.batch.verify_all()
     }
 
     /// Verifies a proposal: the block id must bind the header and payload,
@@ -580,13 +678,76 @@ mod tests {
     #[test]
     fn client_traffic_passes_through() {
         let mut auth = Authenticator::for_nodes(4);
-        let request = Message::Request(crate::message::ClientRequest {
-            transaction: Transaction::new(NodeId(9), 0, 8, SimTime::ZERO),
-        });
+        let request = Message::Request(ClientRequest::unsigned(Transaction::new(
+            NodeId(9),
+            0,
+            8,
+            SimTime::ZERO,
+        )));
         let verified = auth.authenticate(NodeId(9), request).expect("clients pass");
         let (from, message) = verified.into_parts();
         assert_eq!(from, NodeId(9));
         assert!(matches!(message, Message::Request(_)));
+    }
+
+    #[test]
+    fn signed_client_mode_verifies_and_rejects_at_the_edge() {
+        let mut auth = Authenticator::for_nodes(4);
+        auth.set_signed_clients(true);
+        assert!(auth.signed_clients());
+        let client = NodeId(1_000_321);
+        let kp = KeyPair::client_from_seed(client.as_u64());
+        let tx = Transaction::new(client, 0, 8, SimTime(5));
+        let good = ClientRequest::signed(tx.clone(), &kp);
+        assert!(auth.verify_client_request(&good).is_ok());
+        assert!(auth
+            .authenticate(client, Message::Request(good.clone()))
+            .is_ok());
+
+        // Unsigned requests no longer pass.
+        let unsigned = ClientRequest::unsigned(tx.clone());
+        assert_eq!(
+            auth.verify_client_request(&unsigned),
+            Err(AuthError::UnsignedClientRequest(client))
+        );
+
+        // A signature minted by a different client is a forgery.
+        let forged = ClientRequest::signed(tx, &KeyPair::client_from_seed(7));
+        assert_eq!(
+            auth.verify_client_request(&forged),
+            Err(AuthError::BadClientSignature(client))
+        );
+        assert!(auth.authenticate(client, Message::Request(forged)).is_err());
+    }
+
+    #[test]
+    fn client_batches_verify_four_wide_and_fail_on_one_forgery() {
+        let mut auth = Authenticator::for_nodes(4);
+        auth.set_signed_clients(true);
+        // 11 requests: two quad chunks plus three stragglers.
+        let mut batch: Vec<ClientRequest> = (0..11u64)
+            .map(|i| {
+                let client = NodeId(1_000_000 + i);
+                let tx = Transaction::new(client, i, 8, SimTime(i));
+                ClientRequest::signed(tx, &KeyPair::client_from_seed(client.as_u64()))
+            })
+            .collect();
+        assert!(auth.verify_client_batch(&batch));
+        // The verifier is reusable after a pass.
+        assert!(auth.verify_client_batch(&batch));
+        // One forged (or one unsigned) request fails the whole batch, and the
+        // per-item fallback isolates exactly the culprit.
+        batch[6].signature = Some(KeyPair::client_from_seed(999).sign(b"junk"));
+        assert!(!auth.verify_client_batch(&batch));
+        let bad: Vec<usize> = batch
+            .iter()
+            .enumerate()
+            .filter(|(_, req)| auth.verify_client_request(req).is_err())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(bad, vec![6]);
+        batch[6].signature = None;
+        assert!(!auth.verify_client_batch(&batch));
     }
 
     #[test]

@@ -188,6 +188,24 @@ pub struct Config {
     /// `None` disables checkpointing (the default), which also disables
     /// amnesia recovery — a replica with no checkpoint restarts from genesis.
     pub checkpoint_interval: Option<u64>,
+
+    // ---- Client-ingress pipeline (DESIGN.md §7) -------------------------
+    /// Size of the simulated open-loop client population. `None` (the
+    /// default) keeps the legacy single anonymous client; `Some(n)` spreads
+    /// arrivals over `n` distinct clients whose identities (and, with
+    /// [`Config::signed_requests`], keys) are derived lazily from the client
+    /// id — memory stays O(1) in the population size.
+    pub client_population: Option<u64>,
+    /// When true, every client request is signed by the issuing client and
+    /// verified at the replica edge through the batched 4-wide path, with the
+    /// modeled CPU charged per arrival batch. Defaults to false (the paper's
+    /// unauthenticated-client setting).
+    pub signed_requests: bool,
+    /// Number of independent mempool shards per replica (keyed by transaction
+    /// id bits). `1` (the default) is byte-identical to the historical single
+    /// queue; higher values bound per-shard capacity at `mempool_size /
+    /// shards` and drain round-robin.
+    pub mempool_shards: usize,
 }
 
 impl Default for Config {
@@ -212,6 +230,9 @@ impl Default for Config {
             arrival_rate: None,
             seed: 42,
             checkpoint_interval: None,
+            client_population: None,
+            signed_requests: false,
+            mempool_shards: 1,
         }
     }
 }
@@ -271,6 +292,16 @@ impl Config {
         if self.checkpoint_interval == Some(0) {
             return Err(crate::TypeError::InvalidConfig(
                 "checkpoint interval must be positive when set".into(),
+            ));
+        }
+        if self.client_population == Some(0) {
+            return Err(crate::TypeError::InvalidConfig(
+                "client population must be positive when set".into(),
+            ));
+        }
+        if self.mempool_shards == 0 {
+            return Err(crate::TypeError::InvalidConfig(
+                "mempool shards must be positive".into(),
             ));
         }
         Ok(())
@@ -399,6 +430,25 @@ impl ConfigBuilder {
         self
     }
 
+    /// Spreads open-loop arrivals over a population of `clients` distinct
+    /// simulated clients.
+    pub fn client_population(mut self, clients: u64) -> Self {
+        self.config.client_population = Some(clients);
+        self
+    }
+
+    /// Enables per-client request signatures verified at the replica edge.
+    pub fn signed_requests(mut self, signed: bool) -> Self {
+        self.config.signed_requests = signed;
+        self
+    }
+
+    /// Sets the number of mempool shards per replica.
+    pub fn mempool_shards(mut self, shards: usize) -> Self {
+        self.config.mempool_shards = shards;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -469,6 +519,25 @@ mod tests {
             .runtime(SimDuration::ZERO)
             .build()
             .is_err());
+        assert!(Config::builder().client_population(0).build().is_err());
+        assert!(Config::builder().mempool_shards(0).build().is_err());
+    }
+
+    #[test]
+    fn client_pipeline_defaults_preserve_legacy_behaviour() {
+        let c = Config::default();
+        assert_eq!(c.client_population, None);
+        assert!(!c.signed_requests);
+        assert_eq!(c.mempool_shards, 1);
+        let tuned = Config::builder()
+            .client_population(1_000_000)
+            .signed_requests(true)
+            .mempool_shards(8)
+            .build()
+            .unwrap();
+        assert_eq!(tuned.client_population, Some(1_000_000));
+        assert!(tuned.signed_requests);
+        assert_eq!(tuned.mempool_shards, 8);
     }
 
     #[test]

@@ -28,16 +28,66 @@ use crate::transaction::{Transaction, TxId};
 pub type SharedMessage = Arc<Message>;
 
 /// A client request carrying one transaction.
+///
+/// Requests are optionally signed by the issuing client
+/// ([`crate::Config::signed_requests`]): the signature covers the fixed-size
+/// `(tx id, issued_at)` tuple, so every request signs (and verifies) a
+/// 40-byte message — which is exactly the equal-length precondition the
+/// 4-wide batched verifier needs to check an arrival batch in `⌈n/4⌉`
+/// interleaved SHA-256 passes. The signature authenticates ingress only: the
+/// replica edge verifies and strips it, and only the bare [`Transaction`]
+/// enters the mempool, blocks, and checkpoints.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ClientRequest {
     /// The transaction to be ordered.
     pub transaction: Transaction,
+    /// The issuing client's signature over [`ClientRequest::signing_bytes`];
+    /// `None` in the legacy unauthenticated-client mode.
+    pub signature: Option<Signature>,
 }
 
 impl ClientRequest {
+    /// Wraps a transaction in an unsigned request (the legacy client mode).
+    pub fn unsigned(transaction: Transaction) -> Self {
+        Self {
+            transaction,
+            signature: None,
+        }
+    }
+
+    /// Creates and signs a request with the issuing client's key pair.
+    pub fn signed(transaction: Transaction, keypair: &KeyPair) -> Self {
+        let signature = keypair.sign(&Self::signing_bytes(&transaction));
+        Self {
+            transaction,
+            signature: Some(signature),
+        }
+    }
+
+    /// The canonical byte string a client request signs: the transaction id
+    /// (which already binds client, sequence number and payload) plus the
+    /// issue timestamp. Fixed-length by construction.
+    pub fn signing_bytes(transaction: &Transaction) -> [u8; 40] {
+        let mut buf = [0u8; 40];
+        buf[..32].copy_from_slice(transaction.id.0.as_bytes());
+        buf[32..].copy_from_slice(&transaction.issued_at.0.to_be_bytes());
+        buf
+    }
+
+    /// Verifies the request's signature against the issuing client's public
+    /// key. Unsigned requests never verify.
+    pub fn verify(&self, public_key: &PublicKey) -> bool {
+        match &self.signature {
+            Some(signature) => {
+                public_key.verify(&Self::signing_bytes(&self.transaction), signature)
+            }
+            None => false,
+        }
+    }
+
     /// Approximate wire size in bytes.
     pub fn wire_size(&self) -> usize {
-        self.transaction.wire_size()
+        self.transaction.wire_size() + if self.signature.is_some() { 32 } else { 0 }
     }
 }
 
@@ -305,9 +355,12 @@ mod tests {
                 MessageKind::Pacemaker,
             ),
             (
-                Message::Request(ClientRequest {
-                    transaction: Transaction::new(NodeId(1), 0, 0, SimTime::ZERO),
-                }),
+                Message::Request(ClientRequest::unsigned(Transaction::new(
+                    NodeId(1),
+                    0,
+                    0,
+                    SimTime::ZERO,
+                ))),
                 MessageKind::Client,
             ),
             (
@@ -378,10 +431,32 @@ mod tests {
     fn views_are_exposed() {
         let block = sample_block();
         assert_eq!(Message::Proposal(block.into()).view(), Some(View(2)));
-        let req = Message::Request(ClientRequest {
-            transaction: Transaction::new(NodeId(1), 0, 0, SimTime::ZERO),
-        });
+        let req = Message::Request(ClientRequest::unsigned(Transaction::new(
+            NodeId(1),
+            0,
+            0,
+            SimTime::ZERO,
+        )));
         assert_eq!(req.view(), None);
+    }
+
+    #[test]
+    fn signed_requests_verify_and_reject_tampering() {
+        let client = KeyPair::client_from_seed(17);
+        let tx = Transaction::new(NodeId(1_000_017), 5, 0, SimTime(42));
+        let req = ClientRequest::signed(tx.clone(), &client);
+        assert!(req.verify(&client.public_key()));
+        assert!(!req.verify(&KeyPair::client_from_seed(18).public_key()));
+        assert!(!ClientRequest::unsigned(tx.clone()).verify(&client.public_key()));
+        let forged = ClientRequest {
+            transaction: Transaction::new(NodeId(1_000_017), 6, 0, SimTime(42)),
+            signature: req.signature,
+        };
+        assert!(!forged.verify(&client.public_key()));
+        assert_eq!(
+            req.wire_size(),
+            ClientRequest::unsigned(tx).wire_size() + 32
+        );
     }
 
     #[test]
@@ -389,9 +464,12 @@ mod tests {
         let block = sample_block();
         let msg = Message::Proposal(block.into());
         assert_eq!(msg.to_string(), "proposal@v2");
-        let req = Message::Request(ClientRequest {
-            transaction: Transaction::new(NodeId(1), 0, 0, SimTime::ZERO),
-        });
+        let req = Message::Request(ClientRequest::unsigned(Transaction::new(
+            NodeId(1),
+            0,
+            0,
+            SimTime::ZERO,
+        )));
         assert_eq!(req.to_string(), "request");
     }
 }
