@@ -8,7 +8,7 @@
 
 use bamboo_bench::harness::{bench, bench_with_setup, MicroResult};
 use bamboo_bench::{banner, save_json};
-use bamboo_core::{RunOptions, SimRunner, VerifyPool};
+use bamboo_core::{RecordKind, RunOptions, SegmentLog, SimRunner, VerifyPool};
 use bamboo_crypto::{sha256, BatchVerifier, KeyPair};
 use bamboo_forest::BlockForest;
 use bamboo_mempool::Mempool;
@@ -293,6 +293,52 @@ fn bench_mempool(results: &mut Vec<MicroResult>) {
     ));
 }
 
+/// The durable segment log: the write-ahead path every committed block and
+/// pre-vote safety record takes in durable-log mode, and the replay path a
+/// restarting replica walks. In-memory backend, so the micro times the
+/// framing/CRC/rotation machinery rather than the disk.
+fn bench_storage(results: &mut Vec<MicroResult>) {
+    const RECORDS: u64 = 1_024;
+    // Payload shaped like a small committed-block record.
+    let payload = vec![0xb7u8; 256];
+    let append = bench_with_setup(
+        "log_append_1k",
+        || SegmentLog::in_memory(1 << 20, 8),
+        |mut log| {
+            for _ in 0..RECORDS {
+                log.append(RecordKind::CommittedBlock, &payload);
+            }
+            log.sync();
+            log
+        },
+    );
+    let records_per_sec = RECORDS as f64 / (append.value / 1e9);
+    println!(
+        "{:<36} {records_per_sec:>14.0} records/s",
+        "log_append_throughput"
+    );
+    results.push(MicroResult {
+        name: "log_append_throughput".to_string(),
+        value: records_per_sec,
+        iters: append.iters,
+        unit: "records_per_sec",
+    });
+    results.push(append);
+
+    // Replay of a 1k-record log (what a durable restart pays before it can
+    // rejoin), decoded across several rotated segments.
+    let mut log = SegmentLog::in_memory(64 * 1024, 8);
+    for _ in 0..1_000 {
+        log.append(RecordKind::CommittedBlock, &payload);
+    }
+    log.sync();
+    results.push(bench("log_replay_1k", || {
+        let replayed = log.replay();
+        assert_eq!(replayed.records.len(), 1_000);
+        replayed
+    }));
+}
+
 /// The event queue under a simulator-shaped schedule: 64k events pushed as a
 /// mix of near-future deliveries (µs-scale deltas), same-instant ties and
 /// far-out timers, interleaved with pops — the access pattern of one
@@ -393,6 +439,7 @@ fn main() {
     bench_broadcast(&mut results);
     bench_quorum(&mut results);
     bench_mempool(&mut results);
+    bench_storage(&mut results);
     bench_event_queue(&mut results);
     bench_sim_engine(&mut results);
     save_json("micro_components", &results);

@@ -23,7 +23,9 @@
 //! * `scenario_reports.json` — the recovery series: per-run
 //!   `recovery_time_ms` (worst-case amnesia catch-up) keyed by
 //!   `scenario/protocol`, for runs that actually scheduled amnesia
-//!   recoveries. Recovery time is a latency, so it regresses *upwards*.
+//!   recoveries, plus `log_replay_ms` (worst-case durable-log replay,
+//!   keyed `scenario/protocol log_replay`) for runs with durable
+//!   restarts. Both are latencies, so they regress *upwards*.
 //!
 //! Non-gating by design: shared-runner numbers are noisy, so the tool always
 //! exits 0 — it prints aligned diff tables and emits GitHub `::warning::`
@@ -328,9 +330,12 @@ fn diff_saturation(snapshot: &Json, snapshot_name: &str) -> usize {
     regressions
 }
 
-/// `(key, recovery_time_ms)` rows of a scenario-reports artifact: one row
-/// per run that scheduled at least one amnesia recovery (runs without any
-/// have a vacuous zero that would only add noise).
+/// Recovery-latency rows of a scenario-reports artifact. Each run that
+/// scheduled at least one recovery contributes its worst-case catch-up time
+/// (`recovery_time_ms`); runs with durable restarts additionally contribute
+/// the worst-case log-replay time (`… log_replay` rows). Runs without any
+/// recovery have vacuous zeros that would only add noise, so they are
+/// skipped. Both metrics are latencies: growing is the regression.
 fn recovery_entries(doc: &Json) -> Vec<(String, f64)> {
     doc.as_array()
         .unwrap_or(&[])
@@ -350,8 +355,19 @@ fn recovery_entries(doc: &Json) -> Vec<(String, f64)> {
                         return None;
                     }
                     let time = recovery.get("recovery_time_ms")?.as_f64()?;
-                    Some((format!("{name}/{protocol}"), time))
+                    let mut rows = vec![(format!("{name}/{protocol}"), time)];
+                    let durable = recovery
+                        .get("durable_restarts")
+                        .and_then(Json::as_f64)
+                        .unwrap_or(0.0);
+                    if durable > 0.0 {
+                        if let Some(replay) = recovery.get("log_replay_ms").and_then(Json::as_f64) {
+                            rows.push((format!("{name}/{protocol} log_replay"), replay));
+                        }
+                    }
+                    Some(rows)
                 })
+                .flatten()
                 .collect::<Vec<_>>()
         })
         .collect()
@@ -378,12 +394,12 @@ fn diff_recovery(snapshot: &Json, snapshot_name: &str) -> usize {
         .map(recovery_entries)
         .unwrap_or_default();
     println!(
-        "\nbench-diff: recovery_time_ms vs {snapshot_name} ({} baseline points)",
+        "\nbench-diff: recovery latencies vs {snapshot_name} ({} baseline points)",
         base_rows.len()
     );
     println!(
         "{:<36} {:>14} {:>14} {:>9}",
-        "run (recovery_time_ms)", "baseline", "fresh", "delta"
+        "run (recovery / log-replay ms)", "baseline", "fresh", "delta"
     );
     let mut regressions = 0usize;
     for (key, value) in &fresh_rows {

@@ -59,6 +59,7 @@ pub mod replica;
 pub mod runner;
 pub mod runtime;
 pub mod scenario;
+pub mod storage;
 pub mod threaded;
 pub mod verify;
 pub mod workload;
@@ -76,6 +77,10 @@ pub use replica::{
 pub use runner::{FaultTrigger, NodeFault, RunOptions, SimRunner};
 pub use runtime::{BufferedTransport, NodeHost, StepReport, Transport};
 pub use scenario::{Expectations, Scenario, ScenarioReport, ScenarioRun};
+pub use storage::{
+    DecodedStream, FileBackend, MemoryBackend, RecordKind, ReplayResult, SegmentBackend,
+    SegmentLog, StorageFault,
+};
 pub use threaded::{ClusterReport, ThreadedCluster, DEFAULT_VERIFY_WORKERS};
 pub use verify::{VerifyHandle, VerifyPool};
 pub use workload::{Arrival, ClosedLoopWorkload, OpenLoopWorkload, Workload, CLIENT_ID_BASE};

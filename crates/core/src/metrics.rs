@@ -256,6 +256,16 @@ pub struct RecoveryReport {
     /// Worst-case catch-up duration (restart to orphan-free) over the
     /// amnesia-recovered replicas, in milliseconds; `0` when none recovered.
     pub recovery_time_ms: f64,
+    /// Replicas that restarted from their durable segment log during the run.
+    pub durable_restarts: u64,
+    /// Log records successfully replayed across all durable restarts.
+    pub records_replayed: u64,
+    /// Log records discarded as corrupt (torn tail, bad CRC, broken chain
+    /// linkage) across all durable restarts.
+    pub corrupt_records_discarded: u64,
+    /// Worst-case log-replay duration over the durable restarts, in
+    /// milliseconds of modeled CPU time; `0` when none restarted.
+    pub log_replay_ms: f64,
 }
 
 impl Default for RecoveryReport {
@@ -271,6 +281,10 @@ impl Default for RecoveryReport {
             amnesia_recoveries: 0,
             recovered_caught_up: true,
             recovery_time_ms: 0.0,
+            durable_restarts: 0,
+            records_replayed: 0,
+            corrupt_records_discarded: 0,
+            log_replay_ms: 0.0,
         }
     }
 }
@@ -288,6 +302,13 @@ impl ToJson for RecoveryReport {
             ("amnesia_recoveries", Json::from(self.amnesia_recoveries)),
             ("recovered_caught_up", Json::from(self.recovered_caught_up)),
             ("recovery_time_ms", Json::from(self.recovery_time_ms)),
+            ("durable_restarts", Json::from(self.durable_restarts)),
+            ("records_replayed", Json::from(self.records_replayed)),
+            (
+                "corrupt_records_discarded",
+                Json::from(self.corrupt_records_discarded),
+            ),
+            ("log_replay_ms", Json::from(self.log_replay_ms)),
         ])
     }
 }

@@ -11,7 +11,10 @@
 use std::collections::HashMap;
 
 use bamboo_crypto::KeyPair;
-use bamboo_forest::{BlockForest, ForestError, Ledger, Snapshot};
+use bamboo_forest::{
+    decode_committed_record, decode_qc_record, encode_committed_record, encode_qc_record,
+    BlockForest, ForestError, Ledger, Snapshot,
+};
 use bamboo_mempool::{Mempool, MempoolStats};
 use bamboo_pacemaker::{LeaderElection, Pacemaker, PacemakerAction};
 use bamboo_protocols::{make_safety, ProposalInput, Safety, VoteDestination};
@@ -22,6 +25,7 @@ use bamboo_types::{
 };
 
 use crate::quorum::QuorumTracker;
+use crate::storage::{self, RecordKind, SegmentLog, StorageFault};
 
 /// Where an outbound message should be delivered.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -146,6 +150,16 @@ pub struct RecoveryStats {
     /// install). Cleared whenever a new episode begins, so after the run it
     /// marks the end of the final episode.
     pub caught_up_at: Option<SimTime>,
+    /// Durable restarts this replica performed (replaying its own log).
+    pub durable_restarts: u64,
+    /// Log records successfully replayed across durable restarts.
+    pub records_replayed: u64,
+    /// Log records discarded as corrupt (torn, CRC-failed, or off the
+    /// recovered chain) across durable restarts.
+    pub corrupt_records_discarded: u64,
+    /// Modeled time spent replaying the durable log, in nanoseconds (an
+    /// integer so the stats stay `Eq` and fingerprint-comparable).
+    pub log_replay_nanos: u64,
 }
 
 /// A Bamboo replica.
@@ -190,6 +204,13 @@ pub struct Replica {
     sync_attempts: u64,
     /// Recovery bookkeeping for the metrics layer.
     recovery: RecoveryStats,
+    /// The durable segment log (`Config::durable_log`). The simulator runs
+    /// it over the deterministic in-memory backend; the threaded cluster
+    /// swaps in real temp-dir files via [`Replica::set_storage`].
+    storage: Option<SegmentLog>,
+    /// The vote watermark restored by the last durable restart — the bound
+    /// the no-double-vote assertion checks every later vote against.
+    restored_voted_view: Option<View>,
 }
 
 impl Replica {
@@ -210,6 +231,9 @@ impl Replica {
         let election = LeaderElection::new(config.nodes, config.leader_policy);
         let cpu_delay = options.cpu_delay_override.unwrap_or(config.cpu_delay);
         let cpu = CpuModel::new(cpu_delay).with_per_tx(SimDuration::from_nanos(400));
+        let storage = config
+            .durable_log
+            .then(|| SegmentLog::in_memory(config.segment_bytes, config.fsync_interval));
         Self {
             id,
             protocol,
@@ -232,6 +256,8 @@ impl Replica {
             sync_timer_armed: false,
             sync_attempts: 0,
             recovery: RecoveryStats::default(),
+            storage,
+            restored_voted_view: None,
             config,
             options,
         }
@@ -314,6 +340,24 @@ impl Replica {
     /// The serialized snapshot from the most recent checkpoint, if any.
     pub fn latest_checkpoint(&self) -> Option<&Bytes> {
         self.latest_checkpoint.as_ref()
+    }
+
+    /// Replaces the durable storage backend. The threaded cluster points
+    /// replicas at real temp-dir files with this; under `Config::durable_log`
+    /// the default is the deterministic in-memory backend.
+    pub fn set_storage(&mut self, storage: SegmentLog) {
+        self.storage = Some(storage);
+    }
+
+    /// The durable segment log, when one is attached.
+    pub fn storage(&self) -> Option<&SegmentLog> {
+        self.storage.as_ref()
+    }
+
+    /// The vote watermark restored by the last durable restart, if any —
+    /// every vote after recovery must be strictly above it.
+    pub fn restored_voted_view(&self) -> Option<View> {
+        self.restored_voted_view
     }
 
     /// Starts the replica: arms the first view timer and, if it leads view 1,
@@ -467,6 +511,26 @@ impl Replica {
             && self.forest.contains(block_id)
             && self.safety.should_vote(&block, &self.forest)
         {
+            // A recovered replica must never double-vote: `should_vote` just
+            // advanced the protocol's watermark to this block, which must sit
+            // strictly above whatever the durable restart restored.
+            debug_assert!(
+                self.restored_voted_view
+                    .map_or(true, |restored| self.safety.voted_view() > restored),
+                "vote at or below the restored voted-view watermark"
+            );
+            if let Some(log) = self.storage.as_mut() {
+                // WAL rule: the watermark (and the QC backing it) must be
+                // durable before the vote can reach the wire — flushed
+                // immediately, never batched.
+                let high_qc = self.forest.high_qc();
+                let payload = storage::encode_safety_record(
+                    self.safety.voted_view(),
+                    (!high_qc.is_genesis()).then_some(high_qc),
+                );
+                let written = log.append_synced(RecordKind::SafetyRecord, &payload);
+                out.cpu += self.cpu.disk_io(written as usize);
+            }
             out.cpu += self.cpu.sign();
             let vote = Vote::new(block_id, block_view, self.id, &self.keypair);
             // A signature-forging attacker replaces its outbound votes; the
@@ -722,7 +786,27 @@ impl Replica {
                 if !recovered.is_empty() {
                     self.mempool.requeue_front(recovered);
                 }
+                let committed_len = newly.len();
                 out.committed.extend(newly);
+                if let Some(log) = self.storage.as_mut() {
+                    // Log the new committed entries (with their commit
+                    // metadata, straight from the ledger tail) plus the QC
+                    // state that drove them. Batched per `fsync_interval`.
+                    let start = self.ledger.len() - committed_len;
+                    let payloads: Vec<Vec<u8>> = self
+                        .ledger
+                        .iter()
+                        .skip(start)
+                        .map(encode_committed_record)
+                        .collect();
+                    let high_qc = encode_qc_record(self.forest.high_qc());
+                    let mut written = 0u64;
+                    for payload in &payloads {
+                        written += log.append(RecordKind::CommittedBlock, payload);
+                    }
+                    written += log.append(RecordKind::Qc, &high_qc);
+                    out.cpu += self.cpu.disk_io(written as usize);
+                }
                 self.maybe_checkpoint(out);
             }
             Err(ForestError::ConflictingCommit { .. }) => {
@@ -749,6 +833,12 @@ impl Replica {
         out.cpu += self.cpu.snapshot(bytes.len());
         self.checkpoint_height = len;
         self.recovery.checkpoints_taken += 1;
+        if let Some(log) = self.storage.as_mut() {
+            // Persist the image and cut the log over to it: older segments
+            // are subsumed and pruned.
+            let written = log.install_checkpoint(len, &bytes);
+            out.cpu += self.cpu.disk_io(written as usize);
+        }
         self.latest_checkpoint = Some(Bytes::from(bytes));
     }
 
@@ -957,6 +1047,182 @@ impl Replica {
         out.sync_timers.extend(startup.sync_timers);
         out.committed.extend(startup.committed);
         out
+    }
+
+    /// Restarts this replica from its own durable storage: process death is
+    /// simulated against the segment log (buffered writes lost, the optional
+    /// crash-point `fault` mauling the durable image), then forest and ledger
+    /// are rebuilt from the persisted checkpoint plus the log's longest valid
+    /// record prefix, and the voted-view/locked-QC safety state is restored
+    /// so the recovered replica can never double-vote. Network sync covers
+    /// only the tail missed while down. A replica without storage degrades to
+    /// [`Replica::amnesia_restart`].
+    pub fn durable_restart(&mut self, now: SimTime, fault: Option<StorageFault>) -> HandleResult {
+        if self.storage.is_none() {
+            return self.amnesia_restart(now);
+        }
+        let replay = {
+            let log = self.storage.as_mut().expect("checked above");
+            if let Some(fault) = fault {
+                log.schedule_fault(fault);
+            }
+            log.crash();
+            log.replay()
+        };
+
+        // Fresh volatile state, exactly as in an amnesia restart — but
+        // everything below is then rebuilt from the local durable image.
+        self.forest = BlockForest::new();
+        self.ledger = Ledger::new();
+        self.latest_checkpoint = None;
+        self.checkpoint_height = 0;
+        let strategy = if self.config.is_byzantine(self.id) {
+            self.config.byzantine_strategy
+        } else {
+            bamboo_types::ByzantineStrategy::Honest
+        };
+        self.safety = make_safety(self.protocol, strategy, self.config.nodes);
+        self.mempool = Mempool::with_shards(self.config.mempool_size, self.config.mempool_shards);
+        self.pacemaker = Pacemaker::new(self.id, self.config.nodes, self.config.timeout);
+        self.quorum = QuorumTracker::new(self.config.nodes);
+        self.proposed_in_view = View::GENESIS;
+        self.pending_qcs.clear();
+        self.deferred_proposal = None;
+        self.syncing = false;
+        self.sync_timer_armed = false;
+        self.sync_attempts = 0;
+        self.recovery.restarted_at = Some(now);
+        self.recovery.caught_up_at = None;
+        self.recovery.durable_restarts += 1;
+
+        let mut out = HandleResult::default();
+        // The modeled disk read: replay cost scales with bytes scanned, so
+        // recovery latency is a deterministic simulator output.
+        let replay_cost = self.cpu.disk_io(replay.bytes_read as usize);
+        out.cpu += replay_cost;
+        self.recovery.log_replay_nanos += replay_cost.as_nanos();
+        self.recovery.corrupt_records_discarded += replay.corrupt_records_discarded;
+
+        if let Some((_, image)) = &replay.checkpoint {
+            out.cpu += self.cpu.snapshot(image.len());
+            if let Ok(snap) = Snapshot::decode(image) {
+                self.forest = snap.forest;
+                self.ledger = snap.ledger;
+                self.checkpoint_height = self.ledger.len() as u64;
+                self.latest_checkpoint = Some(Bytes::from(image.clone()));
+            }
+        }
+
+        let mut voted = View::GENESIS;
+        let mut locked_qc: Option<QuorumCert> = None;
+        let mut replayed = 0u64;
+        let mut broken = false;
+        for (kind, payload) in &replay.records {
+            if broken {
+                self.recovery.corrupt_records_discarded += 1;
+                continue;
+            }
+            let applied = match kind {
+                RecordKind::CommittedBlock => self.replay_committed(payload),
+                RecordKind::Qc => match decode_qc_record(payload) {
+                    Ok(qc) => {
+                        self.replay_qc(qc);
+                        true
+                    }
+                    Err(_) => false,
+                },
+                RecordKind::CheckpointMarker => storage::decode_checkpoint_marker(payload).is_ok(),
+                RecordKind::SafetyRecord => match storage::decode_safety_record(payload) {
+                    Ok((view, qc)) => {
+                        voted = voted.max(view);
+                        if qc.is_some() {
+                            locked_qc = qc;
+                        }
+                        true
+                    }
+                    Err(_) => false,
+                },
+            };
+            if applied {
+                replayed += 1;
+            } else {
+                // A record that frames but does not apply — decode failure,
+                // or a chain gap left by a dropped fsync — ends replay:
+                // everything after it is off the recovered chain.
+                broken = true;
+                self.recovery.corrupt_records_discarded += 1;
+            }
+        }
+        self.recovery.records_replayed += replayed;
+
+        // Restore the safety-critical state: re-derive the lock through the
+        // protocol's own state-updating rule, then clamp the vote watermark.
+        if let Some(qc) = locked_qc {
+            self.replay_qc(qc);
+        }
+        self.safety.restore_voted_view(voted);
+        self.restored_voted_view = Some(self.safety.voted_view());
+
+        // Fall back to network sync for the tail missed while down, then
+        // rejoin live consensus.
+        self.send_sync_request(now, &mut out);
+        let startup = self.start(now);
+        out.cpu += startup.cpu;
+        out.outbound.extend(startup.outbound);
+        out.timers.extend(startup.timers);
+        out.delayed_proposals.extend(startup.delayed_proposals);
+        out.sync_timers.extend(startup.sync_timers);
+        out.committed.extend(startup.committed);
+        out
+    }
+
+    /// Re-applies one durable committed-block record. Returns false when the
+    /// record does not extend the recovered chain — the replay-ending signal.
+    fn replay_committed(&mut self, payload: &[u8]) -> bool {
+        let Ok(committed) = decode_committed_record(payload) else {
+            return false;
+        };
+        let height = committed.block.height.as_u64();
+        if height <= self.ledger.len() as u64 {
+            // Already covered by the checkpoint image: the image subsumes
+            // every record logged before its marker.
+            return true;
+        }
+        if height != self.ledger.len() as u64 + 1 {
+            // A hole (dropped fsync) or a record from a divergent history.
+            return false;
+        }
+        let id = committed.block.id;
+        match self.forest.insert(committed.block.clone()) {
+            Ok(()) | Err(ForestError::Duplicate(_)) => {}
+            Err(_) => return false,
+        }
+        if !committed.block.justify.is_genesis() {
+            let justify = committed.block.justify.clone();
+            self.replay_qc(justify);
+        }
+        match self.forest.commit(id) {
+            Ok(newly) => {
+                self.ledger
+                    .append(newly, committed.committed_in_view, committed.committed_at);
+                self.forest.prune_to_committed();
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Re-registers a replayed QC: forest certification plus the protocol's
+    /// state-updating rule, with no pacemaker or commit side effects — the
+    /// commits come from their own records.
+    fn replay_qc(&mut self, qc: QuorumCert) {
+        if qc.is_genesis() {
+            return;
+        }
+        if self.forest.register_qc(qc.clone()).is_err() {
+            self.forest.observe_qc(qc.clone());
+        }
+        self.safety.update_state(&qc, &self.forest);
     }
 }
 

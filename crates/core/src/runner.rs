@@ -76,6 +76,7 @@ use bamboo_types::{
 use crate::metrics::{Metrics, RecoveryReport, RunReport};
 use crate::replica::{Replica, ReplicaEvent, ReplicaOptions};
 use crate::runtime::{BufferedTransport, NodeHost, StepReport};
+use crate::storage::StorageFault;
 use crate::workload::{Arrival, ClosedLoopWorkload, OpenLoopWorkload, Workload};
 
 /// RNG stream label of the coordinator's workload generator. Replica `r`
@@ -99,13 +100,17 @@ pub enum FaultTrigger {
 /// it are discarded and — since it therefore never handles anything — it
 /// sends nothing. Its internal timers are suspended too.
 ///
-/// Recovery comes in two flavours. Without `amnesia` the node rejoins
+/// Recovery comes in three flavours. Without `amnesia` the node rejoins
 /// passively with its pre-crash heap intact and catches up through the QCs
 /// embedded in the traffic it starts receiving again — a network blip, not a
 /// process death. With `amnesia` the node restarts from its latest checkpoint
 /// (whatever [`bamboo_types::Config::checkpoint_interval`] last persisted, or
 /// genesis), discards everything else it knew, and state-transfers the lost
-/// history back from its peers — a machine that actually rebooted.
+/// history back from its peers — a machine that actually rebooted. With
+/// `durable` (requires [`bamboo_types::Config::durable_log`]) the node
+/// restarts from its own durable segment log and persisted checkpoint image,
+/// optionally after a crash-point [`StorageFault`] mangled the log, and falls
+/// back to state transfer only for whatever the log did not cover.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NodeFault {
     /// The replica to crash.
@@ -117,6 +122,27 @@ pub struct NodeFault {
     /// Whether recovery loses all in-memory state (restart from checkpoint
     /// plus state transfer) instead of resuming the pre-crash heap.
     pub amnesia: bool,
+    /// Whether recovery replays the replica's durable segment log (checkpoint
+    /// image plus record replay) before falling back to state transfer.
+    /// Takes precedence over `amnesia`.
+    pub durable: bool,
+    /// A crash-point storage fault applied to the durable log at the crash,
+    /// exercising the torn-tail/corruption recovery paths. Only meaningful
+    /// with `durable`.
+    pub storage_fault: Option<StorageFault>,
+}
+
+/// How a recovered node rebuilds its state, resolved from the [`NodeFault`]
+/// flags once and plumbed through the crash-flip machinery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RecoverMode {
+    /// Pre-crash heap intact: a network blip.
+    Resume,
+    /// Restart from the volatile checkpoint, state-transfer the rest.
+    Amnesia,
+    /// Replay the durable segment log (after an optional crash-point fault),
+    /// state-transfer only the tail.
+    Durable(Option<StorageFault>),
 }
 
 /// Run-level options that are not part of the shared Table-I [`Config`].
@@ -220,14 +246,12 @@ enum SimEvent {
     /// A time-triggered node fault boundary: crash (`true`) or recover
     /// (`false`) the node, scheduled into the owning shard's queue.
     /// View-triggered boundaries are resolved by the coordinator at window
-    /// barriers from the globally highest observed view. `amnesia` applies
-    /// to recoveries only: the node restarts from its latest checkpoint and
-    /// state-transfers the missing history instead of resuming its pre-crash
-    /// heap.
+    /// barriers from the globally highest observed view. `mode` applies to
+    /// recoveries only and selects how the node rebuilds its state.
     SetCrashed {
         node: NodeId,
         crashed: bool,
-        amnesia: bool,
+        mode: RecoverMode,
     },
 }
 
@@ -282,9 +306,9 @@ enum ShardCmd {
         window_start: SimTime,
         window_end: SimTime,
         injections: Vec<Injection>,
-        /// `(node, crashed, amnesia)` — view-triggered fault boundaries
+        /// `(node, crashed, mode)` — view-triggered fault boundaries
         /// resolved by the coordinator, applied at the window's opening edge.
-        flips: Vec<(NodeId, bool, bool)>,
+        flips: Vec<(NodeId, bool, RecoverMode)>,
     },
     /// Stop and hand the shard state back for reporting.
     Finish,
@@ -382,7 +406,7 @@ impl ShardState {
         window_start: SimTime,
         window_end: SimTime,
         mut injections: Vec<Injection>,
-        flips: &[(NodeId, bool, bool)],
+        flips: &[(NodeId, bool, RecoverMode)],
     ) -> WindowResult {
         let processed =
             self.run_window_in_place(limit, window_start, window_end, &mut injections, flips);
@@ -401,18 +425,22 @@ impl ShardState {
         window_start: SimTime,
         window_end: SimTime,
         injections: &mut Vec<Injection>,
-        flips: &[(NodeId, bool, bool)],
+        flips: &[(NodeId, bool, RecoverMode)],
     ) -> u64 {
         self.window_end = window_end;
-        for &(node, crashed, amnesia) in flips {
+        for &(node, crashed, mode) in flips {
             let was = self.crashed[node.index()];
             self.crashed[node.index()] = crashed;
-            // View-triggered amnesia recovery: the owning shard restarts the
-            // replica at the window's opening edge — a barrier-aligned,
+            // View-triggered recovery: the owning shard restarts the replica
+            // at the window's opening edge — a barrier-aligned,
             // layout-invariant instant, so every thread count restarts it at
             // the same simulated time.
-            if was && !crashed && amnesia && node.index() % self.shards_total == self.shard {
-                self.amnesia_restart(node, window_start);
+            if was && !crashed && node.index() % self.shards_total == self.shard {
+                match mode {
+                    RecoverMode::Resume => {}
+                    RecoverMode::Amnesia => self.amnesia_restart(node, window_start),
+                    RecoverMode::Durable(fault) => self.durable_restart(node, window_start, fault),
+                }
             }
         }
         for injection in injections.drain(..) {
@@ -504,15 +532,18 @@ impl ShardState {
                 SimEvent::SetCrashed {
                     node,
                     crashed,
-                    amnesia,
+                    mode,
                 } => {
                     let was = self.crashed[node.index()];
                     self.crashed[node.index()] = crashed;
-                    if was && !crashed && amnesia {
-                        // Time-triggered amnesia recovery (always fires in the
-                        // owning shard's queue): restart from the checkpoint
-                        // and state-transfer the rest back.
-                        self.amnesia_restart(node, time);
+                    if was && !crashed {
+                        // Time-triggered recovery (always fires in the owning
+                        // shard's queue).
+                        match mode {
+                            RecoverMode::Resume => {}
+                            RecoverMode::Amnesia => self.amnesia_restart(node, time),
+                            RecoverMode::Durable(fault) => self.durable_restart(node, time, fault),
+                        }
                     }
                 }
             }
@@ -555,6 +586,21 @@ impl ShardState {
         let mut effects = std::mem::take(&mut self.effects);
         effects.clear();
         let report = self.hosts[local].restart_with_amnesia(time, &mut effects);
+        self.absorb(node, report, &mut effects, time);
+        self.effects = effects;
+    }
+
+    /// Restarts `node` from its durable segment log at `time`: the armed
+    /// crash-point `fault` (if any) mangles the log first, then the replica
+    /// replays checkpoint image plus surviving records and state-transfers
+    /// only the tail. Degrades to an amnesia restart when the run has no
+    /// durable log configured.
+    fn durable_restart(&mut self, node: NodeId, time: SimTime, fault: Option<StorageFault>) {
+        let local = self.local_index(node);
+        self.busy_until[local] = time;
+        let mut effects = std::mem::take(&mut self.effects);
+        effects.clear();
+        let report = self.hosts[local].restart_durable(time, fault, &mut effects);
         self.absorb(node, report, &mut effects, time);
         self.effects = effects;
     }
@@ -699,7 +745,7 @@ trait ShardDriver {
         window_start: SimTime,
         window_end: SimTime,
         injections: Vec<Vec<Injection>>,
-        flips: &[(NodeId, bool, bool)],
+        flips: &[(NodeId, bool, RecoverMode)],
     ) -> Vec<WindowResult>;
     fn finish(self) -> Vec<ShardState>;
 }
@@ -790,7 +836,7 @@ impl ShardDriver for ThreadShards {
         window_start: SimTime,
         window_end: SimTime,
         injections: Vec<Vec<Injection>>,
-        flips: &[(NodeId, bool, bool)],
+        flips: &[(NodeId, bool, RecoverMode)],
     ) -> Vec<WindowResult> {
         for (command, batch) in self.commands.iter().zip(injections) {
             command
@@ -840,8 +886,8 @@ pub struct SimRunner {
     tick_txs: Vec<Vec<ClientRequest>>,
     tick_latest: Vec<SimTime>,
     /// Unresolved view-triggered fault boundaries:
-    /// `(node, view, crash?, amnesia?)`.
-    view_triggers: Vec<(NodeId, View, bool, bool)>,
+    /// `(node, view, crash?, recover mode)`.
+    view_triggers: Vec<(NodeId, View, bool, RecoverMode)>,
     /// Highest view observed across all shards (drives view triggers).
     max_view_seen: View,
 }
@@ -995,17 +1041,25 @@ impl SimRunner {
         }
         for fault in self.options.node_faults.clone() {
             let owner = fault.node.index() % shard_count;
+            let mode = if fault.durable {
+                RecoverMode::Durable(fault.storage_fault)
+            } else if fault.amnesia {
+                RecoverMode::Amnesia
+            } else {
+                RecoverMode::Resume
+            };
             match fault.crash {
                 FaultTrigger::At(at) => shards[owner].queue.schedule(
                     at,
                     SimEvent::SetCrashed {
                         node: fault.node,
                         crashed: true,
-                        amnesia: false,
+                        mode: RecoverMode::Resume,
                     },
                 ),
                 FaultTrigger::AtView(view) => {
-                    self.view_triggers.push((fault.node, view, true, false));
+                    self.view_triggers
+                        .push((fault.node, view, true, RecoverMode::Resume));
                 }
             }
             match fault.recover {
@@ -1014,12 +1068,11 @@ impl SimRunner {
                     SimEvent::SetCrashed {
                         node: fault.node,
                         crashed: false,
-                        amnesia: fault.amnesia,
+                        mode,
                     },
                 ),
                 Some(FaultTrigger::AtView(view)) => {
-                    self.view_triggers
-                        .push((fault.node, view, false, fault.amnesia));
+                    self.view_triggers.push((fault.node, view, false, mode));
                 }
                 None => {}
             }
@@ -1054,7 +1107,7 @@ impl SimRunner {
             }
             // Resolve view-triggered fault boundaries from the globally
             // highest view; the flips take effect at the window about to run.
-            let mut flips: Vec<(NodeId, bool, bool)> = Vec::new();
+            let mut flips: Vec<(NodeId, bool, RecoverMode)> = Vec::new();
             let global_view = results
                 .iter()
                 .map(|result| result.max_view)
@@ -1063,9 +1116,9 @@ impl SimRunner {
             if global_view > self.max_view_seen {
                 self.max_view_seen = global_view;
                 let triggers = &mut self.view_triggers;
-                triggers.retain(|&(node, view, crash, amnesia)| {
+                triggers.retain(|&(node, view, crash, mode)| {
                     if view <= global_view {
-                        flips.push((node, crash, amnesia));
+                        flips.push((node, crash, mode));
                         false
                     } else {
                         true
@@ -1148,7 +1201,7 @@ impl SimRunner {
         let mut next_tick = SimTime::ZERO;
         let mut client_seq: u64 = 0;
         let mut injections: Vec<Injection> = Vec::new();
-        let mut flips: Vec<(NodeId, bool, bool)> = Vec::new();
+        let mut flips: Vec<(NodeId, bool, RecoverMode)> = Vec::new();
         loop {
             for (tx, at) in shard.commits.drain(..) {
                 self.workload.on_commit(tx, at);
@@ -1158,9 +1211,9 @@ impl SimRunner {
             if global_view > self.max_view_seen {
                 self.max_view_seen = global_view;
                 let pending = &mut flips;
-                self.view_triggers.retain(|&(node, view, crash, amnesia)| {
+                self.view_triggers.retain(|&(node, view, crash, mode)| {
                     if view <= global_view {
-                        pending.push((node, crash, amnesia));
+                        pending.push((node, crash, mode));
                         false
                     } else {
                         true
@@ -1395,6 +1448,11 @@ impl SimRunner {
             if stats.restarted_at.is_some() {
                 recovery.amnesia_recoveries += 1;
             }
+            recovery.durable_restarts += stats.durable_restarts;
+            recovery.records_replayed += stats.records_replayed;
+            recovery.corrupt_records_discarded += stats.corrupt_records_discarded;
+            let replay_ms = stats.log_replay_nanos as f64 / 1_000_000.0;
+            recovery.log_replay_ms = recovery.log_replay_ms.max(replay_ms);
             if !self.config.is_byzantine(replica.id()) && !crashed.contains(&replica.id()) {
                 let shorter = reference
                     .map(|r| replica.ledger().len() < r.ledger().len())
@@ -1580,6 +1638,8 @@ mod tests {
                 crash: FaultTrigger::At(SimTime(100_000_000)),
                 recover: Some(FaultTrigger::At(SimTime(250_000_000))),
                 amnesia: false,
+                durable: false,
+                storage_fault: None,
             }],
             ..RunOptions::default()
         };
@@ -1608,6 +1668,8 @@ mod tests {
                 crash: FaultTrigger::AtView(View(4)),
                 recover: None,
                 amnesia: false,
+                durable: false,
+                storage_fault: None,
             }],
             ..RunOptions::default()
         };
@@ -1630,6 +1692,8 @@ mod tests {
                     crash: FaultTrigger::AtView(View(4)),
                     recover: None,
                     amnesia: false,
+                    durable: false,
+                    storage_fault: None,
                 }],
                 threads,
                 ..RunOptions::default()

@@ -284,6 +284,21 @@ impl NodeHost {
         route(result, transport)
     }
 
+    /// Restarts the hosted replica from its own durable storage (segment log
+    /// plus persisted checkpoint), optionally injecting a crash-point
+    /// storage fault first, and routes the recovery effects — the fresh view
+    /// timer and the tail-catch-up sync request — into the backend's
+    /// transport.
+    pub fn restart_durable(
+        &mut self,
+        now: SimTime,
+        fault: Option<crate::storage::StorageFault>,
+        transport: &mut dyn Transport,
+    ) -> StepReport {
+        let result = self.replica.durable_restart(now, fault);
+        route(result, transport)
+    }
+
     /// Books a message that failed verification elsewhere (the simulator
     /// verifies each unique envelope once and fans the verdict out): counts
     /// the rejection at this replica and charges the modeled cost of the

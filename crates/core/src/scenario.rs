@@ -39,6 +39,7 @@ use bamboo_types::{
 
 use crate::metrics::RunReport;
 use crate::runner::{FaultTrigger, NodeFault, RunOptions, SimRunner};
+use crate::storage::StorageFault;
 
 /// When a spec-level fault boundary fires: at a (scalable) time or a view.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,12 +55,17 @@ enum TriggerSpec {
 enum FaultSpec {
     /// Crash `node` (optionally recovering later). With `amnesia` the node
     /// loses all volatile state at recovery and must restart from its latest
-    /// checkpoint plus state transfer.
+    /// checkpoint plus state transfer. With `durable` (spec kinds
+    /// `"durable_restart"` and `"torn_log"`) it instead replays its durable
+    /// segment log — optionally after `storage_fault` mangled the log at the
+    /// crash point — and state-transfers only the tail.
     Crash {
         node: NodeId,
         at: TriggerSpec,
         recover: Option<TriggerSpec>,
         amnesia: bool,
+        durable: bool,
+        storage_fault: Option<StorageFault>,
     },
     /// Rolling leader failure: starting at `from`, crash replica
     /// `i mod nodes` during the `i`-th window of `period`, until `until` —
@@ -348,42 +354,80 @@ fn parse_trigger(
     }
 }
 
+/// Parses the fields every crash-shaped fault shares: the node, the crash
+/// trigger, and the optional recovery trigger with crash-before-recovery
+/// ordering enforced.
+///
+/// A recovery scheduled on the same axis must come after the crash — the
+/// reversed pair would fire the (no-op) recovery first and leave the node
+/// down forever, silently. Mixing axes is rejected outright: wall-clock time
+/// and view numbers advance at unrelated rates, so "crash at view V, recover
+/// at T ms" has no well-defined ordering and has historically meant a typo.
+fn parse_crash_core(
+    obj: &Json,
+    context: &str,
+) -> Result<(NodeId, TriggerSpec, Option<TriggerSpec>), String> {
+    let node = field_node(obj, "node", context)?;
+    let at = parse_trigger(obj, "at_ms", "at_view", context)?
+        .ok_or_else(|| format!("{context}: crash needs at_ms or at_view"))?;
+    let recover = parse_trigger(obj, "recover_at_ms", "recover_at_view", context)?;
+    match (at, recover) {
+        (TriggerSpec::At(crash), Some(TriggerSpec::At(rec))) if rec <= crash => {
+            return Err(format!("{context}: recover_at_ms must exceed at_ms"));
+        }
+        (TriggerSpec::AtView(crash), Some(TriggerSpec::AtView(rec))) if rec <= crash => {
+            return Err(format!("{context}: recover_at_view must exceed at_view"));
+        }
+        (TriggerSpec::At(_), Some(TriggerSpec::AtView(_))) => {
+            return Err(format!(
+                "{context}: crash at_ms cannot pair with recover_at_view; \
+                 use one trigger axis for both"
+            ));
+        }
+        (TriggerSpec::AtView(_), Some(TriggerSpec::At(_))) => {
+            return Err(format!(
+                "{context}: crash at_view cannot pair with recover_at_ms; \
+                 use one trigger axis for both"
+            ));
+        }
+        _ => {}
+    }
+    Ok((node, at, recover))
+}
+
+/// Parses the `"fault"` label of a durable-restart entry into the crash-point
+/// [`StorageFault`] to arm. `"torn_log"` entries default to a torn tail;
+/// `"durable_restart"` entries default to a clean shutdown (no fault).
+fn parse_storage_fault(
+    obj: &Json,
+    kind: &str,
+    context: &str,
+) -> Result<Option<StorageFault>, String> {
+    let label = match obj.get("fault") {
+        None => return Ok((kind == "torn_log").then_some(StorageFault::TornTail)),
+        Some(value) => value
+            .as_str()
+            .ok_or_else(|| format!("{context}: \"fault\" must be a string label"))?,
+    };
+    match label {
+        "torn_tail" => Ok(Some(StorageFault::TornTail)),
+        "truncate_segment" => Ok(Some(StorageFault::TruncateSegment)),
+        "corrupt_crc" => Ok(Some(StorageFault::CorruptCrc {
+            record: opt_f64(obj, "record").unwrap_or(0.0) as u64,
+        })),
+        "drop_fsync" => Ok(Some(StorageFault::DropFsync {
+            index: opt_f64(obj, "index").unwrap_or(0.0) as u64,
+        })),
+        other => Err(format!("{context}: unknown storage fault {other:?}")),
+    }
+}
+
 fn parse_fault(obj: &Json, name: &str) -> Result<FaultSpec, String> {
     let context = format!("{name}/faults");
     let kind = field_str(obj, "kind", &context)?;
     match kind {
         "crash" => {
-            let node = field_node(obj, "node", &context)?;
-            let at = parse_trigger(obj, "at_ms", "at_view", &context)?
-                .ok_or_else(|| format!("{context}: crash needs at_ms or at_view"))?;
-            let recover = parse_trigger(obj, "recover_at_ms", "recover_at_view", &context)?;
-            // A recovery scheduled on the same axis must come after the
-            // crash — the reversed pair would fire the (no-op) recovery
-            // first and leave the node down forever, silently. Mixing axes
-            // is rejected outright: wall-clock time and view numbers advance
-            // at unrelated rates, so "crash at view V, recover at T ms" has
-            // no well-defined ordering and has historically meant a typo.
-            match (at, recover) {
-                (TriggerSpec::At(crash), Some(TriggerSpec::At(rec))) if rec <= crash => {
-                    return Err(format!("{context}: recover_at_ms must exceed at_ms"));
-                }
-                (TriggerSpec::AtView(crash), Some(TriggerSpec::AtView(rec))) if rec <= crash => {
-                    return Err(format!("{context}: recover_at_view must exceed at_view"));
-                }
-                (TriggerSpec::At(_), Some(TriggerSpec::AtView(_))) => {
-                    return Err(format!(
-                        "{context}: crash at_ms cannot pair with recover_at_view; \
-                         use one trigger axis for both"
-                    ));
-                }
-                (TriggerSpec::AtView(_), Some(TriggerSpec::At(_))) => {
-                    return Err(format!(
-                        "{context}: crash at_view cannot pair with recover_at_ms; \
-                         use one trigger axis for both"
-                    ));
-                }
-                _ => {}
-            }
+            let (node, at, recover) = parse_crash_core(obj, &context)?;
             let amnesia = matches!(obj.get("amnesia"), Some(Json::Bool(true)));
             if amnesia && recover.is_none() {
                 return Err(format!(
@@ -395,6 +439,24 @@ fn parse_fault(obj: &Json, name: &str) -> Result<FaultSpec, String> {
                 at,
                 recover,
                 amnesia,
+                durable: false,
+                storage_fault: None,
+            })
+        }
+        "durable_restart" | "torn_log" => {
+            let (node, at, recover) = parse_crash_core(obj, &context)?;
+            if recover.is_none() {
+                return Err(format!(
+                    "{context}: {kind} without a recovery trigger never restarts the node"
+                ));
+            }
+            Ok(FaultSpec::Crash {
+                node,
+                at,
+                recover,
+                amnesia: false,
+                durable: true,
+                storage_fault: parse_storage_fault(obj, kind, &context)?,
             })
         }
         "rolling_leader" => {
@@ -567,6 +629,15 @@ impl Scenario {
         if let Some(v) = opt_f64(doc, "checkpoint_interval_blocks") {
             base.checkpoint_interval = Some(v as u64);
         }
+        if matches!(doc.get("durable_log"), Some(Json::Bool(true))) {
+            base.durable_log = true;
+        }
+        if let Some(v) = opt_f64(doc, "fsync_interval") {
+            base.fsync_interval = v as usize;
+        }
+        if let Some(v) = opt_f64(doc, "segment_bytes") {
+            base.segment_bytes = v as usize;
+        }
         match doc.get("leader") {
             None => {}
             Some(Json::Str(policy)) if policy == "round_robin" => {
@@ -652,6 +723,17 @@ impl Scenario {
                 }
                 faults.push(fault);
             }
+        }
+        // A durable restart without a durable log would silently degrade to
+        // an amnesia restart; make the spec say what it means.
+        if !base.durable_log
+            && faults
+                .iter()
+                .any(|f| matches!(f, FaultSpec::Crash { durable: true, .. }))
+        {
+            return Err(format!(
+                "{name}: durable_restart/torn_log faults require \"durable_log\": true"
+            ));
         }
 
         let mut cpu_overrides = Vec::new();
@@ -744,12 +826,16 @@ impl Scenario {
                     at: start,
                     recover,
                     amnesia,
+                    durable,
+                    storage_fault,
                 } => {
                     options.node_faults.push(NodeFault {
                         node: *node,
                         crash: trigger(*start),
                         recover: recover.map(trigger),
                         amnesia: *amnesia,
+                        durable: *durable,
+                        storage_fault: *storage_fault,
                     });
                 }
                 FaultSpec::RollingLeader {
@@ -769,6 +855,8 @@ impl Scenario {
                             crash: FaultTrigger::At(at(start)),
                             recover: Some(FaultTrigger::At(at(end))),
                             amnesia: false,
+                            durable: false,
+                            storage_fault: None,
                         });
                         index += 1;
                     }
@@ -1152,6 +1240,68 @@ mod tests {
                              "faults":[{"kind":"crash","node":0,"at_ms":20,
                                         "amnesia":true}]}"#;
         assert!(Scenario::parse(never_back).is_err());
+    }
+
+    #[test]
+    fn parses_durable_restart_faults_and_storage_knobs() {
+        let spec = r#"{"name":"x","protocols":["HS"],"nodes":4,"runtime_ms":100,
+                       "durable_log": true,
+                       "fsync_interval": 4,
+                       "segment_bytes": 8192,
+                       "workload":{"open_loop_tx_per_sec":1},
+                       "faults":[
+                           {"kind":"durable_restart","node":0,"at_ms":20,"recover_at_ms":60},
+                           {"kind":"torn_log","node":1,"at_ms":30,"recover_at_ms":70},
+                           {"kind":"torn_log","node":2,"at_ms":30,"recover_at_ms":70,
+                            "fault":"corrupt_crc","record":3},
+                           {"kind":"torn_log","node":3,"at_ms":30,"recover_at_ms":70,
+                            "fault":"drop_fsync","index":5}]}"#;
+        let scenario = Scenario::parse(spec).unwrap();
+        assert!(scenario.base.durable_log);
+        assert_eq!(scenario.base.fsync_interval, 4);
+        assert_eq!(scenario.base.segment_bytes, 8192);
+        let (_, options) = scenario.build(false);
+        assert_eq!(options.node_faults.len(), 4);
+        assert!(options.node_faults.iter().all(|f| f.durable && !f.amnesia));
+        // A clean durable restart arms no fault; torn_log defaults to a torn
+        // tail; explicit labels carry their parameters.
+        assert_eq!(options.node_faults[0].storage_fault, None);
+        assert_eq!(
+            options.node_faults[1].storage_fault,
+            Some(StorageFault::TornTail)
+        );
+        assert_eq!(
+            options.node_faults[2].storage_fault,
+            Some(StorageFault::CorruptCrc { record: 3 })
+        );
+        assert_eq!(
+            options.node_faults[3].storage_fault,
+            Some(StorageFault::DropFsync { index: 5 })
+        );
+    }
+
+    #[test]
+    fn rejects_contradictory_durable_restart_specs() {
+        // A durable restart with no recovery trigger never restarts.
+        let never_back = r#"{"name":"x","protocols":["HS"],"nodes":4,"runtime_ms":100,
+                             "durable_log": true,
+                             "workload":{"open_loop_tx_per_sec":1},
+                             "faults":[{"kind":"durable_restart","node":0,"at_ms":20}]}"#;
+        assert!(Scenario::parse(never_back).is_err());
+        // Without the durable log there is nothing to replay — the restart
+        // would silently degrade to amnesia, so the spec must not parse.
+        let no_log = r#"{"name":"x","protocols":["HS"],"nodes":4,"runtime_ms":100,
+                         "workload":{"open_loop_tx_per_sec":1},
+                         "faults":[{"kind":"durable_restart","node":0,"at_ms":20,
+                                    "recover_at_ms":60}]}"#;
+        assert!(Scenario::parse(no_log).is_err());
+        // Unknown storage-fault labels are typos, not defaults.
+        let bad_fault = r#"{"name":"x","protocols":["HS"],"nodes":4,"runtime_ms":100,
+                            "durable_log": true,
+                            "workload":{"open_loop_tx_per_sec":1},
+                            "faults":[{"kind":"torn_log","node":0,"at_ms":20,
+                                       "recover_at_ms":60,"fault":"shredded"}]}"#;
+        assert!(Scenario::parse(bad_fault).is_err());
     }
 
     #[test]

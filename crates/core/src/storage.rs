@@ -1,0 +1,1123 @@
+//! Durable storage: an append-only segment log plus persisted checkpoint
+//! images (DESIGN.md §8).
+//!
+//! The log is the replica's write-ahead record of everything it must not
+//! forget across process death: committed blocks, the QCs that drove them,
+//! checkpoint markers, and — most importantly — a [`RecordKind::SafetyRecord`]
+//! carrying the voted-view watermark and locked QC, flushed *before* any vote
+//! leaves the process. On restart the replica replays the latest checkpoint
+//! image plus the log tail to rebuild its forest/ledger and restore the
+//! safety state, falling back to network sync only for whatever it missed
+//! while down.
+//!
+//! ## Record framing
+//!
+//! Every record is `[u32 len][u32 crc][u8 kind][payload…]`, big-endian, where
+//! `len` counts the payload bytes and `crc` is CRC-32 (IEEE) over the kind
+//! byte followed by the payload. The decoder recovers the **longest valid
+//! prefix**: the first record that fails the length, kind, or CRC check ends
+//! replay — a torn tail is indistinguishable from a crash mid-write, which is
+//! exactly what it is.
+//!
+//! ## Backends and determinism
+//!
+//! The [`SegmentBackend`] trait splits the byte-shuffling from the framing
+//! policy. The simulator uses [`MemoryBackend`], whose explicit
+//! durable/buffered split models fsync semantics deterministically (and lets
+//! [`StorageFault`]s maul the durable image byte-for-byte reproducibly at
+//! every shard count); the threaded cluster uses [`FileBackend`] over real
+//! temp-dir files.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+use bamboo_forest::{decode_qc_record, encode_qc_record, SnapshotError};
+use bamboo_types::{QuorumCert, View};
+
+/// Frame overhead per record: `[u32 len][u32 crc][u8 kind]`.
+pub const RECORD_HEADER_BYTES: usize = 9;
+
+/// Sanity bound on a single record's payload. Anything larger is treated as
+/// framing corruption — a real payload (a block with its QC) is orders of
+/// magnitude smaller.
+const MAX_PAYLOAD_BYTES: u32 = 64 << 20;
+
+// ---- CRC-32 (IEEE 802.3, reflected) -----------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE) over `bytes` — the integrity check framing every log record.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+fn crc_of(kind: u8, payload: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    c = CRC_TABLE[((c ^ kind as u32) & 0xFF) as usize] ^ (c >> 8);
+    for &b in payload {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---- records ----------------------------------------------------------------
+
+/// What a log record carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A committed ledger entry (block + commit metadata), encoded with
+    /// [`bamboo_forest::encode_committed_record`].
+    CommittedBlock,
+    /// A quorum certificate, encoded with [`bamboo_forest::encode_qc_record`].
+    Qc,
+    /// Marks that the checkpoint image at the recorded height subsumes every
+    /// earlier segment. Always the first record of a fresh segment.
+    CheckpointMarker,
+    /// The pre-vote safety state `{ voted_view, locked_qc }`, flushed before
+    /// the vote it covers is sent.
+    SafetyRecord,
+}
+
+impl RecordKind {
+    fn tag(self) -> u8 {
+        match self {
+            RecordKind::CommittedBlock => 1,
+            RecordKind::Qc => 2,
+            RecordKind::CheckpointMarker => 3,
+            RecordKind::SafetyRecord => 4,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<RecordKind> {
+        match tag {
+            1 => Some(RecordKind::CommittedBlock),
+            2 => Some(RecordKind::Qc),
+            3 => Some(RecordKind::CheckpointMarker),
+            4 => Some(RecordKind::SafetyRecord),
+            _ => None,
+        }
+    }
+}
+
+fn frame(kind: RecordKind, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&crc_of(kind.tag(), payload).to_be_bytes());
+    out.push(kind.tag());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Encodes the pre-vote safety state: `[u64 voted_view][u8 tag][qc…]`.
+pub fn encode_safety_record(voted_view: View, locked_qc: Option<&QuorumCert>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128);
+    out.extend_from_slice(&voted_view.as_u64().to_be_bytes());
+    match locked_qc {
+        Some(qc) => {
+            out.push(1);
+            out.extend_from_slice(&encode_qc_record(qc));
+        }
+        None => out.push(0),
+    }
+    out
+}
+
+/// Decodes a payload produced by [`encode_safety_record`].
+///
+/// # Errors
+///
+/// Returns the [`SnapshotError`] describing the first structural violation.
+pub fn decode_safety_record(bytes: &[u8]) -> Result<(View, Option<QuorumCert>), SnapshotError> {
+    if bytes.len() < 9 {
+        return Err(SnapshotError::Truncated);
+    }
+    let view = View(u64::from_be_bytes(bytes[..8].try_into().expect("8 bytes")));
+    match bytes[8] {
+        0 if bytes.len() == 9 => Ok((view, None)),
+        0 => Err(SnapshotError::Corrupt("trailing bytes after record")),
+        1 => Ok((view, Some(decode_qc_record(&bytes[9..])?))),
+        _ => Err(SnapshotError::Corrupt("invalid option tag")),
+    }
+}
+
+/// Encodes a checkpoint marker payload: the committed height of the image.
+pub fn encode_checkpoint_marker(height: u64) -> Vec<u8> {
+    height.to_be_bytes().to_vec()
+}
+
+/// Decodes a payload produced by [`encode_checkpoint_marker`].
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::Truncated`] unless the payload is exactly 8 bytes.
+pub fn decode_checkpoint_marker(bytes: &[u8]) -> Result<u64, SnapshotError> {
+    let arr: [u8; 8] = bytes.try_into().map_err(|_| SnapshotError::Truncated)?;
+    Ok(u64::from_be_bytes(arr))
+}
+
+// ---- stream decoding ---------------------------------------------------------
+
+/// The outcome of decoding one segment's byte stream.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DecodedStream {
+    /// The longest valid prefix of records, in append order.
+    pub records: Vec<(RecordKind, Vec<u8>)>,
+    /// Records lost past the first failure: the failed record itself plus
+    /// every later record whose framing is still walkable (CRC corruption
+    /// leaves length fields intact; a torn tail does not). Deterministic, so
+    /// recovery counters fingerprint identically at every shard count.
+    pub discarded: u64,
+    /// Whether the stream ended exactly on a record boundary with every
+    /// check passing.
+    pub clean: bool,
+}
+
+/// Reads one frame header, returning `(payload_len, crc, kind_tag)` if the
+/// declared length fits in the remaining bytes.
+fn read_header(rest: &[u8]) -> Option<(usize, u32, u8)> {
+    if rest.len() < RECORD_HEADER_BYTES {
+        return None;
+    }
+    let len = u32::from_be_bytes(rest[..4].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD_BYTES || (len as usize) > rest.len() - RECORD_HEADER_BYTES {
+        return None;
+    }
+    let crc = u32::from_be_bytes(rest[4..8].try_into().expect("4 bytes"));
+    Some((len as usize, crc, rest[8]))
+}
+
+/// Decodes a segment byte stream into its longest valid prefix of records.
+/// Never panics: any framing, kind, or CRC violation ends the valid prefix,
+/// after which the walk continues (where framing allows) purely to count the
+/// records being discarded.
+pub fn decode_records(bytes: &[u8]) -> DecodedStream {
+    let mut out = DecodedStream {
+        clean: true,
+        ..DecodedStream::default()
+    };
+    let mut pos = 0usize;
+    let mut broken = false;
+    while pos < bytes.len() {
+        let Some((len, crc, kind_tag)) = read_header(&bytes[pos..]) else {
+            // Unwalkable tail: a torn or truncated record of unknowable
+            // extent counts as one loss.
+            out.discarded += 1;
+            out.clean = false;
+            break;
+        };
+        let payload = &bytes[pos + RECORD_HEADER_BYTES..pos + RECORD_HEADER_BYTES + len];
+        let valid = RecordKind::from_tag(kind_tag)
+            .filter(|_| crc_of(kind_tag, payload) == crc)
+            .filter(|_| !broken);
+        match valid {
+            Some(kind) => out.records.push((kind, payload.to_vec())),
+            None => {
+                broken = true;
+                out.clean = false;
+                out.discarded += 1;
+            }
+        }
+        pos += RECORD_HEADER_BYTES + len;
+    }
+    out
+}
+
+// ---- fault injection ---------------------------------------------------------
+
+/// A crash-point storage fault, injected deterministically by the scenario
+/// engine when a durable restart fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StorageFault {
+    /// The final durable record is cut mid-write, as if the process died
+    /// between `write` and `fsync`.
+    TornTail,
+    /// The last non-empty segment loses its second half — gross media damage
+    /// rather than a torn write.
+    TruncateSegment,
+    /// One byte of the CRC field of durable record `record` (clamped to the
+    /// last record) is flipped.
+    CorruptCrc {
+        /// Zero-based index of the record, counted across all segments.
+        record: u64,
+    },
+    /// The fsync whose batch contains write index `index` silently fails:
+    /// that whole batch never reaches the platter, leaving a record-aligned
+    /// hole later appends write past.
+    DropFsync {
+        /// Zero-based append index of a record in the dropped batch.
+        index: u64,
+    },
+}
+
+// ---- backends ----------------------------------------------------------------
+
+/// Byte-level storage for the segment log: numbered append-only segments plus
+/// one checkpoint image slot. Implementations distinguish *buffered* writes
+/// (lost on crash) from *durable* ones (survive crash) so fsync semantics are
+/// explicit.
+pub trait SegmentBackend: Send {
+    /// Buffers `bytes` at the tail of `segment`, creating it on demand.
+    fn append(&mut self, segment: u64, bytes: &[u8]);
+    /// Promotes every buffered byte (segments and checkpoint) to durable.
+    fn sync(&mut self);
+    /// Discards buffered segment bytes without persisting them — the failed
+    /// fsync of [`StorageFault::DropFsync`]. File-backed storage cannot
+    /// un-write, so only deterministic backends model this.
+    fn drop_buffered(&mut self);
+    /// Simulates process death: anything not yet durable vanishes.
+    fn crash(&mut self);
+    /// Durable segments in index order (empty segments omitted).
+    fn segments(&self) -> Vec<(u64, Vec<u8>)>;
+    /// Overwrites one durable segment's bytes (fault injection).
+    fn set_segment(&mut self, segment: u64, bytes: Vec<u8>);
+    /// Drops every segment with an index below `segment` (prune).
+    fn drop_below(&mut self, segment: u64);
+    /// Stages the checkpoint image for `height` (durable after [`Self::sync`]).
+    fn put_checkpoint(&mut self, height: u64, bytes: &[u8]);
+    /// The durable checkpoint image, if any.
+    fn checkpoint(&self) -> Option<(u64, Vec<u8>)>;
+}
+
+#[derive(Clone, Debug, Default)]
+struct SegmentBuf {
+    durable: Vec<u8>,
+    buffered: Vec<u8>,
+}
+
+/// Deterministic in-memory backend used by the simulator. The
+/// durable/buffered split makes fsync — and its injected failures —
+/// reproducible at every shard count.
+#[derive(Debug, Default)]
+pub struct MemoryBackend {
+    segments: BTreeMap<u64, SegmentBuf>,
+    checkpoint_durable: Option<(u64, Vec<u8>)>,
+    checkpoint_buffered: Option<(u64, Vec<u8>)>,
+}
+
+impl MemoryBackend {
+    /// Creates an empty in-memory backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SegmentBackend for MemoryBackend {
+    fn append(&mut self, segment: u64, bytes: &[u8]) {
+        self.segments
+            .entry(segment)
+            .or_default()
+            .buffered
+            .extend_from_slice(bytes);
+    }
+
+    fn sync(&mut self) {
+        for buf in self.segments.values_mut() {
+            let pending = std::mem::take(&mut buf.buffered);
+            buf.durable.extend_from_slice(&pending);
+        }
+        if let Some(cp) = self.checkpoint_buffered.take() {
+            self.checkpoint_durable = Some(cp);
+        }
+    }
+
+    fn drop_buffered(&mut self) {
+        for buf in self.segments.values_mut() {
+            buf.buffered.clear();
+        }
+    }
+
+    fn crash(&mut self) {
+        self.drop_buffered();
+        self.checkpoint_buffered = None;
+        self.segments.retain(|_, buf| !buf.durable.is_empty());
+    }
+
+    fn segments(&self) -> Vec<(u64, Vec<u8>)> {
+        self.segments
+            .iter()
+            .filter(|(_, buf)| !buf.durable.is_empty())
+            .map(|(&seg, buf)| (seg, buf.durable.clone()))
+            .collect()
+    }
+
+    fn set_segment(&mut self, segment: u64, bytes: Vec<u8>) {
+        self.segments.entry(segment).or_default().durable = bytes;
+    }
+
+    fn drop_below(&mut self, segment: u64) {
+        self.segments.retain(|&seg, _| seg >= segment);
+    }
+
+    fn put_checkpoint(&mut self, height: u64, bytes: &[u8]) {
+        self.checkpoint_buffered = Some((height, bytes.to_vec()));
+    }
+
+    fn checkpoint(&self) -> Option<(u64, Vec<u8>)> {
+        self.checkpoint_durable.clone()
+    }
+}
+
+/// Real-file backend used by the threaded cluster: `segment-NNNNNNNN.log`
+/// files plus a `checkpoint-HEIGHT.bsnp` image in one directory, with
+/// `File::sync_data` behind [`SegmentBackend::sync`].
+///
+/// Process death inside the *same* OS instance keeps page-cache writes, so
+/// un-fsynced-byte loss (and [`StorageFault::DropFsync`]) cannot be modeled
+/// here; crash-point fault injection is the deterministic backend's job.
+#[derive(Debug)]
+pub struct FileBackend {
+    dir: PathBuf,
+    active: Option<(u64, fs::File)>,
+}
+
+impl FileBackend {
+    /// Opens (creating if needed) the storage directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `std::io::Error` if the directory cannot be created.
+    pub fn open(dir: &Path) -> std::io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            active: None,
+        })
+    }
+
+    fn segment_path(&self, segment: u64) -> PathBuf {
+        self.dir.join(format!("segment-{segment:08}.log"))
+    }
+
+    fn segment_files(&self) -> Vec<(u64, PathBuf)> {
+        let mut out = Vec::new();
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return out;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(idx) = name
+                .strip_prefix("segment-")
+                .and_then(|rest| rest.strip_suffix(".log"))
+                .and_then(|digits| digits.parse::<u64>().ok())
+            {
+                out.push((idx, entry.path()));
+            }
+        }
+        out.sort_unstable_by_key(|(idx, _)| *idx);
+        out
+    }
+
+    fn checkpoint_files(&self) -> Vec<(u64, PathBuf)> {
+        let mut out = Vec::new();
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return out;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(height) = name
+                .strip_prefix("checkpoint-")
+                .and_then(|rest| rest.strip_suffix(".bsnp"))
+                .and_then(|digits| digits.parse::<u64>().ok())
+            {
+                out.push((height, entry.path()));
+            }
+        }
+        out.sort_unstable_by_key(|(height, _)| *height);
+        out
+    }
+}
+
+impl SegmentBackend for FileBackend {
+    fn append(&mut self, segment: u64, bytes: &[u8]) {
+        if self.active.as_ref().map(|(seg, _)| *seg) != Some(segment) {
+            let file = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.segment_path(segment))
+                .expect("open log segment");
+            self.active = Some((segment, file));
+        }
+        let (_, file) = self.active.as_mut().expect("just opened");
+        file.write_all(bytes).expect("append to log segment");
+    }
+
+    fn sync(&mut self) {
+        if let Some((_, file)) = self.active.as_mut() {
+            file.sync_data().expect("fsync log segment");
+        }
+    }
+
+    fn drop_buffered(&mut self) {
+        // Files cannot un-write; DropFsync is a deterministic-backend fault.
+    }
+
+    fn crash(&mut self) {
+        self.active = None;
+    }
+
+    fn segments(&self) -> Vec<(u64, Vec<u8>)> {
+        self.segment_files()
+            .into_iter()
+            .filter_map(|(idx, path)| {
+                let mut bytes = Vec::new();
+                fs::File::open(path)
+                    .and_then(|mut f| f.read_to_end(&mut bytes))
+                    .ok()?;
+                (!bytes.is_empty()).then_some((idx, bytes))
+            })
+            .collect()
+    }
+
+    fn set_segment(&mut self, segment: u64, bytes: Vec<u8>) {
+        self.active = None;
+        fs::write(self.segment_path(segment), bytes).expect("rewrite log segment");
+    }
+
+    fn drop_below(&mut self, segment: u64) {
+        for (idx, path) in self.segment_files() {
+            if idx < segment {
+                let _ = fs::remove_file(path);
+            }
+        }
+    }
+
+    fn put_checkpoint(&mut self, height: u64, bytes: &[u8]) {
+        let tmp = self.dir.join("checkpoint.tmp");
+        fs::write(&tmp, bytes).expect("write checkpoint image");
+        let path = self.dir.join(format!("checkpoint-{height:016}.bsnp"));
+        fs::rename(&tmp, &path).expect("publish checkpoint image");
+        for (h, old) in self.checkpoint_files() {
+            if h != height {
+                let _ = fs::remove_file(old);
+            }
+        }
+    }
+
+    fn checkpoint(&self) -> Option<(u64, Vec<u8>)> {
+        let (height, path) = self.checkpoint_files().pop()?;
+        fs::read(path).ok().map(|bytes| (height, bytes))
+    }
+}
+
+// ---- the segment log ---------------------------------------------------------
+
+/// Everything a replay recovered from durable storage.
+#[derive(Clone, Debug, Default)]
+pub struct ReplayResult {
+    /// The durable checkpoint image `(committed_height, BSNP bytes)`, if any.
+    pub checkpoint: Option<(u64, Vec<u8>)>,
+    /// The longest valid prefix of log records, in append order.
+    pub records: Vec<(RecordKind, Vec<u8>)>,
+    /// Records lost to corruption: the record that failed its check plus
+    /// every later record (even well-framed ones — ordering is broken past
+    /// the first failure).
+    pub corrupt_records_discarded: u64,
+    /// Total durable bytes scanned (segments + checkpoint image), the input
+    /// to the modeled disk-read cost.
+    pub bytes_read: u64,
+}
+
+/// The append-only segment log: record framing, fsync batching, segment
+/// rotation, prune-to-checkpoint, crash-point fault injection, and replay.
+pub struct SegmentLog {
+    backend: Box<dyn SegmentBackend>,
+    segment_bytes: usize,
+    fsync_interval: usize,
+    active: u64,
+    active_len: usize,
+    records_appended: u64,
+    unsynced_records: usize,
+    pending_fault: Option<StorageFault>,
+    syncs: u64,
+}
+
+impl std::fmt::Debug for SegmentLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentLog")
+            .field("segment_bytes", &self.segment_bytes)
+            .field("fsync_interval", &self.fsync_interval)
+            .field("active", &self.active)
+            .field("records_appended", &self.records_appended)
+            .field("syncs", &self.syncs)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SegmentLog {
+    /// Wraps `backend` with the given rotation threshold and fsync batching
+    /// interval (both clamped to sane minimums).
+    pub fn new(
+        backend: Box<dyn SegmentBackend>,
+        segment_bytes: usize,
+        fsync_interval: usize,
+    ) -> Self {
+        let mut log = Self {
+            backend,
+            segment_bytes: segment_bytes.max(RECORD_HEADER_BYTES),
+            fsync_interval: fsync_interval.max(1),
+            active: 0,
+            active_len: 0,
+            records_appended: 0,
+            unsynced_records: 0,
+            pending_fault: None,
+            syncs: 0,
+        };
+        // Resume appending after any existing durable content (fresh
+        // backends scan nothing).
+        log.reset_from_durable();
+        log
+    }
+
+    /// A log over the deterministic in-memory backend (the simulator's).
+    pub fn in_memory(segment_bytes: usize, fsync_interval: usize) -> Self {
+        Self::new(
+            Box::new(MemoryBackend::new()),
+            segment_bytes,
+            fsync_interval,
+        )
+    }
+
+    /// A log over real files in `dir` (the threaded cluster's).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `std::io::Error` if the directory cannot be created.
+    pub fn on_disk(
+        dir: &Path,
+        segment_bytes: usize,
+        fsync_interval: usize,
+    ) -> std::io::Result<Self> {
+        Ok(Self::new(
+            Box::new(FileBackend::open(dir)?),
+            segment_bytes,
+            fsync_interval,
+        ))
+    }
+
+    /// Appends a record, flushing per the fsync batching policy. Returns the
+    /// framed byte count (the input to the modeled disk-write cost).
+    pub fn append(&mut self, kind: RecordKind, payload: &[u8]) -> u64 {
+        let bytes = self.append_record(kind, payload);
+        if self.unsynced_records >= self.fsync_interval {
+            self.sync();
+        }
+        bytes
+    }
+
+    /// Appends a record and flushes immediately — the safety-record path:
+    /// the vote must not outrun its durable watermark.
+    pub fn append_synced(&mut self, kind: RecordKind, payload: &[u8]) -> u64 {
+        let bytes = self.append_record(kind, payload);
+        self.sync();
+        bytes
+    }
+
+    fn append_record(&mut self, kind: RecordKind, payload: &[u8]) -> u64 {
+        let frame = frame(kind, payload);
+        if self.active_len > 0 && self.active_len + frame.len() > self.segment_bytes {
+            self.active += 1;
+            self.active_len = 0;
+        }
+        self.backend.append(self.active, &frame);
+        self.active_len += frame.len();
+        self.records_appended += 1;
+        self.unsynced_records += 1;
+        frame.len() as u64
+    }
+
+    /// Flushes buffered records to durable storage. An armed
+    /// [`StorageFault::DropFsync`] whose index falls in this batch makes the
+    /// flush silently fail instead — the batch is gone.
+    pub fn sync(&mut self) {
+        if self.unsynced_records == 0 {
+            return;
+        }
+        if let Some(StorageFault::DropFsync { index }) = self.pending_fault {
+            let first_unsynced = self.records_appended - self.unsynced_records as u64;
+            if first_unsynced <= index && index < self.records_appended {
+                self.backend.drop_buffered();
+                self.pending_fault = None;
+                self.unsynced_records = 0;
+                self.syncs += 1;
+                return;
+            }
+        }
+        self.backend.sync();
+        self.unsynced_records = 0;
+        self.syncs += 1;
+    }
+
+    /// Persists a checkpoint image and cuts the log over to it: flush,
+    /// publish the image, rotate to a fresh segment whose first record is the
+    /// [`RecordKind::CheckpointMarker`], and prune every older segment.
+    /// Returns the bytes written (image + marker) for the disk-cost model.
+    pub fn install_checkpoint(&mut self, height: u64, snapshot: &[u8]) -> u64 {
+        self.sync();
+        self.backend.put_checkpoint(height, snapshot);
+        self.active += 1;
+        self.active_len = 0;
+        self.backend.drop_below(self.active);
+        let marker = encode_checkpoint_marker(height);
+        let marker_bytes = self.append_record(RecordKind::CheckpointMarker, &marker);
+        self.sync();
+        marker_bytes + snapshot.len() as u64
+    }
+
+    /// Arms a crash-point fault. [`StorageFault::DropFsync`] fires at the
+    /// matching [`SegmentLog::sync`]; the others maul the durable image when
+    /// [`SegmentLog::crash`] runs.
+    pub fn schedule_fault(&mut self, fault: StorageFault) {
+        self.pending_fault = Some(fault);
+    }
+
+    /// Simulates process death: buffered bytes vanish, any armed fault is
+    /// applied to the durable image, and append bookkeeping is rebuilt from
+    /// what actually survived.
+    pub fn crash(&mut self) {
+        self.backend.crash();
+        if let Some(fault) = self.pending_fault.take() {
+            self.apply_fault(fault);
+        }
+        self.reset_from_durable();
+    }
+
+    fn apply_fault(&mut self, fault: StorageFault) {
+        match fault {
+            StorageFault::TornTail => {
+                let Some((seg, mut bytes)) = self.last_segment() else {
+                    return;
+                };
+                // Re-walk the frames to find where the final record starts,
+                // then cut partway into it — a write the crash interrupted.
+                let mut pos = 0usize;
+                let mut last_start = 0usize;
+                while pos + RECORD_HEADER_BYTES <= bytes.len() {
+                    let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"))
+                        as usize;
+                    if pos + RECORD_HEADER_BYTES + len > bytes.len() {
+                        break;
+                    }
+                    last_start = pos;
+                    pos += RECORD_HEADER_BYTES + len;
+                }
+                let torn = last_start + (bytes.len() - last_start).div_ceil(2).max(1);
+                bytes.truncate(torn.min(bytes.len().saturating_sub(1)));
+                self.backend.set_segment(seg, bytes);
+            }
+            StorageFault::TruncateSegment => {
+                let Some((seg, mut bytes)) = self.last_segment() else {
+                    return;
+                };
+                bytes.truncate(bytes.len() / 2);
+                self.backend.set_segment(seg, bytes);
+            }
+            StorageFault::CorruptCrc { record } => {
+                let segments = self.backend.segments();
+                let total: u64 = segments
+                    .iter()
+                    .map(|(_, bytes)| decode_records(bytes).records.len() as u64)
+                    .sum();
+                if total == 0 {
+                    return;
+                }
+                let mut target = record.min(total - 1);
+                for (seg, mut bytes) in segments {
+                    let here = decode_records(&bytes).records.len() as u64;
+                    if target >= here {
+                        target -= here;
+                        continue;
+                    }
+                    // Walk to the target record's frame and flip a CRC byte.
+                    let mut pos = 0usize;
+                    for _ in 0..target {
+                        let len =
+                            u32::from_be_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"))
+                                as usize;
+                        pos += RECORD_HEADER_BYTES + len;
+                    }
+                    bytes[pos + 4] ^= 0xA5;
+                    self.backend.set_segment(seg, bytes);
+                    return;
+                }
+            }
+            // Consumed at sync time; armed-but-unfired means the batch it
+            // named was never flushed, so there is nothing to maul.
+            StorageFault::DropFsync { .. } => {}
+        }
+    }
+
+    fn last_segment(&self) -> Option<(u64, Vec<u8>)> {
+        self.backend.segments().pop()
+    }
+
+    fn reset_from_durable(&mut self) {
+        let segments = self.backend.segments();
+        self.unsynced_records = 0;
+        self.records_appended = segments
+            .iter()
+            .map(|(_, bytes)| decode_records(bytes).records.len() as u64)
+            .sum();
+        match segments.last() {
+            Some((seg, bytes)) => {
+                self.active = *seg;
+                self.active_len = bytes.len();
+            }
+            None => {
+                // Preserve the rotation point: a pruned log must not reuse
+                // dropped segment indices.
+                self.active_len = 0;
+            }
+        }
+    }
+
+    /// Replays durable state: the checkpoint image plus the longest valid
+    /// prefix of log records.
+    pub fn replay(&self) -> ReplayResult {
+        let mut result = ReplayResult {
+            checkpoint: self.backend.checkpoint(),
+            ..ReplayResult::default()
+        };
+        if let Some((_, bytes)) = &result.checkpoint {
+            result.bytes_read += bytes.len() as u64;
+        }
+        let mut broken = false;
+        for (_, bytes) in self.backend.segments() {
+            result.bytes_read += bytes.len() as u64;
+            let decoded = decode_records(&bytes);
+            if broken {
+                // Ordering is broken past the first failure: well-framed
+                // records in later segments are unusable.
+                result.corrupt_records_discarded +=
+                    decoded.records.len() as u64 + decoded.discarded;
+                continue;
+            }
+            result.records.extend(decoded.records);
+            result.corrupt_records_discarded += decoded.discarded;
+            broken = !decoded.clean;
+        }
+        result
+    }
+
+    /// Total records appended since the log was opened (or last crashed).
+    pub fn records_appended(&self) -> u64 {
+        self.records_appended
+    }
+
+    /// Number of flushes performed (batched appends amortise this).
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift — the tests must not depend on external RNGs.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    fn random_records(seed: u64, count: usize) -> Vec<(RecordKind, Vec<u8>)> {
+        let mut rng = Rng(seed | 1);
+        (0..count)
+            .map(|_| {
+                let kind = match rng.next() % 4 {
+                    0 => RecordKind::CommittedBlock,
+                    1 => RecordKind::Qc,
+                    2 => RecordKind::CheckpointMarker,
+                    _ => RecordKind::SafetyRecord,
+                };
+                let len = (rng.next() % 200) as usize;
+                let payload: Vec<u8> = (0..len).map(|_| (rng.next() & 0xFF) as u8).collect();
+                (kind, payload)
+            })
+            .collect()
+    }
+
+    fn stream_of(records: &[(RecordKind, Vec<u8>)]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (kind, payload) in records {
+            out.extend_from_slice(&frame(*kind, payload));
+        }
+        out
+    }
+
+    #[test]
+    fn crc32_matches_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn round_trips_randomized_record_sequences() {
+        for seed in [1u64, 7, 42, 2021] {
+            let records = random_records(seed, 100);
+            // Small segments force rotation; batching leaves a buffered tail
+            // that an explicit sync must flush.
+            let mut log = SegmentLog::in_memory(512, 5);
+            for (kind, payload) in &records {
+                log.append(*kind, payload);
+            }
+            log.sync();
+            log.crash();
+            let replay = log.replay();
+            assert_eq!(replay.records, records, "seed {seed}");
+            assert_eq!(replay.corrupt_records_discarded, 0);
+            assert!(replay.bytes_read > 0);
+        }
+    }
+
+    #[test]
+    fn unsynced_tail_is_lost_on_crash() {
+        let mut log = SegmentLog::in_memory(1 << 20, 100);
+        let records = random_records(3, 10);
+        for (kind, payload) in &records {
+            log.append(*kind, payload);
+        }
+        // No sync: interval is 100, so everything is still buffered.
+        log.crash();
+        assert!(log.replay().records.is_empty());
+        assert_eq!(log.records_appended(), 0);
+    }
+
+    #[test]
+    fn fsync_interval_batches_flushes() {
+        let mut log = SegmentLog::in_memory(1 << 20, 4);
+        for (kind, payload) in random_records(9, 8) {
+            log.append(kind, &payload);
+        }
+        assert_eq!(log.syncs(), 2, "8 records at interval 4");
+        let mut synced = SegmentLog::in_memory(1 << 20, 4);
+        synced.append_synced(RecordKind::SafetyRecord, b"watermark");
+        assert_eq!(synced.syncs(), 1, "safety records flush immediately");
+    }
+
+    #[test]
+    fn torn_tail_recovers_longest_valid_prefix_at_every_cut() {
+        let records = random_records(11, 20);
+        let stream = stream_of(&records);
+        for cut in 0..stream.len() {
+            let decoded = decode_records(&stream[..cut]);
+            assert!(
+                decoded.records.len() <= records.len(),
+                "cut {cut} produced extra records"
+            );
+            for (got, want) in decoded.records.iter().zip(records.iter()) {
+                assert_eq!(got, want, "cut {cut} diverged");
+            }
+            if cut < stream.len() {
+                assert!(!decoded.clean || decoded.records.len() < records.len());
+            }
+        }
+        assert!(decode_records(&stream).clean);
+    }
+
+    #[test]
+    fn corrupt_byte_at_every_offset_never_panics() {
+        let records = random_records(13, 8);
+        let stream = stream_of(&records);
+        for offset in 0..stream.len() {
+            let mut mauled = stream.clone();
+            mauled[offset] ^= 0xFF;
+            let decoded = decode_records(&mauled);
+            for (got, want) in decoded.records.iter().zip(records.iter()) {
+                if got != want {
+                    // A flipped byte may still frame correctly only within
+                    // the record it hit; all earlier records must match.
+                    break;
+                }
+            }
+            assert!(decoded.records.len() <= records.len());
+        }
+    }
+
+    #[test]
+    fn garbage_suffix_is_discarded() {
+        let records = random_records(17, 6);
+        let mut stream = stream_of(&records);
+        stream.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03]);
+        let decoded = decode_records(&stream);
+        assert_eq!(decoded.records, records);
+        assert!(!decoded.clean);
+    }
+
+    #[test]
+    fn torn_tail_fault_drops_only_the_final_record() {
+        let records = random_records(19, 12);
+        let mut log = SegmentLog::in_memory(1 << 20, 1);
+        for (kind, payload) in &records {
+            log.append(*kind, payload);
+        }
+        log.schedule_fault(StorageFault::TornTail);
+        log.crash();
+        let replay = log.replay();
+        assert_eq!(replay.records, records[..records.len() - 1].to_vec());
+        assert_eq!(replay.corrupt_records_discarded, 1);
+    }
+
+    #[test]
+    fn truncate_segment_fault_recovers_a_prefix() {
+        let records = random_records(23, 12);
+        let mut log = SegmentLog::in_memory(1 << 20, 1);
+        for (kind, payload) in &records {
+            log.append(*kind, payload);
+        }
+        log.schedule_fault(StorageFault::TruncateSegment);
+        log.crash();
+        let replay = log.replay();
+        assert!(replay.records.len() < records.len());
+        assert_eq!(replay.records, records[..replay.records.len()].to_vec());
+        assert!(replay.corrupt_records_discarded >= 1);
+    }
+
+    #[test]
+    fn corrupt_crc_fault_stops_replay_at_the_record() {
+        let records = random_records(29, 10);
+        let mut log = SegmentLog::in_memory(1 << 20, 1);
+        for (kind, payload) in &records {
+            log.append(*kind, payload);
+        }
+        log.schedule_fault(StorageFault::CorruptCrc { record: 4 });
+        log.crash();
+        let replay = log.replay();
+        assert_eq!(replay.records, records[..4].to_vec());
+        // The mauled record plus the five well-framed ones after it.
+        assert_eq!(replay.corrupt_records_discarded, 6);
+    }
+
+    #[test]
+    fn drop_fsync_fault_leaves_a_record_aligned_hole() {
+        let records = random_records(31, 12);
+        let mut log = SegmentLog::in_memory(1 << 20, 4);
+        log.schedule_fault(StorageFault::DropFsync { index: 5 });
+        for (kind, payload) in &records {
+            log.append(*kind, payload);
+        }
+        log.crash();
+        let replay = log.replay();
+        // Batch [4..8) vanished; earlier and later batches survived. The
+        // stream still frames cleanly — the hole is semantic, which is why
+        // the replica must verify chain linkage during replay.
+        let mut expected = records[..4].to_vec();
+        expected.extend_from_slice(&records[8..]);
+        assert_eq!(replay.records, expected);
+        assert_eq!(replay.corrupt_records_discarded, 0);
+    }
+
+    #[test]
+    fn rotation_spreads_records_across_segments_in_order() {
+        let records = random_records(37, 40);
+        let mut log = SegmentLog::in_memory(256, 1);
+        for (kind, payload) in &records {
+            log.append(*kind, payload);
+        }
+        log.crash();
+        assert_eq!(log.replay().records, records);
+    }
+
+    #[test]
+    fn checkpoint_prunes_older_segments() {
+        let mut log = SegmentLog::in_memory(256, 1);
+        for (kind, payload) in random_records(41, 30) {
+            log.append(kind, &payload);
+        }
+        let image = b"BSNP-image-stand-in".to_vec();
+        log.install_checkpoint(30, &image);
+        let post: Vec<(RecordKind, Vec<u8>)> = random_records(43, 5);
+        for (kind, payload) in &post {
+            log.append(*kind, payload);
+        }
+        log.sync();
+        log.crash();
+        let replay = log.replay();
+        assert_eq!(replay.checkpoint, Some((30, image)));
+        let mut expected = vec![(RecordKind::CheckpointMarker, encode_checkpoint_marker(30))];
+        expected.extend(post);
+        assert_eq!(replay.records, expected, "pre-checkpoint records pruned");
+    }
+
+    #[test]
+    fn safety_record_codec_round_trips() {
+        let (view, qc) = decode_safety_record(&encode_safety_record(View(17), None)).unwrap();
+        assert_eq!(view, View(17));
+        assert!(qc.is_none());
+        let genesis = QuorumCert::genesis();
+        let (view, qc) =
+            decode_safety_record(&encode_safety_record(View(99), Some(&genesis))).unwrap();
+        assert_eq!(view, View(99));
+        assert_eq!(qc, Some(genesis));
+        assert!(decode_safety_record(&[1, 2, 3]).is_err());
+        assert!(decode_checkpoint_marker(&encode_checkpoint_marker(7)).unwrap() == 7);
+        assert!(decode_checkpoint_marker(&[0; 7]).is_err());
+    }
+
+    #[test]
+    fn file_backend_round_trips_through_real_files() {
+        let dir = std::env::temp_dir().join(format!(
+            "bamboo-storage-test-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock")
+                .as_nanos()
+        ));
+        let records = random_records(47, 25);
+        {
+            let mut log = SegmentLog::on_disk(&dir, 512, 3).expect("open");
+            for (kind, payload) in &records {
+                log.append(*kind, payload);
+            }
+            log.install_checkpoint(25, b"image");
+            for (kind, payload) in &records[..5] {
+                log.append(*kind, payload);
+            }
+            log.sync();
+        }
+        // A brand-new log over the same directory resumes from the files.
+        let log = SegmentLog::on_disk(&dir, 512, 3).expect("reopen");
+        let replay = log.replay();
+        assert_eq!(replay.checkpoint, Some((25, b"image".to_vec())));
+        assert_eq!(replay.records.len(), 6, "marker + 5 post-checkpoint");
+        assert_eq!(replay.records[1..].to_vec(), records[..5].to_vec());
+        assert_eq!(log.records_appended(), 6);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

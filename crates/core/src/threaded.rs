@@ -24,6 +24,8 @@
 //! falls back to inline verification inside [`NodeHost::handle`] on each
 //! replica thread — same guarantee, serialised onto the consensus thread.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -37,7 +39,12 @@ use bamboo_types::{
 
 use crate::replica::{ReplicaEvent, ReplicaOptions};
 use crate::runtime::{NodeHost, StepReport, Transport};
+use crate::storage::{SegmentLog, StorageFault};
 use crate::verify::{VerifyHandle, VerifyPool};
+
+/// Distinguishes the storage directories of clusters spawned by the same
+/// process (tests spawn several), on top of the per-process component.
+static CLUSTER_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Summary of one threaded run.
 #[derive(Clone, Debug)]
@@ -80,11 +87,15 @@ enum ThreadEvent {
     /// Fault injection: the replica stops processing everything (messages,
     /// timers, client traffic) until a `Recover` arrives.
     Crash,
-    /// Fault injection: the replica resumes. With `amnesia` it restarts from
-    /// its latest checkpoint and state-transfers the lost history back;
-    /// without, it simply resumes from its pre-crash in-memory state.
+    /// Fault injection: the replica resumes. With `durable` it restarts from
+    /// its durable segment log (optionally after `storage_fault` mangled the
+    /// log at the crash point); with `amnesia` it restarts from its latest
+    /// volatile checkpoint and state-transfers the lost history back;
+    /// otherwise it simply resumes from its pre-crash in-memory state.
     Recover {
         amnesia: bool,
+        durable: bool,
+        storage_fault: Option<StorageFault>,
     },
     Shutdown,
 }
@@ -224,6 +235,9 @@ pub struct ThreadedCluster {
     verify_pool: Option<VerifyPool>,
     started_at: Instant,
     committed_txs: Arc<Mutex<u64>>,
+    /// Root of the per-node durable-log directories; removed at shutdown.
+    /// `None` unless [`Config::durable_log`] is set.
+    storage_dir: Option<PathBuf>,
 }
 
 impl ThreadedCluster {
@@ -260,6 +274,13 @@ impl ThreadedCluster {
         });
         let started_at = Instant::now();
         let committed_txs = Arc::new(Mutex::new(0u64));
+        // Durable-log mode: each replica gets its own directory of real
+        // segment files under a unique per-cluster root, mirroring a process
+        // with a local disk. Removed at shutdown.
+        let storage_dir = config.durable_log.then(|| {
+            let seq = CLUSTER_SEQ.fetch_add(1, Ordering::Relaxed);
+            std::env::temp_dir().join(format!("bamboo-cluster-{}-{seq}", std::process::id()))
+        });
         let mut handles = Vec::with_capacity(nodes);
         for (index, receiver) in receivers.into_iter().enumerate() {
             let id = NodeId(index as u64);
@@ -267,9 +288,12 @@ impl ThreadedCluster {
             let peers = senders.clone();
             let committed = Arc::clone(&committed_txs);
             let verify = verify_pool.as_ref().map(VerifyPool::handle);
+            let node_dir = storage_dir
+                .as_ref()
+                .map(|dir| dir.join(format!("node-{index}")));
             let handle = std::thread::spawn(move || {
                 run_replica_thread(
-                    id, protocol, config, receiver, peers, verify, started_at, committed,
+                    id, protocol, config, receiver, peers, verify, started_at, committed, node_dir,
                 )
             });
             handles.push(handle);
@@ -281,6 +305,7 @@ impl ThreadedCluster {
             verify_pool,
             started_at,
             committed_txs,
+            storage_dir,
         }
     }
 
@@ -316,7 +341,26 @@ impl ThreadedCluster {
     /// resumes from the state it crashed with.
     pub fn recover(&self, replica: NodeId, amnesia: bool) {
         if let Some(sender) = self.senders.get(replica.index()) {
-            let _ = sender.send(ThreadEvent::Recover { amnesia });
+            let _ = sender.send(ThreadEvent::Recover {
+                amnesia,
+                durable: false,
+                storage_fault: None,
+            });
+        }
+    }
+
+    /// Recovers a crashed replica from its own durable segment log: the
+    /// optional crash-point `storage_fault` mangles the log first, then the
+    /// replica replays its persisted checkpoint image plus surviving records
+    /// and state-transfers only the tail. Requires the cluster to run with
+    /// [`Config::durable_log`]; without it, the restart degrades to amnesia.
+    pub fn recover_durable(&self, replica: NodeId, storage_fault: Option<StorageFault>) {
+        if let Some(sender) = self.senders.get(replica.index()) {
+            let _ = sender.send(ThreadEvent::Recover {
+                amnesia: false,
+                durable: true,
+                storage_fault,
+            });
         }
     }
 
@@ -429,6 +473,9 @@ impl ThreadedCluster {
             auth_rejections,
             client_auth_rejections,
         };
+        if let Some(dir) = &self.storage_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
         (report, hosts)
     }
 }
@@ -447,8 +494,18 @@ fn run_replica_thread(
     verify: Option<VerifyHandle>,
     started_at: Instant,
     committed_txs: Arc<Mutex<u64>>,
+    storage_dir: Option<PathBuf>,
 ) -> NodeHost {
+    let (segment_bytes, fsync_interval) = (config.segment_bytes, config.fsync_interval);
     let mut host = NodeHost::new(id, protocol, config, ReplicaOptions::default());
+    if let Some(dir) = storage_dir {
+        // Swap the default in-memory log for real files in this node's own
+        // directory; an existing directory (a restarted cluster) resumes at
+        // its durable append position.
+        let log = SegmentLog::on_disk(&dir, segment_bytes, fsync_interval)
+            .expect("create durable-log directory");
+        host.replica_mut().set_storage(log);
+    }
     let mut transport = ThreadTransport::new(id, peers, verify);
     let now = || SimTime(started_at.elapsed().as_nanos() as u64);
 
@@ -518,10 +575,22 @@ fn run_replica_thread(
             Ok(ThreadEvent::Crash) => {
                 crashed = true;
             }
-            Ok(ThreadEvent::Recover { amnesia }) => {
+            Ok(ThreadEvent::Recover {
+                amnesia,
+                durable,
+                storage_fault,
+            }) => {
                 if crashed {
                     crashed = false;
-                    if amnesia {
+                    if durable {
+                        // The process comes back with only what its segment
+                        // log and persisted checkpoint survived (less whatever
+                        // the crash-point fault destroyed); pre-crash
+                        // deadlines refer to views that no longer exist.
+                        transport.clear_deadlines();
+                        let report = host.restart_durable(now(), storage_fault, &mut transport);
+                        account(&report);
+                    } else if amnesia {
                         // The process comes back with nothing but its durable
                         // checkpoint; pre-crash deadlines refer to views that
                         // no longer exist for it.

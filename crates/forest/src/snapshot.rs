@@ -302,6 +302,10 @@ impl<'a> Cursor<'a> {
     fn digest32(&mut self) -> Result<[u8; 32], SnapshotError> {
         Ok(self.take(32)?.try_into().unwrap())
     }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
 }
 
 fn decode_block(cur: &mut Cursor<'_>) -> Result<Block, SnapshotError> {
@@ -353,6 +357,68 @@ fn decode_opt_qc(cur: &mut Cursor<'_>) -> Result<Option<QuorumCert>, SnapshotErr
         1 => Ok(Some(decode_qc(cur)?)),
         _ => Err(SnapshotError::Corrupt("invalid option tag")),
     }
+}
+
+// ---- log record codecs ------------------------------------------------------
+//
+// The durable segment log (`bamboo-core`'s `storage` module) frames opaque
+// payloads; these functions give it the exact encoding the snapshot uses for
+// its own blocks and QCs, so one canonical byte layout serves both the
+// checkpoint image and the per-record log that extends it.
+
+/// Encodes one committed-ledger entry (block + commit metadata) as a
+/// standalone log-record payload.
+pub fn encode_committed_record(committed: &CommittedBlock) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    encode_block(&mut out, &committed.block);
+    put_u64(&mut out, committed.committed_in_view.as_u64());
+    put_u64(&mut out, committed.committed_at.as_nanos());
+    out
+}
+
+/// Decodes a payload produced by [`encode_committed_record`]. Trailing bytes
+/// are an integrity violation, not slack: log records are exact.
+///
+/// # Errors
+///
+/// Returns the [`SnapshotError`] describing the first structural or
+/// integrity violation.
+pub fn decode_committed_record(bytes: &[u8]) -> Result<CommittedBlock, SnapshotError> {
+    let mut cur = Cursor::new(bytes);
+    let block = SharedBlock::new(decode_block(&mut cur)?);
+    let committed_in_view = View(cur.u64()?);
+    let committed_at = SimTime(cur.u64()?);
+    if !cur.done() {
+        return Err(SnapshotError::Corrupt("trailing bytes after record"));
+    }
+    Ok(CommittedBlock {
+        block,
+        committed_in_view,
+        committed_at,
+    })
+}
+
+/// Encodes a quorum certificate as a standalone log-record payload.
+pub fn encode_qc_record(qc: &QuorumCert) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128);
+    encode_qc(&mut out, qc);
+    out
+}
+
+/// Decodes a payload produced by [`encode_qc_record`], rejecting trailing
+/// bytes.
+///
+/// # Errors
+///
+/// Returns the [`SnapshotError`] describing the first structural or
+/// integrity violation.
+pub fn decode_qc_record(bytes: &[u8]) -> Result<QuorumCert, SnapshotError> {
+    let mut cur = Cursor::new(bytes);
+    let qc = decode_qc(&mut cur)?;
+    if !cur.done() {
+        return Err(SnapshotError::Corrupt("trailing bytes after record"));
+    }
+    Ok(qc)
 }
 
 #[cfg(test)]

@@ -25,7 +25,7 @@
 
 use bamboo_crypto::{AggregateSignature, KeyPair};
 use bamboo_forest::BlockForest;
-use bamboo_types::{Block, BlockId, NodeId, ProtocolKind, QuorumCert, Vote};
+use bamboo_types::{Block, BlockId, NodeId, ProtocolKind, QuorumCert, View, Vote};
 
 use crate::safety::{build_block, ProposalInput, Safety, VoteDestination};
 
@@ -59,6 +59,12 @@ impl ForkingSafety {
 impl Safety for ForkingSafety {
     fn kind(&self) -> ProtocolKind {
         self.inner.kind()
+    }
+    fn voted_view(&self) -> View {
+        self.inner.voted_view()
+    }
+    fn restore_voted_view(&mut self, view: View) {
+        self.inner.restore_voted_view(view);
     }
     fn vote_destination(&self) -> VoteDestination {
         self.inner.vote_destination()
@@ -132,6 +138,12 @@ impl Safety for SilenceSafety {
     fn kind(&self) -> ProtocolKind {
         self.inner.kind()
     }
+    fn voted_view(&self) -> View {
+        self.inner.voted_view()
+    }
+    fn restore_voted_view(&mut self, view: View) {
+        self.inner.restore_voted_view(view);
+    }
     fn vote_destination(&self) -> VoteDestination {
         self.inner.vote_destination()
     }
@@ -202,6 +214,12 @@ impl ForgedVoteSafety {
 impl Safety for ForgedVoteSafety {
     fn kind(&self) -> ProtocolKind {
         self.inner.kind()
+    }
+    fn voted_view(&self) -> View {
+        self.inner.voted_view()
+    }
+    fn restore_voted_view(&mut self, view: View) {
+        self.inner.restore_voted_view(view);
     }
     fn vote_destination(&self) -> VoteDestination {
         self.inner.vote_destination()
@@ -276,6 +294,12 @@ impl ForgedQcSafety {
 impl Safety for ForgedQcSafety {
     fn kind(&self) -> ProtocolKind {
         self.inner.kind()
+    }
+    fn voted_view(&self) -> View {
+        self.inner.voted_view()
+    }
+    fn restore_voted_view(&mut self, view: View) {
+        self.inner.restore_voted_view(view);
     }
     fn vote_destination(&self) -> VoteDestination {
         self.inner.vote_destination()

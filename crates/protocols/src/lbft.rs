@@ -40,6 +40,14 @@ impl Safety for LbftSafety {
         ProtocolKind::Lbft
     }
 
+    fn voted_view(&self) -> View {
+        self.last_voted_view
+    }
+
+    fn restore_voted_view(&mut self, view: View) {
+        self.last_voted_view = self.last_voted_view.max(view);
+    }
+
     fn vote_destination(&self) -> VoteDestination {
         VoteDestination::Broadcast
     }

@@ -12,7 +12,7 @@
 //! the paper cites as the source of the (small) performance gap.
 
 use bamboo_forest::BlockForest;
-use bamboo_types::{Block, BlockId, Height, ProtocolKind, QuorumCert};
+use bamboo_types::{Block, BlockId, Height, ProtocolKind, QuorumCert, View};
 
 use crate::safety::{build_block, ProposalInput, Safety, VoteDestination};
 
@@ -88,6 +88,18 @@ impl OhsSafety {
 impl Safety for OhsSafety {
     fn kind(&self) -> ProtocolKind {
         ProtocolKind::OriginalHotStuff
+    }
+
+    // OHS votes by height, not view: `vheight` is the watermark. It is
+    // mapped into the view slot of the durable `SafetyRecord` — the
+    // double-vote guarantee (never vote at or below the watermark again)
+    // is the same, only the unit differs.
+    fn voted_view(&self) -> View {
+        View(self.vheight.as_u64())
+    }
+
+    fn restore_voted_view(&mut self, view: View) {
+        self.vheight = self.vheight.max(Height(view.as_u64()));
     }
 
     fn vote_destination(&self) -> VoteDestination {

@@ -206,6 +206,21 @@ pub struct Config {
     /// queue; higher values bound per-shard capacity at `mempool_size /
     /// shards` and drain round-robin.
     pub mempool_shards: usize,
+
+    // ---- Durable storage (DESIGN.md §8) ---------------------------------
+    /// When true, every replica writes an append-only segment log (committed
+    /// blocks, QCs, checkpoint markers, pre-vote safety records) and persists
+    /// its checkpoint images, enabling durable restarts that replay local
+    /// state instead of relying solely on network sync. Defaults to false:
+    /// all recorded fingerprints predate durability and must stay valid.
+    pub durable_log: bool,
+    /// Fsync batching: flush the log after every `n` appended records.
+    /// Safety records are always flushed immediately regardless of this
+    /// setting — the vote must not outrun its durable watermark.
+    pub fsync_interval: usize,
+    /// Segment rotation threshold in bytes: a record that would grow the
+    /// active segment past this size starts a new segment instead.
+    pub segment_bytes: usize,
 }
 
 impl Default for Config {
@@ -233,6 +248,9 @@ impl Default for Config {
             client_population: None,
             signed_requests: false,
             mempool_shards: 1,
+            durable_log: false,
+            fsync_interval: 8,
+            segment_bytes: 1 << 20,
         }
     }
 }
@@ -302,6 +320,16 @@ impl Config {
         if self.mempool_shards == 0 {
             return Err(crate::TypeError::InvalidConfig(
                 "mempool shards must be positive".into(),
+            ));
+        }
+        if self.fsync_interval == 0 {
+            return Err(crate::TypeError::InvalidConfig(
+                "fsync interval must be positive".into(),
+            ));
+        }
+        if self.segment_bytes < 4096 {
+            return Err(crate::TypeError::InvalidConfig(
+                "segment size must be at least 4096 bytes".into(),
             ));
         }
         Ok(())
@@ -449,6 +477,24 @@ impl ConfigBuilder {
         self
     }
 
+    /// Enables the durable segment log and persisted checkpoint images.
+    pub fn durable_log(mut self, durable: bool) -> Self {
+        self.config.durable_log = durable;
+        self
+    }
+
+    /// Sets the fsync batching interval (records per flush).
+    pub fn fsync_interval(mut self, records: usize) -> Self {
+        self.config.fsync_interval = records;
+        self
+    }
+
+    /// Sets the segment rotation threshold in bytes.
+    pub fn segment_bytes(mut self, bytes: usize) -> Self {
+        self.config.segment_bytes = bytes;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -538,6 +584,28 @@ mod tests {
         assert_eq!(tuned.client_population, Some(1_000_000));
         assert!(tuned.signed_requests);
         assert_eq!(tuned.mempool_shards, 8);
+    }
+
+    #[test]
+    fn durable_storage_defaults_preserve_legacy_behaviour() {
+        let c = Config::default();
+        assert!(
+            !c.durable_log,
+            "durability is opt-in: old fingerprints hold"
+        );
+        assert_eq!(c.fsync_interval, 8);
+        assert_eq!(c.segment_bytes, 1 << 20);
+        let tuned = Config::builder()
+            .durable_log(true)
+            .fsync_interval(1)
+            .segment_bytes(64 * 1024)
+            .build()
+            .unwrap();
+        assert!(tuned.durable_log);
+        assert_eq!(tuned.fsync_interval, 1);
+        assert_eq!(tuned.segment_bytes, 64 * 1024);
+        assert!(Config::builder().fsync_interval(0).build().is_err());
+        assert!(Config::builder().segment_bytes(100).build().is_err());
     }
 
     #[test]

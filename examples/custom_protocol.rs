@@ -57,6 +57,16 @@ impl Safety for EagerChain {
 
     fn update_state(&mut self, _qc: &QuorumCert, _forest: &BlockForest) {}
 
+    // Durable-restart hooks: expose the vote watermark so a replica running
+    // this protocol could persist and restore it across a crash.
+    fn voted_view(&self) -> View {
+        self.last_voted_view
+    }
+
+    fn restore_voted_view(&mut self, view: View) {
+        self.last_voted_view = self.last_voted_view.max(view);
+    }
+
     // Commit rule: a certified block commits immediately (one-chain!).
     fn try_commit(&mut self, qc: &QuorumCert, forest: &BlockForest) -> Option<BlockId> {
         forest.get(qc.block).map(|b| b.id)

@@ -140,6 +140,8 @@ fn crash_faulted_runs_are_identical_across_thread_counts() {
         crash: FaultTrigger::At(SimTime(30_000_000)),
         recover: Some(FaultTrigger::At(SimTime(70_000_000))),
         amnesia: false,
+        durable: false,
+        storage_fault: None,
     }];
     let mut cfg = config(7);
     cfg.timeout = SimDuration::from_millis(20);

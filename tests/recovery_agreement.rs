@@ -42,6 +42,8 @@ fn amnesia_fault(node: u64, crash_ms: u64, recover_ms: u64) -> NodeFault {
         crash: FaultTrigger::At(SimTime(crash_ms * 1_000_000)),
         recover: Some(FaultTrigger::At(SimTime(recover_ms * 1_000_000))),
         amnesia: true,
+        durable: false,
+        storage_fault: None,
     }
 }
 
