@@ -25,12 +25,21 @@
 //!   `scenario/protocol`, for runs that actually scheduled amnesia
 //!   recoveries, plus `log_replay_ms` (worst-case durable-log replay,
 //!   keyed `scenario/protocol log_replay`) for runs with durable
-//!   restarts. Both are latencies, so they regress *upwards*.
+//!   restarts. Both are latencies, so they regress *upwards*;
+//! * `tcp_smoke.json` — the loopback multi-process TCP run, keyed
+//!   `protocol/nN/mode` so unlike points never cross-compare: committed
+//!   throughput regresses *downwards*, status-probe round-trip latency
+//!   (p50/p99) *upwards*, and reconnect counts *upwards* (a healthy
+//!   loopback run never reconnects, so the comparison is absolute, not a
+//!   ratio).
 //!
 //! Non-gating by design: shared-runner numbers are noisy, so the tool always
 //! exits 0 — it prints aligned diff tables and emits GitHub `::warning::`
 //! annotations for entries that regressed by more than 20%, making drifts
-//! visible on the PR without blocking it.
+//! visible on the PR without blocking it. Artifacts that exist but cannot
+//! be compared — unparsable JSON, a recognized file whose shape yields no
+//! rows, or a file no differ knows about — are never skipped silently: each
+//! gets a `::notice::` annotation naming the file.
 //!
 //! Usage: `cargo run --release -p bamboo-bench --bin bench_diff`
 //! (after `cargo bench -p bamboo-bench --bench micro_components` and/or
@@ -42,6 +51,48 @@ use bamboo_bench::{results_dir, Json};
 
 /// Regression threshold: fraction of the snapshot value.
 const THRESHOLD: f64 = 0.20;
+
+/// Every artifact filename the differs below know how to read. Anything
+/// else under `target/bamboo-bench/` gets a `::notice::` instead of being
+/// silently ignored.
+const KNOWN_ARTIFACTS: [&str; 6] = [
+    "micro_components.json",
+    "scalability_large_n.json",
+    "thread_scaling.json",
+    "saturation.json",
+    "scenario_reports.json",
+    "tcp_smoke.json",
+];
+
+/// `::notice::` annotation naming a skipped artifact. A silently dropped
+/// file reads as "diffed clean" on the PR when it was never compared at
+/// all; the notice makes the gap visible without failing anything.
+fn notice_skipped(path: &Path, reason: &str) {
+    println!("::notice::bench-diff skipped {}: {reason}", path.display());
+}
+
+/// Surfaces every `*.json` in the results directory that no differ reads.
+fn notice_unknown_artifacts() {
+    let Ok(entries) = std::fs::read_dir(results_dir()) else {
+        return;
+    };
+    let mut unknown: Vec<PathBuf> = entries
+        .filter_map(|entry| entry.ok())
+        .map(|entry| entry.path())
+        .filter(|path| path.extension().is_some_and(|e| e == "json"))
+        .filter(|path| {
+            !path.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+                // Paper-reproduction figures/tables are point-in-time
+                // artifacts, deliberately outside the regression diff.
+                KNOWN_ARTIFACTS.contains(&n) || n.starts_with("fig") || n.starts_with("table")
+            })
+        })
+        .collect();
+    unknown.sort();
+    for path in unknown {
+        notice_skipped(&path, "no differ recognizes this artifact");
+    }
+}
 
 /// `(value, unit)` of one micro entry. The value's JSON key is its unit;
 /// entries without a `unit` field are legacy `ns_per_iter` measurements.
@@ -174,10 +225,14 @@ fn diff_thread_scaling(snapshot: &Json, snapshot_name: &str) -> usize {
         return 0;
     };
     let Ok(fresh) = Json::parse(&fresh_text) else {
-        println!("\nbench-diff: unparsable {}", fresh_path.display());
+        notice_skipped(&fresh_path, "unparsable JSON");
         return 0;
     };
     let fresh_rows = thread_scaling_entries(&fresh);
+    if fresh_rows.is_empty() {
+        notice_skipped(&fresh_path, "unrecognized shape (no thread-scaling rows)");
+        return 0;
+    }
     // The speedup claim is only as good as its determinism proof: flag any
     // parallel point shipped without the ledger fingerprint that ties it to
     // the single-thread run.
@@ -282,10 +337,17 @@ fn diff_saturation(snapshot: &Json, snapshot_name: &str) -> usize {
         return 0;
     };
     let Ok(fresh) = Json::parse(&fresh_text) else {
-        println!("\nbench-diff: unparsable {}", fresh_path.display());
+        notice_skipped(&fresh_path, "unparsable JSON");
         return 0;
     };
     let fresh_rows = saturation_entries(&fresh);
+    if fresh_rows.is_empty() {
+        notice_skipped(
+            &fresh_path,
+            "unrecognized shape (no saturation load points)",
+        );
+        return 0;
+    }
     let base_rows: Vec<(String, f64, f64)> = snapshot
         .get("benches")
         .and_then(|b| b.get("saturation"))
@@ -380,11 +442,20 @@ fn diff_recovery(snapshot: &Json, snapshot_name: &str) -> usize {
         return 0;
     };
     let Ok(fresh) = Json::parse(&fresh_text) else {
-        println!("\nbench-diff: unparsable {}", fresh_path.display());
+        notice_skipped(&fresh_path, "unparsable JSON");
         return 0;
     };
+    if fresh.as_array().is_none() {
+        notice_skipped(
+            &fresh_path,
+            "unrecognized shape (not a scenario-report array)",
+        );
+        return 0;
+    }
     let fresh_rows = recovery_entries(&fresh);
     if fresh_rows.is_empty() {
+        // Zero rows from a well-shaped report array just means no run
+        // scheduled an amnesia recovery — expected for most suites.
         println!("\nbench-diff: no amnesia recoveries in the fresh scenario reports; skipping");
         return 0;
     }
@@ -438,7 +509,7 @@ fn diff_scalability(snapshot: &Json, snapshot_name: &str) -> usize {
         return 0;
     };
     let Ok(fresh) = Json::parse(&fresh_text) else {
-        println!("\nbench-diff: unparsable {}", fresh_path.display());
+        notice_skipped(&fresh_path, "unparsable JSON");
         return 0;
     };
     let Some(snapshot_doc) = snapshot
@@ -450,6 +521,10 @@ fn diff_scalability(snapshot: &Json, snapshot_name: &str) -> usize {
     };
     let (base_rows, base_rate) = scalability_entries(snapshot_doc);
     let (fresh_rows, fresh_rate) = scalability_entries(&fresh);
+    if fresh_rows.is_empty() && fresh_rate.is_none() {
+        notice_skipped(&fresh_path, "unrecognized shape (no scalability points)");
+        return 0;
+    }
     println!(
         "\nbench-diff: scalability_large_n vs {snapshot_name} ({} baseline points)",
         base_rows.len()
@@ -483,6 +558,116 @@ fn diff_scalability(snapshot: &Json, snapshot_name: &str) -> usize {
             );
         }
         _ => {}
+    }
+    regressions
+}
+
+/// `(key, throughput, rtt_p50_us, rtt_p99_us, reconnects)` rows of a
+/// tcp_smoke artifact, keyed `protocol/nN/mode` so a loopback process-mode
+/// point only ever diffs against the same protocol, cluster size, and mode.
+/// Accepts a single run object or an array of them.
+fn tcp_smoke_entries(doc: &Json) -> Vec<(String, f64, f64, f64, f64)> {
+    let runs: Vec<&Json> = match doc.as_array() {
+        Some(items) => items.iter().collect(),
+        None => vec![doc],
+    };
+    runs.into_iter()
+        .filter_map(|run| {
+            let protocol = run.get("protocol")?.as_str()?;
+            let nodes = run.get("nodes")?.as_f64()?;
+            let mode = run.get("mode")?.as_str()?;
+            let throughput = run.get("throughput_tx_per_sec")?.as_f64()?;
+            let rtt = run.get("status_rtt_us")?;
+            let p50 = rtt.get("p50")?.as_f64()?;
+            let p99 = rtt.get("p99")?.as_f64()?;
+            let reconnects = run.get("reconnects")?.as_f64()?;
+            Some((
+                format!("{protocol}/n{nodes:.0}/{mode}"),
+                throughput,
+                p50,
+                p99,
+                reconnects,
+            ))
+        })
+        .collect()
+}
+
+fn diff_tcp_smoke(snapshot: &Json, snapshot_name: &str) -> usize {
+    let fresh_path = results_dir().join("tcp_smoke.json");
+    let Ok(fresh_text) = std::fs::read_to_string(&fresh_path) else {
+        println!("\nbench-diff: no fresh tcp_smoke artifact; skipping that diff");
+        return 0;
+    };
+    let Ok(fresh) = Json::parse(&fresh_text) else {
+        notice_skipped(&fresh_path, "unparsable JSON");
+        return 0;
+    };
+    let fresh_rows = tcp_smoke_entries(&fresh);
+    if fresh_rows.is_empty() {
+        notice_skipped(&fresh_path, "unrecognized shape (no tcp_smoke runs)");
+        return 0;
+    }
+    let base_rows: Vec<(String, f64, f64, f64, f64)> = snapshot
+        .get("benches")
+        .and_then(|b| b.get("tcp_smoke"))
+        .map(tcp_smoke_entries)
+        .unwrap_or_default();
+    println!(
+        "\nbench-diff: tcp_smoke vs {snapshot_name} ({} baseline points)",
+        base_rows.len()
+    );
+    println!(
+        "{:<36} {:>14} {:>14} {:>9}",
+        "point (tx/s | rtt us | reconnects)", "baseline", "fresh", "delta"
+    );
+    let mut regressions = 0usize;
+    for (key, throughput, p50, p99, reconnects) in &fresh_rows {
+        let Some((_, base_tp, base_p50, base_p99, base_rc)) =
+            base_rows.iter().find(|(k, ..)| k == key)
+        else {
+            println!("{key:<36} {:>14} {throughput:>14.1} {:>9}", "(new)", "-");
+            continue;
+        };
+        // Committed throughput is a rate: losing it is the regression.
+        regressions += diff_rate_row(key, *base_tp, *throughput, "tx/s", snapshot_name);
+        // Status round trips are latencies: growing is the regression.
+        for (metric, base, value) in [("rtt_p50", base_p50, p50), ("rtt_p99", base_p99, p99)] {
+            if *base <= 0.0 {
+                continue;
+            }
+            let delta = (value - base) / base;
+            let regressed = delta > THRESHOLD;
+            let label = format!("{key} {metric}");
+            let marker = if regressed { "  <-- regression" } else { "" };
+            println!(
+                "{label:<36} {base:>14.1} {value:>14.1} {:>+8.1}%{marker}",
+                delta * 100.0
+            );
+            if regressed {
+                println!(
+                    "::warning::tcp_smoke '{label}' regressed {:+.1}% vs {snapshot_name} \
+                     ({base:.1} -> {value:.1} us)",
+                    delta * 100.0
+                );
+                regressions += 1;
+            }
+        }
+        // Reconnects on healthy loopback are zero, so a ratio is
+        // meaningless: any count above the baseline means links flapped.
+        let label = format!("{key} reconnects");
+        let regressed = reconnects > base_rc;
+        let marker = if regressed { "  <-- regression" } else { "" };
+        println!(
+            "{label:<36} {base_rc:>14.1} {reconnects:>14.1} {:>9}{marker}",
+            "-"
+        );
+        if regressed {
+            println!(
+                "::warning::tcp_smoke '{label}' rose vs {snapshot_name} \
+                 ({base_rc:.0} -> {reconnects:.0} reconnects)"
+            );
+            regressions += 1;
+        }
     }
     regressions
 }
@@ -524,10 +709,12 @@ fn main() {
         diff_thread_scaling(&snapshot, &snapshot_name);
         diff_saturation(&snapshot, &snapshot_name);
         diff_recovery(&snapshot, &snapshot_name);
+        diff_tcp_smoke(&snapshot, &snapshot_name);
+        notice_unknown_artifacts();
         return;
     };
     let Ok(fresh) = Json::parse(&fresh_text) else {
-        println!("bench-diff: unparsable fresh artifact");
+        notice_skipped(&fresh_path, "unparsable JSON");
         return;
     };
 
@@ -587,6 +774,8 @@ fn main() {
     regressions += diff_thread_scaling(&snapshot, &snapshot_name);
     regressions += diff_saturation(&snapshot, &snapshot_name);
     regressions += diff_recovery(&snapshot, &snapshot_name);
+    regressions += diff_tcp_smoke(&snapshot, &snapshot_name);
+    notice_unknown_artifacts();
 
     if regressions == 0 {
         println!(

@@ -76,7 +76,7 @@ pub use replica::{
 };
 pub use runner::{FaultTrigger, NodeFault, RunOptions, SimRunner};
 pub use runtime::{BufferedTransport, NodeHost, StepReport, Transport};
-pub use scenario::{Expectations, Scenario, ScenarioReport, ScenarioRun};
+pub use scenario::{Expectations, Scenario, ScenarioReport, ScenarioRun, ScenarioTransport};
 pub use storage::{
     DecodedStream, FileBackend, MemoryBackend, RecordKind, ReplayResult, SegmentBackend,
     SegmentLog, StorageFault,

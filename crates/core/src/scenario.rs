@@ -127,6 +127,19 @@ pub struct Expectations {
     pub commit_latency_ordering: Vec<(ProtocolKind, ProtocolKind)>,
 }
 
+/// Which backend executes a scenario's runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ScenarioTransport {
+    /// The deterministic discrete-event simulator (the default).
+    #[default]
+    Sim,
+    /// Loopback TCP sockets — real threads and real frames, driven by the
+    /// `bamboo-net` crate. Wall-clock execution: no modelled topology, no
+    /// injected faults, no determinism check; the scenario runner only
+    /// asserts safety, agreement and liveness.
+    Tcp,
+}
+
 /// A parsed, executable experiment spec.
 #[derive(Clone, Debug)]
 pub struct Scenario {
@@ -139,6 +152,7 @@ pub struct Scenario {
     /// Expectations evaluated against every run.
     pub expect: Expectations,
     base: Config,
+    transport: ScenarioTransport,
     quick_runtime: SimDuration,
     /// Engine shards per run (the spec's `"threads"`; defaults to 1).
     threads: usize,
@@ -756,6 +770,30 @@ impl Scenario {
             Some(v) => return Err(format!("{name}: threads must be >= 1, got {v}")),
         };
 
+        let transport = match doc.get("transport") {
+            None => ScenarioTransport::Sim,
+            Some(Json::Str(label)) if label == "sim" => ScenarioTransport::Sim,
+            Some(Json::Str(label)) if label == "tcp" => ScenarioTransport::Tcp,
+            Some(_) => {
+                return Err(format!("{name}: transport must be \"sim\" or \"tcp\""));
+            }
+        };
+        if transport == ScenarioTransport::Tcp {
+            // The TCP backend runs on the real network stack: modelled
+            // topologies and injected faults have no meaning there, so a spec
+            // combining them is a contradiction, not a request.
+            if topology.is_some() {
+                return Err(format!(
+                    "{name}: \"transport\": \"tcp\" cannot carry a modelled topology"
+                ));
+            }
+            if !faults.is_empty() {
+                return Err(format!(
+                    "{name}: \"transport\": \"tcp\" cannot carry injected faults"
+                ));
+            }
+        }
+
         base.validate().map_err(|e| format!("{name}: {e}"))?;
 
         Ok(Scenario {
@@ -764,6 +802,7 @@ impl Scenario {
             description,
             protocols,
             base,
+            transport,
             quick_runtime,
             threads,
             topology,
@@ -780,6 +819,18 @@ impl Scenario {
     /// The cluster size of the scenario.
     pub fn nodes(&self) -> usize {
         self.base.nodes
+    }
+
+    /// The backend this scenario runs on.
+    pub fn transport(&self) -> ScenarioTransport {
+        self.transport
+    }
+
+    /// The base replica configuration (before tier-specific adjustments by
+    /// [`Scenario::build`]). Non-simulator runners use this to construct
+    /// their own clusters.
+    pub fn base_config(&self) -> &Config {
+        &self.base
     }
 
     /// The measurement window of the given tier.

@@ -17,12 +17,11 @@
 //! so a corrupted or tampered snapshot fails decoding instead of poisoning
 //! the forest.
 
-use std::fmt;
-
-use bamboo_crypto::{AggregateSignature, Signature};
-use bamboo_types::{
-    Block, BlockId, Bytes, Height, NodeId, QuorumCert, SharedBlock, SimTime, Transaction, View,
+use bamboo_types::wire::{
+    decode_block, decode_opt_qc, decode_qc, encode_block, encode_opt_qc, encode_qc, put_u16,
+    put_u32, put_u64,
 };
+use bamboo_types::{Block, BlockId, Height, QuorumCert, SharedBlock, SimTime, View, WireCursor};
 
 use crate::forest::BlockForest;
 use crate::ledger::{CommittedBlock, Ledger};
@@ -33,32 +32,12 @@ const MAGIC: &[u8; 4] = b"BSNP";
 const VERSION: u16 = 1;
 
 /// Why a snapshot failed to decode.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum SnapshotError {
-    /// The byte stream ended before the structure was complete.
-    Truncated,
-    /// The magic prefix is not a snapshot.
-    BadMagic,
-    /// The version tag is newer than this decoder understands.
-    UnsupportedVersion(u16),
-    /// The structure decoded but an integrity check failed.
-    Corrupt(&'static str),
-}
-
-impl fmt::Display for SnapshotError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SnapshotError::Truncated => write!(f, "snapshot truncated"),
-            SnapshotError::BadMagic => write!(f, "not a snapshot (bad magic)"),
-            SnapshotError::UnsupportedVersion(v) => {
-                write!(f, "unsupported snapshot version {v}")
-            }
-            SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
-        }
-    }
-}
-
-impl std::error::Error for SnapshotError {}
+///
+/// Snapshots are read through the workspace-wide canonical codec
+/// ([`bamboo_types::wire`]), so the snapshot error *is* the wire error: the
+/// same truncation / corruption taxonomy covers checkpoint images, log
+/// records and transport frames.
+pub type SnapshotError = bamboo_types::WireError;
 
 /// A decoded snapshot: the replica state a checkpoint restores.
 #[derive(Clone, Debug)]
@@ -128,7 +107,7 @@ impl Snapshot {
     /// Returns the [`SnapshotError`] describing the first structural or
     /// integrity violation.
     pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
-        let mut cur = Cursor::new(bytes);
+        let mut cur = WireCursor::new(bytes);
         if cur.take(4)? != MAGIC {
             return Err(SnapshotError::BadMagic);
         }
@@ -210,155 +189,6 @@ impl Snapshot {
     }
 }
 
-// ---- primitive writers ------------------------------------------------------
-
-fn put_u16(out: &mut Vec<u8>, v: u16) {
-    out.extend_from_slice(&v.to_be_bytes());
-}
-
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_be_bytes());
-}
-
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_be_bytes());
-}
-
-fn encode_block(out: &mut Vec<u8>, block: &Block) {
-    out.extend_from_slice(block.id.0.as_bytes());
-    put_u64(out, block.view.as_u64());
-    put_u64(out, block.height.as_u64());
-    out.extend_from_slice(block.parent.0.as_bytes());
-    put_u64(out, block.proposer.as_u64());
-    encode_qc(out, &block.justify);
-    put_u32(out, block.payload.len() as u32);
-    for tx in &block.payload {
-        put_u64(out, tx.client.as_u64());
-        put_u64(out, tx.seq);
-        put_u64(out, tx.issued_at.as_nanos());
-        put_u32(out, tx.payload.len() as u32);
-        out.extend_from_slice(&tx.payload);
-    }
-}
-
-fn encode_qc(out: &mut Vec<u8>, qc: &QuorumCert) {
-    out.extend_from_slice(qc.block.0.as_bytes());
-    put_u64(out, qc.view.as_u64());
-    put_u32(out, qc.signatures.len() as u32);
-    for (signer, signature) in qc.signatures.entries() {
-        put_u64(out, signer);
-        out.extend_from_slice(signature.as_bytes());
-    }
-}
-
-fn encode_opt_qc(out: &mut Vec<u8>, qc: Option<&QuorumCert>) {
-    match qc {
-        Some(qc) => {
-            out.push(1);
-            encode_qc(out, qc);
-        }
-        None => out.push(0),
-    }
-}
-
-// ---- primitive readers ------------------------------------------------------
-
-struct Cursor<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Self { buf, pos: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
-        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
-        if end > self.buf.len() {
-            return Err(SnapshotError::Truncated);
-        }
-        let slice = &self.buf[self.pos..end];
-        self.pos = end;
-        Ok(slice)
-    }
-
-    fn u8(&mut self) -> Result<u8, SnapshotError> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u16(&mut self) -> Result<u16, SnapshotError> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
-    }
-
-    fn u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    fn u64(&mut self) -> Result<u64, SnapshotError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    fn digest32(&mut self) -> Result<[u8; 32], SnapshotError> {
-        Ok(self.take(32)?.try_into().unwrap())
-    }
-
-    fn done(&self) -> bool {
-        self.pos == self.buf.len()
-    }
-}
-
-fn decode_block(cur: &mut Cursor<'_>) -> Result<Block, SnapshotError> {
-    let id = BlockId(bamboo_crypto::Digest::from_bytes(cur.digest32()?));
-    let view = View(cur.u64()?);
-    let height = Height(cur.u64()?);
-    let parent = BlockId(bamboo_crypto::Digest::from_bytes(cur.digest32()?));
-    let proposer = NodeId(cur.u64()?);
-    let justify = decode_qc(cur)?;
-    let tx_count = cur.u32()? as usize;
-    let mut payload = Vec::with_capacity(tx_count.min(65_536));
-    for _ in 0..tx_count {
-        let client = NodeId(cur.u64()?);
-        let seq = cur.u64()?;
-        let issued_at = SimTime(cur.u64()?);
-        let len = cur.u32()? as usize;
-        let bytes = Bytes::from(cur.take(len)?);
-        payload.push(Transaction::with_payload(client, seq, bytes, issued_at));
-    }
-    let block = Block::new(view, height, parent, proposer, justify, payload);
-    if block.id != id {
-        return Err(SnapshotError::Corrupt("block id mismatch"));
-    }
-    Ok(block)
-}
-
-fn decode_qc(cur: &mut Cursor<'_>) -> Result<QuorumCert, SnapshotError> {
-    let block = BlockId(bamboo_crypto::Digest::from_bytes(cur.digest32()?));
-    let view = View(cur.u64()?);
-    let signers = cur.u32()? as usize;
-    let mut signatures = AggregateSignature::new();
-    for _ in 0..signers {
-        let signer = cur.u64()?;
-        let signature = Signature::from_bytes(cur.digest32()?);
-        if !signatures.add(signer, signature) {
-            return Err(SnapshotError::Corrupt("duplicate QC signer"));
-        }
-    }
-    Ok(QuorumCert {
-        block,
-        view,
-        signatures,
-    })
-}
-
-fn decode_opt_qc(cur: &mut Cursor<'_>) -> Result<Option<QuorumCert>, SnapshotError> {
-    match cur.u8()? {
-        0 => Ok(None),
-        1 => Ok(Some(decode_qc(cur)?)),
-        _ => Err(SnapshotError::Corrupt("invalid option tag")),
-    }
-}
-
 // ---- log record codecs ------------------------------------------------------
 //
 // The durable segment log (`bamboo-core`'s `storage` module) frames opaque
@@ -384,7 +214,7 @@ pub fn encode_committed_record(committed: &CommittedBlock) -> Vec<u8> {
 /// Returns the [`SnapshotError`] describing the first structural or
 /// integrity violation.
 pub fn decode_committed_record(bytes: &[u8]) -> Result<CommittedBlock, SnapshotError> {
-    let mut cur = Cursor::new(bytes);
+    let mut cur = WireCursor::new(bytes);
     let block = SharedBlock::new(decode_block(&mut cur)?);
     let committed_in_view = View(cur.u64()?);
     let committed_at = SimTime(cur.u64()?);
@@ -413,7 +243,7 @@ pub fn encode_qc_record(qc: &QuorumCert) -> Vec<u8> {
 /// Returns the [`SnapshotError`] describing the first structural or
 /// integrity violation.
 pub fn decode_qc_record(bytes: &[u8]) -> Result<QuorumCert, SnapshotError> {
-    let mut cur = Cursor::new(bytes);
+    let mut cur = WireCursor::new(bytes);
     let qc = decode_qc(&mut cur)?;
     if !cur.done() {
         return Err(SnapshotError::Corrupt("trailing bytes after record"));
@@ -425,7 +255,7 @@ pub fn decode_qc_record(bytes: &[u8]) -> Result<QuorumCert, SnapshotError> {
 mod tests {
     use super::*;
     use bamboo_crypto::KeyPair;
-    use bamboo_types::Vote;
+    use bamboo_types::{NodeId, Transaction, Vote};
 
     fn certify(forest: &mut BlockForest, id: BlockId, view: u64) {
         let kps: Vec<KeyPair> = (0..4).map(KeyPair::from_seed).collect();

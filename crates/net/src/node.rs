@@ -1,0 +1,657 @@
+//! One socket-backed replica: a TCP listener, reader threads feeding a
+//! per-node [`VerifyPool`], per-peer writer threads, and the consensus loop
+//! in between.
+//!
+//! The thread model is a strict send/receive split so the consensus thread
+//! never blocks on a socket:
+//!
+//! * **readers** (one per accepted connection) block on `read`, feed a
+//!   [`FrameDecoder`], and hand decoded consensus messages to the node's
+//!   verify pool — signature checking happens off the consensus thread, and
+//!   the replica only ever receives [`bamboo_types::VerifiedMessage`] proof
+//!   tokens, exactly like the threaded backend;
+//! * **writers** (one per peer, owned by [`PeerSender`]) drain bounded
+//!   queues of pre-encoded frames and own all connect/reconnect logic;
+//! * the **consensus thread** runs the same [`NodeHost`] event loop as the
+//!   threaded cluster — due timers, due proposals, sync timers, then the
+//!   event channel — with the `NetTransport` realising effects as frame
+//!   enqueues.
+//!
+//! Unlike the in-process backends, verification here is per-*node*, not
+//! per-cluster: a broadcast is verified once per receiving replica (each
+//! replica trusts only its own ingress), which is the honest cost of a real
+//! deployment and exactly what the paper's testbed pays.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bamboo_core::replica::{ReplicaEvent, ReplicaOptions};
+use bamboo_core::runtime::{NodeHost, StepReport, Transport};
+use bamboo_core::verify::{VerifyHandle, VerifyPool};
+use bamboo_types::wire::encode_message;
+use bamboo_types::{
+    ClientRequest, Config, Message, NodeId, ProtocolKind, SimTime, VerifiedMessage, View,
+};
+
+use crate::frame::{
+    decode_client_batch, decode_hello, decode_peer_table, decode_status, encode_frame,
+    encode_status_reply, FrameDecoder, FrameKind, StatusReply, CLIENT_SENDER,
+};
+use crate::peer::{BackoffPolicy, PeerSender, PeerStats};
+
+/// Verify workers per node. One per node keeps the thread count of an
+/// n-replica loopback cluster at roughly 4n (replica + acceptor + n−1
+/// writers + readers) while still moving signature checks off the consensus
+/// thread.
+pub const DEFAULT_NODE_VERIFY_WORKERS: usize = 1;
+
+/// Per-node network counters, per peer link plus ingress totals.
+#[derive(Clone, Debug)]
+pub struct NodeNetStats {
+    /// The reporting replica.
+    pub node: u64,
+    /// Outbound link counters, one entry per remote peer.
+    pub peers: Vec<(u64, PeerStats)>,
+    /// Inbound connections accepted by this node's listener (initial
+    /// connects and peer reconnects alike).
+    pub accepted_connections: u64,
+    /// Messages this node's verify pool accepted.
+    pub verify_accepted: u64,
+    /// Messages this node's verify pool rejected as forged or malformed.
+    pub verify_rejected: u64,
+}
+
+impl NodeNetStats {
+    /// Total outbound reconnects across all peer links.
+    pub fn reconnects(&self) -> u64 {
+        self.peers.iter().map(|(_, s)| s.reconnects).sum()
+    }
+
+    /// Total bytes written across all peer links.
+    pub fn bytes_sent(&self) -> u64 {
+        self.peers.iter().map(|(_, s)| s.bytes_sent).sum()
+    }
+
+    /// Total frames dropped across all peer links.
+    pub fn dropped(&self) -> u64 {
+        self.peers.iter().map(|(_, s)| s.dropped).sum()
+    }
+}
+
+/// Everything a [`TcpNode`] hands back when it stops.
+pub struct TcpNodeReport {
+    /// The final host (ledger, forest, recovery stats, rejection counters).
+    pub host: NodeHost,
+    /// The node's network counters.
+    pub stats: NodeNetStats,
+}
+
+/// Commit progress shared between the consensus loop (writer) and reader
+/// threads answering status probes.
+struct NetStatus {
+    committed_txs: AtomicU64,
+    committed_blocks: AtomicU64,
+    view: AtomicU64,
+    /// `chain[l]` is the chain fingerprint of the first `l` committed
+    /// blocks, maintained by the consensus thread as commits land; readers
+    /// answer prefix probes from it without touching the ledger.
+    chain: Mutex<Vec<[u8; 32]>>,
+}
+
+impl NetStatus {
+    fn new() -> Self {
+        Self {
+            committed_txs: AtomicU64::new(0),
+            committed_blocks: AtomicU64::new(0),
+            view: AtomicU64::new(0),
+            chain: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// `prefix_len` of 0 means "the full chain as of now". Before the first
+    /// commit lands the fingerprint is all-zeroes.
+    fn reply(&self, token: u64, prefix_len: u64) -> StatusReply {
+        let blocks = self.committed_blocks.load(Ordering::Acquire);
+        let want = if prefix_len == 0 {
+            blocks
+        } else {
+            prefix_len.min(blocks)
+        };
+        let chain = self.chain.lock().expect("fingerprint lock poisoned");
+        StatusReply {
+            token,
+            committed_txs: self.committed_txs.load(Ordering::Acquire),
+            committed_blocks: blocks,
+            view: self.view.load(Ordering::Acquire),
+            chain_fingerprint: chain.get(want as usize).copied().unwrap_or([0u8; 32]),
+        }
+    }
+}
+
+/// Events delivered to the consensus thread.
+enum NodeEvent {
+    /// A message this node's verify pool already authenticated.
+    Verified(VerifiedMessage),
+    /// A batch of client requests (edge-verified by the host).
+    Client(Vec<ClientRequest>),
+    /// Peer listen addresses learned from the driver (multi-process mode) or
+    /// a cluster-side restart notification.
+    PeerTable(Vec<(u64, SocketAddr)>),
+    Shutdown,
+}
+
+/// The TCP backend's [`Transport`]: effects become pre-encoded frames in the
+/// per-peer outbound queues; timers stay thread-local exactly as in the
+/// threaded backend.
+struct NetTransport {
+    id: NodeId,
+    peers: Arc<Vec<Option<PeerSender>>>,
+    timers: Vec<(View, SimTime)>,
+    proposals: Vec<(View, SimTime)>,
+    sync_timers: Vec<SimTime>,
+}
+
+impl NetTransport {
+    fn new(id: NodeId, peers: Arc<Vec<Option<PeerSender>>>) -> Self {
+        Self {
+            id,
+            peers,
+            timers: Vec::new(),
+            proposals: Vec::new(),
+            sync_timers: Vec::new(),
+        }
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        let timer = self.timers.iter().map(|&(_, d)| d).min();
+        let proposal = self.proposals.iter().map(|&(_, d)| d).min();
+        let sync = self.sync_timers.iter().copied().min();
+        [timer, proposal, sync].into_iter().flatten().min()
+    }
+
+    fn due_timer(&mut self, now: SimTime) -> Option<View> {
+        let index = self.timers.iter().position(|&(_, d)| d <= now)?;
+        Some(self.timers.swap_remove(index).0)
+    }
+
+    fn due_proposal(&mut self, now: SimTime) -> Option<View> {
+        let index = self.proposals.iter().position(|&(_, d)| d <= now)?;
+        Some(self.proposals.swap_remove(index).0)
+    }
+
+    fn due_sync_timer(&mut self, now: SimTime) -> bool {
+        match self.sync_timers.iter().position(|&d| d <= now) {
+            Some(index) => {
+                self.sync_timers.swap_remove(index);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn prune_stale(&mut self, current_view: View) {
+        self.timers.retain(|&(view, _)| view >= current_view);
+        self.proposals.retain(|&(view, _)| view >= current_view);
+    }
+}
+
+impl Transport for NetTransport {
+    fn unicast(&mut self, to: NodeId, message: Message) {
+        // Unicasts to non-replica destinations (client responses) have no
+        // socket here; a real deployment would route them to the client's
+        // connection, the loopback harness measures commits via status
+        // probes instead.
+        if let Some(Some(peer)) = self.peers.get(to.index()) {
+            let frame: Arc<[u8]> = encode_frame(FrameKind::Msg, &encode_message(&message)).into();
+            peer.send(frame);
+        }
+    }
+
+    fn broadcast(&mut self, message: Message) {
+        // Encode once; every peer queue gets a pointer bump of the same
+        // frame allocation.
+        let frame: Arc<[u8]> = encode_frame(FrameKind::Msg, &encode_message(&message)).into();
+        for (index, peer) in self.peers.iter().enumerate() {
+            if index != self.id.index() {
+                if let Some(peer) = peer {
+                    peer.send(Arc::clone(&frame));
+                }
+            }
+        }
+    }
+
+    fn arm_timer(&mut self, view: View, deadline: SimTime) {
+        self.timers.push((view, deadline));
+    }
+
+    fn schedule_proposal(&mut self, view: View, at: SimTime) {
+        self.proposals.push((view, at));
+    }
+
+    fn arm_sync_timer(&mut self, deadline: SimTime) {
+        self.sync_timers.push(deadline);
+    }
+}
+
+/// A running socket-backed replica.
+pub struct TcpNode {
+    id: NodeId,
+    local_addr: SocketAddr,
+    events: Sender<NodeEvent>,
+    replica: Option<JoinHandle<NodeHost>>,
+    accept: Option<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    stop: Arc<AtomicBool>,
+    peers: Arc<Vec<Option<PeerSender>>>,
+    verify: Option<VerifyPool>,
+    status: Arc<NetStatus>,
+    accepted: Arc<AtomicU64>,
+}
+
+/// Poll interval of the (non-blocking) accept loop and the readers' receive
+/// timeout; bounds shutdown latency.
+const POLL_TICK: Duration = Duration::from_millis(20);
+/// Consensus-loop idle wait, mirroring the threaded backend.
+const IDLE_WAIT: Duration = Duration::from_millis(20);
+
+impl TcpNode {
+    /// Spawns a replica on a pre-bound listener. `peer_addrs[i]` is replica
+    /// `i`'s listen address when already known (same-process clusters know
+    /// all of them upfront; multi-process replicas start with none and learn
+    /// them from the driver's peer table). Consensus starts once every peer
+    /// address is known.
+    pub fn spawn(
+        id: NodeId,
+        protocol: ProtocolKind,
+        config: Config,
+        listener: TcpListener,
+        peer_addrs: Vec<Option<SocketAddr>>,
+        verify_workers: usize,
+        backoff: BackoffPolicy,
+    ) -> std::io::Result<Self> {
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let nodes = config.nodes;
+        assert_eq!(peer_addrs.len(), nodes, "one address slot per replica");
+        let (events, receiver) = channel::<NodeEvent>();
+        let peers: Arc<Vec<Option<PeerSender>>> = Arc::new(
+            (0..nodes)
+                .map(|index| {
+                    (index != id.index())
+                        .then(|| PeerSender::spawn(id.as_u64(), peer_addrs[index], backoff))
+                })
+                .collect(),
+        );
+        let status = Arc::new(NetStatus::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let accepted = Arc::new(AtomicU64::new(0));
+        let readers = Arc::new(Mutex::new(Vec::new()));
+
+        let deliver_events = events.clone();
+        let verify = VerifyPool::new(nodes, verify_workers.max(1), move |_to, verified| {
+            // `_to` is always this node: readers submit unicast-to-self.
+            let _ = deliver_events.send(NodeEvent::Verified(verified));
+        });
+
+        let accept = {
+            let handle = verify.handle();
+            let events = events.clone();
+            let stop = Arc::clone(&stop);
+            let status = Arc::clone(&status);
+            let accepted = Arc::clone(&accepted);
+            let readers = Arc::clone(&readers);
+            std::thread::spawn(move || {
+                run_acceptor(listener, events, handle, stop, status, accepted, readers)
+            })
+        };
+
+        let replica = {
+            let known: Vec<bool> = (0..nodes)
+                .map(|index| index == id.index() || peer_addrs[index].is_some())
+                .collect();
+            let transport = NetTransport::new(id, Arc::clone(&peers));
+            let status = Arc::clone(&status);
+            std::thread::spawn(move || {
+                run_consensus_loop(id, protocol, config, receiver, transport, status, known)
+            })
+        };
+
+        Ok(Self {
+            id,
+            local_addr,
+            events,
+            replica: Some(replica),
+            accept: Some(accept),
+            readers,
+            stop,
+            peers,
+            verify: Some(verify),
+            status,
+            accepted,
+        })
+    }
+
+    /// The replica's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The address the node's listener is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Submits a batch of client requests directly (same-process path; the
+    /// multi-process driver sends [`FrameKind::ClientBatch`] frames instead).
+    pub fn submit(&self, requests: Vec<ClientRequest>) {
+        let _ = self.events.send(NodeEvent::Client(requests));
+    }
+
+    /// Transactions this replica has committed.
+    pub fn committed_txs(&self) -> u64 {
+        self.status.committed_txs.load(Ordering::Acquire)
+    }
+
+    /// Points this node's outbound link for `peer` at a new address (a
+    /// restarted replica binds a fresh port).
+    pub fn update_peer(&self, peer: NodeId, addr: SocketAddr) {
+        let _ = self
+            .events
+            .send(NodeEvent::PeerTable(vec![(peer.as_u64(), addr)]));
+    }
+
+    /// Asks the consensus loop to stop (idempotent; `join` also sends it).
+    pub fn request_shutdown(&self) {
+        let _ = self.events.send(NodeEvent::Shutdown);
+    }
+
+    /// Stops every thread (consensus, acceptor, readers, writers, verify
+    /// workers) and returns the final host and counters.
+    pub fn join(self) -> TcpNodeReport {
+        self.finish(true)
+    }
+
+    /// Blocks until something else stops the consensus loop — a
+    /// [`FrameKind::Shutdown`] frame from the driver in multi-process mode —
+    /// then tears down and reports, like [`TcpNode::join`] but without
+    /// initiating the shutdown itself.
+    pub fn wait(self) -> TcpNodeReport {
+        self.finish(false)
+    }
+
+    fn finish(mut self, request_shutdown: bool) -> TcpNodeReport {
+        if request_shutdown {
+            let _ = self.events.send(NodeEvent::Shutdown);
+        }
+        let host = self
+            .replica
+            .take()
+            .expect("join called once")
+            .join()
+            .expect("consensus thread panicked");
+        self.stop.store(true, Ordering::Release);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let readers = std::mem::take(&mut *self.readers.lock().expect("readers lock poisoned"));
+        for reader in readers {
+            let _ = reader.join();
+        }
+        let peer_stats: Vec<(u64, PeerStats)> = self
+            .peers
+            .iter()
+            .enumerate()
+            .filter_map(|(index, peer)| peer.as_ref().map(|p| (index as u64, p.stats())))
+            .collect();
+        let (verify_accepted, verify_rejected) =
+            self.verify.take().expect("join called once").shutdown();
+        let stats = NodeNetStats {
+            node: self.id.as_u64(),
+            peers: peer_stats,
+            accepted_connections: self.accepted.load(Ordering::Acquire),
+            verify_accepted,
+            verify_rejected,
+        };
+        TcpNodeReport { host, stats }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_acceptor(
+    listener: TcpListener,
+    events: Sender<NodeEvent>,
+    verify: VerifyHandle,
+    stop: Arc<AtomicBool>,
+    status: Arc<NetStatus>,
+    accepted: Arc<AtomicU64>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                accepted.fetch_add(1, Ordering::Release);
+                let events = events.clone();
+                let verify = verify.clone();
+                let stop = Arc::clone(&stop);
+                let status = Arc::clone(&status);
+                let reader =
+                    std::thread::spawn(move || run_reader(stream, events, verify, stop, status));
+                readers.lock().expect("readers lock poisoned").push(reader);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_TICK);
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// One connection's receive loop: read, decode frames, dispatch. The first
+/// frame must be a hello; anything malformed drops the connection (the peer's
+/// writer reconnects on its backoff schedule).
+fn run_reader(
+    mut stream: TcpStream,
+    events: Sender<NodeEvent>,
+    verify: VerifyHandle,
+    stop: Arc<AtomicBool>,
+    status: Arc<NetStatus>,
+) {
+    let _ = stream.set_read_timeout(Some(POLL_TICK));
+    let _ = stream.set_nodelay(true);
+    let mut decoder = FrameDecoder::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut sender: Option<u64> = None;
+    'conn: while !stop.load(Ordering::Acquire) {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => decoder.push(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+        loop {
+            let frame = match decoder.next_frame() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => break,
+                Err(_) => break 'conn,
+            };
+            match (frame.kind, sender) {
+                (FrameKind::Hello, _) => match decode_hello(&frame.payload) {
+                    Ok(id) => sender = Some(id),
+                    Err(_) => break 'conn,
+                },
+                // Every other frame requires an established identity first.
+                (_, None) => break 'conn,
+                (FrameKind::Msg, Some(from)) => {
+                    match bamboo_types::wire::decode_message(&frame.payload) {
+                        // The claimed sender is attached here and *proved* by
+                        // the verify pool: a forged identity fails the
+                        // signature check against that identity's key.
+                        Ok(message) => verify.submit_unicast(NodeId(from), NodeId(from), message),
+                        Err(_) => break 'conn,
+                    }
+                }
+                (FrameKind::ClientBatch, Some(_)) => match decode_client_batch(&frame.payload) {
+                    Ok(requests) => {
+                        let _ = events.send(NodeEvent::Client(requests));
+                    }
+                    Err(_) => break 'conn,
+                },
+                (FrameKind::PeerTable, Some(from)) => {
+                    // Peer tables come from the driver, not from replicas.
+                    if from != CLIENT_SENDER {
+                        break 'conn;
+                    }
+                    match decode_peer_table(&frame.payload) {
+                        Ok(table) => {
+                            let _ = events.send(NodeEvent::PeerTable(table));
+                        }
+                        Err(_) => break 'conn,
+                    }
+                }
+                (FrameKind::Status, Some(_)) => match decode_status(&frame.payload) {
+                    Ok((token, prefix_len)) => {
+                        let reply = encode_frame(
+                            FrameKind::StatusReply,
+                            &encode_status_reply(&status.reply(token, prefix_len)),
+                        );
+                        if stream.write_all(&reply).is_err() {
+                            break 'conn;
+                        }
+                    }
+                    Err(_) => break 'conn,
+                },
+                (FrameKind::StatusReply, Some(_)) => {
+                    // Replicas probe nobody; stray replies are ignored.
+                }
+                (FrameKind::Shutdown, Some(_)) => {
+                    let _ = events.send(NodeEvent::Shutdown);
+                }
+            }
+        }
+    }
+}
+
+/// The consensus thread: the threaded backend's event loop, with a gate that
+/// holds the replica back until every peer address is known (multi-process
+/// replicas boot before the driver has collected all ports).
+fn run_consensus_loop(
+    id: NodeId,
+    protocol: ProtocolKind,
+    config: Config,
+    receiver: Receiver<NodeEvent>,
+    mut transport: NetTransport,
+    status: Arc<NetStatus>,
+    mut known: Vec<bool>,
+) -> NodeHost {
+    let mut host = NodeHost::new(id, protocol, config, ReplicaOptions::default());
+    let started_at = Instant::now();
+    let now = || SimTime(started_at.elapsed().as_nanos() as u64);
+    let mut started = false;
+
+    macro_rules! account {
+        ($report:expr) => {{
+            let report: StepReport = $report;
+            let newly: u64 = report
+                .committed
+                .iter()
+                .map(|b| b.payload.len() as u64)
+                .sum();
+            if newly > 0 {
+                status.committed_txs.fetch_add(newly, Ordering::Release);
+            }
+            let replica = host.replica();
+            status
+                .view
+                .store(replica.current_view().as_u64(), Ordering::Release);
+            if !report.committed.is_empty() {
+                let ledger = replica.ledger();
+                let new_len = ledger.len();
+                {
+                    // Extend the prefix-fingerprint history through the new
+                    // length (the recompute per prefix is the canonical
+                    // ledger hash — quadratic in chain length, fine at
+                    // loopback test scale).
+                    let mut chain = status.chain.lock().expect("fingerprint lock poisoned");
+                    while chain.len() <= new_len {
+                        let l = chain.len();
+                        chain.push(*ledger.chain_fingerprint_prefix(l).as_bytes());
+                    }
+                }
+                status
+                    .committed_blocks
+                    .store(new_len as u64, Ordering::Release);
+            }
+        }};
+    }
+
+    if known.iter().all(|&k| k) {
+        started = true;
+        account!(host.start(now(), &mut transport));
+    }
+
+    loop {
+        let current = now();
+
+        if started {
+            if let Some(view) = transport.due_timer(current) {
+                account!(host.handle(ReplicaEvent::TimerFired { view }, current, &mut transport));
+                transport.prune_stale(host.replica().current_view());
+                continue;
+            }
+            if let Some(view) = transport.due_proposal(current) {
+                account!(host.handle(ReplicaEvent::ProposeNow { view }, current, &mut transport));
+                continue;
+            }
+            if transport.due_sync_timer(current) {
+                account!(host.handle(ReplicaEvent::SyncTimer, current, &mut transport));
+                continue;
+            }
+        }
+
+        let wait = match transport.next_deadline() {
+            Some(deadline) if started => {
+                Duration::from_nanos(deadline.as_nanos().saturating_sub(current.as_nanos()))
+                    .min(IDLE_WAIT)
+            }
+            _ => IDLE_WAIT,
+        };
+        match receiver.recv_timeout(wait) {
+            Ok(NodeEvent::Shutdown) => break,
+            Ok(NodeEvent::Verified(verified)) => {
+                account!(host.handle_verified(verified, now(), &mut transport));
+                transport.prune_stale(host.replica().current_view());
+            }
+            Ok(NodeEvent::Client(requests)) => {
+                account!(host.handle_client_batch(requests, now(), &mut transport));
+            }
+            Ok(NodeEvent::PeerTable(table)) => {
+                for (peer, addr) in table {
+                    let index = peer as usize;
+                    if peer != id.as_u64() && index < transport.peers.len() {
+                        if let Some(Some(link)) = transport.peers.get(index) {
+                            link.set_addr(addr);
+                        }
+                        known[index] = true;
+                    }
+                }
+                if !started && known.iter().all(|&k| k) {
+                    started = true;
+                    account!(host.start(now(), &mut transport));
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    host
+}

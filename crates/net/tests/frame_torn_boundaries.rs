@@ -1,0 +1,143 @@
+//! Frame-decoder property tests at torn boundaries, mirroring the durable
+//! log's torn-tail suite: TCP delivers byte streams, not frames, so the
+//! decoder must produce the identical frame sequence no matter how the
+//! stream is sliced — and a stream cut mid-frame must yield exactly the
+//! fully-contained prefix, silently waiting for the rest.
+
+use bamboo_net::{FrameDecoder, FrameError, FrameKind};
+
+/// splitmix64 — the workspace's standard tiny deterministic generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+const KINDS: [FrameKind; 7] = [
+    FrameKind::Hello,
+    FrameKind::Msg,
+    FrameKind::ClientBatch,
+    FrameKind::PeerTable,
+    FrameKind::Status,
+    FrameKind::StatusReply,
+    FrameKind::Shutdown,
+];
+
+/// Random frames (framing is payload-agnostic; random bytes exercise it as
+/// well as encoded messages do) and the concatenated wire stream.
+fn random_stream(seed: u64, count: usize) -> (Vec<(FrameKind, Vec<u8>)>, Vec<u8>) {
+    let mut rng = Rng(seed);
+    let mut frames = Vec::with_capacity(count);
+    let mut stream = Vec::new();
+    for _ in 0..count {
+        let kind = KINDS[(rng.next() % KINDS.len() as u64) as usize];
+        let len = (rng.next() % 60) as usize;
+        let payload: Vec<u8> = (0..len).map(|_| (rng.next() & 0xFF) as u8).collect();
+        stream.extend_from_slice(&bamboo_net::frame::encode_frame(kind, &payload));
+        frames.push((kind, payload));
+    }
+    (frames, stream)
+}
+
+fn drain(decoder: &mut FrameDecoder) -> Vec<(FrameKind, Vec<u8>)> {
+    let mut out = Vec::new();
+    while let Some(frame) = decoder.next_frame().expect("valid stream") {
+        out.push((frame.kind, frame.payload));
+    }
+    out
+}
+
+#[test]
+fn byte_dribbled_streams_decode_identically() {
+    let (frames, stream) = random_stream(42, 25);
+    // Whole-stream decode is the reference.
+    let mut reference = FrameDecoder::new();
+    reference.push(&stream);
+    assert_eq!(drain(&mut reference), frames);
+
+    // Dribble the same bytes in random 1..=7-byte slices; the decoded
+    // sequence must be identical, with partial frames held back until their
+    // remainder arrives.
+    let mut rng = Rng(7);
+    let mut decoder = FrameDecoder::new();
+    let mut decoded = Vec::new();
+    let mut pos = 0;
+    while pos < stream.len() {
+        let step = (1 + rng.next() % 7) as usize;
+        let end = (pos + step).min(stream.len());
+        decoder.push(&stream[pos..end]);
+        decoded.extend(drain(&mut decoder));
+        pos = end;
+    }
+    assert_eq!(decoded, frames);
+    assert_eq!(decoder.buffered(), 0, "no bytes left behind");
+}
+
+#[test]
+fn every_truncation_point_yields_exactly_the_complete_prefix() {
+    let (frames, stream) = random_stream(2024, 15);
+    // Recompute each frame's end offset to know the expected prefix length
+    // at every cut.
+    let mut ends = Vec::with_capacity(frames.len());
+    let mut offset = 0;
+    for (_, payload) in &frames {
+        offset += bamboo_net::frame::FRAME_HEADER_BYTES + payload.len();
+        ends.push(offset);
+    }
+    for cut in 0..=stream.len() {
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&stream[..cut]);
+        let decoded = drain(&mut decoder);
+        let expected = ends.iter().take_while(|&&end| end <= cut).count();
+        assert_eq!(
+            decoded.len(),
+            expected,
+            "cut {cut}: wrong number of complete frames"
+        );
+        assert_eq!(decoded, frames[..expected], "cut {cut}: prefix diverged");
+        // A torn tail is pending bytes, not an error — and feeding the
+        // remainder completes the stream exactly.
+        decoder.push(&stream[cut..]);
+        let rest = drain(&mut decoder);
+        assert_eq!(rest, frames[expected..], "cut {cut}: tail did not resume");
+        assert_eq!(decoder.buffered(), 0);
+    }
+}
+
+#[test]
+fn unknown_kind_byte_is_a_hard_error() {
+    let mut stream = bamboo_net::frame::encode_frame(FrameKind::Msg, b"fine");
+    let bad = bamboo_net::frame::encode_frame(FrameKind::Msg, b"soon-mauled");
+    let kind_offset = stream.len() + 4;
+    stream.extend_from_slice(&bad);
+    stream[kind_offset] = 0xEE;
+    let mut decoder = FrameDecoder::new();
+    decoder.push(&stream);
+    assert!(decoder.next_frame().expect("first frame intact").is_some());
+    assert!(matches!(
+        decoder.next_frame(),
+        Err(FrameError::UnknownKind(0xEE))
+    ));
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_without_buffering() {
+    // A length prefix beyond MAX_FRAME_PAYLOAD must fail immediately — the
+    // decoder must not wait for (or try to allocate) gigabytes.
+    let huge = (bamboo_net::frame::MAX_FRAME_PAYLOAD as u32) + 1;
+    let mut stream = Vec::new();
+    stream.extend_from_slice(&huge.to_be_bytes());
+    stream.push(FrameKind::Msg as u8);
+    let mut decoder = FrameDecoder::new();
+    decoder.push(&stream);
+    assert!(matches!(
+        decoder.next_frame(),
+        Err(FrameError::Oversized(n)) if n == huge
+    ));
+}

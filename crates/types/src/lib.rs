@@ -7,6 +7,9 @@
 //! * payload — [`Transaction`], [`Block`],
 //! * certificates — [`Vote`], [`QuorumCert`], [`TimeoutVote`], [`TimeoutCert`],
 //! * the wire [`Message`] enum exchanged by replicas and clients,
+//! * the canonical binary codec for blocks, certificates and messages —
+//!   [`wire`] — shared by checkpoint images, durable log records and the TCP
+//!   transport frames,
 //! * the authenticated ingress stage — [`Authenticator`] verifies every
 //!   inbound message against the validator set and mints [`VerifiedMessage`]
 //!   proof tokens; forgeries are rejected with a typed [`AuthError`],
@@ -32,6 +35,7 @@ pub mod json;
 pub mod message;
 pub mod time;
 pub mod transaction;
+pub mod wire;
 
 pub use auth::{AuthError, Authenticator, VerifiedMessage};
 pub use block::{Block, BlockId, SharedBlock};
@@ -46,3 +50,4 @@ pub use message::{
 };
 pub use time::{SimDuration, SimTime};
 pub use transaction::{Transaction, TxId};
+pub use wire::{WireCursor, WireError};

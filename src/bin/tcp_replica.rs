@@ -1,0 +1,19 @@
+//! Replica process for the multi-process TCP loopback mode.
+//!
+//! Not meant to be invoked by hand: a driver ([`bamboo::net::ProcessCluster`])
+//! spawns it with `BAMBOO_TCP_REPLICA_SPEC` set to a JSON spec, reads the
+//! `PORT <p>` line it prints, distributes the peer table over TCP, and
+//! collects the final `REPORT <json>` line on shutdown. Run by the
+//! `tests/tcp_agreement.rs` multi-process smoke test and usable from the
+//! command line for manual cluster experiments (see README).
+
+fn main() {
+    if !bamboo::net::maybe_run_replica() {
+        eprintln!(
+            "tcp_replica: set {} to a JSON replica spec (this binary is \
+             normally spawned by a ProcessCluster driver, not by hand)",
+            bamboo::net::REPLICA_ENV
+        );
+        std::process::exit(2);
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`protocols`] | `bamboo-protocols` | Safety rules: HotStuff, 2CHS, Streamlet, … + attacks |
 //! | [`sim`] | `bamboo-sim` | discrete-event engine, latency/NIC/CPU models |
 //! | [`core`] | `bamboo-core` | replica, quorum, workload, runner, benchmarker, threaded cluster |
+//! | [`net`] | `bamboo-net` | TCP transport: framing, reconnecting peers, loopback clusters |
 //! | [`model`] | `bamboo-model` | analytical queuing model (§V of the paper) |
 //!
 //! # Example
@@ -81,6 +82,12 @@ pub mod sim {
 /// Replica, runner, workload generation and benchmarking facilities.
 pub mod core {
     pub use bamboo_core::*;
+}
+
+/// TCP transport backend: framed sockets, reconnecting peer links, loopback
+/// clusters (same-process and one-process-per-replica).
+pub mod net {
+    pub use bamboo_net::*;
 }
 
 /// Analytical performance model.
